@@ -1,0 +1,235 @@
+//! Chi-square goodness-of-fit against the uniform distribution, with
+//! p-values from the regularised incomplete gamma function (implemented
+//! here; the approved dependency set has no special-functions crate).
+
+/// Result of a chi-square uniformity test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareResult {
+    /// The chi-square statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (`bins - 1`).
+    pub dof: u64,
+    /// Probability of a statistic at least this large under uniformity.
+    pub p_value: f64,
+}
+
+impl ChiSquareResult {
+    /// Whether the uniformity hypothesis survives at significance `alpha`
+    /// (i.e. `p_value >= alpha`).
+    #[must_use]
+    pub fn is_uniform(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Tests observed `counts` against a uniform distribution over the bins.
+///
+/// # Panics
+/// Panics if fewer than two bins are provided or all counts are zero.
+#[must_use]
+pub fn chi_square_uniform(counts: &[u64]) -> ChiSquareResult {
+    assert!(counts.len() >= 2, "need at least two bins");
+    let total: u64 = counts.iter().sum();
+    assert!(total > 0, "need at least one observation");
+    let expected = total as f64 / counts.len() as f64;
+    let statistic: f64 =
+        counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+    let dof = (counts.len() - 1) as u64;
+    let p_value = chi_square_sf(statistic, dof as f64);
+    ChiSquareResult { statistic, dof, p_value }
+}
+
+/// Survival function of the chi-square distribution:
+/// `Q(dof/2, x/2)` — the regularised *upper* incomplete gamma function.
+fn chi_square_sf(x: f64, dof: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    reg_upper_gamma(dof / 2.0, x / 2.0)
+}
+
+/// Regularised upper incomplete gamma `Q(a, x)` via series/continued
+/// fraction (Numerical Recipes `gammq`).
+fn reg_upper_gamma(a: f64, x: f64) -> f64 {
+    if x < a + 1.0 {
+        1.0 - lower_gamma_series(a, x)
+    } else {
+        upper_gamma_cf(a, x)
+    }
+}
+
+/// Series expansion of the regularised lower gamma `P(a, x)`, for
+/// `x < a + 1`.
+fn lower_gamma_series(a: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-14 {
+            break;
+        }
+    }
+    (sum * (-x + a * x.ln() - ln_gamma(a)).exp()).clamp(0.0, 1.0)
+}
+
+/// Continued-fraction expansion of `Q(a, x)`, for `x >= a + 1`
+/// (modified Lentz algorithm).
+fn upper_gamma_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-14 {
+            break;
+        }
+    }
+    ((-x + a * x.ln() - ln_gamma(a)).exp() * h).clamp(0.0, 1.0)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Gamma(1) = 1, Gamma(2) = 1, Gamma(5) = 24, Gamma(0.5) = sqrt(pi).
+        assert!((ln_gamma(1.0)).abs() < 1e-10);
+        assert!((ln_gamma(2.0)).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi_square_sf_known_values() {
+        // df=1: P(chi2 > 3.841) ≈ 0.05; df=10: P(chi2 > 18.307) ≈ 0.05.
+        assert!((chi_square_sf(3.841, 1.0) - 0.05).abs() < 1e-3);
+        assert!((chi_square_sf(18.307, 10.0) - 0.05).abs() < 1e-3);
+        // df=2 has closed form exp(-x/2).
+        for x in [0.5f64, 1.0, 3.0, 10.0] {
+            assert!((chi_square_sf(x, 2.0) - (-x / 2.0).exp()).abs() < 1e-10, "x={x}");
+        }
+    }
+
+    #[test]
+    fn perfectly_uniform_counts_score_high() {
+        let r = chi_square_uniform(&[100, 100, 100, 100]);
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.dof, 3);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+        assert!(r.is_uniform(0.01));
+    }
+
+    #[test]
+    fn concentrated_counts_rejected() {
+        let r = chi_square_uniform(&[400, 0, 0, 0]);
+        assert!(r.p_value < 1e-6);
+        assert!(!r.is_uniform(0.01));
+    }
+
+    #[test]
+    fn mild_noise_accepted() {
+        let r = chi_square_uniform(&[95, 105, 98, 102, 97, 103]);
+        assert!(r.is_uniform(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    #[should_panic(expected = "two bins")]
+    fn single_bin_rejected() {
+        let _ = chi_square_uniform(&[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "observation")]
+    fn all_zero_rejected() {
+        let _ = chi_square_uniform(&[0, 0]);
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn p_values_are_probabilities(
+                counts in proptest::collection::vec(0u64..1000, 2..40),
+            ) {
+                prop_assume!(counts.iter().sum::<u64>() > 0);
+                let r = chi_square_uniform(&counts);
+                prop_assert!((0.0..=1.0).contains(&r.p_value), "p = {}", r.p_value);
+                prop_assert!(r.statistic >= 0.0);
+                prop_assert_eq!(r.dof, counts.len() as u64 - 1);
+            }
+
+            #[test]
+            fn survival_function_is_monotone_in_x(
+                dof in 1u64..50,
+                x1 in 0.0f64..100.0,
+                dx in 0.0f64..100.0,
+            ) {
+                let a = chi_square_sf(x1, dof as f64);
+                let b = chi_square_sf(x1 + dx, dof as f64);
+                prop_assert!(b <= a + 1e-12, "sf({x1}) = {a} < sf({}) = {b}", x1 + dx);
+            }
+
+            #[test]
+            fn lower_and_upper_gamma_sum_to_one(
+                a in 0.5f64..40.0,
+                x in 0.01f64..80.0,
+            ) {
+                let q = reg_upper_gamma(a, x);
+                // P + Q = 1; compute P through the complementary branch.
+                let p = 1.0 - q;
+                prop_assert!((0.0..=1.0).contains(&q));
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+}

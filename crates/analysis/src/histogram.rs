@@ -1,0 +1,132 @@
+//! Fixed-bin histogram over `u32` values (leaf ids, block indices).
+
+/// A histogram with one bin per integer value in `0..num_bins`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `num_bins` bins.
+    ///
+    /// # Panics
+    /// Panics if `num_bins == 0`.
+    #[must_use]
+    pub fn new(num_bins: usize) -> Self {
+        assert!(num_bins > 0, "histogram needs at least one bin");
+        Histogram { counts: vec![0; num_bins], total: 0 }
+    }
+
+    /// Builds a histogram from an iterator of values.
+    ///
+    /// # Panics
+    /// Panics if a value falls outside `0..num_bins`.
+    #[must_use]
+    pub fn from_values<I: IntoIterator<Item = u32>>(num_bins: usize, values: I) -> Self {
+        let mut h = Histogram::new(num_bins);
+        for v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    /// Panics if `value` is out of range.
+    pub fn record(&mut self, value: u32) {
+        self.counts[value as usize] += 1;
+        self.total += 1;
+    }
+
+    /// The per-bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn num_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Largest per-bin count.
+    #[must_use]
+    pub fn max_count(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of bins that received at least one observation.
+    #[must_use]
+    pub fn occupied_bins(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Expected count per bin under uniformity.
+    #[must_use]
+    pub fn expected_uniform(&self) -> f64 {
+        self.total as f64 / self.counts.len() as f64
+    }
+
+    /// Coarsens the histogram to `target_bins` by summing adjacent bins —
+    /// used before chi-square when per-bin expectations would be too small.
+    ///
+    /// # Panics
+    /// Panics if `target_bins` is zero or larger than the current bin
+    /// count.
+    #[must_use]
+    pub fn coarsen(&self, target_bins: usize) -> Histogram {
+        assert!(target_bins > 0 && target_bins <= self.counts.len());
+        let mut out = Histogram::new(target_bins);
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bin = i * target_bins / self.counts.len();
+            out.counts[bin] += c;
+        }
+        out.total = self.total;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let h = Histogram::from_values(4, [0u32, 1, 1, 3]);
+        assert_eq!(h.counts(), &[1, 2, 0, 1]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.max_count(), 2);
+        assert_eq!(h.occupied_bins(), 3);
+        assert_eq!(h.expected_uniform(), 1.0);
+    }
+
+    #[test]
+    fn coarsen_preserves_total() {
+        let h = Histogram::from_values(8, (0u32..8).chain(0..4));
+        let c = h.coarsen(2);
+        assert_eq!(c.total(), h.total());
+        assert_eq!(c.counts(), &[8, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_value_panics() {
+        let mut h = Histogram::new(2);
+        h.record(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Statistics for ORAM security audits and experiment reporting.
+//!
+//! The paper's §VI security argument is that every server-visible path
+//! request is drawn uniformly at random, independent of the input stream.
+//! This crate turns that claim into an executable check: record the leaf
+//! sequence with a
+//! [`RecordingObserver`](oram_protocol::RecordingObserver), then run a
+//! [`UniformityAudit`] over it — a chi-square goodness-of-fit test against
+//! the uniform distribution, with proper p-values via the regularised
+//! incomplete gamma function.
+//!
+//! The crate also hosts the generic reporting utilities the benchmark
+//! harness uses: histograms, time-series recorders and markdown/CSV table
+//! rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chisquare;
+mod histogram;
+mod series;
+mod summary;
+mod table;
+mod uniformity;
+
+pub use chisquare::{chi_square_uniform, ChiSquareResult};
+pub use histogram::Histogram;
+pub use series::SeriesRecorder;
+pub use summary::Summary;
+pub use table::Table;
+pub use uniformity::UniformityAudit;

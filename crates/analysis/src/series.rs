@@ -1,0 +1,157 @@
+//! Time-series recording (stash occupancy vs access count, Figure 8).
+
+/// Records `(x, y)` samples and renders them for plotting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SeriesRecorder {
+    name: String,
+    points: Vec<(u64, u64)>,
+}
+
+impl SeriesRecorder {
+    /// Creates an empty, named series.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        SeriesRecorder { name: name.to_owned(), points: Vec::new() }
+    }
+
+    /// The series name (used as a CSV column header).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends one sample.
+    pub fn record(&mut self, x: u64, y: u64) {
+        self.points.push((x, y));
+    }
+
+    /// The recorded samples.
+    #[must_use]
+    pub fn points(&self) -> &[(u64, u64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest `y` recorded.
+    #[must_use]
+    pub fn max_y(&self) -> u64 {
+        self.points.iter().map(|&(_, y)| y).max().unwrap_or(0)
+    }
+
+    /// Final `y` recorded.
+    #[must_use]
+    pub fn last_y(&self) -> u64 {
+        self.points.last().map_or(0, |&(_, y)| y)
+    }
+
+    /// Keeps at most `n` evenly spaced samples (plot-friendly output).
+    #[must_use]
+    pub fn downsample(&self, n: usize) -> SeriesRecorder {
+        assert!(n > 0, "cannot downsample to zero points");
+        if self.points.len() <= n {
+            return self.clone();
+        }
+        let mut out = SeriesRecorder::new(&self.name);
+        let step = self.points.len() as f64 / n as f64;
+        for i in 0..n {
+            let idx = ((i as f64 + 0.5) * step) as usize;
+            out.points.push(self.points[idx.min(self.points.len() - 1)]);
+        }
+        out
+    }
+
+    /// Renders several series (sharing x-values by position) into one CSV
+    /// block with an `x` column followed by one column per series.
+    ///
+    /// # Panics
+    /// Panics if the series have different lengths.
+    #[must_use]
+    pub fn to_csv(series: &[&SeriesRecorder]) -> String {
+        assert!(!series.is_empty(), "need at least one series");
+        let len = series[0].len();
+        assert!(
+            series.iter().all(|s| s.len() == len),
+            "series must have equal lengths for joint CSV"
+        );
+        let mut out = String::from("x");
+        for s in series {
+            out.push(',');
+            out.push_str(&s.name);
+        }
+        out.push('\n');
+        for i in 0..len {
+            out.push_str(&series[0].points[i].0.to_string());
+            for s in series {
+                out.push(',');
+                out.push_str(&s.points[i].1.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = SeriesRecorder::new("stash");
+        s.record(0, 5);
+        s.record(100, 12);
+        s.record(200, 9);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max_y(), 12);
+        assert_eq!(s.last_y(), 9);
+        assert_eq!(s.name(), "stash");
+    }
+
+    #[test]
+    fn downsample_keeps_spacing() {
+        let mut s = SeriesRecorder::new("s");
+        for i in 0..1000u64 {
+            s.record(i, i * 2);
+        }
+        let d = s.downsample(10);
+        assert_eq!(d.len(), 10);
+        // Points remain monotone in x.
+        for w in d.points().windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        // Short series pass through unchanged.
+        assert_eq!(d.downsample(100).len(), 10);
+    }
+
+    #[test]
+    fn joint_csv() {
+        let mut a = SeriesRecorder::new("a");
+        let mut b = SeriesRecorder::new("b");
+        a.record(0, 1);
+        a.record(1, 2);
+        b.record(0, 3);
+        b.record(1, 4);
+        let csv = SeriesRecorder::to_csv(&[&a, &b]);
+        assert_eq!(csv, "x,a,b\n0,1,3\n1,2,4\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_series_rejected() {
+        let mut a = SeriesRecorder::new("a");
+        a.record(0, 1);
+        let b = SeriesRecorder::new("b");
+        let _ = SeriesRecorder::to_csv(&[&a, &b]);
+    }
+}

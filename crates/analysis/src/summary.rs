@@ -1,0 +1,104 @@
+//! Scalar sample summaries.
+
+/// Summary statistics of a set of `f64` samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes a summary.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarise an empty sample set");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+        }
+    }
+
+    /// The `p`-th percentile of the sample set (0–100).
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 100]` or samples contain NaN.
+    #[must_use]
+    pub fn percentile(samples: &[f64], p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        percentile_sorted(&sorted, p)
+    }
+}
+
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+        assert!((s.std_dev - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn percentiles() {
+        let v: Vec<f64> = (0..101).map(f64::from).collect();
+        assert_eq!(Summary::percentile(&v, 0.0), 0.0);
+        assert_eq!(Summary::percentile(&v, 50.0), 50.0);
+        assert_eq!(Summary::percentile(&v, 100.0), 100.0);
+        assert_eq!(Summary::percentile(&v, 95.0), 95.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        let _ = Summary::of(&[]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Plain (non-oblivious) RAM baseline.
+
+/// A flat table with per-access accounting: the "Insecure" row of the
+/// paper's Table I and the ground-truth store for functional tests.
+#[derive(Debug)]
+pub struct InsecureRam {
+    rows: Vec<Option<Box<[u8]>>>,
+    block_bytes: u64,
+    accesses: u64,
+}
+
+impl InsecureRam {
+    /// Creates an empty table of `num_blocks` rows of `block_bytes` each.
+    #[must_use]
+    pub fn new(num_blocks: u32, block_bytes: u64) -> Self {
+        InsecureRam {
+            rows: (0..num_blocks).map(|_| None).collect(),
+            block_bytes,
+            accesses: 0,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn num_blocks(&self) -> u32 {
+        self.rows.len() as u32
+    }
+
+    /// Total memory an insecure deployment needs (Table I "Insecure").
+    #[must_use]
+    pub fn memory_bytes(&self) -> u64 {
+        self.rows.len() as u64 * self.block_bytes
+    }
+
+    /// Reads row `idx`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices.
+    pub fn read(&mut self, idx: u32) -> Option<&[u8]> {
+        self.accesses += 1;
+        self.rows[idx as usize].as_deref()
+    }
+
+    /// Writes row `idx`, returning the previous contents.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices.
+    pub fn write(&mut self, idx: u32, data: Box<[u8]>) -> Option<Box<[u8]>> {
+        self.accesses += 1;
+        self.rows[idx as usize].replace(data)
+    }
+
+    /// Accesses performed so far (each moves exactly one block).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Bytes moved so far: one block per access — the denominator of every
+    /// ORAM overhead factor.
+    #[must_use]
+    pub fn bytes_moved(&self) -> u64 {
+        self.accesses * self.block_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut ram = InsecureRam::new(8, 128);
+        assert_eq!(ram.read(3), None);
+        assert_eq!(ram.write(3, vec![7; 4].into()), None);
+        assert_eq!(ram.read(3), Some(&[7u8; 4][..]));
+        assert_eq!(ram.accesses(), 3);
+        assert_eq!(ram.bytes_moved(), 3 * 128);
+    }
+
+    #[test]
+    fn memory_matches_table1() {
+        let ram = InsecureRam::new(8 << 20, 128);
+        assert_eq!(ram.memory_bytes(), (8 << 20) * 128); // 1 GiB
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let mut ram = InsecureRam::new(2, 1);
+        let _ = ram.read(5);
+    }
+}

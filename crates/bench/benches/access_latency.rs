@@ -1,0 +1,64 @@
+//! Criterion micro-bench: wall-clock cost of one logical access for
+//! PathORAM vs LAORAM (Normal/S4, Fat/S4) on a 2^14-entry tree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use laoram_core::{LaOram, LaOramConfig};
+use oram_protocol::{PathOramClient, PathOramConfig};
+use oram_tree::BlockId;
+use oram_workloads::{Trace, TraceKind};
+
+const N: u32 = 1 << 14;
+const LEN: usize = 4096;
+
+fn bench_access(c: &mut Criterion) {
+    let trace = Trace::generate(TraceKind::Permutation, N, LEN, 7);
+    let mut group = c.benchmark_group("access_latency");
+    group.throughput(criterion::Throughput::Elements(LEN as u64));
+
+    group.bench_function("path_oram", |b| {
+        b.iter_batched(
+            || PathOramClient::new(PathOramConfig::new(N).with_seed(7)).unwrap(),
+            |mut client| {
+                for idx in trace.iter() {
+                    client.read(BlockId::new(idx)).unwrap();
+                }
+                black_box(client.stats().real_accesses)
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    for (name, fat) in [("laoram_normal_s4", false), ("laoram_fat_s4", true)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let config = LaOramConfig::builder(N)
+                        .superblock_size(4)
+                        .fat_tree(fat)
+                        .seed(7)
+                        .build()
+                        .unwrap();
+                    LaOram::with_lookahead(config, trace.accesses()).unwrap()
+                },
+                |mut client| {
+                    for idx in trace.iter() {
+                        client.read(idx).unwrap();
+                    }
+                    client.finish().unwrap();
+                    black_box(client.stats().real_accesses)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_access
+}
+criterion_main!(benches);

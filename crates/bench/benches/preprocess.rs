@@ -1,0 +1,36 @@
+//! Criterion micro-bench: preprocessing throughput (dataset scan +
+//! superblock path generation), supporting the paper's §VIII-A claim that
+//! preprocessing is off the critical path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use laoram_core::SuperblockPlan;
+use oram_workloads::{DlrmTraceConfig, Trace, TraceKind};
+
+fn bench_preprocess(c: &mut Criterion) {
+    let trace = Trace::generate(
+        TraceKind::Dlrm(DlrmTraceConfig::default()),
+        1 << 20,
+        100_000,
+        13,
+    );
+    let mut group = c.benchmark_group("preprocess");
+    group.throughput(criterion::Throughput::Elements(trace.len() as u64));
+    for s in [2u32, 4, 8] {
+        group.bench_function(format!("plan_s{s}"), |b| {
+            b.iter(|| {
+                let plan = SuperblockPlan::build(trace.accesses(), s, 1 << 20, 13);
+                black_box(plan.num_bins())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_preprocess
+}
+criterion_main!(benches);

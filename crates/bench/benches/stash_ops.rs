@@ -1,0 +1,52 @@
+//! Criterion micro-bench: stash insert/take/absorb churn at realistic
+//! occupancies (the client-side metadata work per access).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use oram_protocol::Stash;
+use oram_tree::{Block, BlockId, LeafId};
+
+fn bench_stash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stash_ops");
+    for occupancy in [16usize, 128, 1024] {
+        group.bench_function(format!("take_all_absorb/{occupancy}"), |b| {
+            let mut stash = Stash::new();
+            for i in 0..occupancy {
+                stash.insert(Block::metadata_only(
+                    BlockId::new(i as u32),
+                    LeafId::new(i as u32),
+                ));
+            }
+            b.iter(|| {
+                let all = stash.take_all();
+                let n = all.len();
+                stash.absorb(all);
+                black_box(n)
+            });
+        });
+        group.bench_function(format!("insert_take/{occupancy}"), |b| {
+            let mut stash = Stash::new();
+            for i in 0..occupancy {
+                stash.insert(Block::metadata_only(
+                    BlockId::new(i as u32),
+                    LeafId::new(i as u32),
+                ));
+            }
+            let probe = BlockId::new((occupancy / 2) as u32);
+            b.iter(|| {
+                let blk = stash.take(probe).unwrap();
+                stash.insert(blk);
+                black_box(stash.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stash
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion micro-bench: raw path read/write cost on normal vs fat
+//! trees (the per-request server work the cost model charges for).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use oram_tree::{Block, BlockId, BucketProfile, LeafId, TreeGeometry, TreeStorage};
+
+fn bench_tree_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_ops");
+    for (name, profile) in [
+        ("normal_z4", BucketProfile::Uniform { capacity: 4 }),
+        ("fat_8to4", BucketProfile::FatLinear { leaf_capacity: 4 }),
+    ] {
+        let geometry = TreeGeometry::with_levels(16, profile).unwrap();
+        group.bench_function(format!("read_write_path/{name}"), |b| {
+            let mut storage = TreeStorage::metadata_only(geometry.clone());
+            let leaves = geometry.num_leaves() as u32;
+            let mut i = 0u32;
+            b.iter(|| {
+                let leaf = LeafId::new(i % leaves);
+                let mut blocks = storage.read_path(leaf);
+                if blocks.is_empty() {
+                    blocks.push(Block::metadata_only(BlockId::new(i % 1000), leaf));
+                }
+                storage.write_path(leaf, &mut blocks);
+                i = i.wrapping_add(0x9E37);
+                black_box(blocks.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tree_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! §V design-space ablation: bucket-capacity profiles. The paper chooses
+//! *linear* fat growth because exponential growth "is not practical due
+//! to huge overheads at the root"; this bench quantifies the trade-off:
+//! memory cost vs dummy-read relief for uniform, linear-fat and
+//! (clamped) exponential-fat profiles.
+//!
+//! Usage: `ablation_fat_profiles [--len 20000] [--blocks 1048576] [--seed N] [--s 8]`
+
+use laoram_bench::runner::{Args, Dataset};
+use laoram_core::{LaOram, LaOramConfig};
+use oram_analysis::Table;
+use oram_protocol::EvictionConfig;
+use oram_tree::{BucketProfile, TreeGeometry};
+use oram_workloads::Trace;
+
+fn main() {
+    let args = Args::from_env();
+    let len: usize = args.get_or("len", 20_000);
+    let blocks: u32 = args.get_or("blocks", Dataset::Permutation.num_blocks(args.flag("full")));
+    let seed: u64 = args.get_or("seed", 81);
+    let s: u32 = args.get_or("s", 8);
+    let trace = Trace::generate(Dataset::Permutation.kind(), blocks, len, seed);
+
+    println!("# Fat-tree profile ablation (permutation, S = {s}, {blocks} entries)");
+    let levels = TreeGeometry::for_blocks(u64::from(blocks), BucketProfile::Uniform {
+        capacity: 4,
+    })
+    .expect("geometry")
+    .leaf_level();
+
+    let profiles: [(&str, BucketProfile); 4] = [
+        ("Uniform Z=4", BucketProfile::Uniform { capacity: 4 }),
+        ("Uniform Z=8", BucketProfile::Uniform { capacity: 8 }),
+        ("Fat linear 8-to-4", BucketProfile::FatLinear { leaf_capacity: 4 }),
+        (
+            "Fat exp (clamp 64)",
+            BucketProfile::FatExponential { leaf_capacity: 4, max_capacity: 64 },
+        ),
+    ];
+    let mut table =
+        Table::new(&["Profile", "Slots", "Mem vs Z=4", "DummyReads", "StashPeak", "PathSlots"]);
+    let base_slots =
+        TreeGeometry::with_levels(levels, profiles[0].1.clone()).expect("geometry").total_slots();
+    for (label, profile) in profiles {
+        let geometry = TreeGeometry::with_levels(levels, profile.clone()).expect("geometry");
+        // Drive LAORAM directly with a custom profile via the config's
+        // building blocks: fat_tree flag covers linear only, so use the
+        // underlying protocol path for exotic profiles.
+        let stats = run_profile(&trace, profile, seed, s);
+        table.row_owned(vec![
+            label.to_owned(),
+            geometry.total_slots().to_string(),
+            format!("{:.2}x", geometry.total_slots() as f64 / base_slots as f64),
+            stats.dummy_reads.to_string(),
+            stats.stash_peak.to_string(),
+            geometry.path_slots().to_string(),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!("# expectation: linear fat gives most of the dummy-read relief at a fraction of");
+    println!("# the memory cost of uniform-Z=8; exponential pays much more memory for little gain.");
+}
+
+/// Runs LAORAM over an arbitrary bucket profile by constructing the
+/// protocol client manually (the public builder exposes uniform + linear
+/// fat; ablations reach further).
+fn run_profile(
+    trace: &Trace,
+    profile: BucketProfile,
+    seed: u64,
+    s: u32,
+) -> oram_protocol::AccessStats {
+    // The LaOram builder supports uniform and linear-fat; for the two it
+    // covers, use it directly so this bench exercises the public API.
+    let (fat, capacity) = match &profile {
+        BucketProfile::Uniform { capacity } => (false, *capacity),
+        BucketProfile::FatLinear { leaf_capacity } => (true, *leaf_capacity),
+        other => {
+            return run_custom_profile(trace, other.clone(), seed, s);
+        }
+    };
+    let config = LaOramConfig::builder(trace.num_blocks())
+        .superblock_size(s)
+        .fat_tree(fat)
+        .bucket_capacity(capacity)
+        .eviction(EvictionConfig::paper_default())
+        .seed(seed)
+        .build()
+        .expect("config");
+    let mut client = LaOram::with_lookahead(config, trace.accesses()).expect("client");
+    client.run_to_end().expect("run")
+}
+
+/// Exotic profiles: replicate the LAORAM loop over the protocol
+/// primitives (same algorithm as `LaOram`, driven through
+/// `PathOramClient` with leaf hints; cache behaviour approximated by the
+/// plan-ordered replay).
+fn run_custom_profile(
+    trace: &Trace,
+    profile: BucketProfile,
+    seed: u64,
+    s: u32,
+) -> oram_protocol::AccessStats {
+    use laoram_core::SuperblockPlan;
+    use oram_protocol::{PathOramClient, PathOramConfig};
+    use oram_tree::BlockId;
+
+    let proto = PathOramConfig::new(trace.num_blocks())
+        .with_profile(profile)
+        .with_seed(seed)
+        .with_populate(false);
+    let mut client = PathOramClient::new(proto).expect("client");
+    let plan = SuperblockPlan::build(
+        trace.accesses(),
+        s,
+        client.geometry().num_leaves(),
+        seed ^ 0x5EED_FACE,
+    );
+    for id in 0..trace.num_blocks() {
+        let block = BlockId::new(id);
+        let leaf = match plan.first_bin_of(block) {
+            Some(bin) => plan.bin_leaf(bin),
+            None => client.random_leaf(),
+        };
+        client.place_at(block, leaf).expect("place");
+    }
+    // Replay bin-by-bin with the same primitive sequence LaOram uses: one
+    // path fetch per bin, members reassigned to their exit leaves and
+    // written back through the stash.
+    use oram_protocol::AccessKind;
+    let mut served_until = 0usize;
+    let stream = trace.accesses();
+    while served_until < stream.len() {
+        let bin = plan.bin_of_position(served_until);
+        let members = plan.bin_members(bin).to_vec();
+        let head = members[0];
+        let path = client.position_of(head).expect("position");
+        client.fetch_path(path, AccessKind::Real);
+        for (i, &m) in members.iter().enumerate() {
+            if client.stash_contains(m) {
+                let mut block = client.take_from_stash(m).expect("member fetched");
+                let leaf =
+                    plan.exit_leaf(m, bin).unwrap_or_else(|| client.random_leaf());
+                block.set_leaf(leaf);
+                client.assign_leaf(m, leaf).expect("assign");
+                client.return_to_stash(block).expect("return");
+            }
+            if i == 0 {
+                client.note_served_access();
+            } else {
+                client.note_cache_hit();
+            }
+        }
+        client.writeback_path(path);
+        client.maybe_background_evict().expect("evict");
+        // Advance past every position covered by this bin.
+        while served_until < stream.len() && plan.bin_of_position(served_until) == bin {
+            served_until += 1;
+        }
+    }
+    client.verify_invariants().expect("invariants");
+    client.stats().clone()
+}

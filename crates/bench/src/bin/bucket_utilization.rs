@@ -1,0 +1,70 @@
+//! §V key observation, measured: "the probability of a data block being
+//! written in a particular level goes down as we go to the leaf" — root
+//! write-back probability 0.5, level 1 at 0.25, and so on. This is the
+//! empirical justification for widening buckets toward the root.
+//!
+//! The harness runs LAORAM under superblock pressure on normal and fat
+//! trees and reports per-level bucket utilisation (occupied / capacity).
+//! On the normal tree the top levels saturate (forcing stash growth); the
+//! fat tree's wide root absorbs the same demand at lower utilisation.
+//!
+//! Usage: `bucket_utilization [--blocks 65536] [--len 16384] [--s 8] [--seed N]`
+
+use laoram_bench::runner::{Args, Dataset};
+use laoram_core::{LaOram, LaOramConfig};
+use oram_analysis::Table;
+use oram_protocol::EvictionConfig;
+use oram_workloads::Trace;
+
+fn main() {
+    let args = Args::from_env();
+    let blocks: u32 = args.get_or("blocks", 1 << 16);
+    let len: usize = args.get_or("len", 16_384);
+    let s: u32 = args.get_or("s", 8);
+    let seed: u64 = args.get_or("seed", 141);
+    let trace = Trace::generate(Dataset::Permutation.kind(), blocks, len, seed);
+
+    println!("# §V bucket utilisation under superblock pressure (S = {s}, {blocks} entries)");
+    let mut per_level: Vec<Vec<String>> = Vec::new();
+    let mut labels = vec!["Level".to_owned()];
+    for fat in [false, true] {
+        let config = LaOramConfig::builder(blocks)
+            .superblock_size(s)
+            .fat_tree(fat)
+            .eviction(EvictionConfig::paper_default())
+            .seed(seed)
+            .build()
+            .expect("config");
+        let mut oram = LaOram::with_lookahead(config, trace.accesses()).expect("client");
+        oram.run_to_end().expect("run");
+        let occ = oram.occupancy_by_level();
+        labels.push(if fat { "Fat util".to_owned() } else { "Normal util".to_owned() });
+        labels.push(if fat { "Fat cap".to_owned() } else { "Normal cap".to_owned() });
+        for (i, (level, used, cap)) in occ.iter().enumerate() {
+            if per_level.len() <= i {
+                per_level.push(vec![level.to_string()]);
+            }
+            per_level[i].push(format!("{:.1}%", 100.0 * *used as f64 / *cap as f64));
+            per_level[i].push((cap / (1u64 << level)).to_string());
+        }
+        println!(
+            "# {} tree: stash peak {}, dummy reads {}",
+            if fat { "fat" } else { "normal" },
+            oram.stats().stash_peak,
+            oram.stats().dummy_reads
+        );
+    }
+    let labels_ref: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let mut table = Table::new(&labels_ref);
+    // Print the first 8 levels (near-root, where the effect lives) and the
+    // last 2 (leaves).
+    let n = per_level.len();
+    for (i, row) in per_level.iter().enumerate() {
+        if i < 8 || i >= n - 2 {
+            table.row_owned(row.clone());
+        }
+    }
+    println!("{}", table.to_markdown());
+    println!("# expectation: top levels run near 100% on the normal tree; the fat tree's");
+    println!("# doubled root capacity keeps utilisation lower, absorbing write-back demand.");
+}

@@ -1,0 +1,76 @@
+//! Figure 7 (a–f): speedup over PathORAM for Normal/S{2,4,8} and
+//! Fat/S{2,4,8} across the four datasets.
+//!
+//! Datasets 7a/7b (Permutation) and 7c/7d (Gaussian) run at two table
+//! sizes; 7e is Kaggle/DLRM, 7f is XNLI/XLM-R (native 262k scale).
+//!
+//! Usage: `fig7_speedups [--dataset permutation|gaussian|dlrm|xnli]
+//!                       [--len 30000] [--seed N] [--full] [--csv]`
+
+use laoram_bench::runner::{run_system, Args, Dataset, RunConfig, SystemKind};
+use oram_analysis::Table;
+use oram_workloads::Trace;
+
+fn run_dataset(dataset: Dataset, num_blocks: u32, len: usize, seed: u64, csv: bool) {
+    let trace = Trace::generate(dataset.kind(), num_blocks, len, seed);
+    let model = dataset.cost_model();
+    println!(
+        "\n# Figure 7 — {} ({num_blocks} entries, {len} accesses, block {} B)",
+        dataset.name(),
+        dataset.block_bytes()
+    );
+    let mut table = Table::new(&[
+        "Config", "Speedup", "PathReads", "DummyReads", "SlotsMoved", "StashPeak", "Time",
+    ]);
+    let mut baseline = None;
+    for system in SystemKind::figure7_sweep() {
+        let cfg = RunConfig { seed, ..RunConfig::paper_default(system.clone()) };
+        let stats = run_system(&cfg, &trace, |_, _| {});
+        let time = model.time_for(&stats);
+        let speedup = match &baseline {
+            None => 1.0,
+            Some(base) => model.speedup(base, &stats),
+        };
+        table.row_owned(vec![
+            system.label(),
+            format!("{speedup:.2}x"),
+            stats.path_reads.to_string(),
+            stats.dummy_reads.to_string(),
+            stats.total_slots_moved().to_string(),
+            stats.stash_peak.to_string(),
+            time.to_string(),
+        ]);
+        if baseline.is_none() {
+            baseline = Some(stats);
+        }
+    }
+    println!("{}", if csv { table.to_csv() } else { table.to_markdown() });
+}
+
+fn main() {
+    let args = Args::from_env();
+    let len: usize = args.get_or("len", 30_000);
+    let seed: u64 = args.get_or("seed", 11);
+    let full = args.flag("full");
+    let csv = args.flag("csv");
+
+    let datasets: Vec<Dataset> = match args.get("dataset") {
+        Some(name) => vec![Dataset::parse(name)
+            .unwrap_or_else(|| panic!("unknown dataset {name:?}"))],
+        None => Dataset::ALL.to_vec(),
+    };
+
+    for dataset in datasets {
+        match dataset {
+            Dataset::Permutation | Dataset::Gaussian => {
+                // 7a/7c at the "8M" scale and 7b/7d at the "16M" scale.
+                let small = dataset.num_blocks(full);
+                run_dataset(dataset, small, len, seed, csv);
+                run_dataset(dataset, small * 2, len, seed, csv);
+            }
+            _ => run_dataset(dataset, dataset.num_blocks(full), len, seed, csv),
+        }
+    }
+    println!("# paper reference: permutation Normal/S2 1.46x, Normal/S4 1.55x, Normal/S8 1.12x,");
+    println!("#   fat best at S4/S8; Kaggle ~5x, XNLI ~5.4x at the best configuration.");
+}

@@ -1,0 +1,53 @@
+//! Figure 8: stash growth over accesses with background eviction
+//! disabled, comparing Fat-4 / Fat-8 / Normal-4 / Normal-8.
+//!
+//! The paper's configurations: superblock size 4 with bucket 4 (normal)
+//! vs fat 8-to-4, and superblock size 8 with bucket 8 vs fat 16-to-8;
+//! permutation dataset; 12,500 accesses.
+//!
+//! Usage: `fig8_stash [--len 12500] [--blocks 1048576] [--seed N] [--points 25]`
+
+use laoram_bench::runner::{run_system, Args, Dataset, RunConfig, SystemKind};
+use oram_analysis::SeriesRecorder;
+use oram_protocol::EvictionConfig;
+use oram_workloads::Trace;
+
+fn main() {
+    let args = Args::from_env();
+    let len: usize = args.get_or("len", 12_500);
+    let blocks: u32 = args.get_or("blocks", Dataset::Permutation.num_blocks(args.flag("full")));
+    let seed: u64 = args.get_or("seed", 21);
+    let points: usize = args.get_or("points", 25);
+    let trace = Trace::generate(Dataset::Permutation.kind(), blocks, len, seed);
+
+    println!("# Figure 8: stash usage vs accesses (eviction disabled, permutation, {blocks} entries)");
+    let configs: [(&str, SystemKind, u32); 4] = [
+        ("Fat-4", SystemKind::LaFat { s: 4 }, 4),
+        ("Fat-8", SystemKind::LaFat { s: 8 }, 8),
+        ("Normal-4", SystemKind::LaNormal { s: 4 }, 4),
+        ("Normal-8", SystemKind::LaNormal { s: 8 }, 8),
+    ];
+    let mut series: Vec<SeriesRecorder> = Vec::new();
+    for (name, system, bucket) in configs {
+        let cfg = RunConfig {
+            bucket,
+            eviction: EvictionConfig::disabled(),
+            seed,
+            ..RunConfig::paper_default(system)
+        };
+        let mut rec = SeriesRecorder::new(name);
+        let stats = run_system(&cfg, &trace, |i, resident| {
+            rec.record(i as u64 + 1, resident as u64);
+        });
+        println!(
+            "# {name:<9} final stash {:>6}  peak {:>6}  path reads {:>6}",
+            rec.last_y(),
+            stats.stash_peak,
+            stats.path_reads
+        );
+        series.push(rec.downsample(points));
+    }
+    let refs: Vec<&SeriesRecorder> = series.iter().collect();
+    println!("{}", SeriesRecorder::to_csv(&refs));
+    println!("# paper reference at 12,500 accesses: Normal-4 ~10600, Fat-4 ~3600, Normal-8 ~15500, Fat-8 ~4700");
+}

@@ -1,0 +1,54 @@
+//! Figure 9: memory-traffic reduction vs PathORAM on the Kaggle/DLRM
+//! dataset, alongside the paper's theoretical bounds (§VIII-F):
+//! `S` for the normal tree and `2(Z+1)/(3Z+1) · S` for the fat tree.
+//!
+//! Usage: `fig9_traffic [--len 30000] [--seed N] [--full] [--csv]`
+
+use laoram_bench::runner::{run_system, Args, Dataset, RunConfig, SystemKind};
+use memsim::Traffic;
+use oram_analysis::Table;
+use oram_workloads::Trace;
+
+fn main() {
+    let args = Args::from_env();
+    let len: usize = args.get_or("len", 30_000);
+    let seed: u64 = args.get_or("seed", 41);
+    let dataset = Dataset::Dlrm;
+    let blocks = dataset.num_blocks(args.flag("full"));
+    let trace = Trace::generate(dataset.kind(), blocks, len, seed);
+    let block_bytes = dataset.block_bytes();
+
+    println!("# Figure 9: traffic reduction vs PathORAM (Kaggle, {blocks} entries, {len} accesses)");
+    let mut table = Table::new(&["Config", "Reduction", "TheoreticalBound", "GBMoved"]);
+    let mut baseline: Option<Traffic> = None;
+    for system in SystemKind::figure7_sweep() {
+        let cfg = RunConfig { seed, ..RunConfig::paper_default(system.clone()) };
+        let z = cfg.bucket;
+        let stats = run_system(&cfg, &trace, |_, _| {});
+        let traffic = Traffic::from_stats(&stats, block_bytes);
+        let (reduction, bound) = match (&system, &baseline) {
+            (SystemKind::PathOram, _) => (1.0, 1.0),
+            (SystemKind::LaNormal { s }, Some(base)) => (
+                Traffic::reduction_factor(*base, traffic),
+                Traffic::normal_tree_bound(*s),
+            ),
+            (SystemKind::LaFat { s }, Some(base)) => (
+                Traffic::reduction_factor(*base, traffic),
+                Traffic::fat_tree_bound(*s, z),
+            ),
+            _ => unreachable!("sweep only contains the above"),
+        };
+        table.row_owned(vec![
+            system.label(),
+            format!("{reduction:.2}x"),
+            format!("{bound:.2}x"),
+            format!("{:.3}", traffic.total_bytes() as f64 / 1e9),
+        ]);
+        if baseline.is_none() {
+            baseline = Some(traffic);
+        }
+    }
+    println!("{}", if args.flag("csv") { table.to_csv() } else { table.to_markdown() });
+    println!("# paper reference: Normal/S2 2.0x (== bound), Normal/S4 3.30x (< 4x bound),");
+    println!("#   fat reductions below normal at small S, above at S8.");
+}

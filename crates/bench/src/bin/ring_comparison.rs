@@ -1,0 +1,74 @@
+//! §VIII-G: Ring ORAM comparison. The paper argues LAORAM's superblocks
+//! compose with Ring ORAM (`(n·logN)/S + S` blocks per `n` accesses) and
+//! that fat-tree-style relief would be needed there too. This bench runs
+//! PathORAM, LAORAM-on-Path, RingORAM and LAORAM-on-Ring on the same
+//! trace and reports slot traffic and simulated time.
+//!
+//! Usage: `ring_comparison [--dataset permutation|dlrm] [--len 20000]
+//!                         [--blocks 262144] [--seed N] [--s 4]`
+
+use laoram_bench::runner::{run_system, Args, Dataset, RunConfig, SystemKind};
+use laoram_core::{LaRing, LaRingConfig};
+use oram_analysis::Table;
+use oram_protocol::{RingOramClient, RingOramConfig};
+use oram_tree::BlockId;
+use oram_workloads::Trace;
+
+fn main() {
+    let args = Args::from_env();
+    let len: usize = args.get_or("len", 20_000);
+    let blocks: u32 = args.get_or("blocks", 1 << 18);
+    let seed: u64 = args.get_or("seed", 61);
+    let s: u32 = args.get_or("s", 4);
+    let dataset = args
+        .get("dataset")
+        .map(|d| Dataset::parse(d).unwrap_or_else(|| panic!("unknown dataset {d:?}")))
+        .unwrap_or(Dataset::Permutation);
+    let trace = Trace::generate(dataset.kind(), blocks, len, seed);
+    let model = dataset.cost_model();
+
+    println!(
+        "# §VIII-G Ring ORAM comparison ({}, {blocks} entries, {len} accesses, S = {s})",
+        dataset.name()
+    );
+    let mut table =
+        Table::new(&["Config", "SlotsMoved", "Slots/Access", "Reshuffles", "Time", "Speedup"]);
+    let mut rows: Vec<(String, oram_protocol::AccessStats)> = Vec::new();
+
+    // Path ORAM and LAORAM-on-Path via the shared runner.
+    for system in [SystemKind::PathOram, SystemKind::LaNormal { s }] {
+        let cfg = RunConfig { seed, ..RunConfig::paper_default(system.clone()) };
+        rows.push((system.label(), run_system(&cfg, &trace, |_, _| {})));
+    }
+    // Plain Ring ORAM.
+    {
+        let mut ring =
+            RingOramClient::new(RingOramConfig::new(blocks).with_seed(seed)).expect("ring");
+        for idx in trace.iter() {
+            ring.access(BlockId::new(idx), None).expect("ring access");
+        }
+        rows.push(("RingORAM".to_owned(), ring.stats().clone()));
+    }
+    // LAORAM-on-Ring.
+    {
+        let cfg = LaRingConfig::new(blocks).with_superblock_size(s).with_seed(seed);
+        let mut ring = LaRing::with_lookahead(cfg, trace.accesses()).expect("laring");
+        let stats = ring.run_to_end().expect("laring run");
+        rows.push((format!("LAORAM-Ring/S{s}"), stats));
+    }
+
+    let base_time = model.time_for(&rows[0].1);
+    for (label, stats) in &rows {
+        let time = model.time_for(stats);
+        table.row_owned(vec![
+            label.clone(),
+            stats.total_slots_moved().to_string(),
+            format!("{:.1}", stats.total_slots_moved() as f64 / stats.real_accesses as f64),
+            stats.reshuffles.to_string(),
+            time.to_string(),
+            format!("{:.2}x", base_time.as_nanos() as f64 / time.as_nanos() as f64),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!("# paper expectation: superblocks help Ring ORAM comparably to Path ORAM.");
+}

@@ -1,0 +1,10 @@
+//! Shared experiment harness for the LAORAM reproduction benches.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure of the paper;
+//! this library hosts the common machinery: configuration sweeps, trace
+//! construction, client drivers and result rendering. See DESIGN.md §4 for
+//! the experiment index.
+
+#![forbid(unsafe_code)]
+
+pub mod runner;

@@ -1,0 +1,391 @@
+//! Shared experiment machinery: system construction, trace replay, and
+//! command-line handling for the per-figure harness binaries.
+
+use laoram_core::{LaOram, LaOramConfig};
+use memsim::CostModel;
+use oram_baselines::{PrOramDynamic, PrOramDynamicConfig, PrOramStatic, PrOramStaticConfig};
+use oram_protocol::{AccessStats, EvictionConfig, PathOramClient, PathOramConfig};
+use oram_tree::{BlockId, BucketProfile};
+use oram_workloads::{DlrmTraceConfig, GaussianTraceConfig, Trace, TraceKind, XnliTraceConfig};
+
+/// Which ORAM system a sweep point runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Plain Path ORAM (the paper's baseline; superblock size 1).
+    PathOram,
+    /// LAORAM on a normal tree with superblock size `s`.
+    LaNormal {
+        /// Superblock size.
+        s: u32,
+    },
+    /// LAORAM on a fat tree with superblock size `s`.
+    LaFat {
+        /// Superblock size.
+        s: u32,
+    },
+    /// PrORAM with static superblocks of `n` consecutive ids.
+    PrStatic {
+        /// Group size.
+        n: u32,
+    },
+    /// PrORAM with dynamic (history-counter) superblocks.
+    PrDynamic,
+}
+
+impl SystemKind {
+    /// The paper's figure label for this configuration.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            SystemKind::PathOram => "PathORAM".to_owned(),
+            SystemKind::LaNormal { s } => format!("Normal/S{s}"),
+            SystemKind::LaFat { s } => format!("Fat/S{s}"),
+            SystemKind::PrStatic { n } => format!("PrORAM-static/{n}"),
+            SystemKind::PrDynamic => "PrORAM-dynamic".to_owned(),
+        }
+    }
+
+    /// The Figure 7 sweep: baseline, Normal/S{2,4,8}, Fat/S{2,4,8}.
+    #[must_use]
+    pub fn figure7_sweep() -> Vec<SystemKind> {
+        vec![
+            SystemKind::PathOram,
+            SystemKind::LaNormal { s: 2 },
+            SystemKind::LaNormal { s: 4 },
+            SystemKind::LaNormal { s: 8 },
+            SystemKind::LaFat { s: 2 },
+            SystemKind::LaFat { s: 4 },
+            SystemKind::LaFat { s: 8 },
+        ]
+    }
+}
+
+/// One experiment point: a system replaying a trace on a given tree.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// System under test.
+    pub system: SystemKind,
+    /// Bucket capacity `Z` (leaf capacity for fat trees).
+    pub bucket: u32,
+    /// Background-eviction policy.
+    pub eviction: EvictionConfig,
+    /// RNG seed.
+    pub seed: u64,
+    /// Warm-start LAORAM variants (steady-state measurement).
+    pub warm_start: bool,
+}
+
+impl RunConfig {
+    /// Paper-default run: `Z = 4`, eviction 500/50, warm start.
+    #[must_use]
+    pub fn paper_default(system: SystemKind) -> Self {
+        RunConfig {
+            system,
+            bucket: 4,
+            eviction: EvictionConfig::paper_default(),
+            seed: 0x1AB5_EED,
+            warm_start: true,
+        }
+    }
+}
+
+/// Replays `trace` on the configured system, optionally sampling
+/// client-side buffering (stash + cache) after every access via
+/// `on_access(access_index, client_resident_blocks)`.
+///
+/// Returns the final statistics.
+///
+/// # Panics
+/// Panics if the system cannot be constructed or an access fails — in a
+/// harness binary that is a configuration bug worth crashing on.
+pub fn run_system<F: FnMut(usize, usize)>(
+    cfg: &RunConfig,
+    trace: &Trace,
+    mut on_access: F,
+) -> AccessStats {
+    match &cfg.system {
+        SystemKind::PathOram => {
+            let proto = PathOramConfig::new(trace.num_blocks())
+                .with_profile(BucketProfile::Uniform { capacity: cfg.bucket })
+                .with_eviction(cfg.eviction)
+                .with_seed(cfg.seed);
+            let mut client = PathOramClient::new(proto).expect("baseline construction");
+            for (i, idx) in trace.iter().enumerate() {
+                client.read(BlockId::new(idx)).expect("baseline access");
+                on_access(i, client.stash_len());
+            }
+            client.stats().clone()
+        }
+        SystemKind::LaNormal { s } | SystemKind::LaFat { s } => {
+            let fat = matches!(cfg.system, SystemKind::LaFat { .. });
+            let config = LaOramConfig::builder(trace.num_blocks())
+                .superblock_size(*s)
+                .fat_tree(fat)
+                .bucket_capacity(cfg.bucket)
+                .eviction(cfg.eviction)
+                .warm_start(cfg.warm_start)
+                .seed(cfg.seed)
+                .build()
+                .expect("laoram config");
+            let mut client =
+                LaOram::with_lookahead(config, trace.accesses()).expect("laoram construction");
+            for (i, idx) in trace.iter().enumerate() {
+                client.read(idx).expect("laoram access");
+                on_access(i, client.stash_len() + client.cache_len());
+            }
+            client.finish().expect("laoram finish");
+            client.stats().clone()
+        }
+        SystemKind::PrStatic { n } => {
+            let mut client = PrOramStatic::new(
+                PrOramStaticConfig::new(trace.num_blocks(), *n).with_seed(cfg.seed),
+            )
+            .expect("proram construction");
+            for (i, idx) in trace.iter().enumerate() {
+                client.access(BlockId::new(idx)).expect("proram access");
+                on_access(i, 0);
+            }
+            client.flush_cache().expect("proram flush");
+            client.stats().clone()
+        }
+        SystemKind::PrDynamic => {
+            let mut client = PrOramDynamic::new(
+                PrOramDynamicConfig::new(trace.num_blocks()).with_seed(cfg.seed),
+            )
+            .expect("proram construction");
+            for (i, idx) in trace.iter().enumerate() {
+                client.access(BlockId::new(idx)).expect("proram access");
+                on_access(i, 0);
+            }
+            client.flush_cache().expect("proram flush");
+            client.stats().clone()
+        }
+    }
+}
+
+/// The four paper datasets at harness scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// Permutation epochs (worst case).
+    Permutation,
+    /// Clipped-normal indices.
+    Gaussian,
+    /// Kaggle/DLRM-like (uniform + hot band).
+    Dlrm,
+    /// XNLI/XLM-R-like (Zipf tokens).
+    Xnli,
+}
+
+impl Dataset {
+    /// All four datasets in paper order.
+    pub const ALL: [Dataset; 4] = [
+        Dataset::Permutation,
+        Dataset::Gaussian,
+        Dataset::Dlrm,
+        Dataset::Xnli,
+    ];
+
+    /// Parses a dataset name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Dataset> {
+        match name {
+            "permutation" => Some(Dataset::Permutation),
+            "gaussian" => Some(Dataset::Gaussian),
+            "dlrm" | "kaggle" => Some(Dataset::Dlrm),
+            "xnli" | "xlmr" => Some(Dataset::Xnli),
+            _ => None,
+        }
+    }
+
+    /// Display name matching the paper.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Permutation => "Permutation",
+            Dataset::Gaussian => "Gaussian",
+            Dataset::Dlrm => "Kaggle",
+            Dataset::Xnli => "XNLI",
+        }
+    }
+
+    /// The generator for this dataset.
+    #[must_use]
+    pub fn kind(&self) -> TraceKind {
+        match self {
+            Dataset::Permutation => TraceKind::Permutation,
+            Dataset::Gaussian => TraceKind::Gaussian(GaussianTraceConfig::default()),
+            Dataset::Dlrm => TraceKind::Dlrm(DlrmTraceConfig::default()),
+            Dataset::Xnli => TraceKind::Xnli(XnliTraceConfig::default()),
+        }
+    }
+
+    /// Simulated embedding-entry size in bytes (Table I).
+    #[must_use]
+    pub fn block_bytes(&self) -> u64 {
+        match self {
+            Dataset::Xnli => oram_workloads::XNLI_ENTRY_BYTES,
+            _ => oram_workloads::KAGGLE_ENTRY_BYTES,
+        }
+    }
+
+    /// Table size at harness scale. `full` switches to the paper's sizes
+    /// (8M/16M handled by the caller for the synthetic datasets).
+    #[must_use]
+    pub fn num_blocks(&self, full: bool) -> u32 {
+        match self {
+            Dataset::Xnli => oram_workloads::XNLI_TABLE_ENTRIES, // native scale
+            Dataset::Dlrm => {
+                if full {
+                    oram_workloads::KAGGLE_TABLE_ENTRIES
+                } else {
+                    1 << 20
+                }
+            }
+            _ => {
+                if full {
+                    8 << 20
+                } else {
+                    1 << 20
+                }
+            }
+        }
+    }
+
+    /// The cost model for this dataset's entry size.
+    #[must_use]
+    pub fn cost_model(&self) -> CostModel {
+        CostModel::ddr4_pcie(self.block_bytes())
+    }
+}
+
+/// Minimal `--key value` / `--flag` command-line parser shared by the
+/// harness binaries.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                continue;
+            };
+            match iter.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let v = iter.next().expect("peeked");
+                    out.pairs.push((key.to_owned(), v));
+                }
+                _ => out.flags.push(key.to_owned()),
+            }
+        }
+        out
+    }
+
+    /// Whether `--name` was passed as a flag.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The value of `--name value`, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Parses `--name value` into any `FromStr` type, with a default.
+    ///
+    /// # Panics
+    /// Panics with a clear message if the value does not parse.
+    #[must_use]
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => default,
+            Some(v) => match v.parse() {
+                Ok(t) => t,
+                Err(e) => panic!("invalid --{name} value {v:?}: {e}"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oram_workloads::Trace;
+
+    #[test]
+    fn args_parse_pairs_and_flags() {
+        let a = Args::parse(
+            ["--len", "100", "--full", "--dataset", "dlrm"].map(String::from),
+        );
+        assert_eq!(a.get_or("len", 0usize), 100);
+        assert!(a.flag("full"));
+        assert_eq!(a.get("dataset"), Some("dlrm"));
+        assert_eq!(a.get_or("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn dataset_parse_and_props() {
+        assert_eq!(Dataset::parse("kaggle"), Some(Dataset::Dlrm));
+        assert_eq!(Dataset::parse("nope"), None);
+        assert_eq!(Dataset::Xnli.block_bytes(), 4096);
+        assert_eq!(Dataset::Xnli.num_blocks(false), 262_144);
+        assert_eq!(Dataset::Permutation.num_blocks(true), 8 << 20);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(SystemKind::PathOram.label(), "PathORAM");
+        assert_eq!(SystemKind::LaFat { s: 8 }.label(), "Fat/S8");
+        assert_eq!(SystemKind::figure7_sweep().len(), 7);
+    }
+
+    #[test]
+    fn run_system_smoke_all_kinds() {
+        let trace = Trace::generate(TraceKind::Permutation, 512, 256, 3);
+        for system in [
+            SystemKind::PathOram,
+            SystemKind::LaNormal { s: 4 },
+            SystemKind::LaFat { s: 4 },
+            SystemKind::PrStatic { n: 2 },
+            SystemKind::PrDynamic,
+        ] {
+            let cfg = RunConfig::paper_default(system.clone());
+            let stats = run_system(&cfg, &trace, |_, _| {});
+            assert_eq!(stats.real_accesses, 256, "{}", system.label());
+        }
+    }
+
+    #[test]
+    fn laoram_beats_baseline_on_permutation() {
+        let trace = Trace::generate(TraceKind::Permutation, 1 << 12, 4096, 4);
+        let base = run_system(
+            &RunConfig::paper_default(SystemKind::PathOram),
+            &trace,
+            |_, _| {},
+        );
+        let la = run_system(
+            &RunConfig::paper_default(SystemKind::LaNormal { s: 4 }),
+            &trace,
+            |_, _| {},
+        );
+        let model = Dataset::Permutation.cost_model();
+        let speedup = model.speedup(&base, &la);
+        assert!(speedup > 1.2, "warm LAORAM should beat Path ORAM, got {speedup:.2}x");
+    }
+}

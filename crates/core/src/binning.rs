@@ -1,0 +1,245 @@
+//! The preprocessor's dataset-scan step (§IV-B-2): chunking the upcoming
+//! access stream into superblock bins.
+
+use oram_tree::BlockId;
+
+/// One superblock bin: up to `S` distinct blocks whose upcoming accesses
+/// are consecutive in the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bin {
+    members: Vec<BlockId>,
+}
+
+impl Bin {
+    /// The distinct blocks in this bin, in first-occurrence order.
+    #[must_use]
+    pub fn members(&self) -> &[BlockId] {
+        &self.members
+    }
+
+    /// Number of distinct members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the bin is empty (never true for produced bins).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `block` is a member.
+    #[must_use]
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.members.contains(&block)
+    }
+}
+
+/// Result of scanning a future access stream with superblock size `S`.
+///
+/// The scan walks the stream once. A position joins the current bin when
+/// its block is already a member (a repeat inside the bin is free); a new
+/// block joins the current bin while it has fewer than `S` members and
+/// otherwise closes it and opens the next one. Every stream position
+/// therefore maps to exactly one bin, and each bin's member accesses are
+/// consecutive — the property that lets one path fetch serve all of them.
+///
+/// # Example
+/// ```
+/// use laoram_core::SuperblockBinning;
+///
+/// let binning = SuperblockBinning::scan(&[3, 1, 3, 4, 1, 5], 2);
+/// // Bins: {3,1} covering positions 0..=2 (the repeat of 3 is free),
+/// //       {4,1} covering 3..=4, {5} covering 5.
+/// assert_eq!(binning.num_bins(), 3);
+/// assert_eq!(binning.bin_of_position(2), 0);
+/// assert_eq!(binning.bin_of_position(4), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuperblockBinning {
+    superblock_size: u32,
+    bins: Vec<Bin>,
+    bin_of_position: Vec<u32>,
+}
+
+impl SuperblockBinning {
+    /// Scans `stream` into bins of at most `superblock_size` distinct
+    /// blocks.
+    ///
+    /// # Panics
+    /// Panics if `superblock_size == 0`.
+    #[must_use]
+    pub fn scan(stream: &[u32], superblock_size: u32) -> Self {
+        assert!(superblock_size > 0, "superblock size must be nonzero");
+        let s = superblock_size as usize;
+        let mut bins: Vec<Bin> = Vec::new();
+        let mut bin_of_position = Vec::with_capacity(stream.len());
+        let mut current = Bin { members: Vec::with_capacity(s) };
+        for &idx in stream {
+            let block = BlockId::new(idx);
+            let member = current.contains(block);
+            if !member {
+                if current.len() >= s {
+                    bins.push(std::mem::replace(
+                        &mut current,
+                        Bin { members: Vec::with_capacity(s) },
+                    ));
+                }
+                current.members.push(block);
+            }
+            bin_of_position.push(bins.len() as u32);
+        }
+        if !current.is_empty() {
+            bins.push(current);
+        }
+        SuperblockBinning { superblock_size, bins, bin_of_position }
+    }
+
+    /// Reassembles a binning from windowed parts (used by the plan builder
+    /// to concatenate per-window scans).
+    pub(crate) fn from_parts(
+        superblock_size: u32,
+        bins: Vec<Bin>,
+        bin_of_position: Vec<u32>,
+    ) -> Self {
+        SuperblockBinning { superblock_size, bins, bin_of_position }
+    }
+
+    /// The configured superblock size `S`.
+    #[must_use]
+    pub fn superblock_size(&self) -> u32 {
+        self.superblock_size
+    }
+
+    /// Number of bins produced.
+    #[must_use]
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The bins, in stream order.
+    #[must_use]
+    pub fn bins(&self) -> &[Bin] {
+        &self.bins
+    }
+
+    /// Bin covering stream position `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos` is beyond the scanned stream.
+    #[must_use]
+    pub fn bin_of_position(&self, pos: usize) -> u32 {
+        self.bin_of_position[pos]
+    }
+
+    /// Length of the scanned stream.
+    #[must_use]
+    pub fn stream_len(&self) -> usize {
+        self.bin_of_position.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids(v: &[u32]) -> Vec<BlockId> {
+        v.iter().map(|&x| BlockId::new(x)).collect()
+    }
+
+    #[test]
+    fn simple_chunking() {
+        let b = SuperblockBinning::scan(&[0, 1, 2, 3, 4, 5], 2);
+        assert_eq!(b.num_bins(), 3);
+        assert_eq!(b.bins()[0].members(), ids(&[0, 1]).as_slice());
+        assert_eq!(b.bins()[1].members(), ids(&[2, 3]).as_slice());
+        assert_eq!(b.bins()[2].members(), ids(&[4, 5]).as_slice());
+        assert_eq!(b.bin_of_position(0), 0);
+        assert_eq!(b.bin_of_position(5), 2);
+    }
+
+    #[test]
+    fn repeats_within_bin_are_absorbed() {
+        // 1 repeats while {1,2} is open: all three positions map to bin 0.
+        let b = SuperblockBinning::scan(&[1, 2, 1, 3], 2);
+        assert_eq!(b.num_bins(), 2);
+        assert_eq!(b.bins()[0].members(), ids(&[1, 2]).as_slice());
+        assert_eq!(b.bin_of_position(2), 0);
+        assert_eq!(b.bins()[1].members(), ids(&[3]).as_slice());
+    }
+
+    #[test]
+    fn block_can_appear_in_multiple_bins() {
+        let b = SuperblockBinning::scan(&[1, 2, 3, 4, 1, 5], 2);
+        assert_eq!(b.num_bins(), 3);
+        assert!(b.bins()[0].contains(BlockId::new(1)));
+        assert!(b.bins()[2].contains(BlockId::new(1)));
+    }
+
+    #[test]
+    fn superblock_size_one_degenerates_to_path_oram() {
+        let b = SuperblockBinning::scan(&[5, 5, 7, 5], 1);
+        // {5} absorbs its immediate repeat, then {7}, then {5} again.
+        assert_eq!(b.num_bins(), 3);
+        assert_eq!(b.bin_of_position(1), 0);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let b = SuperblockBinning::scan(&[], 4);
+        assert_eq!(b.num_bins(), 0);
+        assert_eq!(b.stream_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_superblock_size_rejected() {
+        let _ = SuperblockBinning::scan(&[1], 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bins_partition_stream(
+            stream in proptest::collection::vec(0u32..64, 0..300),
+            s in 1u32..9,
+        ) {
+            let b = SuperblockBinning::scan(&stream, s);
+            // Every position maps to a valid bin.
+            prop_assert_eq!(b.stream_len(), stream.len());
+            for pos in 0..stream.len() {
+                let bin = b.bin_of_position(pos) as usize;
+                prop_assert!(bin < b.num_bins());
+                // The accessed block is a member of its bin.
+                prop_assert!(b.bins()[bin].contains(BlockId::new(stream[pos])));
+            }
+            // Bin indices are monotone over positions.
+            for w in (0..stream.len()).collect::<Vec<_>>().windows(2) {
+                prop_assert!(b.bin_of_position(w[0]) <= b.bin_of_position(w[1]));
+            }
+            // No bin exceeds S distinct members; none is empty.
+            for bin in b.bins() {
+                prop_assert!(bin.len() as u32 <= s);
+                prop_assert!(!bin.is_empty());
+                // Members are distinct.
+                let set: std::collections::HashSet<_> = bin.members().iter().collect();
+                prop_assert_eq!(set.len(), bin.len());
+            }
+        }
+
+        #[test]
+        fn prop_full_bins_except_possibly_tail_for_distinct_streams(
+            n in 1usize..200,
+            s in 1u32..9,
+        ) {
+            // A stream of n distinct indices must produce ceil(n/s) bins.
+            let stream: Vec<u32> = (0..n as u32).collect();
+            let b = SuperblockBinning::scan(&stream, s);
+            prop_assert_eq!(b.num_bins(), n.div_ceil(s as usize));
+            for bin in &b.bins()[..b.num_bins().saturating_sub(1)] {
+                prop_assert_eq!(bin.len() as u32, s);
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! DDR-style timing detail.
+//!
+//! Path ORAM's access pattern is hostile to DRAM row buffers: each bucket
+//! of a path lives in a different row with high probability, so every
+//! bucket touch costs roughly one activate–precharge cycle on top of the
+//! burst transfers. This module captures that with two parameters rather
+//! than a cycle-accurate model — enough to make path length (tree height,
+//! fat vs normal) show up superlinearly in the simulated time, as it does
+//! on real hardware.
+
+/// Row-activation and burst parameters for one DRAM generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramTiming {
+    /// tRCD + tRP + tCAS in nanoseconds for a row miss.
+    row_miss_ns: f64,
+    /// Bytes delivered per burst (BL8 on a 64-bit channel = 64 B).
+    burst_bytes: u64,
+    /// Extra overhead per burst beyond sustained bandwidth (command/bus
+    /// turnaround), in nanoseconds.
+    per_burst_ns: f64,
+}
+
+impl DramTiming {
+    /// DDR4-2400 CL17-ish timings: ~14.2 ns per timing component.
+    #[must_use]
+    pub fn ddr4_2400() -> Self {
+        DramTiming { row_miss_ns: 42.5, burst_bytes: 64, per_burst_ns: 0.5 }
+    }
+
+    /// Custom timings.
+    ///
+    /// # Panics
+    /// Panics if `burst_bytes` is zero.
+    #[must_use]
+    pub fn new(row_miss_ns: f64, burst_bytes: u64, per_burst_ns: f64) -> Self {
+        assert!(burst_bytes > 0, "burst size must be nonzero");
+        DramTiming { row_miss_ns, burst_bytes, per_burst_ns }
+    }
+
+    /// Cost of one row activation (every bucket touch is assumed a row
+    /// miss, the worst case Path ORAM converges to).
+    #[must_use]
+    pub fn activation_ns(&self) -> f64 {
+        self.row_miss_ns
+    }
+
+    /// Per-burst command overhead for moving `bytes`.
+    #[must_use]
+    pub fn burst_overhead_ns(&self, bytes: u64) -> f64 {
+        let bursts = bytes.div_ceil(self.burst_bytes);
+        bursts as f64 * self.per_burst_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_overhead_rounds_up() {
+        let d = DramTiming::new(40.0, 64, 1.0);
+        assert_eq!(d.burst_overhead_ns(0), 0.0);
+        assert_eq!(d.burst_overhead_ns(1), 1.0);
+        assert_eq!(d.burst_overhead_ns(64), 1.0);
+        assert_eq!(d.burst_overhead_ns(65), 2.0);
+    }
+
+    #[test]
+    fn ddr4_preset_sane() {
+        let d = DramTiming::ddr4_2400();
+        assert!(d.activation_ns() > 0.0);
+        assert!(d.burst_overhead_ns(128) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst")]
+    fn zero_burst_rejected() {
+        let _ = DramTiming::new(1.0, 0, 1.0);
+    }
+}

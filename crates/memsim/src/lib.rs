@@ -1,0 +1,38 @@
+//! Memory and interconnect cost model.
+//!
+//! The paper measures wall-clock access latency on a Xeon + DDR4 server
+//! with an RTX 1080 Ti client (§VII-C-1). This crate substitutes that
+//! testbed with an explicit cost model: every server round trip pays a
+//! fixed latency (DRAM access + client↔server link) and every transferred
+//! byte pays a bandwidth cost, with an optional per-bucket row-activation
+//! term. Since all of the paper's headline numbers are *ratios* between
+//! configurations running on the same hardware, a linear model preserves
+//! them; absolute nanoseconds are not claimed (see DESIGN.md §2).
+//!
+//! # Example
+//! ```
+//! use memsim::CostModel;
+//! use oram_protocol::AccessStats;
+//!
+//! let model = CostModel::ddr4_pcie(128);
+//! let mut slow = AccessStats::new();
+//! slow.path_reads = 100;
+//! slow.slots_read = 100 * 96;
+//! let mut fast = slow.clone();
+//! fast.path_reads = 25;
+//! fast.slots_read = 25 * 96;
+//! assert!(model.speedup(&slow, &fast) > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod dram;
+mod pipeline;
+mod traffic;
+
+pub use cost::{CostModel, TimeNs};
+pub use dram::DramTiming;
+pub use pipeline::{stage_a_exposure, two_stage_makespan};
+pub use traffic::Traffic;

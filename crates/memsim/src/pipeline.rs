@@ -1,0 +1,90 @@
+//! Two-stage pipeline timing (§VIII-A): preprocessing and ORAM access
+//! form a pipeline; as long as preprocessing a batch is faster than
+//! serving one, it hides completely behind the access stage.
+
+use crate::TimeNs;
+
+/// Makespan of a two-stage pipeline where stage A (preprocessing) of
+/// batch `i` must finish before stage B (ORAM access + training) of
+/// batch `i` starts, and each stage processes batches in order.
+///
+/// Classic recurrence: `finish_b[i] = max(finish_b[i-1], finish_a[i]) + b[i]`
+/// with `finish_a[i] = sum(a[..=i])`.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+///
+/// # Example
+/// ```
+/// use memsim::{two_stage_makespan, TimeNs};
+/// let prep = vec![TimeNs(10); 4];
+/// let train = vec![TimeNs(100); 4];
+/// // Preprocessing hides behind training: 10 + 4 * 100.
+/// assert_eq!(two_stage_makespan(&prep, &train).as_nanos(), 410);
+/// ```
+#[must_use]
+pub fn two_stage_makespan(stage_a: &[TimeNs], stage_b: &[TimeNs]) -> TimeNs {
+    assert_eq!(stage_a.len(), stage_b.len(), "stages must cover the same batches");
+    assert!(!stage_a.is_empty(), "need at least one batch");
+    let mut finish_a = 0u64;
+    let mut finish_b = 0u64;
+    for (a, b) in stage_a.iter().zip(stage_b) {
+        finish_a += a.as_nanos();
+        finish_b = finish_b.max(finish_a) + b.as_nanos();
+    }
+    TimeNs(finish_b)
+}
+
+/// Fraction of the makespan attributable to waiting on stage A — zero
+/// when preprocessing is fully hidden, as the paper claims for LAORAM.
+#[must_use]
+pub fn stage_a_exposure(stage_a: &[TimeNs], stage_b: &[TimeNs]) -> f64 {
+    let pipelined = two_stage_makespan(stage_a, stage_b).as_nanos();
+    let b_only: u64 = stage_b.iter().map(|t| t.as_nanos()).sum();
+    let first_a = stage_a.first().map_or(0, |t| t.as_nanos());
+    // Stage B can never start before the first preprocessing completes.
+    let floor = b_only + first_a;
+    if pipelined <= floor {
+        0.0
+    } else {
+        (pipelined - floor) as f64 / pipelined as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_preprocessing_hides_completely() {
+        let prep = vec![TimeNs(5); 10];
+        let train = vec![TimeNs(50); 10];
+        let makespan = two_stage_makespan(&prep, &train);
+        assert_eq!(makespan.as_nanos(), 5 + 500);
+        assert_eq!(stage_a_exposure(&prep, &train), 0.0);
+    }
+
+    #[test]
+    fn slow_preprocessing_dominates() {
+        let prep = vec![TimeNs(100); 10];
+        let train = vec![TimeNs(10); 10];
+        let makespan = two_stage_makespan(&prep, &train);
+        // Stage B always waits: 100*i + 10 per batch -> 100*10 + 10.
+        assert_eq!(makespan.as_nanos(), 1010);
+        assert!(stage_a_exposure(&prep, &train) > 0.8);
+    }
+
+    #[test]
+    fn mixed_batches() {
+        let prep = vec![TimeNs(10), TimeNs(200), TimeNs(10)];
+        let train = vec![TimeNs(100), TimeNs(100), TimeNs(100)];
+        // finish_a: 10, 210, 220. finish_b: 110, 310, 410.
+        assert_eq!(two_stage_makespan(&prep, &train).as_nanos(), 410);
+    }
+
+    #[test]
+    #[should_panic(expected = "same batches")]
+    fn mismatched_lengths_rejected() {
+        let _ = two_stage_makespan(&[TimeNs(1)], &[]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Traffic (bandwidth) accounting — the Figure 9 metric.
+
+use oram_protocol::AccessStats;
+
+/// Bytes moved between client and server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Traffic {
+    /// Bytes transferred server → client.
+    pub read_bytes: u64,
+    /// Bytes transferred client → server.
+    pub write_bytes: u64,
+}
+
+impl Traffic {
+    /// Extracts the traffic implied by protocol statistics for blocks of
+    /// `block_bytes`.
+    #[must_use]
+    pub fn from_stats(stats: &AccessStats, block_bytes: u64) -> Self {
+        Traffic {
+            read_bytes: stats.slots_read * block_bytes,
+            write_bytes: stats.slots_written * block_bytes,
+        }
+    }
+
+    /// Total bytes in both directions.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Traffic-reduction factor of `variant` relative to `baseline`
+    /// (Figure 9's y-axis: how many times less data the variant moves for
+    /// the same logical work).
+    #[must_use]
+    pub fn reduction_factor(baseline: Traffic, variant: Traffic) -> f64 {
+        let v = variant.total_bytes();
+        if v == 0 {
+            f64::INFINITY
+        } else {
+            baseline.total_bytes() as f64 / v as f64
+        }
+    }
+
+    /// The paper's theoretical bound for a normal tree (§VIII-F):
+    /// traffic reduction of at most `superblock_size`.
+    #[must_use]
+    pub fn normal_tree_bound(superblock_size: u32) -> f64 {
+        f64::from(superblock_size)
+    }
+
+    /// The paper's theoretical bound for the fat tree (§VIII-F):
+    /// `2(Z+1) / (3Z+1) · superblock_size`, discounting the wider paths.
+    #[must_use]
+    pub fn fat_tree_bound(superblock_size: u32, z: u32) -> f64 {
+        let z = f64::from(z);
+        2.0 * (z + 1.0) / (3.0 * z + 1.0) * f64::from(superblock_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_stats_multiplies_block_size() {
+        let mut s = AccessStats::new();
+        s.slots_read = 10;
+        s.slots_written = 5;
+        let t = Traffic::from_stats(&s, 128);
+        assert_eq!(t.read_bytes, 1280);
+        assert_eq!(t.write_bytes, 640);
+        assert_eq!(t.total_bytes(), 1920);
+    }
+
+    #[test]
+    fn reduction_factor_ratio() {
+        let b = Traffic { read_bytes: 800, write_bytes: 200 };
+        let v = Traffic { read_bytes: 400, write_bytes: 100 };
+        assert_eq!(Traffic::reduction_factor(b, v), 2.0);
+        assert_eq!(Traffic::reduction_factor(b, Traffic::default()), f64::INFINITY);
+    }
+
+    #[test]
+    fn paper_bounds() {
+        assert_eq!(Traffic::normal_tree_bound(4), 4.0);
+        // Z = 4: 2*5 / 13 * S = 0.769 * S.
+        let fat = Traffic::fat_tree_bound(8, 4);
+        assert!((fat - 6.1538).abs() < 1e-3, "fat bound {fat}");
+        // Fat bound is always below the normal bound.
+        assert!(Traffic::fat_tree_bound(4, 4) < Traffic::normal_tree_bound(4));
+    }
+}

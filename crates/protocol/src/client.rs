@@ -1,0 +1,978 @@
+//! The Path ORAM protocol client.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use oram_tree::{Block, BlockId, LeafId, TreeGeometry, TreeStorage};
+
+use crate::{
+    AccessKind, AccessObserver, AccessStats, EvictionConfig, DensePositionMap, NullObserver,
+    PathOramConfig, ProtocolError, Result, ServerOp,
+};
+
+/// The Path ORAM client of Stefanov et al., with the extension points the
+/// LAORAM and PrORAM layers need.
+///
+/// # Protocol
+///
+/// A logical access to block `b`:
+/// 1. looks up `b`'s path in the position map,
+/// 2. reads the entire path into the stash,
+/// 3. reassigns `b` to a fresh path (uniform, or a caller-provided hint —
+///    the hook superblock schemes use),
+/// 4. greedily writes the stash back along the path just read,
+/// 5. drains the stash with dummy reads if it exceeds the high-water mark.
+///
+/// # Advanced primitives
+///
+/// [`fetch_path`](Self::fetch_path), [`writeback_path`](Self::writeback_path),
+/// [`take_from_stash`](Self::take_from_stash) /
+/// [`return_to_stash`](Self::return_to_stash) and
+/// [`assign_leaf`](Self::assign_leaf) expose the protocol steps individually
+/// so higher layers can fetch a whole superblock with one path read and keep
+/// its members in a client cache. Misuse is guarded: blocks taken from the
+/// stash are tracked as *checked out* and the invariant checker accounts for
+/// them.
+pub struct PathOramClient {
+    storage: TreeStorage,
+    stash: Stash2,
+    posmap: DensePositionMap,
+    rng: StdRng,
+    eviction: EvictionConfig,
+    stats: AccessStats,
+    observer: Box<dyn AccessObserver>,
+    num_blocks: u32,
+    payloads: bool,
+    sealer: Option<oram_tree::BlockSealer>,
+    checked_out: std::collections::HashSet<BlockId>,
+}
+
+// Internal alias so the public `Stash` name stays available for reuse.
+use crate::Stash as Stash2;
+
+impl std::fmt::Debug for PathOramClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PathOramClient")
+            .field("num_blocks", &self.num_blocks)
+            .field("levels", &self.geometry().num_levels())
+            .field("stash_len", &self.stash.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl PathOramClient {
+    /// Builds a client (and its server tree) from `config`.
+    ///
+    /// When `config.populate` is set, all `num_blocks` blocks are created
+    /// and placed on uniformly random paths — the standard oblivious setup.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::Tree`] for invalid geometry and
+    /// [`ProtocolError::InvalidConfig`] for a zero-block population.
+    pub fn new(config: PathOramConfig) -> Result<Self> {
+        if config.num_blocks == 0 {
+            return Err(ProtocolError::InvalidConfig("num_blocks must be nonzero".into()));
+        }
+        if config.sealing_key.is_some() && !config.payloads {
+            return Err(ProtocolError::InvalidConfig(
+                "sealing requires payload storage".into(),
+            ));
+        }
+        let geometry = match config.levels {
+            Some(levels) => TreeGeometry::with_levels(levels, config.profile.clone())?,
+            None => TreeGeometry::for_blocks(u64::from(config.num_blocks), config.profile.clone())?,
+        };
+        if geometry.total_slots() < u64::from(config.num_blocks) {
+            return Err(ProtocolError::Tree(oram_tree::TreeError::InsufficientCapacity {
+                slots: geometry.total_slots(),
+                blocks: u64::from(config.num_blocks),
+            }));
+        }
+        let storage = if config.payloads {
+            TreeStorage::new(geometry)
+        } else {
+            TreeStorage::metadata_only(geometry)
+        };
+        let mut client = PathOramClient {
+            storage,
+            stash: Stash2::new(),
+            posmap: DensePositionMap::new(config.num_blocks),
+            rng: StdRng::seed_from_u64(config.seed),
+            eviction: config.eviction,
+            stats: AccessStats::new(),
+            observer: Box::new(NullObserver),
+            num_blocks: config.num_blocks,
+            payloads: config.payloads,
+            sealer: config.sealing_key.map(oram_tree::BlockSealer::new),
+            checked_out: std::collections::HashSet::new(),
+        };
+        if config.populate {
+            client.populate_uniform()?;
+        }
+        Ok(client)
+    }
+
+    /// Replaces the access observer (e.g. with a
+    /// [`RecordingObserver`](crate::RecordingObserver) for security audits).
+    pub fn set_observer(&mut self, observer: Box<dyn AccessObserver>) {
+        self.observer = observer;
+    }
+
+    /// Places every block on a uniformly random path. Blocks that find no
+    /// empty slot start in the stash (counted in
+    /// [`AccessStats::init_stash_overflow`]).
+    fn populate_uniform(&mut self) -> Result<()> {
+        let leaves = self.geometry().num_leaves() as u32;
+        for id in 0..self.num_blocks {
+            let leaf = LeafId::new(self.rng.random_range(0..leaves));
+            self.place_at(BlockId::new(id), leaf)?;
+        }
+        Ok(())
+    }
+
+    /// Places one block at a chosen leaf during setup. Exposed so the
+    /// look-ahead layer can initialise superblock members onto shared paths.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::UnknownBlock`] for out-of-range ids.
+    pub fn place_at(&mut self, id: BlockId, leaf: LeafId) -> Result<()> {
+        self.check_block(id)?;
+        self.geometry().check_leaf(leaf)?;
+        self.posmap.set(id, leaf);
+        let block = Block::metadata_only(id, leaf);
+        if let Some(overflow) = self.storage.place_for_init(block)? {
+            self.stats.init_stash_overflow += 1;
+            self.stash.insert(overflow);
+        }
+        self.stats.observe_stash(self.stash.len());
+        Ok(())
+    }
+
+    /// The server tree's geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &TreeGeometry {
+        self.storage.geometry()
+    }
+
+    /// Number of logical blocks.
+    #[must_use]
+    pub fn num_blocks(&self) -> u32 {
+        self.num_blocks
+    }
+
+    /// Whether payload bytes are stored.
+    #[must_use]
+    pub fn payloads_enabled(&self) -> bool {
+        self.payloads
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (e.g. after a warm-up phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::new();
+    }
+
+    /// Current stash occupancy (excluding checked-out blocks).
+    #[must_use]
+    pub fn stash_len(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// Current path of a block (test/audit introspection).
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::UnknownBlock`] for out-of-range ids.
+    pub fn position_of(&self, id: BlockId) -> Result<LeafId> {
+        self.check_block(id)?;
+        Ok(self.posmap.get(id))
+    }
+
+    /// Draws a uniformly random leaf from the client's RNG.
+    pub fn random_leaf(&mut self) -> LeafId {
+        let leaves = self.geometry().num_leaves() as u32;
+        LeafId::new(self.rng.random_range(0..leaves))
+    }
+
+    fn check_block(&self, id: BlockId) -> Result<()> {
+        if id.index() < self.num_blocks {
+            Ok(())
+        } else {
+            Err(ProtocolError::UnknownBlock { block: id, num_blocks: self.num_blocks })
+        }
+    }
+
+    /// Seals plaintext if sealing is enabled, else passes it through.
+    fn seal_payload(&mut self, plain: Box<[u8]>) -> Box<[u8]> {
+        match &mut self.sealer {
+            Some(s) => s.seal(&plain),
+            None => plain,
+        }
+    }
+
+    /// Opens sealed payload if sealing is enabled, else passes it through.
+    fn open_payload(&self, stored: Option<Box<[u8]>>) -> Option<Box<[u8]>> {
+        match (&self.sealer, stored) {
+            (Some(s), Some(c)) => s.open(&c),
+            (_, stored) => stored,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Classic Path ORAM interface
+    // ------------------------------------------------------------------
+
+    /// Oblivious read. Always performs one path read + one path write.
+    ///
+    /// Returns the block's payload (`None` if the block has never been
+    /// written, or the client is metadata-only).
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::UnknownBlock`] for out-of-range ids and
+    /// propagates eviction stalls.
+    pub fn read(&mut self, id: BlockId) -> Result<Option<Box<[u8]>>> {
+        self.access(id, None, None)
+    }
+
+    /// Oblivious write. Always performs one path read + one path write.
+    ///
+    /// # Errors
+    /// [`ProtocolError::PayloadsDisabled`] on metadata-only clients,
+    /// [`ProtocolError::UnknownBlock`] for out-of-range ids.
+    pub fn write(&mut self, id: BlockId, data: Box<[u8]>) -> Result<Option<Box<[u8]>>> {
+        if !self.payloads {
+            return Err(ProtocolError::PayloadsDisabled);
+        }
+        self.access(id, Some(data), None)
+    }
+
+    /// Read-modify-write with a single oblivious access: `f` receives the
+    /// current payload and returns the replacement.
+    ///
+    /// # Errors
+    /// As [`write`](Self::write).
+    pub fn update<F>(&mut self, id: BlockId, f: F) -> Result<()>
+    where
+        F: FnOnce(Option<&[u8]>) -> Box<[u8]>,
+    {
+        if !self.payloads {
+            return Err(ProtocolError::PayloadsDisabled);
+        }
+        self.check_block(id)?;
+        self.stats.real_accesses += 1;
+        let path = self.posmap.get(id);
+        self.fetch_path(path, AccessKind::Real);
+        let mut block = self
+            .stash
+            .take(id)
+            .ok_or(ProtocolError::CheckoutViolation { block: id })?;
+        let new_leaf = self.random_leaf();
+        block.set_leaf(new_leaf);
+        self.posmap.set(id, new_leaf);
+        let plain_old = self.open_payload(block.replace_data(None));
+        let new = f(plain_old.as_deref());
+        let sealed = self.seal_payload(new);
+        block.replace_data(Some(sealed));
+        self.stash.insert(block);
+        self.writeback_path(path);
+        self.maybe_background_evict()
+    }
+
+    /// Full access with an optional payload update and an optional new-leaf
+    /// hint. A `None` hint draws a uniform leaf (classic Path ORAM); hints
+    /// are how superblock schemes steer blocks onto shared paths.
+    ///
+    /// Returns the payload *before* any update.
+    ///
+    /// # Errors
+    /// As [`read`](Self::read) / [`write`](Self::write).
+    pub fn access(
+        &mut self,
+        id: BlockId,
+        new_data: Option<Box<[u8]>>,
+        leaf_hint: Option<LeafId>,
+    ) -> Result<Option<Box<[u8]>>> {
+        self.check_block(id)?;
+        if new_data.is_some() && !self.payloads {
+            return Err(ProtocolError::PayloadsDisabled);
+        }
+        self.stats.real_accesses += 1;
+        let path = self.posmap.get(id);
+        self.fetch_path(path, AccessKind::Real);
+
+        // The block is now either in the stash (fetched or already there)
+        // or it is a populated metadata-only block; it must exist.
+        let mut block = self
+            .stash
+            .take(id)
+            .ok_or(ProtocolError::CheckoutViolation { block: id })?;
+        let new_leaf = match leaf_hint {
+            Some(l) => {
+                self.geometry().check_leaf(l)?;
+                l
+            }
+            None => self.random_leaf(),
+        };
+        block.set_leaf(new_leaf);
+        self.posmap.set(id, new_leaf);
+        let old = match new_data {
+            Some(d) => {
+                let sealed = self.seal_payload(d);
+                block.replace_data(Some(sealed))
+            }
+            None => block.data().map(Box::from),
+        };
+        self.stash.insert(block);
+
+        self.writeback_path(path);
+        self.maybe_background_evict()?;
+        Ok(self.open_payload(old))
+    }
+
+    // ------------------------------------------------------------------
+    // Advanced primitives (used by LAORAM / PrORAM layers)
+    // ------------------------------------------------------------------
+
+    /// Reads the whole path to `leaf` into the stash, recording stats and
+    /// notifying the observer. Does **not** write back; pair with
+    /// [`writeback_path`](Self::writeback_path).
+    pub fn fetch_path(&mut self, leaf: LeafId, kind: AccessKind) {
+        match kind {
+            AccessKind::Real => self.stats.path_reads += 1,
+            AccessKind::Dummy => self.stats.dummy_reads += 1,
+        }
+        self.stats.slots_read += self.geometry().path_slots();
+        self.observer.observe(ServerOp::ReadPath(leaf, kind));
+        let fetched = self.storage.read_path(leaf);
+        self.stats.blocks_fetched += fetched.len() as u64;
+        for b in fetched {
+            self.stash.insert(b);
+        }
+        self.stats.observe_stash(self.stash.len() + self.checked_out.len());
+    }
+
+    /// Greedily evicts the stash along the path to `leaf`, recording stats
+    /// and notifying the observer. With sealing enabled, every payload is
+    /// re-sealed under a fresh nonce so consecutive write-backs of the
+    /// same block are unlinkable.
+    pub fn writeback_path(&mut self, leaf: LeafId) {
+        self.stats.path_writes += 1;
+        self.stats.slots_written += self.geometry().path_slots();
+        self.observer.observe(ServerOp::WritePath(leaf));
+        let mut candidates = self.stash.take_all();
+        if self.sealer.is_some() {
+            for block in &mut candidates {
+                if let Some(cipher) = block.replace_data(None) {
+                    let sealer = self.sealer.as_mut().expect("checked above");
+                    let plain = sealer.open(&cipher).unwrap_or(cipher);
+                    let resealed = sealer.seal(&plain);
+                    block.replace_data(Some(resealed));
+                }
+            }
+        }
+        self.storage.write_path(leaf, &mut candidates);
+        self.stash.absorb(candidates);
+        self.stats.observe_stash(self.stash.len() + self.checked_out.len());
+    }
+
+    /// Removes a block from the stash into the caller's custody (the
+    /// LAORAM client cache). The block no longer participates in
+    /// write-backs until returned.
+    ///
+    /// # Errors
+    /// [`ProtocolError::CheckoutViolation`] if the block is not in the
+    /// stash (e.g. still in the tree) or already checked out.
+    pub fn take_from_stash(&mut self, id: BlockId) -> Result<Block> {
+        let block =
+            self.stash.take(id).ok_or(ProtocolError::CheckoutViolation { block: id })?;
+        let inserted = self.checked_out.insert(id);
+        debug_assert!(inserted);
+        Ok(block)
+    }
+
+    /// Whether `id` is currently in the stash (and not checked out).
+    #[must_use]
+    pub fn stash_contains(&self, id: BlockId) -> bool {
+        self.stash.contains(id)
+    }
+
+    /// Returns a checked-out block to the stash.
+    ///
+    /// # Errors
+    /// [`ProtocolError::CheckoutViolation`] if the block was not checked
+    /// out.
+    pub fn return_to_stash(&mut self, block: Block) -> Result<()> {
+        if !self.checked_out.remove(&block.id()) {
+            return Err(ProtocolError::CheckoutViolation { block: block.id() });
+        }
+        self.stash.insert(block);
+        self.stats.observe_stash(self.stash.len() + self.checked_out.len());
+        Ok(())
+    }
+
+    /// Updates the position map for `id`. Higher layers must keep the
+    /// block's own leaf field in sync (e.g. via [`Block::set_leaf`]).
+    ///
+    /// # Errors
+    /// Invalid ids or leaves are rejected.
+    pub fn assign_leaf(&mut self, id: BlockId, leaf: LeafId) -> Result<()> {
+        self.check_block(id)?;
+        self.geometry().check_leaf(leaf)?;
+        self.posmap.set(id, leaf);
+        Ok(())
+    }
+
+    /// Records one logical access served without server traffic (LAORAM
+    /// cache hit).
+    pub fn note_cache_hit(&mut self) {
+        self.stats.real_accesses += 1;
+        self.stats.cache_hits += 1;
+    }
+
+    /// Records one logical access that was served through the advanced
+    /// primitives (which do not bump the counter themselves).
+    pub fn note_served_access(&mut self) {
+        self.stats.real_accesses += 1;
+    }
+
+    /// Records a cold superblock member that needed its own path read.
+    pub fn note_cold_miss(&mut self) {
+        self.stats.cold_misses += 1;
+    }
+
+    /// One dummy read/write pair on a uniformly random path. Public so
+    /// higher layers can drain their own pressure.
+    pub fn dummy_access(&mut self) {
+        let leaf = self.random_leaf();
+        self.fetch_path(leaf, AccessKind::Dummy);
+        self.writeback_path(leaf);
+    }
+
+    /// Runs the background-eviction loop if the stash exceeds the
+    /// high-water mark.
+    ///
+    /// # Errors
+    /// [`ProtocolError::EvictionStalled`] if `max_burst` dummy reads cannot
+    /// reach the low-water mark.
+    pub fn maybe_background_evict(&mut self) -> Result<()> {
+        if !self.eviction.should_start(self.stash.len()) {
+            return Ok(());
+        }
+        let mut attempts = 0u32;
+        while self.eviction.should_continue(self.stash.len()) {
+            if attempts >= self.eviction.max_burst() {
+                self.stats.eviction_stalls += 1;
+                return Err(ProtocolError::EvictionStalled {
+                    stash_len: self.stash.len(),
+                    attempts,
+                });
+            }
+            self.dummy_access();
+            attempts += 1;
+        }
+        Ok(())
+    }
+
+    /// Occupied and total slot counts per tree level, root to leaf — the
+    /// observable behind §V's key observation (blocks concentrate near
+    /// the root with probability `2^-level` of being written back deep).
+    #[must_use]
+    pub fn occupancy_by_level(&self) -> Vec<(u32, u64, u64)> {
+        self.storage.occupancy_by_level()
+    }
+
+    /// Verifies the protocol invariant: every logical block lives in
+    /// exactly one of {tree, stash, checked-out set}, and its position-map
+    /// path is consistent with where it is stored.
+    ///
+    /// This is an O(tree) scan intended for tests and audits.
+    ///
+    /// # Errors
+    /// Returns a description of the first violation.
+    pub fn verify_invariants(&self) -> std::result::Result<(), String> {
+        self.storage.verify_consistency(u64::from(self.num_blocks))?;
+        let in_tree = self.storage.occupancy();
+        let total = in_tree + self.stash.len() as u64 + self.checked_out.len() as u64;
+        if total != u64::from(self.num_blocks) {
+            return Err(format!(
+                "block conservation violated: tree {in_tree} + stash {} + checked-out {} != {}",
+                self.stash.len(),
+                self.checked_out.len(),
+                self.num_blocks
+            ));
+        }
+        for b in self.stash.iter() {
+            if self.posmap.get(b.id()) != b.leaf() {
+                return Err(format!(
+                    "stashed block {} leaf {} disagrees with position map {}",
+                    b.id(),
+                    b.leaf(),
+                    self.posmap.get(b.id())
+                ));
+            }
+        }
+        // Spot-check tree residents: walk each block's mapped path and
+        // require presence unless stashed/checked out.
+        for (id, leaf) in self.posmap.iter() {
+            if self.stash.contains(id) || self.checked_out.contains(&id) {
+                continue;
+            }
+            let snap = self
+                .storage
+                .snapshot_path(leaf)
+                .map_err(|e| format!("position map names invalid leaf: {e}"))?;
+            if !snap.blocks.iter().any(|(b, _)| *b == id) {
+                return Err(format!("block {id} not found on its mapped path {leaf}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecordingObserver;
+    use oram_tree::BucketProfile;
+    use proptest::prelude::*;
+
+    fn small_client(n: u32, seed: u64) -> PathOramClient {
+        PathOramClient::new(PathOramConfig::new(n).with_seed(seed).with_payloads(true)).unwrap()
+    }
+
+    #[test]
+    fn construction_populates_tree() {
+        let c = small_client(64, 1);
+        assert_eq!(c.num_blocks(), 64);
+        c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn zero_blocks_rejected() {
+        assert!(matches!(
+            PathOramClient::new(PathOramConfig::new(0)),
+            Err(ProtocolError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn read_unwritten_block_returns_none() {
+        let mut c = small_client(16, 2);
+        assert_eq!(c.read(BlockId::new(5)).unwrap(), None);
+    }
+
+    #[test]
+    fn write_then_read_returns_payload() {
+        let mut c = small_client(16, 3);
+        c.write(BlockId::new(7), vec![1, 2, 3].into()).unwrap();
+        let got = c.read(BlockId::new(7)).unwrap();
+        assert_eq!(got.as_deref(), Some(&[1u8, 2, 3][..]));
+        c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_returns_previous_payload() {
+        let mut c = small_client(16, 4);
+        assert_eq!(c.write(BlockId::new(0), vec![1].into()).unwrap(), None);
+        let old = c.write(BlockId::new(0), vec![2].into()).unwrap();
+        assert_eq!(old.as_deref(), Some(&[1u8][..]));
+    }
+
+    #[test]
+    fn metadata_only_client_rejects_writes_but_reads_fine() {
+        let mut c = PathOramClient::new(PathOramConfig::new(16).with_seed(5)).unwrap();
+        assert!(matches!(
+            c.write(BlockId::new(0), vec![1].into()),
+            Err(ProtocolError::PayloadsDisabled)
+        ));
+        assert_eq!(c.read(BlockId::new(0)).unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_block_rejected() {
+        let mut c = small_client(8, 6);
+        assert!(matches!(
+            c.read(BlockId::new(8)),
+            Err(ProtocolError::UnknownBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn every_access_is_one_path_read_and_write() {
+        let mut c = small_client(64, 7);
+        for i in 0..20u32 {
+            c.read(BlockId::new(i % 8)).unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.real_accesses, 20);
+        assert_eq!(s.path_reads, 20);
+        assert_eq!(s.path_writes, s.path_reads + s.dummy_reads);
+        assert_eq!(s.slots_read, s.total_path_reads() * c.geometry().path_slots());
+    }
+
+    #[test]
+    fn path_reassigned_after_access() {
+        // With 64 leaves, 40 accesses keeping the same leaf every time has
+        // probability (1/64)^40 — treat any repeat-all as failure.
+        let mut c = small_client(64, 8);
+        let id = BlockId::new(3);
+        let mut changed = false;
+        let mut prev = c.position_of(id).unwrap();
+        for _ in 0..40 {
+            c.read(id).unwrap();
+            let now = c.position_of(id).unwrap();
+            if now != prev {
+                changed = true;
+            }
+            prev = now;
+        }
+        assert!(changed, "leaf never changed across 40 accesses");
+    }
+
+    #[test]
+    fn leaf_hint_is_respected() {
+        let mut c = small_client(64, 9);
+        let id = BlockId::new(11);
+        c.access(id, None, Some(LeafId::new(13))).unwrap();
+        assert_eq!(c.position_of(id).unwrap(), LeafId::new(13));
+        c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn invalid_leaf_hint_rejected() {
+        let mut c = small_client(8, 10);
+        let err = c.access(BlockId::new(0), None, Some(LeafId::new(1 << 20)));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn observer_sees_read_write_pairs() {
+        let mut c = small_client(32, 11);
+        c.set_observer(Box::new(RecordingObserver::new()));
+        // Swap in a recorder we keep outside: easier to re-set and inspect
+        // via a fresh recorder each time. Here we just count through stats.
+        for i in 0..5u32 {
+            c.read(BlockId::new(i)).unwrap();
+        }
+        assert_eq!(c.stats().path_reads, 5);
+    }
+
+    #[test]
+    fn checkout_and_return_roundtrip() {
+        let mut c = small_client(32, 12);
+        let id = BlockId::new(4);
+        let path = c.position_of(id).unwrap();
+        c.fetch_path(path, AccessKind::Real);
+        let mut b = c.take_from_stash(id).unwrap();
+        assert!(c.take_from_stash(id).is_err(), "double checkout must fail");
+        b.set_leaf(LeafId::new(0));
+        c.assign_leaf(id, LeafId::new(0)).unwrap();
+        c.verify_invariants().unwrap(); // checked-out block is accounted for
+        c.return_to_stash(b).unwrap();
+        c.writeback_path(path);
+        c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn return_without_checkout_fails() {
+        let mut c = small_client(8, 13);
+        let b = Block::metadata_only(BlockId::new(1), LeafId::new(0));
+        assert!(matches!(
+            c.return_to_stash(b),
+            Err(ProtocolError::CheckoutViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn background_eviction_keeps_stash_bounded() {
+        // Plain Path ORAM drains its stash at write-back, so manufacture
+        // pressure directly: fetch many paths without writing back, then
+        // let the background-eviction loop drain to the low-water mark.
+        let cfg = PathOramConfig::new(256)
+            .with_seed(14)
+            .with_levels(6)
+            .with_eviction(EvictionConfig::with_thresholds(16, 8));
+        let mut c = PathOramClient::new(cfg).unwrap();
+        let mut leaf = 0u32;
+        while c.stash_len() <= 16 {
+            c.fetch_path(LeafId::new(leaf % 64), AccessKind::Real);
+            leaf += 7;
+        }
+        c.maybe_background_evict().unwrap();
+        assert!(c.stash_len() <= 8, "stash {} above low-water after drain", c.stash_len());
+        assert!(c.stats().dummy_reads > 0, "eviction should have triggered");
+        c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn eviction_disabled_lets_stash_grow() {
+        let cfg = PathOramConfig::new(256)
+            .with_seed(15)
+            .with_eviction(EvictionConfig::disabled());
+        let mut c = PathOramClient::new(cfg).unwrap();
+        for i in 0..300u32 {
+            c.read(BlockId::new(i % 256)).unwrap();
+        }
+        assert_eq!(c.stats().dummy_reads, 0);
+        c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn dummy_access_preserves_population() {
+        let mut c = small_client(64, 16);
+        for _ in 0..50 {
+            c.dummy_access();
+        }
+        assert_eq!(c.stats().dummy_reads, 50);
+        assert_eq!(c.stats().real_accesses, 0);
+        c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn fat_tree_client_works_end_to_end() {
+        let cfg = PathOramConfig::new(128)
+            .with_seed(17)
+            .with_profile(BucketProfile::FatLinear { leaf_capacity: 4 })
+            .with_payloads(true);
+        let mut c = PathOramClient::new(cfg).unwrap();
+        for i in 0..128u32 {
+            c.write(BlockId::new(i), vec![i as u8; 4].into()).unwrap();
+        }
+        for i in (0..128u32).rev() {
+            let got = c.read(BlockId::new(i)).unwrap();
+            assert_eq!(got.as_deref(), Some(&[i as u8; 4][..]));
+        }
+        c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut c = small_client(16, 18);
+        c.read(BlockId::new(0)).unwrap();
+        assert!(c.stats().real_accesses > 0);
+        c.reset_stats();
+        assert_eq!(c.stats().real_accesses, 0);
+    }
+
+    #[test]
+    fn update_is_one_access_read_modify_write() {
+        let mut c = small_client(32, 21);
+        c.update(BlockId::new(3), |old| {
+            assert!(old.is_none());
+            Box::new([1u8])
+        })
+        .unwrap();
+        c.update(BlockId::new(3), |old| {
+            assert_eq!(old, Some(&[1u8][..]));
+            Box::new([2u8])
+        })
+        .unwrap();
+        assert_eq!(c.read(BlockId::new(3)).unwrap().as_deref(), Some(&[2u8][..]));
+        // Each update is exactly one path read + one write.
+        assert_eq!(c.stats().real_accesses, 3);
+        assert_eq!(c.stats().path_reads, 3);
+        c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn update_rejected_on_metadata_only_client() {
+        let mut c = PathOramClient::new(PathOramConfig::new(8).with_seed(22)).unwrap();
+        let err = c.update(BlockId::new(0), |_| Box::new([0u8]));
+        assert!(matches!(err, Err(ProtocolError::PayloadsDisabled)));
+    }
+
+    #[test]
+    fn eviction_stall_is_reported_not_hung() {
+        // A nearly-full tree with everything assigned to one path cannot
+        // drain: the burst limit must fire with an error.
+        let cfg = PathOramConfig::new(16)
+            .with_seed(23)
+            .with_levels(2) // 4 leaves, 7 buckets, 28 slots
+            .with_eviction(EvictionConfig::with_thresholds(2, 0).with_max_burst(50));
+        let mut c = PathOramClient::new(cfg).unwrap();
+        // Pin many blocks to leaf 0 so they pile up in the stash.
+        let mut failed = false;
+        for round in 0..40u32 {
+            for i in 0..16u32 {
+                match c.access(BlockId::new(i), None, Some(LeafId::new(0))) {
+                    Ok(_) => {}
+                    Err(ProtocolError::EvictionStalled { stash_len, .. }) => {
+                        assert!(stash_len > 0);
+                        failed = true;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected error {e} in round {round}"),
+                }
+            }
+            if failed {
+                break;
+            }
+        }
+        assert!(failed, "pinning 16 blocks to one 12-slot path must stall eviction");
+        assert!(c.stats().eviction_stalls > 0);
+    }
+
+    #[test]
+    fn recording_observer_sees_uniformish_reads() {
+        use crate::RecordingObserver;
+        // Share the recorder via a small adapter since the client owns it.
+        #[derive(Default, Clone)]
+        struct Tap(std::rc::Rc<std::cell::RefCell<RecordingObserver>>);
+        impl crate::AccessObserver for Tap {
+            fn observe(&mut self, op: crate::ServerOp) {
+                self.0.borrow_mut().observe(op);
+            }
+        }
+        let tap = Tap::default();
+        let mut c = small_client(64, 24);
+        c.set_observer(Box::new(tap.clone()));
+        for i in 0..64u32 {
+            c.read(BlockId::new(i)).unwrap();
+        }
+        let rec = tap.0.borrow();
+        assert_eq!(rec.read_leaves().count(), 64);
+        assert_eq!(rec.ops().len(), 128, "64 reads + 64 writes");
+    }
+
+    #[test]
+    fn sealed_client_roundtrips_and_stores_ciphertext() {
+        let cfg = PathOramConfig::new(32)
+            .with_seed(25)
+            .with_payloads(true)
+            .with_sealing_key(0x5EC2E7);
+        let mut c = PathOramClient::new(cfg).unwrap();
+        let plain = vec![0xAA; 32];
+        c.write(BlockId::new(3), plain.clone().into()).unwrap();
+        // Server-side bytes (visible in the stash after a raw fetch) must
+        // be ciphertext: longer by the nonce and different in content.
+        let path = c.position_of(BlockId::new(3)).unwrap();
+        c.fetch_path(path, AccessKind::Real);
+        let stored = c.stash.get(BlockId::new(3)).unwrap().data().unwrap().to_vec();
+        assert_eq!(stored.len(), plain.len() + oram_tree::NONCE_BYTES);
+        assert_ne!(&stored[oram_tree::NONCE_BYTES..], &plain[..]);
+        c.writeback_path(path);
+        // Read returns the plaintext.
+        let got = c.read(BlockId::new(3)).unwrap();
+        assert_eq!(got.as_deref(), Some(&plain[..]));
+        // Old-value return on overwrite is also plaintext.
+        let old = c.write(BlockId::new(3), vec![1].into()).unwrap();
+        assert_eq!(old.as_deref(), Some(&plain[..]));
+        c.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn sealed_update_composes() {
+        let cfg = PathOramConfig::new(16)
+            .with_seed(26)
+            .with_payloads(true)
+            .with_sealing_key(9);
+        let mut c = PathOramClient::new(cfg).unwrap();
+        c.update(BlockId::new(0), |old| {
+            assert!(old.is_none());
+            Box::new([5u8])
+        })
+        .unwrap();
+        c.update(BlockId::new(0), |old| {
+            assert_eq!(old, Some(&[5u8][..]));
+            Box::new([6u8])
+        })
+        .unwrap();
+        assert_eq!(c.read(BlockId::new(0)).unwrap().as_deref(), Some(&[6u8][..]));
+    }
+
+    #[test]
+    fn sealing_requires_payloads() {
+        let cfg = PathOramConfig::new(8).with_sealing_key(1);
+        assert!(matches!(
+            PathOramClient::new(cfg),
+            Err(ProtocolError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn resealing_changes_ciphertext_across_writebacks() {
+        let cfg = PathOramConfig::new(32)
+            .with_seed(27)
+            .with_payloads(true)
+            .with_sealing_key(0xFEED);
+        let mut c = PathOramClient::new(cfg).unwrap();
+        c.write(BlockId::new(7), vec![0x42; 16].into()).unwrap();
+        let grab = |c: &mut PathOramClient| {
+            let path = c.position_of(BlockId::new(7)).unwrap();
+            c.fetch_path(path, AccessKind::Real);
+            let bytes = c.stash.get(BlockId::new(7)).unwrap().data().unwrap().to_vec();
+            c.writeback_path(path);
+            bytes
+        };
+        let first = grab(&mut c);
+        let second = grab(&mut c);
+        assert_ne!(first, second, "write-backs must re-seal with fresh nonces");
+        assert_eq!(c.read(BlockId::new(7)).unwrap().as_deref(), Some(&[0x42; 16][..]));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed: u64| {
+            let mut c = small_client(64, seed);
+            let mut rec = Vec::new();
+            for i in 0..32u32 {
+                c.read(BlockId::new(i % 16)).unwrap();
+                rec.push(c.position_of(BlockId::new(i % 16)).unwrap().index());
+            }
+            rec
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100), "different seeds should diverge");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_last_write_wins(
+            seed in any::<u64>(),
+            script in proptest::collection::vec((0u32..32, proptest::option::of(0u8..255)), 1..120),
+        ) {
+            let mut c = PathOramClient::new(
+                PathOramConfig::new(32).with_seed(seed).with_payloads(true)
+            ).unwrap();
+            let mut model: std::collections::HashMap<u32, u8> = Default::default();
+            for (id, op) in script {
+                match op {
+                    Some(v) => {
+                        c.write(BlockId::new(id), vec![v].into()).unwrap();
+                        model.insert(id, v);
+                    }
+                    None => {
+                        let got = c.read(BlockId::new(id)).unwrap();
+                        match model.get(&id) {
+                            Some(v) => prop_assert_eq!(got.as_deref(), Some(&[*v][..])),
+                            None => prop_assert_eq!(got, None),
+                        }
+                    }
+                }
+            }
+            c.verify_invariants().unwrap();
+        }
+
+        #[test]
+        #[ignore = "statistical; run explicitly with --ignored"]
+        fn prop_new_leaf_uniformity(seed in any::<u64>()) {
+            // Covered more rigorously in oram-analysis integration tests.
+            let mut c = PathOramClient::new(
+                PathOramConfig::new(64).with_seed(seed)
+            ).unwrap();
+            let mut counts = vec![0u32; c.geometry().num_leaves() as usize];
+            for i in 0..2000u32 {
+                c.read(BlockId::new(i % 64)).unwrap();
+                counts[c.position_of(BlockId::new(i % 64)).unwrap().as_usize()] += 1;
+            }
+            let max = *counts.iter().max().unwrap();
+            prop_assert!(max < 200, "one leaf absorbed {max} of 2000 reassignments");
+        }
+    }
+}

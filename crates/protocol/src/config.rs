@@ -1,0 +1,145 @@
+//! Path ORAM client configuration.
+
+use oram_tree::BucketProfile;
+
+use crate::EvictionConfig;
+
+/// Configuration for a [`PathOramClient`](crate::PathOramClient).
+///
+/// # Example
+/// ```
+/// use oram_protocol::{PathOramConfig, EvictionConfig};
+/// use oram_tree::BucketProfile;
+///
+/// let cfg = PathOramConfig::new(1 << 16)
+///     .with_profile(BucketProfile::FatLinear { leaf_capacity: 4 })
+///     .with_eviction(EvictionConfig::with_thresholds(500, 50))
+///     .with_seed(42);
+/// assert_eq!(cfg.num_blocks, 1 << 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathOramConfig {
+    /// Number of logical blocks (embedding-table entries).
+    pub num_blocks: u32,
+    /// Bucket capacity profile (paper default: uniform `Z = 4`).
+    pub profile: BucketProfile,
+    /// Explicit leaf level; `None` derives the smallest tree with at least
+    /// one leaf per block, as the paper configures.
+    pub levels: Option<u32>,
+    /// Whether blocks carry payload bytes (disable for paper-scale
+    /// simulations where only access counts matter).
+    pub payloads: bool,
+    /// Background eviction thresholds.
+    pub eviction: EvictionConfig,
+    /// RNG seed; every run is deterministic given the seed.
+    pub seed: u64,
+    /// Whether to place all `num_blocks` blocks at construction with
+    /// uniformly random path assignments (the standard ORAM setup phase).
+    pub populate: bool,
+    /// When set, payloads are sealed (simulated encryption with fresh
+    /// per-write nonces) before entering server storage and re-sealed on
+    /// every write-back, so ciphertexts are unlinkable across writes.
+    /// Requires `payloads`.
+    pub sealing_key: Option<u64>,
+}
+
+impl PathOramConfig {
+    /// Paper-default configuration for `num_blocks` blocks: uniform `Z = 4`
+    /// buckets, metadata-only, eviction at 500/50, populated tree.
+    #[must_use]
+    pub fn new(num_blocks: u32) -> Self {
+        PathOramConfig {
+            num_blocks,
+            profile: BucketProfile::Uniform { capacity: 4 },
+            levels: None,
+            payloads: false,
+            eviction: EvictionConfig::paper_default(),
+            seed: 0xC0FF_EE00,
+            populate: true,
+            sealing_key: None,
+        }
+    }
+
+    /// Enables simulated encryption-at-rest with the given key. Implies
+    /// nothing about `payloads`; construction fails if payloads are off.
+    #[must_use]
+    pub fn with_sealing_key(mut self, key: u64) -> Self {
+        self.sealing_key = Some(key);
+        self
+    }
+
+    /// Sets the bucket profile.
+    #[must_use]
+    pub fn with_profile(mut self, profile: BucketProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Forces a specific leaf level instead of deriving it from
+    /// `num_blocks`.
+    #[must_use]
+    pub fn with_levels(mut self, levels: u32) -> Self {
+        self.levels = Some(levels);
+        self
+    }
+
+    /// Enables or disables payload storage.
+    #[must_use]
+    pub fn with_payloads(mut self, payloads: bool) -> Self {
+        self.payloads = payloads;
+        self
+    }
+
+    /// Sets the background-eviction policy.
+    #[must_use]
+    pub fn with_eviction(mut self, eviction: EvictionConfig) -> Self {
+        self.eviction = eviction;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables construction-time population.
+    #[must_use]
+    pub fn with_populate(mut self, populate: bool) -> Self {
+        self.populate = populate;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain_applies_every_field() {
+        let cfg = PathOramConfig::new(100)
+            .with_profile(BucketProfile::Uniform { capacity: 6 })
+            .with_levels(10)
+            .with_payloads(true)
+            .with_eviction(EvictionConfig::disabled())
+            .with_seed(7)
+            .with_populate(false);
+        assert_eq!(cfg.num_blocks, 100);
+        assert_eq!(cfg.profile, BucketProfile::Uniform { capacity: 6 });
+        assert_eq!(cfg.levels, Some(10));
+        assert!(cfg.payloads);
+        assert!(!cfg.eviction.is_enabled());
+        assert_eq!(cfg.seed, 7);
+        assert!(!cfg.populate);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = PathOramConfig::new(8);
+        assert_eq!(cfg.profile, BucketProfile::Uniform { capacity: 4 });
+        assert!(cfg.populate);
+        assert!(!cfg.payloads);
+        assert_eq!(cfg.eviction.high_water(), 500);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for protocol-level operations.
+
+use std::error::Error;
+use std::fmt;
+
+use oram_tree::{BlockId, TreeError};
+
+/// Errors produced by ORAM protocol clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The underlying tree rejected a geometry or access.
+    Tree(TreeError),
+    /// A block id outside the configured population was requested.
+    UnknownBlock {
+        /// The offending id.
+        block: BlockId,
+        /// Configured population size.
+        num_blocks: u32,
+    },
+    /// A payload operation was attempted on a metadata-only client.
+    PayloadsDisabled,
+    /// Background eviction could not drain the stash within the configured
+    /// burst limit — the tree is effectively full.
+    EvictionStalled {
+        /// Stash occupancy when the limit was hit.
+        stash_len: usize,
+        /// Dummy reads attempted in the burst.
+        attempts: u32,
+    },
+    /// A block was checked out (taken from the stash) twice, or returned
+    /// while not checked out. Indicates misuse of the advanced primitives.
+    CheckoutViolation {
+        /// The offending block.
+        block: BlockId,
+    },
+    /// Configuration rejected at construction time.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Tree(e) => write!(f, "tree error: {e}"),
+            ProtocolError::UnknownBlock { block, num_blocks } => {
+                write!(f, "block {block} outside population of {num_blocks}")
+            }
+            ProtocolError::PayloadsDisabled => {
+                write!(f, "payload operation on a metadata-only client")
+            }
+            ProtocolError::EvictionStalled { stash_len, attempts } => write!(
+                f,
+                "background eviction stalled with {stash_len} stashed blocks after {attempts} dummy reads"
+            ),
+            ProtocolError::CheckoutViolation { block } => {
+                write!(f, "block {block} checkout/return mismatch")
+            }
+            ProtocolError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProtocolError::Tree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TreeError> for ProtocolError {
+    fn from(e: TreeError) -> Self {
+        ProtocolError::Tree(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ProtocolError::UnknownBlock { block: BlockId::new(9), num_blocks: 4 };
+        assert!(e.to_string().contains('9'));
+        let e: ProtocolError = TreeError::TooManyLevels { levels: 99 }.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().starts_with("tree error"));
+    }
+}

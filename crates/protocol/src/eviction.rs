@@ -1,0 +1,125 @@
+//! Background eviction policy (§II-E, §VIII-E of the paper).
+//!
+//! When the stash grows past a high-water mark the client issues *dummy
+//! reads*: uniformly random path read/write pairs that access no block and
+//! reassign no path, but give stashed blocks fresh opportunities to sink
+//! into the tree. The paper's Table II experiment uses `hi = 500`,
+//! `lo = 50`.
+
+/// Background-eviction thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionConfig {
+    enabled: bool,
+    hi: usize,
+    lo: usize,
+    max_burst: u32,
+}
+
+impl EvictionConfig {
+    /// Paper defaults: trigger above 500 stashed blocks, drain to 50.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::with_thresholds(500, 50)
+    }
+
+    /// Eviction with explicit thresholds.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn with_thresholds(hi: usize, lo: usize) -> Self {
+        assert!(lo <= hi, "low-water mark {lo} above high-water mark {hi}");
+        EvictionConfig { enabled: true, hi, lo, max_burst: 100_000 }
+    }
+
+    /// No background eviction (used by the Figure 8 stash-growth study).
+    #[must_use]
+    pub fn disabled() -> Self {
+        EvictionConfig { enabled: false, hi: usize::MAX, lo: usize::MAX, max_burst: 0 }
+    }
+
+    /// Overrides the safety limit on consecutive dummy reads per drain.
+    #[must_use]
+    pub fn with_max_burst(mut self, max_burst: u32) -> Self {
+        self.max_burst = max_burst;
+        self
+    }
+
+    /// Whether eviction is enabled.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// High-water mark: a drain starts when the stash exceeds this.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.hi
+    }
+
+    /// Low-water mark: a drain stops at or below this.
+    #[must_use]
+    pub fn low_water(&self) -> usize {
+        self.lo
+    }
+
+    /// Safety limit on dummy reads per drain.
+    #[must_use]
+    pub fn max_burst(&self) -> u32 {
+        self.max_burst
+    }
+
+    /// Whether a drain should start at the given stash occupancy.
+    #[must_use]
+    pub fn should_start(&self, stash_len: usize) -> bool {
+        self.enabled && stash_len > self.hi
+    }
+
+    /// Whether an in-progress drain should continue.
+    #[must_use]
+    pub fn should_continue(&self, stash_len: usize) -> bool {
+        self.enabled && stash_len > self.lo
+    }
+}
+
+impl Default for EvictionConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_thresholds() {
+        let e = EvictionConfig::paper_default();
+        assert!(e.is_enabled());
+        assert_eq!(e.high_water(), 500);
+        assert_eq!(e.low_water(), 50);
+        assert!(e.should_start(501));
+        assert!(!e.should_start(500));
+        assert!(e.should_continue(51));
+        assert!(!e.should_continue(50));
+    }
+
+    #[test]
+    fn disabled_never_triggers() {
+        let e = EvictionConfig::disabled();
+        assert!(!e.is_enabled());
+        assert!(!e.should_start(1_000_000));
+        assert!(!e.should_continue(1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "low-water")]
+    fn inverted_thresholds_panic() {
+        let _ = EvictionConfig::with_thresholds(10, 20);
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(EvictionConfig::default(), EvictionConfig::paper_default());
+    }
+}

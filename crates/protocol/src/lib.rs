@@ -1,0 +1,60 @@
+//! Path ORAM and Ring ORAM protocol clients.
+//!
+//! This crate implements the *client side* of the ORAM designs the LAORAM
+//! paper builds on and compares against:
+//!
+//! * [`PathOramClient`] — the Path ORAM protocol of Stefanov et al. (stash,
+//!   position map, per-access path read + greedy write-back, background
+//!   eviction), over the tree storage of the [`oram-tree`] crate. Besides the
+//!   classic `read`/`write` interface it exposes the lower-level primitives
+//!   (`fetch_path`, `writeback_path`, `take_from_stash`, …) from which the
+//!   LAORAM look-ahead client and the PrORAM baselines are composed.
+//! * [`RingOramClient`] — a functional Ring ORAM (Ren et al.) reading one
+//!   slot per bucket with periodic evict-path and early-reshuffle, used by
+//!   the §VIII-G comparison.
+//! * [`AccessObserver`] — taps recording the *server-visible* access
+//!   sequence, feeding the security audit in `oram-analysis`.
+//!
+//! # Example
+//!
+//! ```
+//! use oram_protocol::{PathOramClient, PathOramConfig};
+//!
+//! let mut oram = PathOramClient::new(
+//!     PathOramConfig::new(64).with_payloads(true).with_seed(1),
+//! )?;
+//! oram.write(3.into(), vec![42u8; 8].into())?;
+//! let row = oram.read(3.into())?;
+//! assert_eq!(row.as_deref(), Some(&[42u8; 8][..]));
+//! # Ok::<(), oram_protocol::ProtocolError>(())
+//! ```
+//!
+//! [`oram-tree`]: ../oram_tree/index.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod config;
+mod error;
+mod eviction;
+mod observer;
+mod position;
+mod recursive;
+mod ring;
+mod stash;
+mod stats;
+
+pub use client::PathOramClient;
+pub use config::PathOramConfig;
+pub use error::ProtocolError;
+pub use eviction::EvictionConfig;
+pub use observer::{AccessKind, AccessObserver, NullObserver, RecordingObserver, ServerOp};
+pub use position::DensePositionMap;
+pub use recursive::RecursivePositionMap;
+pub use ring::{RingOramClient, RingOramConfig};
+pub use stash::Stash;
+pub use stats::AccessStats;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ProtocolError>;

@@ -1,0 +1,265 @@
+//! The client-side stash: trusted overflow storage for blocks that could
+//! not be written back into the tree.
+
+use std::collections::HashMap;
+
+use oram_tree::{Block, BlockId, LeafId};
+
+/// The Path ORAM stash.
+///
+/// Holds real blocks that are currently not stored in the server tree.
+/// Lookups are O(1); the write-back path drains the stash wholesale through
+/// [`Stash::take_all`] / [`Stash::absorb`].
+#[derive(Debug, Default)]
+pub struct Stash {
+    blocks: Vec<Block>,
+    index: HashMap<BlockId, usize>,
+}
+
+impl Stash {
+    /// Creates an empty stash.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of blocks currently stashed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the stash is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Whether the stash holds `id`.
+    #[must_use]
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Inserts a block.
+    ///
+    /// # Panics
+    /// Panics if a block with the same id is already stashed — the protocol
+    /// invariant is one copy per block, anywhere.
+    pub fn insert(&mut self, block: Block) {
+        let prev = self.index.insert(block.id(), self.blocks.len());
+        assert!(prev.is_none(), "duplicate block {} inserted into stash", block.id());
+        self.blocks.push(block);
+    }
+
+    /// Removes and returns the block with `id`, if present.
+    pub fn take(&mut self, id: BlockId) -> Option<Block> {
+        let pos = self.index.remove(&id)?;
+        let block = self.blocks.swap_remove(pos);
+        if pos < self.blocks.len() {
+            let moved = self.blocks[pos].id();
+            self.index.insert(moved, pos);
+        }
+        Some(block)
+    }
+
+    /// Borrows the block with `id`, if present.
+    #[must_use]
+    pub fn get(&self, id: BlockId) -> Option<&Block> {
+        self.index.get(&id).map(|&pos| &self.blocks[pos])
+    }
+
+    /// Mutably borrows the block with `id`, if present.
+    pub fn get_mut(&mut self, id: BlockId) -> Option<&mut Block> {
+        self.index.get(&id).map(|&pos| &mut self.blocks[pos])
+    }
+
+    /// Reassigns the stashed block `id` to a new leaf. Returns `false` if
+    /// the block is not stashed.
+    pub fn reassign(&mut self, id: BlockId, leaf: LeafId) -> bool {
+        match self.get_mut(id) {
+            Some(b) => {
+                b.set_leaf(leaf);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes every block for a write-back attempt. Pair with
+    /// [`Stash::absorb`] to return the leftovers.
+    #[must_use]
+    pub fn take_all(&mut self) -> Vec<Block> {
+        self.index.clear();
+        std::mem::take(&mut self.blocks)
+    }
+
+    /// Re-inserts blocks (typically the leftovers of a write-back).
+    ///
+    /// # Panics
+    /// Panics on duplicate ids, as [`Stash::insert`] does.
+    pub fn absorb(&mut self, blocks: Vec<Block>) {
+        if self.blocks.is_empty() && self.index.is_empty() {
+            // Fast path: adopt the vector wholesale.
+            self.blocks = blocks;
+            self.index =
+                self.blocks.iter().enumerate().map(|(i, b)| (b.id(), i)).collect();
+            assert_eq!(self.index.len(), self.blocks.len(), "duplicate block ids absorbed");
+        } else {
+            for b in blocks {
+                self.insert(b);
+            }
+        }
+    }
+
+    /// Iterates over stashed blocks in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(id: u32, leaf: u32) -> Block {
+        Block::metadata_only(BlockId::new(id), LeafId::new(leaf))
+    }
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut s = Stash::new();
+        s.insert(blk(1, 0));
+        s.insert(blk(2, 1));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(BlockId::new(1)));
+        let b = s.take(BlockId::new(1)).unwrap();
+        assert_eq!(b.id(), BlockId::new(1));
+        assert!(!s.contains(BlockId::new(1)));
+        assert!(s.take(BlockId::new(1)).is_none());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn swap_remove_keeps_index_consistent() {
+        let mut s = Stash::new();
+        for i in 0..10 {
+            s.insert(blk(i, 0));
+        }
+        // Remove from the middle repeatedly and verify lookups still work.
+        s.take(BlockId::new(3)).unwrap();
+        s.take(BlockId::new(0)).unwrap();
+        s.take(BlockId::new(9)).unwrap();
+        for i in [1u32, 2, 4, 5, 6, 7, 8] {
+            assert_eq!(s.get(BlockId::new(i)).unwrap().id(), BlockId::new(i), "id {i}");
+        }
+        assert_eq!(s.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_insert_panics() {
+        let mut s = Stash::new();
+        s.insert(blk(1, 0));
+        s.insert(blk(1, 1));
+    }
+
+    #[test]
+    fn take_all_absorb_cycle() {
+        let mut s = Stash::new();
+        for i in 0..5 {
+            s.insert(blk(i, i));
+        }
+        let mut all = s.take_all();
+        assert_eq!(all.len(), 5);
+        assert!(s.is_empty());
+        all.retain(|b| b.id().index() % 2 == 0); // pretend odd ones were placed
+        s.absorb(all);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(BlockId::new(0)));
+        assert!(!s.contains(BlockId::new(1)));
+    }
+
+    #[test]
+    fn reassign_updates_leaf() {
+        let mut s = Stash::new();
+        s.insert(blk(7, 1));
+        assert!(s.reassign(BlockId::new(7), LeafId::new(9)));
+        assert_eq!(s.get(BlockId::new(7)).unwrap().leaf(), LeafId::new(9));
+        assert!(!s.reassign(BlockId::new(8), LeafId::new(9)));
+    }
+
+    #[test]
+    fn absorb_into_nonempty_stash() {
+        let mut s = Stash::new();
+        s.insert(blk(0, 0));
+        s.absorb(vec![blk(1, 1), blk(2, 2)]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(BlockId::new(2)));
+        let ids: Vec<u32> = s.iter().map(|b| b.id().index()).collect();
+        assert_eq!(ids.len(), 3);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Insert(u32),
+            Take(u32),
+            Reassign(u32, u32),
+            Cycle,
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (0u32..64).prop_map(Op::Insert),
+                (0u32..64).prop_map(Op::Take),
+                (0u32..64, 0u32..64).prop_map(|(a, b)| Op::Reassign(a, b)),
+                Just(Op::Cycle),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn stash_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+                let mut stash = Stash::new();
+                let mut model: std::collections::HashMap<u32, u32> = Default::default();
+                for op in ops {
+                    match op {
+                        Op::Insert(id) => {
+                            if !model.contains_key(&id) {
+                                stash.insert(blk(id, id));
+                                model.insert(id, id);
+                            }
+                        }
+                        Op::Take(id) => {
+                            let got = stash.take(BlockId::new(id));
+                            let expected = model.remove(&id);
+                            prop_assert_eq!(got.map(|b| b.leaf().index()), expected);
+                        }
+                        Op::Reassign(id, leaf) => {
+                            let ok = stash.reassign(BlockId::new(id), LeafId::new(leaf));
+                            let expected = model.contains_key(&id);
+                            prop_assert_eq!(ok, expected);
+                            if expected {
+                                model.insert(id, leaf);
+                            }
+                        }
+                        Op::Cycle => {
+                            let all = stash.take_all();
+                            prop_assert_eq!(all.len(), model.len());
+                            stash.absorb(all);
+                        }
+                    }
+                    prop_assert_eq!(stash.len(), model.len());
+                    for (&id, &leaf) in &model {
+                        let b = stash.get(BlockId::new(id));
+                        prop_assert_eq!(b.map(|b| b.leaf().index()), Some(leaf));
+                    }
+                }
+            }
+        }
+    }
+}

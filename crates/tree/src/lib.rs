@@ -1,0 +1,53 @@
+//! Binary-tree server storage for Path-ORAM-style protocols.
+//!
+//! This crate models the *server side* of a Path ORAM deployment: a complete
+//! binary tree of buckets, each bucket holding a fixed number of block slots.
+//! It supports the classic uniform-bucket tree as well as the **fat tree**
+//! introduced by LAORAM (Rajat et al., ISCA 2023), where bucket capacity
+//! decays linearly from `2x` at the root to `x` at the leaves, trading a
+//! modest memory increase for drastically fewer stash overflows when
+//! superblocks are in use.
+//!
+//! The crate deliberately contains **no protocol logic** (no stash, no
+//! position map): it exposes path-granularity reads and greedy path
+//! write-back, which the [`oram-protocol`] crate drives.
+//!
+//! # Example
+//!
+//! ```
+//! use oram_tree::{Block, BlockId, BucketProfile, LeafId, TreeGeometry, TreeStorage};
+//!
+//! let geometry = TreeGeometry::with_levels(4, BucketProfile::Uniform { capacity: 4 })?;
+//! let mut storage = TreeStorage::new(geometry.clone());
+//!
+//! // Place a block on the path to leaf 3 and read that path back.
+//! let block = Block::metadata_only(BlockId::new(7), LeafId::new(3));
+//! let mut leftover = vec![block];
+//! storage.write_path(LeafId::new(3), &mut leftover);
+//! assert!(leftover.is_empty());
+//!
+//! let fetched = storage.read_path(LeafId::new(3));
+//! assert_eq!(fetched.len(), 1);
+//! assert_eq!(fetched[0].id(), BlockId::new(7));
+//! # Ok::<(), oram_tree::TreeError>(())
+//! ```
+//!
+//! [`oram-protocol`]: ../oram_protocol/index.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod error;
+mod geometry;
+mod sealing;
+mod storage;
+
+pub use block::{Block, BlockId, LeafId};
+pub use error::TreeError;
+pub use geometry::{BucketProfile, TreeGeometry};
+pub use sealing::{BlockSealer, NONCE_BYTES};
+pub use storage::{PathSnapshot, TreeStorage};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, TreeError>;

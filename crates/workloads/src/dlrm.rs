@@ -1,0 +1,274 @@
+//! Kaggle/DLRM-like trace.
+//!
+//! Figure 2 of the paper plots 10,000 consecutive accesses of the Criteo
+//! Kaggle trace through DLRM's largest embedding table: the bulk of
+//! accesses is indistinguishable from uniform noise over the 10.1M rows,
+//! with one narrow, heavily-repeated band at low indices. The paper's
+//! argument (§I, §VII) rests on exactly two properties, both reproduced
+//! here:
+//!
+//! 1. past accesses carry almost no predictive signal (so PrORAM's
+//!    history-based superblocks degenerate), and
+//! 2. a small repeated fraction exists, which relieves stash pressure
+//!    relative to the Permutation worst case (§VIII-B).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::ZipfSampler;
+
+/// Parameters of the synthetic Kaggle/DLRM trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DlrmTraceConfig {
+    /// Probability that an access hits the hot band rather than the
+    /// uniform body.
+    pub hot_probability: f64,
+    /// Number of entries in the hot band (lowest indices, as in Figure 2).
+    pub hot_band: u32,
+    /// Zipf exponent within the hot band.
+    pub hot_exponent: f64,
+}
+
+impl Default for DlrmTraceConfig {
+    fn default() -> Self {
+        // ~22% of Criteo categorical lookups hit a few thousand frequent
+        // ids (ad categories, frequent users); the rest look uniform.
+        DlrmTraceConfig { hot_probability: 0.22, hot_band: 2048, hot_exponent: 1.05 }
+    }
+}
+
+pub(crate) fn generate(
+    cfg: &DlrmTraceConfig,
+    num_blocks: u32,
+    len: usize,
+    seed: u64,
+) -> Vec<u32> {
+    assert!(num_blocks > 0);
+    assert!((0.0..=1.0).contains(&cfg.hot_probability), "hot probability out of [0,1]");
+    let band = cfg.hot_band.min(num_blocks);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = ZipfSampler::new(band.max(1), cfg.hot_exponent);
+    (0..len)
+        .map(|_| {
+            if rng.random_bool(cfg.hot_probability) {
+                zipf.sample(&mut rng)
+            } else {
+                rng.random_range(0..num_blocks)
+            }
+        })
+        .collect()
+}
+
+/// A multi-table DLRM workload: one embedding table per categorical
+/// feature, all hosted in a single ORAM id space (as a real deployment
+/// would arrange them, one offset per table).
+///
+/// DLRM over Criteo uses 26 categorical features whose table sizes span
+/// from tens of rows to ten million; each training sample performs one
+/// lookup in *every* table. The flattened per-sample access pattern is
+/// what the LAORAM preprocessor scans.
+///
+/// # Example
+/// ```
+/// use oram_workloads::DlrmMultiTable;
+///
+/// let tables = DlrmMultiTable::new(&[1000, 50, 8], 1.05);
+/// let trace = tables.trace(100, 7);
+/// assert_eq!(trace.len(), 300); // one lookup per table per sample
+/// assert_eq!(trace.num_blocks(), 1058);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DlrmMultiTable {
+    /// Start offset of each table in the combined id space.
+    offsets: Vec<u32>,
+    sizes: Vec<u32>,
+    exponent: f64,
+}
+
+impl DlrmMultiTable {
+    /// Lays out `table_sizes` back to back; per-table lookups follow a
+    /// Zipf with the given exponent (rank scattered within the table so
+    /// hot rows are not id-adjacent, as in real hashed feature spaces).
+    ///
+    /// # Panics
+    /// Panics if no tables are given or any table is empty.
+    #[must_use]
+    pub fn new(table_sizes: &[u32], exponent: f64) -> Self {
+        assert!(!table_sizes.is_empty(), "need at least one table");
+        assert!(table_sizes.iter().all(|&s| s > 0), "tables must be nonempty");
+        let mut offsets = Vec::with_capacity(table_sizes.len());
+        let mut acc = 0u32;
+        for &s in table_sizes {
+            offsets.push(acc);
+            acc = acc.checked_add(s).expect("combined tables overflow u32");
+        }
+        DlrmMultiTable { offsets, sizes: table_sizes.to_vec(), exponent }
+    }
+
+    /// The 26-table layout shaped like DLRM-Kaggle, scaled by `scale`
+    /// (paper-scale at `scale = 1.0` puts the largest table at 10.1M).
+    #[must_use]
+    pub fn kaggle_like(scale: f64) -> Self {
+        // Size classes modelled on the Criteo categorical cardinalities.
+        let raw: [u32; 26] = [
+            10_131_227, 2_202_608, 305_776, 142_572, 38_985, 17_295, 12_973, 11_156, 7_122,
+            5_652, 4_605, 3_194, 2_173, 1_460, 976, 554, 305, 105, 36, 27, 14, 10, 4, 4, 3, 3,
+        ];
+        let sizes: Vec<u32> =
+            raw.iter().map(|&s| ((f64::from(s) * scale).ceil() as u32).max(1)).collect();
+        DlrmMultiTable::new(&sizes, 1.05)
+    }
+
+    /// Number of tables.
+    #[must_use]
+    pub fn num_tables(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Total rows across all tables (the ORAM block population).
+    #[must_use]
+    pub fn total_rows(&self) -> u32 {
+        *self.offsets.last().expect("nonempty") + *self.sizes.last().expect("nonempty")
+    }
+
+    /// The id range of table `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn table_range(&self, t: usize) -> std::ops::Range<u32> {
+        self.offsets[t]..self.offsets[t] + self.sizes[t]
+    }
+
+    /// Which table a combined id belongs to, if any.
+    #[must_use]
+    pub fn table_of(&self, id: u32) -> Option<usize> {
+        if id >= self.total_rows() {
+            return None;
+        }
+        Some(self.offsets.partition_point(|&o| o <= id) - 1)
+    }
+
+    /// Generates `samples` training samples; each sample emits one lookup
+    /// per table, in table order (DLRM's embedding-bag gather).
+    #[must_use]
+    pub fn trace(&self, samples: usize, seed: u64) -> crate::Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samplers: Vec<ZipfSampler> =
+            self.sizes.iter().map(|&s| ZipfSampler::new(s, self.exponent)).collect();
+        let mut accesses = Vec::with_capacity(samples * self.sizes.len());
+        for _ in 0..samples {
+            for (t, sampler) in samplers.iter().enumerate() {
+                let rank = sampler.sample(&mut rng);
+                // Scatter ranks so hot rows are not id-adjacent.
+                let within =
+                    ((u64::from(rank) + 1).wrapping_mul(2_654_435_761) % u64::from(self.sizes[t]))
+                        as u32;
+                accesses.push(self.offsets[t] + within);
+            }
+        }
+        crate::Trace::from_accesses("dlrm-multi", self.total_rows(), accesses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_band_receives_disproportionate_traffic() {
+        let cfg = DlrmTraceConfig::default();
+        let n = 1_000_000u32;
+        let t = generate(&cfg, n, 50_000, 1);
+        let band_hits = t.iter().filter(|&&x| x < cfg.hot_band).count();
+        let frac = band_hits as f64 / t.len() as f64;
+        // Band fraction ~= hot_probability + tiny uniform spill.
+        assert!((0.20..0.26).contains(&frac), "band fraction {frac}");
+    }
+
+    #[test]
+    fn body_looks_uniform() {
+        let cfg = DlrmTraceConfig::default();
+        let n = 1_000_000u32;
+        let t = generate(&cfg, n, 100_000, 2);
+        // Split the cold body into 10 deciles; counts should be flat.
+        let body: Vec<u32> = t.into_iter().filter(|&x| x >= cfg.hot_band).collect();
+        let mut deciles = [0usize; 10];
+        for x in &body {
+            let d = ((u64::from(*x) * 10) / u64::from(n)) as usize;
+            deciles[d.min(9)] += 1;
+        }
+        let mean = body.len() as f64 / 10.0;
+        for (i, &c) in deciles.iter().enumerate() {
+            assert!(
+                (c as f64 - mean).abs() < mean * 0.1,
+                "decile {i} count {c} deviates from {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn low_predictability_most_accesses_unique() {
+        let t = generate(&DlrmTraceConfig::default(), 1_000_000, 10_000, 3);
+        let unique: std::collections::HashSet<u32> = t.iter().copied().collect();
+        // The uniform body (78% of 10k over 1M entries) almost never
+        // collides; only the hot band repeats.
+        assert!(unique.len() > t.len() * 3 / 4, "unique {}", unique.len());
+    }
+
+    #[test]
+    fn degenerate_tiny_table() {
+        let t = generate(&DlrmTraceConfig::default(), 4, 100, 4);
+        assert!(t.iter().all(|&x| x < 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_rejected() {
+        let cfg = DlrmTraceConfig { hot_probability: 1.5, ..Default::default() };
+        let _ = generate(&cfg, 10, 10, 5);
+    }
+
+    #[test]
+    fn multi_table_layout_math() {
+        let mt = DlrmMultiTable::new(&[100, 10, 5], 1.0);
+        assert_eq!(mt.num_tables(), 3);
+        assert_eq!(mt.total_rows(), 115);
+        assert_eq!(mt.table_range(0), 0..100);
+        assert_eq!(mt.table_range(1), 100..110);
+        assert_eq!(mt.table_range(2), 110..115);
+        assert_eq!(mt.table_of(0), Some(0));
+        assert_eq!(mt.table_of(99), Some(0));
+        assert_eq!(mt.table_of(100), Some(1));
+        assert_eq!(mt.table_of(114), Some(2));
+        assert_eq!(mt.table_of(115), None);
+    }
+
+    #[test]
+    fn multi_table_trace_touches_every_table_per_sample() {
+        let mt = DlrmMultiTable::new(&[1000, 50, 8], 1.05);
+        let trace = mt.trace(200, 6);
+        assert_eq!(trace.len(), 600);
+        for (i, idx) in trace.iter().enumerate() {
+            let expected_table = i % 3;
+            assert_eq!(mt.table_of(idx), Some(expected_table), "access {i}");
+        }
+    }
+
+    #[test]
+    fn kaggle_like_layout_scales() {
+        let full = DlrmMultiTable::kaggle_like(1.0);
+        assert_eq!(full.num_tables(), 26);
+        assert_eq!(full.table_range(0).len(), 10_131_227);
+        let small = DlrmMultiTable::kaggle_like(0.001);
+        assert_eq!(small.num_tables(), 26);
+        assert!(small.total_rows() < 20_000);
+        assert!(small.table_range(25).len() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn multi_table_rejects_empty_table() {
+        let _ = DlrmMultiTable::new(&[10, 0], 1.0);
+    }
+}

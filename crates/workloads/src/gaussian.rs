@@ -1,0 +1,76 @@
+//! Gaussian dataset (§VII-B): indices sampled from a normal distribution
+//! centred on the middle of the table, clipped to the valid range.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::BoxMuller;
+
+/// Parameters for the Gaussian trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianTraceConfig {
+    /// Mean as a fraction of the table size (paper-style default: centre).
+    pub mean_fraction: f64,
+    /// Standard deviation as a fraction of the table size.
+    pub std_fraction: f64,
+}
+
+impl Default for GaussianTraceConfig {
+    fn default() -> Self {
+        GaussianTraceConfig { mean_fraction: 0.5, std_fraction: 0.125 }
+    }
+}
+
+pub(crate) fn generate(
+    cfg: &GaussianTraceConfig,
+    num_blocks: u32,
+    len: usize,
+    seed: u64,
+) -> Vec<u32> {
+    assert!(num_blocks > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bm = BoxMuller::new();
+    let n = f64::from(num_blocks);
+    let mean = cfg.mean_fraction * n;
+    let std = cfg.std_fraction * n;
+    (0..len)
+        .map(|_| {
+            let x = bm.sample(&mut rng, mean, std);
+            (x.round().clamp(0.0, n - 1.0)) as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_cluster_near_mean() {
+        let t = generate(&GaussianTraceConfig::default(), 10_000, 20_000, 1);
+        let mean = t.iter().map(|&x| f64::from(x)).sum::<f64>() / t.len() as f64;
+        assert!((mean - 5_000.0).abs() < 100.0, "mean {mean}");
+        // ~68% within one sigma (1250).
+        let within = t.iter().filter(|&&x| (3_750..6_250).contains(&x)).count();
+        let frac = within as f64 / t.len() as f64;
+        assert!((0.62..0.74).contains(&frac), "1-sigma fraction {frac}");
+    }
+
+    #[test]
+    fn indices_in_range() {
+        // Tight distribution over a tiny table exercises the clamp.
+        let cfg = GaussianTraceConfig { mean_fraction: 0.0, std_fraction: 2.0 };
+        let t = generate(&cfg, 10, 1_000, 2);
+        assert!(t.iter().all(|&x| x < 10));
+        // The clamp should hit both ends for such a wide sigma.
+        assert!(t.contains(&0));
+        assert!(t.contains(&9));
+    }
+
+    #[test]
+    fn repeats_exist_unlike_permutation() {
+        let t = generate(&GaussianTraceConfig::default(), 1_000, 5_000, 3);
+        let unique: std::collections::HashSet<u32> = t.iter().copied().collect();
+        assert!(unique.len() < t.len(), "gaussian traces must repeat indices");
+    }
+}

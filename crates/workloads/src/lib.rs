@@ -1,0 +1,58 @@
+//! Embedding-table access-trace generators.
+//!
+//! The LAORAM paper evaluates on four access patterns (§VII-B):
+//!
+//! * **Permutation** — a random permutation of all entries; no index repeats
+//!   until every entry has been touched. The adversarial worst case for
+//!   stash pressure.
+//! * **Gaussian** — indices sampled from a clipped normal distribution.
+//! * **Kaggle / DLRM** — the Criteo Ad click trace through DLRM's largest
+//!   embedding table. Reproduced synthetically as a uniform stream plus a
+//!   narrow Zipf-distributed "hot band" of low indices, matching the
+//!   structure of the paper's Figure 2.
+//! * **XNLI / XLM-R** — natural-language token ids over a 262,144-entry
+//!   vocabulary, reproduced as a Zipf stream (token frequencies in natural
+//!   corpora are Zipfian), giving the high repeat rate Table II shows.
+//!
+//! All generators are deterministic given a seed.
+//!
+//! # Example
+//! ```
+//! use oram_workloads::{Trace, TraceKind};
+//!
+//! let trace = Trace::generate(TraceKind::Permutation, 1 << 10, 2048, 7);
+//! assert_eq!(trace.len(), 2048);
+//! // A permutation touches every entry exactly once per epoch.
+//! assert_eq!(trace.stats().unique, 1 << 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dlrm;
+mod gaussian;
+mod io;
+mod permutation;
+mod sampling;
+mod stats;
+mod trace;
+mod xnli;
+mod zipf;
+
+pub use dlrm::{DlrmMultiTable, DlrmTraceConfig};
+pub use gaussian::GaussianTraceConfig;
+pub use io::{read_trace_csv, write_trace_csv};
+pub use sampling::{BoxMuller, ZipfSampler};
+pub use stats::TraceStats;
+pub use trace::{Trace, TraceKind};
+pub use xnli::XnliTraceConfig;
+pub use zipf::ZipfTraceConfig;
+
+/// Number of entries in the paper's largest Kaggle/DLRM embedding table.
+pub const KAGGLE_TABLE_ENTRIES: u32 = 10_131_227;
+/// Entry size in bytes for the DLRM configuration (Table I).
+pub const KAGGLE_ENTRY_BYTES: u64 = 128;
+/// Vocabulary size of the XLM-R embedding table used with XNLI.
+pub const XNLI_TABLE_ENTRIES: u32 = 262_144;
+/// Entry size in bytes for the XLM-R configuration (Table I).
+pub const XNLI_ENTRY_BYTES: u64 = 4096;

@@ -1,0 +1,78 @@
+//! Permutation dataset (§VII-B): "randomly generates an address in the
+//! range 0..N where none of the addresses are repeated until all the
+//! addresses are accessed at least once."
+//!
+//! Streams longer than `N` continue with fresh permutation epochs.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+pub(crate) fn generate(num_blocks: u32, len: usize, seed: u64) -> Vec<u32> {
+    assert!(num_blocks > 0, "permutation needs a nonempty table");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<u32> = (0..num_blocks).collect();
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        shuffle(&mut perm, &mut rng);
+        let take = (len - out.len()).min(perm.len());
+        out.extend_from_slice(&perm[..take]);
+    }
+    out
+}
+
+/// Fisher–Yates shuffle (rand's `SliceRandom` lives in a feature we avoid).
+fn shuffle<R: RngExt + ?Sized>(v: &mut [u32], rng: &mut R) {
+    for i in (1..v.len()).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn epoch_has_no_repeats() {
+        let t = generate(100, 100, 1);
+        let unique: HashSet<u32> = t.iter().copied().collect();
+        assert_eq!(unique.len(), 100, "every entry exactly once");
+    }
+
+    #[test]
+    fn multi_epoch_streams_cover_everything_per_epoch() {
+        let t = generate(50, 125, 2);
+        let first: HashSet<u32> = t[..50].iter().copied().collect();
+        let second: HashSet<u32> = t[50..100].iter().copied().collect();
+        assert_eq!(first.len(), 50);
+        assert_eq!(second.len(), 50);
+        // The tail is a prefix of a third epoch: still repeat-free.
+        let tail: HashSet<u32> = t[100..].iter().copied().collect();
+        assert_eq!(tail.len(), 25);
+    }
+
+    #[test]
+    fn epochs_differ() {
+        let t = generate(64, 128, 3);
+        assert_ne!(&t[..64], &t[64..], "two epochs should be shuffled differently");
+    }
+
+    #[test]
+    fn short_stream() {
+        let t = generate(1000, 10, 4);
+        assert_eq!(t.len(), 10);
+        let unique: HashSet<u32> = t.iter().copied().collect();
+        assert_eq!(unique.len(), 10);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..97).collect();
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..97).collect::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,164 @@
+//! Distribution samplers implemented in-crate (the approved dependency set
+//! provides only uniform sampling).
+
+use rand::RngExt;
+
+/// Standard-normal sampler using the Box–Muller transform.
+///
+/// Generates pairs and caches the spare value, so it costs one `ln`/`sqrt`
+/// and one `sin`/`cos` pair per two samples.
+///
+/// # Example
+/// ```
+/// use oram_workloads::BoxMuller;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut bm = BoxMuller::new();
+/// let x = bm.sample(&mut rng, 0.0, 1.0);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BoxMuller {
+    spare: Option<f64>,
+}
+
+impl BoxMuller {
+    /// Creates a sampler with an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one sample from `N(mean, std_dev²)`.
+    pub fn sample<R: RngExt + ?Sized>(&mut self, rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+        let z = match self.spare.take() {
+            Some(z) => z,
+            None => {
+                // u1 in (0, 1] so ln(u1) is finite.
+                let u1: f64 = 1.0 - rng.random::<f64>();
+                let u2: f64 = rng.random();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f64::consts::PI * u2;
+                self.spare = Some(r * theta.sin());
+                r * theta.cos()
+            }
+        };
+        mean + std_dev * z
+    }
+}
+
+/// Zipf-distributed sampler over ranks `0..n` with exponent `s`:
+/// `P(rank k) ∝ 1 / (k + 1)^s`.
+///
+/// Uses a precomputed cumulative table with binary search — O(log n) per
+/// sample, exact for any `s >= 0` (`s = 0` degenerates to uniform).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    #[must_use]
+    pub fn new(n: u32, s: f64) -> Self {
+        assert!(n > 0, "zipf support must be nonempty");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be finite and nonnegative");
+        let mut cumulative = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / (f64::from(k) + 1.0).powf(s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Support size.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.cumulative.len() as u32
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.random();
+        // partition_point returns the first index with cumulative >= u.
+        let idx = self.cumulative.partition_point(|&c| c < u);
+        idx.min(self.cumulative.len() - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn box_muller_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut bm = BoxMuller::new();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| bm.sample(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "variance {var}");
+    }
+
+    #[test]
+    fn box_muller_uses_spare() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut bm = BoxMuller::new();
+        let _ = bm.sample(&mut rng, 0.0, 1.0);
+        assert!(bm.spare.is_some());
+        let _ = bm.sample(&mut rng, 0.0, 1.0);
+        assert!(bm.spare.is_none());
+    }
+
+    #[test]
+    fn zipf_head_dominates() {
+        let z = ZipfSampler::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let head = (0..n).filter(|_| z.sample(&mut rng) < 10).count();
+        // With s = 1.2 the top-10 ranks carry well over a third of the mass.
+        assert!(head > n / 3, "head hits {head} of {n}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = ZipfSampler::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "count {c} not near uniform");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = ZipfSampler::new(17, 2.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 17);
+        }
+        assert_eq!(z.n(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn zipf_rejects_empty_support() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

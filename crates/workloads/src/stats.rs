@@ -1,0 +1,110 @@
+//! Trace summary statistics, including the Figure 2 characterisation.
+
+use std::collections::HashMap;
+
+/// Summary statistics of an access trace.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct TraceStats {
+    /// Total accesses.
+    pub len: usize,
+    /// Distinct indices touched.
+    pub unique: usize,
+    /// `1 - unique/len`: fraction of accesses that revisit an index.
+    pub repeat_fraction: f64,
+    /// Largest index touched.
+    pub max_index: u32,
+    /// Number of accesses landing in the hottest 1% of touched indices —
+    /// the "narrow band" visible in Figure 2.
+    pub top1pct_hits: usize,
+    /// Mean reuse distance (accesses between consecutive touches of the
+    /// same index), over indices touched more than once.
+    pub mean_reuse_distance: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics for `accesses` over a table of `num_blocks`.
+    #[must_use]
+    pub fn compute(num_blocks: u32, accesses: &[u32]) -> Self {
+        let _ = num_blocks;
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        let mut last_seen: HashMap<u32, usize> = HashMap::new();
+        let mut reuse_sum = 0u64;
+        let mut reuse_n = 0u64;
+        let mut max_index = 0u32;
+        for (pos, &a) in accesses.iter().enumerate() {
+            *counts.entry(a).or_insert(0) += 1;
+            if let Some(prev) = last_seen.insert(a, pos) {
+                reuse_sum += (pos - prev) as u64;
+                reuse_n += 1;
+            }
+            max_index = max_index.max(a);
+        }
+        let unique = counts.len();
+        let len = accesses.len();
+        // Hottest 1% of *touched* indices.
+        let mut freq: Vec<usize> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top_k = (unique.div_ceil(100)).max(1).min(freq.len());
+        let top1pct_hits = freq[..top_k].iter().sum();
+        TraceStats {
+            len,
+            unique,
+            repeat_fraction: if len == 0 { 0.0 } else { 1.0 - unique as f64 / len as f64 },
+            max_index,
+            top1pct_hits,
+            mean_reuse_distance: if reuse_n == 0 {
+                f64::INFINITY
+            } else {
+                reuse_sum as f64 / reuse_n as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_unique_trace() {
+        let s = TraceStats::compute(10, &[0, 1, 2, 3]);
+        assert_eq!(s.len, 4);
+        assert_eq!(s.unique, 4);
+        assert_eq!(s.repeat_fraction, 0.0);
+        assert_eq!(s.max_index, 3);
+        assert!(s.mean_reuse_distance.is_infinite());
+    }
+
+    #[test]
+    fn repeating_trace() {
+        let s = TraceStats::compute(10, &[5, 5, 5, 5]);
+        assert_eq!(s.unique, 1);
+        assert!((s.repeat_fraction - 0.75).abs() < 1e-12);
+        assert_eq!(s.mean_reuse_distance, 1.0);
+        assert_eq!(s.top1pct_hits, 4);
+    }
+
+    #[test]
+    fn reuse_distance_mixed() {
+        // index 1 at positions 0 and 3 -> distance 3.
+        let s = TraceStats::compute(10, &[1, 2, 3, 1]);
+        assert_eq!(s.mean_reuse_distance, 3.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceStats::compute(10, &[]);
+        assert_eq!(s.len, 0);
+        assert_eq!(s.repeat_fraction, 0.0);
+    }
+
+    #[test]
+    fn top1pct_identifies_hot_band() {
+        // 100 distinct indices; index 7 hit 100 extra times. Top 1% = 1 index.
+        let mut acc: Vec<u32> = (0..100).collect();
+        acc.extend(std::iter::repeat_n(7u32, 100));
+        let s = TraceStats::compute(1000, &acc);
+        assert_eq!(s.top1pct_hits, 101);
+    }
+}

@@ -1,0 +1,193 @@
+//! The access trace type and the generator dispatcher.
+
+use crate::{
+    dlrm, gaussian, permutation, stats::TraceStats, xnli, zipf, DlrmTraceConfig,
+    GaussianTraceConfig, XnliTraceConfig, ZipfTraceConfig,
+};
+
+/// Which generator to use, with its parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceKind {
+    /// Random permutation epochs: no repeats within an epoch (§VII-B).
+    Permutation,
+    /// Clipped-normal indices.
+    Gaussian(GaussianTraceConfig),
+    /// Plain Zipf over the whole table.
+    Zipf(ZipfTraceConfig),
+    /// Kaggle/DLRM-like: uniform body + narrow hot band (Figure 2).
+    Dlrm(DlrmTraceConfig),
+    /// XNLI/XLM-R-like: Zipfian token ids.
+    Xnli(XnliTraceConfig),
+}
+
+impl TraceKind {
+    /// Short lowercase name used in harness output and CSV headers.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::Permutation => "permutation",
+            TraceKind::Gaussian(_) => "gaussian",
+            TraceKind::Zipf(_) => "zipf",
+            TraceKind::Dlrm(_) => "dlrm",
+            TraceKind::Xnli(_) => "xnli",
+        }
+    }
+}
+
+/// A finite stream of embedding-table indices to be accessed in order.
+///
+/// This is the interface between the dataset world and the ORAM world: the
+/// LAORAM preprocessor consumes a `Trace` as "the known future" (§IV-B),
+/// and every client replays the same trace for comparability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    kind_name: String,
+    num_blocks: u32,
+    accesses: Vec<u32>,
+}
+
+impl Trace {
+    /// Wraps an explicit index stream.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn from_accesses(name: &str, num_blocks: u32, accesses: Vec<u32>) -> Self {
+        assert!(
+            accesses.iter().all(|&a| a < num_blocks),
+            "trace contains an index outside 0..{num_blocks}"
+        );
+        Trace { kind_name: name.to_owned(), num_blocks, accesses }
+    }
+
+    /// Generates a trace of `len` accesses over `num_blocks` entries.
+    #[must_use]
+    pub fn generate(kind: TraceKind, num_blocks: u32, len: usize, seed: u64) -> Self {
+        let accesses = match &kind {
+            TraceKind::Permutation => permutation::generate(num_blocks, len, seed),
+            TraceKind::Gaussian(cfg) => gaussian::generate(cfg, num_blocks, len, seed),
+            TraceKind::Zipf(cfg) => zipf::generate(cfg, num_blocks, len, seed),
+            TraceKind::Dlrm(cfg) => dlrm::generate(cfg, num_blocks, len, seed),
+            TraceKind::Xnli(cfg) => xnli::generate(cfg, num_blocks, len, seed),
+        };
+        Trace { kind_name: kind.name().to_owned(), num_blocks, accesses }
+    }
+
+    /// Generator name this trace came from.
+    #[must_use]
+    pub fn kind_name(&self) -> &str {
+        &self.kind_name
+    }
+
+    /// Number of entries in the (simulated) embedding table.
+    #[must_use]
+    pub fn num_blocks(&self) -> u32 {
+        self.num_blocks
+    }
+
+    /// Number of accesses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// The access stream.
+    #[must_use]
+    pub fn accesses(&self) -> &[u32] {
+        &self.accesses
+    }
+
+    /// Iterates over the indices.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.accesses.iter().copied()
+    }
+
+    /// Non-overlapping training batches of `batch_size` accesses (the last
+    /// batch may be short).
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = &[u32]> {
+        assert!(batch_size > 0, "batch size must be nonzero");
+        self.accesses.chunks(batch_size)
+    }
+
+    /// A shortened copy (used to plot Figure 2's 10,000-access prefix).
+    #[must_use]
+    pub fn head(&self, n: usize) -> Trace {
+        Trace {
+            kind_name: self.kind_name.clone(),
+            num_blocks: self.num_blocks,
+            accesses: self.accesses.iter().take(n).copied().collect(),
+        }
+    }
+
+    /// Summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::compute(self.num_blocks, &self.accesses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_accesses_validates_range() {
+        let t = Trace::from_accesses("manual", 10, vec![0, 9, 5]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.num_blocks(), 10);
+        assert_eq!(t.kind_name(), "manual");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn from_accesses_rejects_out_of_range() {
+        let _ = Trace::from_accesses("bad", 10, vec![10]);
+    }
+
+    #[test]
+    fn batches_chunk_correctly() {
+        let t = Trace::from_accesses("m", 10, (0..10).collect());
+        let sizes: Vec<usize> = t.batches(4).map(<[u32]>::len).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn head_truncates() {
+        let t = Trace::from_accesses("m", 10, (0..10).collect());
+        assert_eq!(t.head(3).accesses(), &[0, 1, 2]);
+        assert_eq!(t.head(100).len(), 10);
+    }
+
+    #[test]
+    fn generate_dispatches_every_kind() {
+        for kind in [
+            TraceKind::Permutation,
+            TraceKind::Gaussian(GaussianTraceConfig::default()),
+            TraceKind::Zipf(ZipfTraceConfig::default()),
+            TraceKind::Dlrm(DlrmTraceConfig::default()),
+            TraceKind::Xnli(XnliTraceConfig::default()),
+        ] {
+            let name = kind.name();
+            let t = Trace::generate(kind, 256, 512, 3);
+            assert_eq!(t.len(), 512, "{name}");
+            assert_eq!(t.kind_name(), name);
+            assert!(t.iter().all(|a| a < 256), "{name} in range");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Trace::generate(TraceKind::Permutation, 64, 100, 5);
+        let b = Trace::generate(TraceKind::Permutation, 64, 100, 5);
+        let c = Trace::generate(TraceKind::Permutation, 64, 100, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

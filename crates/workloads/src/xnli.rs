@@ -1,0 +1,118 @@
+//! XNLI/XLM-R-like trace: token-id lookups in a 262,144-entry vocabulary
+//! embedding table.
+//!
+//! Natural-language token frequencies follow a Zipf law; sentences are
+//! drawn token-by-token, which yields the very high repeat rate the
+//! paper's Table II reflects (zero dummy reads at superblock size 4).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::ZipfSampler;
+
+/// Parameters of the synthetic XNLI/XLM-R trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XnliTraceConfig {
+    /// Zipf exponent for token frequencies (natural corpora: ≈ 1).
+    pub exponent: f64,
+    /// Mean sentence length in tokens; sentences only shape local structure
+    /// (token runs), not marginal frequencies.
+    pub mean_sentence_len: f64,
+    /// Fraction of within-sentence immediate token repeats (function words
+    /// recurring inside a sentence).
+    pub repeat_within_sentence: f64,
+}
+
+impl Default for XnliTraceConfig {
+    fn default() -> Self {
+        // Exponent calibrated so the Table II dummy-read column and the
+        // Figure 7f speedup land in the paper's regime: subword (BPE)
+        // vocabularies flatten the classic word-level Zipf curve.
+        XnliTraceConfig { exponent: 0.92, mean_sentence_len: 22.0, repeat_within_sentence: 0.06 }
+    }
+}
+
+pub(crate) fn generate(
+    cfg: &XnliTraceConfig,
+    num_blocks: u32,
+    len: usize,
+    seed: u64,
+) -> Vec<u32> {
+    assert!(num_blocks > 0);
+    assert!((0.0..=1.0).contains(&cfg.repeat_within_sentence), "repeat fraction out of [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = ZipfSampler::new(num_blocks, cfg.exponent);
+    let mut out: Vec<u32> = Vec::with_capacity(len);
+    let mut sentence_start = 0usize;
+    while out.len() < len {
+        // Geometric-ish sentence lengths around the mean.
+        let sentence_len =
+            (1.0 + rng.random::<f64>() * 2.0 * (cfg.mean_sentence_len - 1.0)).round() as usize;
+        sentence_start = out.len().min(sentence_start.max(out.len()));
+        let start = out.len();
+        for _ in 0..sentence_len {
+            if out.len() >= len {
+                break;
+            }
+            let within = out.len() - start;
+            if within > 0 && rng.random_bool(cfg.repeat_within_sentence) {
+                // Repeat a token from earlier in this sentence.
+                let j = start + rng.random_range(0..within);
+                let tok = out[j];
+                out.push(tok);
+            } else {
+                out.push(zipf.sample(&mut rng));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_repeat_rate() {
+        let t = generate(&XnliTraceConfig::default(), 262_144, 50_000, 1);
+        let unique: std::collections::HashSet<u32> = t.iter().copied().collect();
+        let repeat_frac = 1.0 - unique.len() as f64 / t.len() as f64;
+        // Zipf(1.05) token streams repeat heavily.
+        assert!(repeat_frac > 0.3, "repeat fraction {repeat_frac}");
+    }
+
+    #[test]
+    fn frequent_tokens_dominate() {
+        let t = generate(&XnliTraceConfig::default(), 262_144, 50_000, 2);
+        let head = t.iter().filter(|&&x| x < 100).count();
+        assert!(head as f64 > t.len() as f64 * 0.2, "top-100 tokens hit {head}");
+    }
+
+    #[test]
+    fn exact_length_produced() {
+        let t = generate(&XnliTraceConfig::default(), 1000, 12_345, 3);
+        assert_eq!(t.len(), 12_345);
+        assert!(t.iter().all(|&x| x < 1000));
+    }
+
+    #[test]
+    fn within_sentence_repeats_show_up_locally() {
+        let cfg = XnliTraceConfig { repeat_within_sentence: 0.5, ..Default::default() };
+        let t = generate(&cfg, 262_144, 10_000, 4);
+        // With 50% in-sentence repetition, many adjacent windows contain
+        // duplicates.
+        let mut windows_with_dup = 0usize;
+        let mut total = 0usize;
+        for w in t.chunks(16) {
+            let u: std::collections::HashSet<&u32> = w.iter().collect();
+            if u.len() < w.len() {
+                windows_with_dup += 1;
+            }
+            total += 1;
+        }
+        assert!(
+            windows_with_dup * 2 > total,
+            "{windows_with_dup}/{total} windows contain repeats"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Plain Zipf trace over the whole table, used by ablation studies.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::ZipfSampler;
+
+/// Parameters for the Zipf trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfTraceConfig {
+    /// Zipf exponent (`s = 0` is uniform; larger is more skewed).
+    pub exponent: f64,
+    /// Whether rank 0 maps to index 0 (`false` scatters ranks over the
+    /// table with a fixed stride permutation so hot entries are not
+    /// spatially adjacent — defeating history-based spatial schemes the
+    /// way real embedding tables do).
+    pub ranks_are_indices: bool,
+}
+
+impl Default for ZipfTraceConfig {
+    fn default() -> Self {
+        ZipfTraceConfig { exponent: 1.1, ranks_are_indices: true }
+    }
+}
+
+pub(crate) fn generate(
+    cfg: &ZipfTraceConfig,
+    num_blocks: u32,
+    len: usize,
+    seed: u64,
+) -> Vec<u32> {
+    assert!(num_blocks > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = ZipfSampler::new(num_blocks, cfg.exponent);
+    (0..len)
+        .map(|_| {
+            let rank = sampler.sample(&mut rng);
+            if cfg.ranks_are_indices {
+                rank
+            } else {
+                scatter(rank, num_blocks)
+            }
+        })
+        .collect()
+}
+
+/// Multiplicative-stride scatter: an odd constant is coprime with any
+/// power-of-two range and spreads well for the general case. The `+ 1`
+/// keeps rank 0 away from index 0.
+fn scatter(rank: u32, n: u32) -> u32 {
+    (((u64::from(rank) + 1) * 2_654_435_761) % u64::from(n)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_concentrates_mass() {
+        let t = generate(&ZipfTraceConfig::default(), 10_000, 20_000, 1);
+        let head = t.iter().filter(|&&x| x < 100).count();
+        assert!(head > t.len() / 4, "top-100 entries got {head} of {} hits", t.len());
+    }
+
+    #[test]
+    fn scattered_ranks_stay_in_range_and_spread() {
+        let cfg = ZipfTraceConfig { exponent: 1.1, ranks_are_indices: false };
+        let t = generate(&cfg, 10_000, 20_000, 2);
+        assert!(t.iter().all(|&x| x < 10_000));
+        // The hottest entry is no longer index 0.
+        let zero_hits = t.iter().filter(|&&x| x == 0).count();
+        let hottest = {
+            let mut counts = std::collections::HashMap::new();
+            for &x in &t {
+                *counts.entry(x).or_insert(0usize) += 1;
+            }
+            counts.into_iter().max_by_key(|&(_, c)| c).unwrap()
+        };
+        assert_ne!(hottest.0, 0);
+        assert!(zero_hits < hottest.1);
+    }
+
+    #[test]
+    fn scatter_is_injective_on_small_range() {
+        let n = 4096;
+        let mut seen = vec![false; n as usize];
+        for r in 0..n {
+            let s = scatter(r, n);
+            assert!(!seen[s as usize], "collision at rank {r}");
+            seen[s as usize] = true;
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! XLM-R-style NLP embedding training on the XNLI-like workload, at the
+//! paper's native vocabulary scale (262,144 tokens × 4 KB rows).
+//!
+//! Run with: `cargo run --release --example nlp_xnli`
+//!
+//! Token lookups reveal what a user typed or said (§I: "each embedding
+//! entry may be associated with a learned representation of a word").
+//! This example runs a metadata-only simulation at full vocabulary scale
+//! and reports the Figure 7f-style comparison across superblock sizes —
+//! the same sweep the harness runs, but through the public API, as a
+//! downstream user would.
+
+use laoram::core::{LaOram, LaOramConfig};
+use laoram::memsim::CostModel;
+use laoram::protocol::{PathOramClient, PathOramConfig};
+use laoram::tree::BlockId;
+use laoram::workloads::{Trace, TraceKind, XnliTraceConfig, XNLI_ENTRY_BYTES, XNLI_TABLE_ENTRIES};
+
+const ACCESSES: usize = 20_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = Trace::generate(
+        TraceKind::Xnli(XnliTraceConfig::default()),
+        XNLI_TABLE_ENTRIES,
+        ACCESSES,
+        17,
+    );
+    let stats = trace.stats();
+    println!(
+        "XNLI-like token stream: {} lookups, {} distinct tokens ({:.0}% repeats)",
+        stats.len,
+        stats.unique,
+        100.0 * stats.repeat_fraction
+    );
+
+    let model = CostModel::ddr4_pcie(XNLI_ENTRY_BYTES);
+
+    // Path ORAM baseline.
+    let mut baseline = PathOramClient::new(
+        PathOramConfig::new(XNLI_TABLE_ENTRIES).with_seed(17),
+    )?;
+    for idx in trace.iter() {
+        baseline.read(BlockId::new(idx))?;
+    }
+    let base_stats = baseline.stats().clone();
+    println!("\n{:<12} {:>10} {:>12} {:>10}", "config", "pathreads", "time", "speedup");
+    println!(
+        "{:<12} {:>10} {:>12} {:>9.2}x",
+        "PathORAM",
+        base_stats.path_reads,
+        model.time_for(&base_stats).to_string(),
+        1.0
+    );
+
+    // LAORAM sweep: superblock sizes 2/4/8, fat tree on and off.
+    for fat in [false, true] {
+        for s in [2u32, 4, 8] {
+            let config = LaOramConfig::builder(XNLI_TABLE_ENTRIES)
+                .superblock_size(s)
+                .fat_tree(fat)
+                .seed(17)
+                .build()?;
+            let mut oram = LaOram::with_lookahead(config, trace.accesses())?;
+            let stats = oram.run_to_end()?;
+            let label = format!("{}/S{s}", if fat { "Fat" } else { "Normal" });
+            println!(
+                "{:<12} {:>10} {:>12} {:>9.2}x",
+                label,
+                stats.path_reads,
+                model.time_for(&stats).to_string(),
+                model.speedup(&base_stats, &stats)
+            );
+        }
+    }
+    println!("\npaper reference (Figure 7f): best configuration ~5.4x over PathORAM");
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Adversary's-eye audit: record what the memory bus actually shows and
+//! test it for information leakage.
+//!
+//! Run with: `cargo run --release --example oblivious_audit`
+//!
+//! The threat model (§III): an adversary probing the CPU↔DRAM bus sees
+//! the sequence of path requests. We run two *very* different access
+//! patterns — a single hot row hammered in a loop, and a uniform sweep —
+//! through LAORAM, record both request sequences with an observer, and
+//! show that (a) each sequence is statistically uniform and (b) the two
+//! are indistinguishable from each other, while (c) the *insecure* access
+//! streams are trivially distinguishable.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use laoram::analysis::UniformityAudit;
+use laoram::core::{LaOram, LaOramConfig};
+use laoram::protocol::{AccessObserver, ServerOp};
+use laoram::tree::LeafId;
+
+const TABLE_ROWS: u32 = 1 << 14;
+const ACCESSES: usize = 8_192;
+
+/// Observer that shares its recording with the harness.
+#[derive(Clone, Default)]
+struct BusProbe {
+    leaves: Rc<RefCell<Vec<LeafId>>>,
+}
+
+impl AccessObserver for BusProbe {
+    fn observe(&mut self, op: ServerOp) {
+        if let ServerOp::ReadPath(leaf, _) = op {
+            self.leaves.borrow_mut().push(leaf);
+        }
+    }
+}
+
+fn run_and_probe(stream: &[u32], seed: u64) -> Result<Vec<LeafId>, Box<dyn std::error::Error>> {
+    let probe = BusProbe::default();
+    let config = LaOramConfig::builder(TABLE_ROWS).superblock_size(4).seed(seed).build()?;
+    let mut oram = LaOram::with_lookahead(config, stream)?;
+    oram.set_observer(Box::new(probe.clone()));
+    oram.run_to_end()?;
+    let leaves = probe.leaves.borrow().clone();
+    Ok(leaves)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two application behaviours an adversary would love to tell apart:
+    // "user keeps watching the same video category" vs "user browses
+    // everything".
+    let hot_row_stream: Vec<u32> = (0..ACCESSES).map(|i| ((i % 64) as u32) * 7 + 3).collect();
+    let sweep_stream: Vec<u32> =
+        (0..ACCESSES).map(|i| (i as u32 * 2_654_435_761u32) % TABLE_ROWS).collect();
+
+    // The insecure bus view: the raw addresses. Trivially distinguishable.
+    let hot_unique: std::collections::HashSet<&u32> = hot_row_stream.iter().collect();
+    let sweep_unique: std::collections::HashSet<&u32> = sweep_stream.iter().collect();
+    println!("insecure bus view:");
+    println!("  hot-row stream touches {:>6} distinct addresses", hot_unique.len());
+    println!("  sweep stream touches   {:>6} distinct addresses", sweep_unique.len());
+    println!("  -> adversary learns the user's behaviour immediately\n");
+
+    // The oblivious bus view. Each session draws its own randomness, as
+    // any real deployment does.
+    let hot_leaves = run_and_probe(&hot_row_stream, 3)?;
+    let sweep_leaves = run_and_probe(&sweep_stream, 4)?;
+    let leaves = 1u64 << 14; // tree leaves for this table size
+
+    println!("oblivious bus view (LAORAM, S = 4):");
+    for (name, seq) in [("hot-row", &hot_leaves), ("sweep", &sweep_leaves)] {
+        let audit = UniformityAudit::over(leaves, seq.iter().copied());
+        println!(
+            "  {name:<8} {} path requests | frequency p = {:.4} | serial p = {:.4} | uniform: {}",
+            audit.observations(),
+            audit.frequency().p_value,
+            audit.serial().map_or(f64::NAN, |s| s.p_value),
+            if audit.passes(0.001) { "yes" } else { "NO" }
+        );
+        assert!(audit.passes(0.001), "{name} view must look uniform");
+    }
+
+    // Cross-distribution check: fold both sequences together; if the two
+    // runs were distinguishable by leaf frequencies, the combined audit
+    // would skew. (The request *counts* differ — LAORAM compresses the
+    // hot-row stream into fewer fetches — which is exactly the allowed
+    // leakage: total work, never which addresses.)
+    let combined: Vec<LeafId> =
+        hot_leaves.iter().chain(sweep_leaves.iter()).copied().collect();
+    let combined_audit = UniformityAudit::over(leaves, combined);
+    println!(
+        "  combined {} requests | frequency p = {:.4} | uniform: {}",
+        combined_audit.observations(),
+        combined_audit.frequency().p_value,
+        if combined_audit.passes(0.001) { "yes" } else { "NO" }
+    );
+    assert!(combined_audit.passes(0.001));
+    println!("\n-> the bus reveals nothing about which rows were accessed.");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! LAORAM — Look Ahead ORAM for training large embedding tables.
+//!
+//! This facade crate re-exports the whole reproduction of *LAORAM: A Look
+//! Ahead ORAM Architecture for Training Large Embedding Tables* (Rajat,
+//! Wang, Annavaram — ISCA 2023):
+//!
+//! * [`core`] — the paper's contribution: look-ahead superblock formation,
+//!   the preprocessing pipeline, and the LAORAM client.
+//! * [`tree`] — the server-side binary tree storage, including the fat tree.
+//! * [`protocol`] — Path ORAM and Ring ORAM protocol clients.
+//! * [`baselines`] — PrORAM (static/dynamic superblocks) and an insecure RAM.
+//! * [`workloads`] — trace generators standing in for the paper's datasets.
+//! * [`memsim`] — memory/link cost model turning access counts into runtime.
+//! * [`analysis`] — statistics and the security-audit tooling.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`; the one-paragraph version:
+//!
+//! ```
+//! use laoram::core::{LaOram, LaOramConfig};
+//!
+//! // The upcoming training-batch access stream (normally produced from the
+//! // training dataset by the preprocessor).
+//! let future: Vec<u32> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3];
+//! let config = LaOramConfig::builder(16)
+//!     .superblock_size(2)
+//!     .fat_tree(true)
+//!     .seed(7)
+//!     .build()?;
+//! let mut oram = LaOram::with_lookahead(config, &future)?;
+//! for &idx in &future {
+//!     let _row = oram.read(idx)?;
+//! }
+//! assert_eq!(oram.stats().real_accesses, 10);
+//! # Ok::<(), laoram::core::LaOramError>(())
+//! ```
+
+pub use laoram_core as core;
+pub use memsim;
+pub use oram_analysis as analysis;
+pub use oram_baselines as baselines;
+pub use oram_protocol as protocol;
+pub use oram_tree as tree;
+pub use oram_workloads as workloads;

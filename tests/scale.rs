@@ -1,0 +1,61 @@
+//! Moderate-scale smoke tests: exercise tree heights and populations
+//! closer to the paper's configurations than the unit tests do.
+//! (Full 8M/16M-entry runs are available through the harness `--full`
+//! flags; these stay within a few seconds under `--release`.)
+
+use laoram::core::{LaOram, LaOramConfig};
+use laoram::protocol::{PathOramClient, PathOramConfig};
+use laoram::tree::BlockId;
+use laoram::workloads::{Trace, TraceKind, XnliTraceConfig, XNLI_TABLE_ENTRIES};
+
+#[test]
+fn xnli_native_scale_smoke() {
+    // The paper's actual XLM-R vocabulary size: 262,144 entries, 19-level
+    // tree. 4,000 accesses at S = 8.
+    let trace = Trace::generate(
+        TraceKind::Xnli(XnliTraceConfig::default()),
+        XNLI_TABLE_ENTRIES,
+        4_000,
+        1,
+    );
+    let config = LaOramConfig::builder(XNLI_TABLE_ENTRIES)
+        .superblock_size(8)
+        .fat_tree(true)
+        .seed(1)
+        .build()
+        .unwrap();
+    let mut oram = LaOram::with_lookahead(config, trace.accesses()).unwrap();
+    let stats = oram.run_to_end().unwrap();
+    assert_eq!(stats.real_accesses, 4_000);
+    assert!(
+        stats.path_reads * 4 < stats.real_accesses,
+        "native-scale XNLI must still group effectively: {} reads",
+        stats.path_reads
+    );
+}
+
+#[test]
+fn million_entry_baseline_smoke() {
+    let n: u32 = 1 << 20;
+    let mut client =
+        PathOramClient::new(PathOramConfig::new(n).with_seed(2)).unwrap();
+    assert_eq!(client.geometry().num_leaves(), u64::from(n));
+    for i in (0..2_000u32).map(|i| i * 523) {
+        client.read(BlockId::new(i % n)).unwrap();
+    }
+    let s = client.stats();
+    assert_eq!(s.real_accesses, 2_000);
+    assert_eq!(s.path_reads, 2_000);
+    assert!(s.stash_peak < 100, "baseline stash stays tiny, got {}", s.stash_peak);
+}
+
+#[test]
+fn million_entry_laoram_steady_state() {
+    let n: u32 = 1 << 20;
+    let trace = Trace::generate(TraceKind::Permutation, n, 8_192, 3);
+    let config = LaOramConfig::builder(n).superblock_size(8).fat_tree(true).seed(3).build().unwrap();
+    let mut oram = LaOram::with_lookahead(config, trace.accesses()).unwrap();
+    let stats = oram.run_to_end().unwrap();
+    assert_eq!(stats.path_reads, 8_192 / 8, "exactly one read per bin at scale");
+    assert_eq!(stats.cold_misses, 0);
+}

@@ -1,0 +1,165 @@
+//! Cross-crate security validation of the §VI obliviousness argument:
+//! every system's server-visible request sequence must be statistically
+//! uniform and independent of the input stream.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use laoram::analysis::UniformityAudit;
+use laoram::core::{LaOram, LaOramConfig};
+use laoram::protocol::{
+    AccessObserver, PathOramClient, PathOramConfig, ServerOp,
+};
+use laoram::tree::{BlockId, LeafId};
+use laoram::workloads::{DlrmTraceConfig, Trace, TraceKind};
+
+const N: u32 = 1 << 13;
+const LEN: usize = 12_000;
+const ALPHA: f64 = 0.001;
+
+#[derive(Clone, Default)]
+struct Probe {
+    reads: Rc<RefCell<Vec<LeafId>>>,
+    writes: Rc<RefCell<Vec<LeafId>>>,
+}
+
+impl AccessObserver for Probe {
+    fn observe(&mut self, op: ServerOp) {
+        match op {
+            ServerOp::ReadPath(leaf, _) => self.reads.borrow_mut().push(leaf),
+            ServerOp::WritePath(leaf) => self.writes.borrow_mut().push(leaf),
+        }
+    }
+}
+
+fn laoram_views(trace: &Trace, s: u32, fat: bool, seed: u64) -> (Vec<LeafId>, Vec<LeafId>) {
+    let probe = Probe::default();
+    let config = LaOramConfig::builder(trace.num_blocks())
+        .superblock_size(s)
+        .fat_tree(fat)
+        .seed(seed)
+        .build()
+        .expect("config");
+    let mut oram = LaOram::with_lookahead(config, trace.accesses()).expect("construction");
+    oram.set_observer(Box::new(probe.clone()));
+    oram.run_to_end().expect("run");
+    let r = probe.reads.borrow().clone();
+    let w = probe.writes.borrow().clone();
+    (r, w)
+}
+
+#[test]
+fn path_oram_requests_are_uniform() {
+    let trace = Trace::generate(TraceKind::Permutation, N, LEN, 1);
+    let probe = Probe::default();
+    let mut client =
+        PathOramClient::new(PathOramConfig::new(N).with_seed(1)).expect("construction");
+    client.set_observer(Box::new(probe.clone()));
+    for idx in trace.iter() {
+        client.read(BlockId::new(idx)).expect("access");
+    }
+    let reads = probe.reads.borrow().clone();
+    let audit = UniformityAudit::over(u64::from(N), reads);
+    assert!(audit.passes(ALPHA), "frequency p = {}", audit.frequency().p_value);
+}
+
+#[test]
+fn laoram_requests_are_uniform_across_superblock_sizes() {
+    let trace = Trace::generate(TraceKind::Permutation, N, LEN, 2);
+    for s in [2u32, 4, 8] {
+        let (reads, _) = laoram_views(&trace, s, false, 100 + u64::from(s));
+        let audit = UniformityAudit::over(u64::from(N), reads);
+        assert!(
+            audit.passes(ALPHA),
+            "S = {s}: frequency p = {}, serial p = {:?}",
+            audit.frequency().p_value,
+            audit.serial().map(|x| x.p_value)
+        );
+    }
+}
+
+#[test]
+fn fat_tree_requests_are_uniform() {
+    let trace = Trace::generate(TraceKind::Dlrm(DlrmTraceConfig::default()), N, LEN, 3);
+    let (reads, writes) = laoram_views(&trace, 8, true, 200);
+    let audit = UniformityAudit::over(u64::from(N), reads);
+    assert!(audit.passes(ALPHA), "reads p = {}", audit.frequency().p_value);
+    // Every read is followed by a write of the same path — the write
+    // stream carries no extra signal.
+    let write_audit = UniformityAudit::over(u64::from(N), writes);
+    assert!(write_audit.passes(ALPHA), "writes p = {}", write_audit.frequency().p_value);
+}
+
+#[test]
+fn different_inputs_are_indistinguishable() {
+    // A skewed stream and a uniform stream, different sessions: pooled
+    // request frequencies must still look uniform (distinguishability
+    // would manifest as a skew in either half).
+    let skewed: Vec<u32> = (0..LEN).map(|i| (i % 97) as u32).collect();
+    let uniform = Trace::generate(TraceKind::Permutation, N, LEN, 4);
+    let t_skew = Trace::from_accesses("skew", N, skewed);
+    let (a, _) = laoram_views(&t_skew, 4, false, 300);
+    let (b, _) = laoram_views(&uniform, 4, false, 301);
+    for (name, seq) in [("skewed", &a), ("uniform", &b)] {
+        let audit = UniformityAudit::over(u64::from(N), seq.iter().copied());
+        assert!(audit.passes(ALPHA), "{name} p = {}", audit.frequency().p_value);
+    }
+    let pooled: Vec<LeafId> = a.into_iter().chain(b).collect();
+    let audit = UniformityAudit::over(u64::from(N), pooled);
+    assert!(audit.passes(ALPHA), "pooled p = {}", audit.frequency().p_value);
+}
+
+#[test]
+fn dummy_reads_are_indistinguishable_from_real_reads() {
+    // Force background evictions, then check that the subsequence of
+    // dummy reads and the subsequence of real reads have the same
+    // (uniform) distribution.
+    let trace = Trace::generate(TraceKind::Permutation, N, LEN, 5);
+    let probe = Probe::default();
+    let kinds = Rc::new(RefCell::new(Vec::new()));
+    #[derive(Clone)]
+    struct KindProbe {
+        inner: Probe,
+        kinds: Rc<RefCell<Vec<laoram::protocol::AccessKind>>>,
+    }
+    impl AccessObserver for KindProbe {
+        fn observe(&mut self, op: ServerOp) {
+            if let ServerOp::ReadPath(_, kind) = op {
+                self.kinds.borrow_mut().push(kind);
+            }
+            self.inner.observe(op);
+        }
+    }
+    let config = LaOramConfig::builder(N)
+        .superblock_size(8)
+        .eviction(laoram::protocol::EvictionConfig::with_thresholds(100, 10))
+        .seed(6)
+        .build()
+        .expect("config");
+    let mut oram = LaOram::with_lookahead(config, trace.accesses()).expect("construction");
+    oram.set_observer(Box::new(KindProbe { inner: probe.clone(), kinds: kinds.clone() }));
+    oram.run_to_end().expect("run");
+
+    let reads = probe.reads.borrow();
+    let kinds = kinds.borrow();
+    assert_eq!(reads.len(), kinds.len());
+    let dummies: Vec<LeafId> = reads
+        .iter()
+        .zip(kinds.iter())
+        .filter(|(_, k)| **k == laoram::protocol::AccessKind::Dummy)
+        .map(|(l, _)| *l)
+        .collect();
+    assert!(dummies.len() > 300, "need eviction pressure, got {} dummies", dummies.len());
+    let audit = UniformityAudit::over(u64::from(N), dummies);
+    assert!(audit.passes(ALPHA), "dummy reads p = {}", audit.frequency().p_value);
+}
+
+#[test]
+fn every_read_is_paired_with_a_writeback_of_the_same_path() {
+    let trace = Trace::generate(TraceKind::Permutation, N, 2000, 7);
+    let (reads, writes) = laoram_views(&trace, 4, false, 400);
+    assert_eq!(reads.len(), writes.len(), "read/write pairing");
+    for (r, w) in reads.iter().zip(writes.iter()) {
+        assert_eq!(r, w, "write-back must target the path just read");
+    }
+}
