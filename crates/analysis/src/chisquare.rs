@@ -32,8 +32,7 @@ pub fn chi_square_uniform(counts: &[u64]) -> ChiSquareResult {
     let total: u64 = counts.iter().sum();
     assert!(total > 0, "need at least one observation");
     let expected = total as f64 / counts.len() as f64;
-    let statistic: f64 =
-        counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+    let statistic: f64 = counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
     let dof = (counts.len() - 1) as u64;
     let p_value = chi_square_sf(statistic, dof as f64);
     ChiSquareResult { statistic, dof, p_value }
@@ -109,6 +108,8 @@ fn upper_gamma_cf(a: f64, x: f64) -> f64 {
 
 /// Natural log of the gamma function (Lanczos approximation, g = 7).
 fn ln_gamma(x: f64) -> f64 {
+    // Canonical Lanczos g=7 coefficients, kept at published precision.
+    #[allow(clippy::excessive_precision)]
     const COEFFS: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,

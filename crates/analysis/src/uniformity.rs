@@ -52,10 +52,13 @@ impl UniformityAudit {
         let frequency = chi_square_uniform(hist.counts());
 
         // Lag-1 half-range contingency: counts of (low/high -> low/high).
+        // Pairs must not overlap: overlapping bigrams share an element, so
+        // their cell counts are not multinomial and the chi-square statistic
+        // is miscalibrated (inflated tails under the null).
         let serial = if seq.len() >= 40 {
             let half = (num_leaves / 2) as u32;
             let mut cells = [0u64; 4];
-            for w in seq.windows(2) {
+            for w in seq.chunks_exact(2) {
                 let a = usize::from(w[0] >= half);
                 let b = usize::from(w[1] >= half);
                 cells[a * 2 + b] += 1;
@@ -89,8 +92,7 @@ impl UniformityAudit {
     /// `alpha`.
     #[must_use]
     pub fn passes(&self, alpha: f64) -> bool {
-        self.frequency.is_uniform(alpha)
-            && self.serial.is_none_or(|s| s.is_uniform(alpha))
+        self.frequency.is_uniform(alpha) && self.serial.is_none_or(|s| s.is_uniform(alpha))
     }
 }
 
@@ -103,8 +105,7 @@ mod tests {
     #[test]
     fn uniform_sequence_passes() {
         let mut rng = StdRng::seed_from_u64(3);
-        let seq: Vec<LeafId> =
-            (0..10_000).map(|_| LeafId::new(rng.random_range(0..256))).collect();
+        let seq: Vec<LeafId> = (0..10_000).map(|_| LeafId::new(rng.random_range(0..256))).collect();
         let audit = UniformityAudit::over(256, seq);
         assert!(audit.passes(0.001), "p = {:?}", audit.frequency());
         assert_eq!(audit.observations(), 10_000);
@@ -150,8 +151,7 @@ mod tests {
         // 100 observations over 1024 leaves: raw expectation 0.1 would be
         // invalid; the audit coarsens and still produces a sane p-value.
         let mut rng = StdRng::seed_from_u64(5);
-        let seq: Vec<LeafId> =
-            (0..100).map(|_| LeafId::new(rng.random_range(0..1024))).collect();
+        let seq: Vec<LeafId> = (0..100).map(|_| LeafId::new(rng.random_range(0..1024))).collect();
         let audit = UniformityAudit::over(1024, seq);
         assert!(audit.frequency().p_value > 0.0);
         assert!(audit.passes(0.0001));

@@ -13,11 +13,7 @@ impl InsecureRam {
     /// Creates an empty table of `num_blocks` rows of `block_bytes` each.
     #[must_use]
     pub fn new(num_blocks: u32, block_bytes: u64) -> Self {
-        InsecureRam {
-            rows: (0..num_blocks).map(|_| None).collect(),
-            block_bytes,
-            accesses: 0,
-        }
+        InsecureRam { rows: (0..num_blocks).map(|_| None).collect(), block_bytes, accesses: 0 }
     }
 
     /// Number of rows.

@@ -156,9 +156,7 @@ impl PrOramDynamic {
 
     fn recently_accessed(&self, range: std::ops::Range<u32>, now: u64) -> bool {
         range.into_iter().any(|b| {
-            self.last_access
-                .get(&b)
-                .is_some_and(|&t| now.saturating_sub(t) <= self.config.window)
+            self.last_access.get(&b).is_some_and(|&t| now.saturating_sub(t) <= self.config.window)
         })
     }
 
@@ -203,10 +201,8 @@ impl PrOramDynamic {
                 return; // ragged edge: no sibling to merge with
             }
             // Only merge sibling groups currently at our level.
-            let sibling_same_level =
-                self.level[sibling_base as usize] == self.level[base as usize];
-            let sibling_recent =
-                self.recently_accessed(sibling_base..sibling_base + size, now);
+            let sibling_same_level = self.level[sibling_base as usize] == self.level[base as usize];
+            let sibling_recent = self.recently_accessed(sibling_base..sibling_base + size, now);
             let key = Self::counter_key(parent_base, 2 * size);
             let counter = self.counters.entry(key).or_insert(0);
             if sibling_recent && sibling_same_level {
@@ -260,7 +256,9 @@ impl PrOramDynamic {
                 let mut grabbed = Vec::new();
                 for m in base..end {
                     let mid = BlockId::new(m);
-                    if self.inner.stash_contains(mid) && !self.cached_blocks.iter().any(|c| c.id() == mid) {
+                    if self.inner.stash_contains(mid)
+                        && !self.cached_blocks.iter().any(|c| c.id() == mid)
+                    {
                         let mut blk = self.inner.take_from_stash(mid)?;
                         blk.set_leaf(new_leaf);
                         self.inner.assign_leaf(mid, new_leaf)?;

@@ -67,9 +67,8 @@ impl PrOramStatic {
                 "group size must be nonzero".into(),
             ));
         }
-        let proto = PathOramConfig::new(config.num_blocks)
-            .with_seed(config.seed)
-            .with_populate(false);
+        let proto =
+            PathOramConfig::new(config.num_blocks).with_seed(config.seed).with_populate(false);
         let mut inner = PathOramClient::new(proto)?;
         // Place each group on one shared uniform path.
         let mut id = 0u32;

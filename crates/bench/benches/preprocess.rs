@@ -9,12 +9,7 @@ use laoram_core::SuperblockPlan;
 use oram_workloads::{DlrmTraceConfig, Trace, TraceKind};
 
 fn bench_preprocess(c: &mut Criterion) {
-    let trace = Trace::generate(
-        TraceKind::Dlrm(DlrmTraceConfig::default()),
-        1 << 20,
-        100_000,
-        13,
-    );
+    let trace = Trace::generate(TraceKind::Dlrm(DlrmTraceConfig::default()), 1 << 20, 100_000, 13);
     let mut group = c.benchmark_group("preprocess");
     group.throughput(criterion::Throughput::Elements(trace.len() as u64));
     for s in [2u32, 4, 8] {

@@ -13,10 +13,7 @@ fn bench_stash(c: &mut Criterion) {
         group.bench_function(format!("take_all_absorb/{occupancy}"), |b| {
             let mut stash = Stash::new();
             for i in 0..occupancy {
-                stash.insert(Block::metadata_only(
-                    BlockId::new(i as u32),
-                    LeafId::new(i as u32),
-                ));
+                stash.insert(Block::metadata_only(BlockId::new(i as u32), LeafId::new(i as u32)));
             }
             b.iter(|| {
                 let all = stash.take_all();
@@ -28,10 +25,7 @@ fn bench_stash(c: &mut Criterion) {
         group.bench_function(format!("insert_take/{occupancy}"), |b| {
             let mut stash = Stash::new();
             for i in 0..occupancy {
-                stash.insert(Block::metadata_only(
-                    BlockId::new(i as u32),
-                    LeafId::new(i as u32),
-                ));
+                stash.insert(Block::metadata_only(BlockId::new(i as u32), LeafId::new(i as u32)));
             }
             let probe = BlockId::new((occupancy / 2) as u32);
             b.iter(|| {

@@ -22,11 +22,10 @@ fn main() {
     let trace = Trace::generate(Dataset::Permutation.kind(), blocks, len, seed);
 
     println!("# Fat-tree profile ablation (permutation, S = {s}, {blocks} entries)");
-    let levels = TreeGeometry::for_blocks(u64::from(blocks), BucketProfile::Uniform {
-        capacity: 4,
-    })
-    .expect("geometry")
-    .leaf_level();
+    let levels =
+        TreeGeometry::for_blocks(u64::from(blocks), BucketProfile::Uniform { capacity: 4 })
+            .expect("geometry")
+            .leaf_level();
 
     let profiles: [(&str, BucketProfile); 4] = [
         ("Uniform Z=4", BucketProfile::Uniform { capacity: 4 }),
@@ -58,7 +57,9 @@ fn main() {
     }
     println!("{}", table.to_markdown());
     println!("# expectation: linear fat gives most of the dummy-read relief at a fraction of");
-    println!("# the memory cost of uniform-Z=8; exponential pays much more memory for little gain.");
+    println!(
+        "# the memory cost of uniform-Z=8; exponential pays much more memory for little gain."
+    );
 }
 
 /// Runs LAORAM over an arbitrary bucket profile by constructing the
@@ -139,8 +140,7 @@ fn run_custom_profile(
         for (i, &m) in members.iter().enumerate() {
             if client.stash_contains(m) {
                 let mut block = client.take_from_stash(m).expect("member fetched");
-                let leaf =
-                    plan.exit_leaf(m, bin).unwrap_or_else(|| client.random_leaf());
+                let leaf = plan.exit_leaf(m, bin).unwrap_or_else(|| client.random_leaf());
                 block.set_leaf(leaf);
                 client.assign_leaf(m, leaf).expect("assign");
                 client.return_to_stash(block).expect("return");

@@ -12,13 +12,7 @@ use laoram_core::{LaOram, LaOramConfig};
 use oram_analysis::Table;
 use oram_workloads::Trace;
 
-fn run(
-    trace: &Trace,
-    s: u32,
-    window: usize,
-    warm: bool,
-    seed: u64,
-) -> oram_protocol::AccessStats {
+fn run(trace: &Trace, s: u32, window: usize, warm: bool, seed: u64) -> oram_protocol::AccessStats {
     let config = LaOramConfig::builder(trace.num_blocks())
         .superblock_size(s)
         .lookahead_window(window)
@@ -47,15 +41,15 @@ fn main() {
         dataset.name()
     );
     let mut table = Table::new(&[
-        "Window", "Start", "PathReads/Access", "ColdMisses", "CacheHits", "DummyReads",
+        "Window",
+        "Start",
+        "PathReads/Access",
+        "ColdMisses",
+        "CacheHits",
+        "DummyReads",
     ]);
-    let windows: [(usize, &str); 5] = [
-        (s as usize, "S"),
-        (64, "64"),
-        (1024, "1024"),
-        (16_384, "16384"),
-        (usize::MAX, "epoch"),
-    ];
+    let windows: [(usize, &str); 5] =
+        [(s as usize, "S"), (64, "64"), (1024, "1024"), (16_384, "16384"), (usize::MAX, "epoch")];
     for warm in [true, false] {
         for (window, wname) in windows {
             let stats = run(&trace, s, window, warm, seed);
@@ -70,6 +64,8 @@ fn main() {
         }
     }
     println!("{}", table.to_markdown());
-    println!("# expectation: warm start approaches 1/S path reads per access regardless of window;");
+    println!(
+        "# expectation: warm start approaches 1/S path reads per access regardless of window;"
+    );
     println!("# cold start needs the stream to revisit blocks before look-ahead pays off.");
 }

@@ -45,6 +45,8 @@ fn main() {
         }
     }
     println!("{}", table.to_markdown());
-    println!("# paper claim: PrORAM ~= PathORAM on embedding traces (no exploitable history locality);");
+    println!(
+        "# paper claim: PrORAM ~= PathORAM on embedding traces (no exploitable history locality);"
+    );
     println!("# LAORAM's look-ahead is what unlocks the superblock benefit.");
 }

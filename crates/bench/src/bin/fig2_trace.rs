@@ -23,8 +23,11 @@ fn main() {
     let stats = trace.stats();
     println!("# unique indices      : {}", stats.unique);
     println!("# repeat fraction     : {:.4}", stats.repeat_fraction);
-    println!("# hottest-1% hits     : {} ({:.1}% of accesses)",
-        stats.top1pct_hits, 100.0 * stats.top1pct_hits as f64 / stats.len as f64);
+    println!(
+        "# hottest-1% hits     : {} ({:.1}% of accesses)",
+        stats.top1pct_hits,
+        100.0 * stats.top1pct_hits as f64 / stats.len as f64
+    );
     println!("# mean reuse distance : {:.1}", stats.mean_reuse_distance);
 
     // ASCII density strip: 40 vertical buckets over the index range; the

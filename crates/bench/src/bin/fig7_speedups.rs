@@ -20,7 +20,13 @@ fn run_dataset(dataset: Dataset, num_blocks: u32, len: usize, seed: u64, csv: bo
         dataset.block_bytes()
     );
     let mut table = Table::new(&[
-        "Config", "Speedup", "PathReads", "DummyReads", "SlotsMoved", "StashPeak", "Time",
+        "Config",
+        "Speedup",
+        "PathReads",
+        "DummyReads",
+        "SlotsMoved",
+        "StashPeak",
+        "Time",
     ]);
     let mut baseline = None;
     for system in SystemKind::figure7_sweep() {
@@ -55,8 +61,9 @@ fn main() {
     let csv = args.flag("csv");
 
     let datasets: Vec<Dataset> = match args.get("dataset") {
-        Some(name) => vec![Dataset::parse(name)
-            .unwrap_or_else(|| panic!("unknown dataset {name:?}"))],
+        Some(name) => {
+            vec![Dataset::parse(name).unwrap_or_else(|| panic!("unknown dataset {name:?}"))]
+        }
         None => Dataset::ALL.to_vec(),
     };
 

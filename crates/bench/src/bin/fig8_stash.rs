@@ -20,7 +20,9 @@ fn main() {
     let points: usize = args.get_or("points", 25);
     let trace = Trace::generate(Dataset::Permutation.kind(), blocks, len, seed);
 
-    println!("# Figure 8: stash usage vs accesses (eviction disabled, permutation, {blocks} entries)");
+    println!(
+        "# Figure 8: stash usage vs accesses (eviction disabled, permutation, {blocks} entries)"
+    );
     let configs: [(&str, SystemKind, u32); 4] = [
         ("Fat-4", SystemKind::LaFat { s: 4 }, 4),
         ("Fat-8", SystemKind::LaFat { s: 8 }, 8),

@@ -18,7 +18,9 @@ fn main() {
     let trace = Trace::generate(dataset.kind(), blocks, len, seed);
     let block_bytes = dataset.block_bytes();
 
-    println!("# Figure 9: traffic reduction vs PathORAM (Kaggle, {blocks} entries, {len} accesses)");
+    println!(
+        "# Figure 9: traffic reduction vs PathORAM (Kaggle, {blocks} entries, {len} accesses)"
+    );
     let mut table = Table::new(&["Config", "Reduction", "TheoreticalBound", "GBMoved"]);
     let mut baseline: Option<Traffic> = None;
     for system in SystemKind::figure7_sweep() {
@@ -28,14 +30,12 @@ fn main() {
         let traffic = Traffic::from_stats(&stats, block_bytes);
         let (reduction, bound) = match (&system, &baseline) {
             (SystemKind::PathOram, _) => (1.0, 1.0),
-            (SystemKind::LaNormal { s }, Some(base)) => (
-                Traffic::reduction_factor(*base, traffic),
-                Traffic::normal_tree_bound(*s),
-            ),
-            (SystemKind::LaFat { s }, Some(base)) => (
-                Traffic::reduction_factor(*base, traffic),
-                Traffic::fat_tree_bound(*s, z),
-            ),
+            (SystemKind::LaNormal { s }, Some(base)) => {
+                (Traffic::reduction_factor(*base, traffic), Traffic::normal_tree_bound(*s))
+            }
+            (SystemKind::LaFat { s }, Some(base)) => {
+                (Traffic::reduction_factor(*base, traffic), Traffic::fat_tree_bound(*s, z))
+            }
             _ => unreachable!("sweep only contains the above"),
         };
         table.row_owned(vec![

@@ -18,14 +18,12 @@ fn main() {
     let s: u32 = args.get_or("s", 8);
     let trace = Trace::generate(Dataset::Permutation.kind(), blocks, len, seed);
 
-    let normal6 = TreeGeometry::for_blocks(u64::from(blocks), BucketProfile::Uniform {
-        capacity: 6,
-    })
-    .expect("geometry");
-    let fat5 = TreeGeometry::for_blocks(u64::from(blocks), BucketProfile::FatLinear {
-        leaf_capacity: 5,
-    })
-    .expect("geometry");
+    let normal6 =
+        TreeGeometry::for_blocks(u64::from(blocks), BucketProfile::Uniform { capacity: 6 })
+            .expect("geometry");
+    let fat5 =
+        TreeGeometry::for_blocks(u64::from(blocks), BucketProfile::FatLinear { leaf_capacity: 5 })
+            .expect("geometry");
     let mem_delta = 100.0 * (1.0 - fat5.slot_ratio(&normal6));
 
     println!("# §VIII-C memory-neutral comparison (permutation, S = {s}, {blocks} entries)");

@@ -54,6 +54,9 @@ fn main() {
         }
     }
     println!("{}", table.to_markdown());
-    println!("# look-ahead groups one sample's 26 cross-table lookups into {} superblocks;", 26u32.div_ceil(s));
+    println!(
+        "# look-ahead groups one sample's 26 cross-table lookups into {} superblocks;",
+        26u32.div_ceil(s)
+    );
     println!("# spatial schemes cannot: the lookups are id-scattered across tables.");
 }

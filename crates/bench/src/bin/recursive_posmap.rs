@@ -24,9 +24,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(seed);
 
     println!("# Recursive position map overhead ({blocks} blocks, {ops} get+set pairs)");
-    let mut table = Table::new(&[
-        "Threshold", "RecursionDepth", "InnerReads/Op", "ClientEntries",
-    ]);
+    let mut table = Table::new(&["Threshold", "RecursionDepth", "InnerReads/Op", "ClientEntries"]);
     for thr in [threshold, 64, 16] {
         let mut map = RecursivePositionMap::new(blocks, thr, seed).expect("map");
         let before = map.inner_path_reads();

@@ -29,10 +29,8 @@ fn leaves_for_laoram(trace: &Trace, s: u32, fat: bool, seed: u64) -> Vec<oram_tr
 
 fn leaves_for_pathoram(trace: &Trace, seed: u64) -> Vec<oram_tree::LeafId> {
     let rec = SharedRecorder::default();
-    let mut client = PathOramClient::new(
-        PathOramConfig::new(trace.num_blocks()).with_seed(seed),
-    )
-    .expect("client");
+    let mut client = PathOramClient::new(PathOramConfig::new(trace.num_blocks()).with_seed(seed))
+        .expect("client");
     client.set_observer(Box::new(rec.clone()));
     for idx in trace.iter() {
         client.read(BlockId::new(idx)).expect("access");
@@ -40,23 +38,23 @@ fn leaves_for_pathoram(trace: &Trace, seed: u64) -> Vec<oram_tree::LeafId> {
     rec.take()
 }
 
-/// Observer sharing its recording through an `Rc<RefCell<..>>` so the
+/// Observer sharing its recording through an `Arc<Mutex<..>>` so the
 /// harness can read it back after the client is dropped.
 #[derive(Default, Clone)]
 struct SharedRecorder {
-    leaves: std::rc::Rc<std::cell::RefCell<Vec<oram_tree::LeafId>>>,
+    leaves: std::sync::Arc<std::sync::Mutex<Vec<oram_tree::LeafId>>>,
 }
 
 impl SharedRecorder {
     fn take(&self) -> Vec<oram_tree::LeafId> {
-        std::mem::take(&mut self.leaves.borrow_mut())
+        std::mem::take(&mut *self.leaves.lock().expect("recorder lock"))
     }
 }
 
 impl oram_protocol::AccessObserver for SharedRecorder {
     fn observe(&mut self, op: oram_protocol::ServerOp) {
         if let oram_protocol::ServerOp::ReadPath(leaf, _) = op {
-            self.leaves.borrow_mut().push(leaf);
+            self.leaves.lock().expect("recorder lock").push(leaf);
         }
     }
 }
@@ -86,13 +84,13 @@ fn main() {
                 dataset.name().to_owned(),
                 audit.observations().to_string(),
                 format!("{:.4}", audit.frequency().p_value),
-                audit
-                    .serial()
-                    .map_or("n/a".to_owned(), |s| format!("{:.4}", s.p_value)),
+                audit.serial().map_or("n/a".to_owned(), |s| format!("{:.4}", s.p_value)),
                 if audit.passes(0.001) { "yes" } else { "NO" }.to_owned(),
             ]);
         }
     }
     println!("{}", table.to_markdown());
-    println!("# every row must say 'yes': path requests are uniform regardless of the input trace.");
+    println!(
+        "# every row must say 'yes': path requests are uniform regardless of the input trace."
+    );
 }

@@ -1,0 +1,100 @@
+//! Serving-engine throughput baseline: accesses/sec vs shard count.
+//!
+//! Drives the `laoram-service` engine with mixed two-table zipf + DLRM
+//! traffic at shard counts 1/2/4/8 and reports sustained throughput plus
+//! pipeline-stage timing (how much preprocessing was hidden behind
+//! serving). This is the perf baseline future scaling PRs measure
+//! against.
+//!
+//! Usage: `service_throughput [--entries 65536] [--batch 8192]
+//! [--batches 24] [--warmup 4] [--s 8] [--seed N] [--shards 1,2,4,8]`
+
+use std::time::Instant;
+
+use laoram_bench::runner::Args;
+use laoram_service::{LaoramService, Request, ServiceConfig, TableSpec};
+use oram_workloads::{DlrmTraceConfig, MultiTenantMix, TenantSpec, TraceKind, ZipfTraceConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let entries: u32 = args.get_or("entries", 1 << 16);
+    let batch_len: usize = args.get_or("batch", 8192);
+    let batches: usize = args.get_or("batches", 24);
+    let warmup: usize = args.get_or("warmup", 4);
+    let superblock: u32 = args.get_or("s", 8);
+    let seed: u64 = args.get_or("seed", 2024);
+    let shard_counts: Vec<u32> = args
+        .get("shards")
+        .unwrap_or("1,2,4,8")
+        .split(',')
+        .map(|s| s.trim().parse().expect("shard count"))
+        .collect();
+
+    let mix = MultiTenantMix::new(vec![
+        TenantSpec::new(0, TraceKind::Zipf(ZipfTraceConfig::default()), entries).weight(1),
+        TenantSpec::new(1, TraceKind::Dlrm(DlrmTraceConfig::default()), entries).weight(1),
+    ]);
+    let traffic: Vec<Vec<Request>> = mix
+        .batches(batch_len, warmup + batches, seed)
+        .into_iter()
+        .map(|batch| batch.into_iter().map(|(table, index)| Request::read(table, index)).collect())
+        .collect();
+
+    println!("# laoram-service throughput ({entries} entries/table x 2 tables, S={superblock})");
+    println!("# {batches} measured batches of {batch_len} after {warmup} warm-up batches");
+    println!(
+        "{:>7} {:>14} {:>12} {:>12} {:>12} {:>9}",
+        "shards", "accesses/sec", "reads/acc", "prep ms", "serve ms", "hidden%"
+    );
+    for &shards in &shard_counts {
+        let mut service = LaoramService::start(
+            ServiceConfig::new()
+                .table(
+                    TableSpec::new("zipf", entries)
+                        .shards(shards)
+                        .superblock_size(superblock)
+                        .payloads(false)
+                        .seed(seed),
+                )
+                .table(
+                    TableSpec::new("dlrm", entries)
+                        .shards(shards)
+                        .superblock_size(superblock)
+                        .payloads(false)
+                        .seed(seed ^ 0xD1),
+                )
+                .queue_depth(4),
+        )
+        .expect("service start");
+
+        for batch in &traffic[..warmup] {
+            service.submit(batch.clone()).expect("warmup submit");
+        }
+        service.drain().expect("warmup drain");
+        service.reset_stats().expect("reset");
+
+        let start = Instant::now();
+        for batch in &traffic[warmup..] {
+            service.submit(batch.clone()).expect("submit");
+        }
+        service.drain().expect("drain");
+        let elapsed = start.elapsed();
+
+        let stats = service.stats();
+        let accesses = stats.merged.real_accesses;
+        let throughput = accesses as f64 / elapsed.as_secs_f64();
+        let reads_per_access = stats.merged.total_path_reads() as f64 / accesses as f64;
+        println!(
+            "{:>7} {:>14.0} {:>12.3} {:>12.2} {:>12.2} {:>8.1}%",
+            shards,
+            throughput,
+            reads_per_access,
+            stats.pipeline.preprocess_ns as f64 / 1e6,
+            stats.pipeline.serve_ns as f64 / 1e6,
+            stats.pipeline.overlap_fraction() * 100.0,
+        );
+        service.shutdown().expect("shutdown");
+    }
+    println!("# reads/acc << 1 is the LAORAM effect (S accesses per path read);");
+    println!("# hidden% is preprocessing wall-clock overlapped with serving.");
+}

@@ -6,7 +6,9 @@
 use laoram_bench::runner::Args;
 use oram_analysis::Table;
 use oram_tree::{BucketProfile, TreeGeometry};
-use oram_workloads::{KAGGLE_ENTRY_BYTES, KAGGLE_TABLE_ENTRIES, XNLI_ENTRY_BYTES, XNLI_TABLE_ENTRIES};
+use oram_workloads::{
+    KAGGLE_ENTRY_BYTES, KAGGLE_TABLE_ENTRIES, XNLI_ENTRY_BYTES, XNLI_TABLE_ENTRIES,
+};
 
 fn gib(bytes: u64) -> String {
     format!("{:.1} GiB", bytes as f64 / (1u64 << 30) as f64)
@@ -33,10 +35,9 @@ fn main() {
         // The paper's §V sizing example grows the whole profile (leaf
         // bucket 5, root 10); its Table I fat numbers are consistent with
         // that larger-leaf profile, so report it alongside.
-        let fat5 = TreeGeometry::for_blocks(entries, BucketProfile::FatLinear {
-            leaf_capacity: z + 1,
-        })
-        .expect("geometry");
+        let fat5 =
+            TreeGeometry::for_blocks(entries, BucketProfile::FatLinear { leaf_capacity: z + 1 })
+                .expect("geometry");
         table.row_owned(vec![
             name.to_owned(),
             gib(insecure),
@@ -49,6 +50,8 @@ fn main() {
     }
     println!("{}", table.to_markdown());
     println!("# paper reference (GB): 8M: 1/8/8/10 | 16M: 2/16/16/24 | Kaggle: 1.2/16/16/20.3 | XNLI: 1/16/16/20.5");
-    println!("# note: the paper's fat overhead (+25-50%) matches a grown leaf bucket (10-to-5 profile);");
+    println!(
+        "# note: the paper's fat overhead (+25-50%) matches a grown leaf bucket (10-to-5 profile);"
+    );
     println!("# the strict 8-to-4 profile adds only a few % because leaf-level slots dominate.");
 }

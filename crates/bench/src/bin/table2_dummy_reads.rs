@@ -24,8 +24,7 @@ fn main() {
         SystemKind::LaNormal { s: 8 },
         SystemKind::LaNormal { s: 4 },
     ];
-    let mut table =
-        Table::new(&["Config", "Permutation", "Gaussian", "Kaggle", "XNLI"]);
+    let mut table = Table::new(&["Config", "Permutation", "Gaussian", "Kaggle", "XNLI"]);
     for system in systems {
         let mut cells = vec![system.label()];
         for dataset in Dataset::ALL {

@@ -83,7 +83,7 @@ impl RunConfig {
             system,
             bucket: 4,
             eviction: EvictionConfig::paper_default(),
-            seed: 0x1AB5_EED,
+            seed: 0x01AB_5EED,
             warm_start: true,
         }
     }
@@ -178,12 +178,8 @@ pub enum Dataset {
 
 impl Dataset {
     /// All four datasets in paper order.
-    pub const ALL: [Dataset; 4] = [
-        Dataset::Permutation,
-        Dataset::Gaussian,
-        Dataset::Dlrm,
-        Dataset::Xnli,
-    ];
+    pub const ALL: [Dataset; 4] =
+        [Dataset::Permutation, Dataset::Gaussian, Dataset::Dlrm, Dataset::Xnli];
 
     /// Parses a dataset name.
     #[must_use]
@@ -330,9 +326,7 @@ mod tests {
 
     #[test]
     fn args_parse_pairs_and_flags() {
-        let a = Args::parse(
-            ["--len", "100", "--full", "--dataset", "dlrm"].map(String::from),
-        );
+        let a = Args::parse(["--len", "100", "--full", "--dataset", "dlrm"].map(String::from));
         assert_eq!(a.get_or("len", 0usize), 100);
         assert!(a.flag("full"));
         assert_eq!(a.get("dataset"), Some("dlrm"));
@@ -374,16 +368,9 @@ mod tests {
     #[test]
     fn laoram_beats_baseline_on_permutation() {
         let trace = Trace::generate(TraceKind::Permutation, 1 << 12, 4096, 4);
-        let base = run_system(
-            &RunConfig::paper_default(SystemKind::PathOram),
-            &trace,
-            |_, _| {},
-        );
-        let la = run_system(
-            &RunConfig::paper_default(SystemKind::LaNormal { s: 4 }),
-            &trace,
-            |_, _| {},
-        );
+        let base = run_system(&RunConfig::paper_default(SystemKind::PathOram), &trace, |_, _| {});
+        let la =
+            run_system(&RunConfig::paper_default(SystemKind::LaNormal { s: 4 }), &trace, |_, _| {});
         let model = Dataset::Permutation.cost_model();
         let speedup = model.speedup(&base, &la);
         assert!(speedup > 1.2, "warm LAORAM should beat Path ORAM, got {speedup:.2}x");

@@ -208,11 +208,11 @@ mod tests {
             let b = SuperblockBinning::scan(&stream, s);
             // Every position maps to a valid bin.
             prop_assert_eq!(b.stream_len(), stream.len());
-            for pos in 0..stream.len() {
+            for (pos, &idx) in stream.iter().enumerate() {
                 let bin = b.bin_of_position(pos) as usize;
                 prop_assert!(bin < b.num_bins());
                 // The accessed block is a member of its bin.
-                prop_assert!(b.bins()[bin].contains(BlockId::new(stream[pos])));
+                prop_assert!(b.bins()[bin].contains(BlockId::new(idx)));
             }
             // Bin indices are monotone over positions.
             for w in (0..stream.len()).collect::<Vec<_>>().windows(2) {

@@ -7,6 +7,26 @@ use oram_tree::{Block, BlockId, TreeGeometry};
 
 use crate::{LaOramConfig, LaOramError, Result, SuperblockPlan};
 
+/// One operation of a planned batch served through
+/// [`LaOram::serve_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Read the entry, returning its payload.
+    Read(u32),
+    /// Replace the entry's payload, returning the previous one.
+    Write(u32, Box<[u8]>),
+}
+
+impl BatchOp {
+    /// The embedding-table index this operation touches.
+    #[must_use]
+    pub fn index(&self) -> u32 {
+        match self {
+            BatchOp::Read(idx) | BatchOp::Write(idx, _) => *idx,
+        }
+    }
+}
+
 /// The LAORAM client (§IV): a Path ORAM client driven by a preprocessed
 /// superblock plan, plus the client cache that models the trainer GPU's
 /// VRAM (accesses to which are invisible to the adversary, §III).
@@ -29,9 +49,18 @@ use crate::{LaOramConfig, LaOramError, Result, SuperblockPlan};
 pub struct LaOram {
     inner: PathOramClient,
     plan: SuperblockPlan,
+    /// The next look-ahead window, staged by the preprocessor while the
+    /// current window is still being served (double buffering). Exit
+    /// flushes fall back to its first-occurrence paths, giving blocks the
+    /// same cross-window locality a single concatenated plan would.
+    staged: Option<SuperblockPlan>,
     config: LaOramConfig,
     cursor: usize,
     active_bin: Option<u32>,
+    /// Whether the tree has been populated. Warm incremental clients
+    /// defer population to the first installed window so first-occurrence
+    /// placement can follow that window's bins.
+    populated: bool,
     /// The VRAM cache: bin members checked out of the protocol layer.
     cache: HashMap<BlockId, Block>,
     /// Simulated encryption-at-rest: rows are sealed before leaving the
@@ -63,12 +92,45 @@ impl LaOram {
     /// Propagates configuration and tree-construction failures; rejects
     /// stream indices outside `0..num_blocks`.
     pub fn with_lookahead(config: LaOramConfig, future: &[u32]) -> Result<Self> {
-        if let Some(&bad) = future.iter().find(|&&a| a >= config.num_blocks) {
-            return Err(LaOramError::InvalidConfig(format!(
-                "stream index {bad} outside table of {} entries",
-                config.num_blocks
-            )));
-        }
+        let mut client = Self::build(config)?;
+        let plan = {
+            let mut planner = crate::SuperblockPlanner::for_config(
+                &client.config,
+                client.inner.geometry().num_leaves(),
+            );
+            planner.plan(future)
+        };
+        client.stage_plan(plan)?;
+        client.advance_plan()?;
+        Ok(client)
+    }
+
+    /// Builds an *incremental* LAORAM client with no plan installed yet —
+    /// the serving-engine form of [`with_lookahead`](Self::with_lookahead).
+    ///
+    /// Feed it look-ahead windows with [`stage_plan`](Self::stage_plan) /
+    /// [`advance_plan`](Self::advance_plan) (or the
+    /// [`install_plan`](Self::install_plan) shorthand) as the future
+    /// stream becomes known, then serve each window with
+    /// [`serve_batch`](Self::serve_batch) or the usual
+    /// [`read`](Self::read) / [`write`](Self::write) calls.
+    ///
+    /// With `warm_start`, tree population is deferred to the first
+    /// installed window so first-occurrence placement can follow its bins;
+    /// until then the client cannot serve and
+    /// [`verify_invariants`](Self::verify_invariants) reports the missing
+    /// blocks. Without `warm_start` the tree is populated uniformly here.
+    ///
+    /// # Errors
+    /// Propagates configuration and tree-construction failures.
+    pub fn new(config: LaOramConfig) -> Result<Self> {
+        Self::build(config)
+    }
+
+    /// Shared constructor: protocol client + empty plan. A `warm_start`
+    /// configuration defers population to the first `advance_plan`, which
+    /// warm-places from that window's bins.
+    fn build(config: LaOramConfig) -> Result<Self> {
         let mut proto_cfg = PathOramConfig::new(config.num_blocks)
             .with_profile(config.profile())
             .with_eviction(config.eviction)
@@ -78,28 +140,146 @@ impl LaOram {
         if let Some(levels) = config.levels {
             proto_cfg = proto_cfg.with_levels(levels);
         }
-        let mut inner = PathOramClient::new(proto_cfg)?;
-        let plan = SuperblockPlan::build_windowed(
-            future,
-            config.superblock_size,
-            inner.geometry().num_leaves(),
-            config.seed ^ 0x5EED_FACE, // independent preprocessor stream
-            config.lookahead_window,
-        );
-        if config.warm_start {
-            // Look-ahead initialisation: place every block on the path of
-            // its first upcoming bin; untouched blocks go to uniform paths.
-            for id in 0..config.num_blocks {
+        let inner = PathOramClient::new(proto_cfg)?;
+        let sealer = config.sealing_key.map(oram_tree::BlockSealer::new);
+        let populated = !config.warm_start;
+        let plan = SuperblockPlan::empty(config.superblock_size);
+        Ok(LaOram {
+            inner,
+            plan,
+            staged: None,
+            config,
+            cursor: 0,
+            active_bin: None,
+            populated,
+            cache: HashMap::new(),
+            sealer,
+        })
+    }
+
+    /// Stages the next look-ahead window without activating it. While a
+    /// window is staged, cache flushes of the *current* window fall back
+    /// to the staged window's first-occurrence paths — the cross-batch
+    /// locality the paper's preprocessor pipelines ahead of training.
+    ///
+    /// # Errors
+    /// [`LaOramError::PlanBacklog`] if a staged window is already pending;
+    /// [`LaOramError::InvalidConfig`] for out-of-range stream indices or a
+    /// mismatched superblock size.
+    pub fn stage_plan(&mut self, plan: SuperblockPlan) -> Result<()> {
+        if self.staged.is_some() {
+            return Err(LaOramError::PlanBacklog);
+        }
+        if let Some(&bad) = plan.stream().iter().find(|&&a| a >= self.config.num_blocks) {
+            return Err(LaOramError::InvalidConfig(format!(
+                "stream index {bad} outside table of {} entries",
+                self.config.num_blocks
+            )));
+        }
+        if plan.binning().superblock_size() != self.config.superblock_size {
+            return Err(LaOramError::InvalidConfig(format!(
+                "plan superblock size {} does not match configured size {}",
+                plan.binning().superblock_size(),
+                self.config.superblock_size
+            )));
+        }
+        self.staged = Some(plan);
+        Ok(())
+    }
+
+    /// Promotes the staged window to the active plan.
+    ///
+    /// The current window must be fully served. Its remaining cached
+    /// blocks are flushed toward the incoming window's first-occurrence
+    /// paths, and stash-resident blocks that the incoming window touches
+    /// are re-pointed at their first bins — the incremental analogue of
+    /// warm-start placement, keeping steady state across window
+    /// boundaries.
+    ///
+    /// # Errors
+    /// [`LaOramError::NoStagedPlan`] with nothing staged;
+    /// [`LaOramError::PlanIncomplete`] if the current window has unserved
+    /// accesses; protocol failures are propagated.
+    pub fn advance_plan(&mut self) -> Result<()> {
+        if self.staged.is_none() {
+            return Err(LaOramError::NoStagedPlan);
+        }
+        if self.cursor < self.plan.stream().len() {
+            return Err(LaOramError::PlanIncomplete {
+                served: self.cursor,
+                planned: self.plan.stream().len(),
+            });
+        }
+        self.flush_cache()?;
+        self.active_bin = None;
+        let plan = self.staged.take().expect("checked above");
+        if !self.populated {
+            // Deferred look-ahead initialisation: place every block on the
+            // path of its first bin in this first window; untouched blocks
+            // go to uniform paths.
+            for id in 0..self.config.num_blocks {
                 let block = BlockId::new(id);
                 let leaf = match plan.first_bin_of(block) {
                     Some(bin) => plan.bin_leaf(bin),
-                    None => inner.random_leaf(),
+                    None => self.inner.random_leaf(),
                 };
-                inner.place_at(block, leaf)?;
+                self.inner.place_at(block, leaf)?;
+            }
+            self.populated = true;
+        } else {
+            // Blocks still client-side (stash) re-enter the tree through
+            // ordinary write-backs; point the ones this window touches at
+            // their first bins so they arrive warm.
+            for id in self.inner.stash_block_ids() {
+                if let Some(bin) = plan.first_bin_of(id) {
+                    self.inner.reassign_in_stash(id, plan.bin_leaf(bin))?;
+                }
             }
         }
-        let sealer = config.sealing_key.map(oram_tree::BlockSealer::new);
-        Ok(LaOram { inner, plan, config, cursor: 0, active_bin: None, cache: HashMap::new(), sealer })
+        self.plan = plan;
+        self.cursor = 0;
+        Ok(())
+    }
+
+    /// Stages `plan` and immediately advances to it: the convenience form
+    /// for callers that do not pipeline.
+    ///
+    /// # Errors
+    /// As [`stage_plan`](Self::stage_plan) and
+    /// [`advance_plan`](Self::advance_plan).
+    pub fn install_plan(&mut self, plan: SuperblockPlan) -> Result<()> {
+        self.stage_plan(plan)?;
+        self.advance_plan()
+    }
+
+    /// Whether a staged window is pending activation.
+    #[must_use]
+    pub fn has_staged_plan(&self) -> bool {
+        self.staged.is_some()
+    }
+
+    /// Accesses remaining in the current window.
+    #[must_use]
+    pub fn plan_remaining(&self) -> usize {
+        self.plan.stream().len() - self.cursor
+    }
+
+    /// Serves one batch of planned operations in order, returning one
+    /// output per operation: the pre-existing payload for writes, the
+    /// stored payload for reads.
+    ///
+    /// # Errors
+    /// As [`read`](Self::read) / [`write`](Self::write); the batch stops
+    /// at the first failing operation.
+    pub fn serve_batch(&mut self, ops: Vec<BatchOp>) -> Result<Vec<Option<Box<[u8]>>>> {
+        let mut outputs = Vec::with_capacity(ops.len());
+        for op in ops {
+            outputs.push(match op {
+                BatchOp::Read(idx) => self.read(idx)?,
+                BatchOp::Write(idx, data) => self.write(idx, data)?,
+            });
+        }
+        Ok(outputs)
     }
 
     /// Opens a stored payload when sealing is enabled.
@@ -229,10 +409,7 @@ impl LaOram {
             None => new,
         };
         // Re-borrow the cached block (sealer borrow above ends here).
-        let block = self
-            .cache
-            .get_mut(&BlockId::new(idx))
-            .expect("serve keeps the block cached");
+        let block = self.cache.get_mut(&BlockId::new(idx)).expect("serve keeps the block cached");
         block.replace_data(Some(sealed));
         Ok(())
     }
@@ -246,7 +423,11 @@ impl LaOram {
             return Err(LaOramError::StreamExhausted { planned: stream.len() });
         }
         if stream[pos] != idx {
-            return Err(LaOramError::PlanDivergence { position: pos, expected: stream[pos], got: idx });
+            return Err(LaOramError::PlanDivergence {
+                position: pos,
+                expected: stream[pos],
+                got: idx,
+            });
         }
         self.cursor += 1;
         let block = BlockId::new(idx);
@@ -269,11 +450,8 @@ impl LaOram {
     /// not retrievable from the shared path (cold member), an extra path
     /// read for its actual position is issued.
     fn fetch_into_cache(&mut self, bin: u32, accessed: BlockId) -> Result<()> {
-        let first_fetch_of_bin = !self
-            .plan
-            .bin_members(bin)
-            .iter()
-            .any(|m| self.cache.contains_key(m));
+        let first_fetch_of_bin =
+            !self.plan.bin_members(bin).iter().any(|m| self.cache.contains_key(m));
         let path = self.inner.position_of(accessed)?;
         self.inner.fetch_path(path, AccessKind::Real);
         if !first_fetch_of_bin {
@@ -296,16 +474,19 @@ impl LaOram {
         self.inner.writeback_path(path);
         self.inner.maybe_background_evict()?;
         if !self.cache.contains_key(&accessed) {
-            return Err(LaOramError::Protocol(
-                oram_protocol::ProtocolError::CheckoutViolation { block: accessed },
-            ));
+            return Err(LaOramError::Protocol(oram_protocol::ProtocolError::CheckoutViolation {
+                block: accessed,
+            }));
         }
         Ok(())
     }
 
     /// Flushes the cache: each block is reassigned to its next bin's path
-    /// (uniform if none) and returned to the stash, from where ordinary
-    /// write-backs sink it into the tree.
+    /// and returned to the stash, from where ordinary write-backs sink it
+    /// into the tree. When the current window holds no future occurrence,
+    /// a staged next window's first occurrence is used; failing both, the
+    /// leaf is uniform random (preserving obliviousness either way — bin
+    /// paths are themselves uniform draws).
     fn flush_cache(&mut self) -> Result<()> {
         if self.cache.is_empty() {
             return Ok(());
@@ -314,7 +495,12 @@ impl LaOram {
         let blocks: Vec<BlockId> = self.cache.keys().copied().collect();
         for id in blocks {
             let mut block = self.cache.remove(&id).expect("key enumerated above");
-            let leaf = match self.plan.exit_leaf(id, bin) {
+            let planned = self.plan.exit_leaf(id, bin).or_else(|| {
+                self.staged
+                    .as_ref()
+                    .and_then(|next| next.first_bin_of(id).map(|b| next.bin_leaf(b)))
+            });
+            let leaf = match planned {
                 Some(l) => l,
                 None => self.inner.random_leaf(),
             };
@@ -472,10 +658,7 @@ mod tests {
     #[test]
     fn out_of_range_stream_rejected() {
         let config = cfg(8).build().unwrap();
-        assert!(matches!(
-            LaOram::with_lookahead(config, &[9]),
-            Err(LaOramError::InvalidConfig(_))
-        ));
+        assert!(matches!(LaOram::with_lookahead(config, &[9]), Err(LaOramError::InvalidConfig(_))));
     }
 
     #[test]
@@ -563,12 +746,7 @@ mod tests {
     #[test]
     fn sealed_laoram_roundtrips() {
         let stream = vec![0u32, 1, 2, 3, 0, 1, 2, 3];
-        let config = cfg(16)
-            .superblock_size(4)
-            .payloads(true)
-            .sealing_key(0xABCD)
-            .build()
-            .unwrap();
+        let config = cfg(16).superblock_size(4).payloads(true).sealing_key(0xABCD).build().unwrap();
         let mut oram = LaOram::with_lookahead(config, &stream).unwrap();
         for &i in &stream[..4] {
             oram.write(i, vec![i as u8; 8].into()).unwrap();
@@ -612,6 +790,158 @@ mod tests {
         let config = cfg(8).superblock_size(4).lookahead_window(2).build().unwrap();
         let oram = LaOram::with_lookahead(config, &stream).unwrap();
         assert_eq!(oram.plan().num_bins(), 4);
+    }
+
+    #[test]
+    fn incremental_pipeline_reaches_steady_state() {
+        // LaOram::new + per-epoch plan windows, always staying one window
+        // ahead (the serving engine's double buffering): every window after
+        // install runs at one path read per bin with no cold misses.
+        let epoch: Vec<u32> = (0..64).collect();
+        let config = cfg(64).superblock_size(4).build().unwrap();
+        let mut oram = LaOram::new(config.clone()).unwrap();
+        let mut planner =
+            crate::SuperblockPlanner::for_config(&config, oram.geometry().num_leaves());
+        oram.install_plan(planner.plan(&epoch)).unwrap();
+        for window in 0..4 {
+            if window > 0 {
+                oram.advance_plan().unwrap();
+            }
+            oram.stage_plan(planner.plan(&epoch)).unwrap();
+            oram.reset_stats();
+            for &i in &epoch {
+                oram.read(i).unwrap();
+            }
+            let s = oram.stats();
+            assert_eq!(s.real_accesses, 64, "window {window}");
+            assert_eq!(s.path_reads, 16, "window {window}: one fetch per bin");
+            assert_eq!(s.cold_misses, 0, "window {window}");
+        }
+        oram.advance_plan().unwrap();
+        oram.finish().unwrap();
+        oram.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn incremental_matches_with_lookahead() {
+        // new + planner + install_plan is the exact decomposition of
+        // with_lookahead: identical stats on identical streams.
+        let stream: Vec<u32> = (0..32).chain(0..32).collect();
+        let config = cfg(32).superblock_size(2).build().unwrap();
+
+        let mut whole = LaOram::with_lookahead(config.clone(), &stream).unwrap();
+        let stats_whole = whole.run_to_end().unwrap();
+
+        let mut incremental = LaOram::new(config.clone()).unwrap();
+        let mut planner =
+            crate::SuperblockPlanner::for_config(&config, incremental.geometry().num_leaves());
+        incremental.install_plan(planner.plan(&stream)).unwrap();
+        let stats_inc = incremental.run_to_end().unwrap();
+        assert_eq!(stats_whole, stats_inc);
+    }
+
+    #[test]
+    fn advance_requires_exhausted_window() {
+        let config = cfg(8).superblock_size(2).build().unwrap();
+        let mut oram = LaOram::new(config).unwrap();
+        oram.install_plan(SuperblockPlan::build(&[0, 1, 2], 2, 8, 1)).unwrap();
+        oram.read(0).unwrap();
+        oram.stage_plan(SuperblockPlan::build(&[3], 2, 8, 2)).unwrap();
+        assert!(matches!(
+            oram.advance_plan(),
+            Err(LaOramError::PlanIncomplete { served: 1, planned: 3 })
+        ));
+        oram.read(1).unwrap();
+        oram.read(2).unwrap();
+        oram.advance_plan().unwrap();
+        oram.read(3).unwrap();
+        oram.finish().unwrap();
+        oram.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn staging_is_double_buffered_not_deeper() {
+        let config = cfg(8).build().unwrap();
+        let mut oram = LaOram::new(config).unwrap();
+        oram.stage_plan(SuperblockPlan::build(&[0], 4, 8, 1)).unwrap();
+        assert!(oram.has_staged_plan());
+        assert!(matches!(
+            oram.stage_plan(SuperblockPlan::build(&[1], 4, 8, 2)),
+            Err(LaOramError::PlanBacklog)
+        ));
+    }
+
+    #[test]
+    fn advance_without_staged_plan_rejected() {
+        let config = cfg(8).build().unwrap();
+        let mut oram = LaOram::new(config).unwrap();
+        assert!(matches!(oram.advance_plan(), Err(LaOramError::NoStagedPlan)));
+    }
+
+    #[test]
+    fn stage_plan_validates_stream_and_superblock_size() {
+        let config = cfg(8).superblock_size(2).build().unwrap();
+        let mut oram = LaOram::new(config).unwrap();
+        // Index 9 outside the 8-entry table.
+        assert!(matches!(
+            oram.stage_plan(SuperblockPlan::build(&[9], 2, 8, 1)),
+            Err(LaOramError::InvalidConfig(_))
+        ));
+        // S = 4 plan against an S = 2 client.
+        assert!(matches!(
+            oram.stage_plan(SuperblockPlan::build(&[1], 4, 8, 1)),
+            Err(LaOramError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn serve_batch_mixed_ops_roundtrip() {
+        let stream = vec![0u32, 1, 0, 1];
+        let config = cfg(8).superblock_size(2).payloads(true).build().unwrap();
+        let mut oram = LaOram::new(config.clone()).unwrap();
+        let mut planner =
+            crate::SuperblockPlanner::for_config(&config, oram.geometry().num_leaves());
+        oram.install_plan(planner.plan(&stream)).unwrap();
+        let out = oram
+            .serve_batch(vec![
+                BatchOp::Write(0, vec![10].into()),
+                BatchOp::Write(1, vec![11].into()),
+                BatchOp::Read(0),
+                BatchOp::Read(1),
+            ])
+            .unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0], None);
+        assert_eq!(out[1], None);
+        assert_eq!(out[2].as_deref(), Some(&[10u8][..]));
+        assert_eq!(out[3].as_deref(), Some(&[11u8][..]));
+        assert_eq!(oram.plan_remaining(), 0);
+        oram.finish().unwrap();
+        oram.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn cold_incremental_client_serves_windows() {
+        let config = cfg(16).superblock_size(2).warm_start(false).build().unwrap();
+        let mut oram = LaOram::new(config).unwrap();
+        // Populated uniformly at construction: invariants hold immediately.
+        oram.verify_invariants().unwrap();
+        for window in 0..3u64 {
+            let stream: Vec<u32> = (0..16).collect();
+            oram.install_plan(SuperblockPlan::build(
+                &stream,
+                2,
+                oram.geometry().num_leaves(),
+                window,
+            ))
+            .unwrap();
+            for &i in &stream {
+                oram.read(i).unwrap();
+            }
+        }
+        oram.finish().unwrap();
+        oram.verify_invariants().unwrap();
+        assert_eq!(oram.stats().real_accesses, 48);
     }
 
     proptest! {

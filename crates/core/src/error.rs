@@ -26,6 +26,19 @@ pub enum LaOramError {
         /// Length of the planned stream.
         planned: usize,
     },
+    /// A new plan window was installed before the current one finished.
+    PlanIncomplete {
+        /// Accesses served from the current window.
+        served: usize,
+        /// Accesses the current window plans.
+        planned: usize,
+    },
+    /// A plan window was staged while another staged window was pending —
+    /// the look-ahead pipeline is double-buffered, not arbitrarily deep.
+    PlanBacklog,
+    /// [`advance_plan`](crate::LaOram::advance_plan) was called with no
+    /// staged window.
+    NoStagedPlan,
     /// Configuration rejected at construction time.
     InvalidConfig(String),
 }
@@ -40,6 +53,15 @@ impl fmt::Display for LaOramError {
             ),
             LaOramError::StreamExhausted { planned } => {
                 write!(f, "planned stream of {planned} accesses already exhausted")
+            }
+            LaOramError::PlanIncomplete { served, planned } => {
+                write!(f, "current plan window only served {served} of {planned} accesses")
+            }
+            LaOramError::PlanBacklog => {
+                write!(f, "a staged plan window is already pending")
+            }
+            LaOramError::NoStagedPlan => {
+                write!(f, "no staged plan window to advance to")
             }
             LaOramError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }

@@ -51,13 +51,15 @@ mod client;
 mod config;
 mod error;
 mod plan;
+mod planner;
 mod ring_client;
 
 pub use binning::{Bin, SuperblockBinning};
-pub use client::LaOram;
+pub use client::{BatchOp, LaOram};
 pub use config::{LaOramConfig, LaOramConfigBuilder};
 pub use error::LaOramError;
 pub use plan::SuperblockPlan;
+pub use planner::SuperblockPlanner;
 pub use ring_client::{LaRing, LaRingConfig};
 
 /// Convenience alias for results produced by this crate.

@@ -54,9 +54,41 @@ impl SuperblockPlan {
         seed: u64,
         window_len: usize,
     ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::build_with_rng(stream, superblock_size, num_leaves, &mut rng, window_len)
+    }
+
+    /// A plan over the empty stream (the state of a freshly constructed
+    /// incremental client before its first window is installed).
+    #[must_use]
+    pub fn empty(superblock_size: u32) -> Self {
+        assert!(superblock_size > 0, "superblock size must be nonzero");
+        SuperblockPlan {
+            binning: SuperblockBinning::from_parts(superblock_size, Vec::new(), Vec::new()),
+            bin_leaves: Vec::new(),
+            block_bins: HashMap::new(),
+            stream: Vec::new(),
+        }
+    }
+
+    /// As [`build_windowed`](Self::build_windowed), but drawing bin paths
+    /// from a caller-owned generator, so successive windows planned by a
+    /// [`SuperblockPlanner`](crate::SuperblockPlanner) consume one
+    /// continuous uniform stream instead of restarting from a seed.
+    ///
+    /// # Panics
+    /// Panics if `superblock_size == 0`, `num_leaves == 0` or
+    /// `window_len == 0`.
+    #[must_use]
+    pub fn build_with_rng(
+        stream: &[u32],
+        superblock_size: u32,
+        num_leaves: u64,
+        rng: &mut StdRng,
+        window_len: usize,
+    ) -> Self {
         assert!(num_leaves > 0, "tree must have at least one leaf");
         assert!(window_len > 0, "window length must be nonzero");
-        let mut rng = StdRng::seed_from_u64(seed);
         // Scan each window independently, then concatenate.
         let mut bins: Vec<Bin> = Vec::new();
         let mut bin_of_position: Vec<u32> = Vec::with_capacity(stream.len());
@@ -74,8 +106,7 @@ impl SuperblockPlan {
                 break;
             }
         }
-        let binning =
-            SuperblockBinning::from_parts(superblock_size, bins, bin_of_position);
+        let binning = SuperblockBinning::from_parts(superblock_size, bins, bin_of_position);
 
         let bin_leaves: Vec<LeafId> = (0..binning.num_bins())
             .map(|_| LeafId::new(rng.random_range(0..num_leaves as u32)))

@@ -151,7 +151,13 @@ mod tests {
 
     #[test]
     fn bandwidth_term_counts_bytes() {
-        let m = CostModel { round_trip_ns: 0.0, ns_per_byte: 2.0, block_bytes: 4, dram: None, buckets_per_path: 0 };
+        let m = CostModel {
+            round_trip_ns: 0.0,
+            ns_per_byte: 2.0,
+            block_bytes: 4,
+            dram: None,
+            buckets_per_path: 0,
+        };
         // 3 slots each way = 6 slots * 4 bytes * 2 ns/byte = 48 ns.
         let t = m.time_for(&stats(1, 1, 3));
         assert_eq!(t.as_nanos(), 48);

@@ -6,7 +6,7 @@ use rand::{RngExt, SeedableRng};
 use oram_tree::{Block, BlockId, LeafId, TreeGeometry, TreeStorage};
 
 use crate::{
-    AccessKind, AccessObserver, AccessStats, EvictionConfig, DensePositionMap, NullObserver,
+    AccessKind, AccessObserver, AccessStats, DensePositionMap, EvictionConfig, NullObserver,
     PathOramConfig, ProtocolError, Result, ServerOp,
 };
 
@@ -75,9 +75,7 @@ impl PathOramClient {
             return Err(ProtocolError::InvalidConfig("num_blocks must be nonzero".into()));
         }
         if config.sealing_key.is_some() && !config.payloads {
-            return Err(ProtocolError::InvalidConfig(
-                "sealing requires payload storage".into(),
-            ));
+            return Err(ProtocolError::InvalidConfig("sealing requires payload storage".into()));
         }
         let geometry = match config.levels {
             Some(levels) => TreeGeometry::with_levels(levels, config.profile.clone())?,
@@ -267,10 +265,8 @@ impl PathOramClient {
         self.stats.real_accesses += 1;
         let path = self.posmap.get(id);
         self.fetch_path(path, AccessKind::Real);
-        let mut block = self
-            .stash
-            .take(id)
-            .ok_or(ProtocolError::CheckoutViolation { block: id })?;
+        let mut block =
+            self.stash.take(id).ok_or(ProtocolError::CheckoutViolation { block: id })?;
         let new_leaf = self.random_leaf();
         block.set_leaf(new_leaf);
         self.posmap.set(id, new_leaf);
@@ -307,10 +303,8 @@ impl PathOramClient {
 
         // The block is now either in the stash (fetched or already there)
         // or it is a populated metadata-only block; it must exist.
-        let mut block = self
-            .stash
-            .take(id)
-            .ok_or(ProtocolError::CheckoutViolation { block: id })?;
+        let mut block =
+            self.stash.take(id).ok_or(ProtocolError::CheckoutViolation { block: id })?;
         let new_leaf = match leaf_hint {
             Some(l) => {
                 self.geometry().check_leaf(l)?;
@@ -365,10 +359,9 @@ impl PathOramClient {
         self.stats.slots_written += self.geometry().path_slots();
         self.observer.observe(ServerOp::WritePath(leaf));
         let mut candidates = self.stash.take_all();
-        if self.sealer.is_some() {
+        if let Some(sealer) = &mut self.sealer {
             for block in &mut candidates {
                 if let Some(cipher) = block.replace_data(None) {
-                    let sealer = self.sealer.as_mut().expect("checked above");
                     let plain = sealer.open(&cipher).unwrap_or(cipher);
                     let resealed = sealer.seal(&plain);
                     block.replace_data(Some(resealed));
@@ -388,8 +381,7 @@ impl PathOramClient {
     /// [`ProtocolError::CheckoutViolation`] if the block is not in the
     /// stash (e.g. still in the tree) or already checked out.
     pub fn take_from_stash(&mut self, id: BlockId) -> Result<Block> {
-        let block =
-            self.stash.take(id).ok_or(ProtocolError::CheckoutViolation { block: id })?;
+        let block = self.stash.take(id).ok_or(ProtocolError::CheckoutViolation { block: id })?;
         let inserted = self.checked_out.insert(id);
         debug_assert!(inserted);
         Ok(block)
@@ -425,6 +417,31 @@ impl PathOramClient {
         self.geometry().check_leaf(leaf)?;
         self.posmap.set(id, leaf);
         Ok(())
+    }
+
+    /// Ids of all stash-resident blocks (excluding checked-out blocks), in
+    /// no particular order. Look-ahead layers use this to re-point stash
+    /// blocks at the paths of an incoming plan window.
+    #[must_use]
+    pub fn stash_block_ids(&self) -> Vec<BlockId> {
+        self.stash.iter().map(|b| b.id()).collect()
+    }
+
+    /// Reassigns a stash-resident block to `leaf`, updating both the
+    /// block's own leaf field and the position map. Returns `false` (and
+    /// changes nothing) when the block is not in the stash.
+    ///
+    /// # Errors
+    /// Invalid ids or leaves are rejected.
+    pub fn reassign_in_stash(&mut self, id: BlockId, leaf: LeafId) -> Result<bool> {
+        self.check_block(id)?;
+        self.geometry().check_leaf(leaf)?;
+        if self.stash.reassign(id, leaf) {
+            self.posmap.set(id, leaf);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
     }
 
     /// Records one logical access served without server traffic (LAORAM
@@ -596,10 +613,7 @@ mod tests {
     #[test]
     fn unknown_block_rejected() {
         let mut c = small_client(8, 6);
-        assert!(matches!(
-            c.read(BlockId::new(8)),
-            Err(ProtocolError::UnknownBlock { .. })
-        ));
+        assert!(matches!(c.read(BlockId::new(8)), Err(ProtocolError::UnknownBlock { .. })));
     }
 
     #[test]
@@ -682,10 +696,7 @@ mod tests {
     fn return_without_checkout_fails() {
         let mut c = small_client(8, 13);
         let b = Block::metadata_only(BlockId::new(1), LeafId::new(0));
-        assert!(matches!(
-            c.return_to_stash(b),
-            Err(ProtocolError::CheckoutViolation { .. })
-        ));
+        assert!(matches!(c.return_to_stash(b), Err(ProtocolError::CheckoutViolation { .. })));
     }
 
     #[test]
@@ -711,9 +722,7 @@ mod tests {
 
     #[test]
     fn eviction_disabled_lets_stash_grow() {
-        let cfg = PathOramConfig::new(256)
-            .with_seed(15)
-            .with_eviction(EvictionConfig::disabled());
+        let cfg = PathOramConfig::new(256).with_seed(15).with_eviction(EvictionConfig::disabled());
         let mut c = PathOramClient::new(cfg).unwrap();
         for i in 0..300u32 {
             c.read(BlockId::new(i % 256)).unwrap();
@@ -822,10 +831,10 @@ mod tests {
         use crate::RecordingObserver;
         // Share the recorder via a small adapter since the client owns it.
         #[derive(Default, Clone)]
-        struct Tap(std::rc::Rc<std::cell::RefCell<RecordingObserver>>);
+        struct Tap(std::sync::Arc<std::sync::Mutex<RecordingObserver>>);
         impl crate::AccessObserver for Tap {
             fn observe(&mut self, op: crate::ServerOp) {
-                self.0.borrow_mut().observe(op);
+                self.0.lock().expect("tap lock").observe(op);
             }
         }
         let tap = Tap::default();
@@ -834,17 +843,15 @@ mod tests {
         for i in 0..64u32 {
             c.read(BlockId::new(i)).unwrap();
         }
-        let rec = tap.0.borrow();
+        let rec = tap.0.lock().expect("tap lock");
         assert_eq!(rec.read_leaves().count(), 64);
         assert_eq!(rec.ops().len(), 128, "64 reads + 64 writes");
     }
 
     #[test]
     fn sealed_client_roundtrips_and_stores_ciphertext() {
-        let cfg = PathOramConfig::new(32)
-            .with_seed(25)
-            .with_payloads(true)
-            .with_sealing_key(0x5EC2E7);
+        let cfg =
+            PathOramConfig::new(32).with_seed(25).with_payloads(true).with_sealing_key(0x5EC2E7);
         let mut c = PathOramClient::new(cfg).unwrap();
         let plain = vec![0xAA; 32];
         c.write(BlockId::new(3), plain.clone().into()).unwrap();
@@ -867,10 +874,7 @@ mod tests {
 
     #[test]
     fn sealed_update_composes() {
-        let cfg = PathOramConfig::new(16)
-            .with_seed(26)
-            .with_payloads(true)
-            .with_sealing_key(9);
+        let cfg = PathOramConfig::new(16).with_seed(26).with_payloads(true).with_sealing_key(9);
         let mut c = PathOramClient::new(cfg).unwrap();
         c.update(BlockId::new(0), |old| {
             assert!(old.is_none());
@@ -888,18 +892,13 @@ mod tests {
     #[test]
     fn sealing_requires_payloads() {
         let cfg = PathOramConfig::new(8).with_sealing_key(1);
-        assert!(matches!(
-            PathOramClient::new(cfg),
-            Err(ProtocolError::InvalidConfig(_))
-        ));
+        assert!(matches!(PathOramClient::new(cfg), Err(ProtocolError::InvalidConfig(_))));
     }
 
     #[test]
     fn resealing_changes_ciphertext_across_writebacks() {
-        let cfg = PathOramConfig::new(32)
-            .with_seed(27)
-            .with_payloads(true)
-            .with_sealing_key(0xFEED);
+        let cfg =
+            PathOramConfig::new(32).with_seed(27).with_payloads(true).with_sealing_key(0xFEED);
         let mut c = PathOramClient::new(cfg).unwrap();
         c.write(BlockId::new(7), vec![0x42; 16].into()).unwrap();
         let grab = |c: &mut PathOramClient| {

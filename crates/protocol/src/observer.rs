@@ -49,7 +49,10 @@ impl ServerOp {
 }
 
 /// Receives every server-visible operation as it happens.
-pub trait AccessObserver {
+///
+/// Observers are `Send` so protocol clients can move between threads —
+/// the sharded serving engine runs one client per worker thread.
+pub trait AccessObserver: Send {
     /// Called for each operation, in issue order.
     fn observe(&mut self, op: ServerOp);
 }

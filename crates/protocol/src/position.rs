@@ -52,10 +52,7 @@ impl DensePositionMap {
 
     /// Iterates `(block, leaf)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (BlockId, LeafId)> + '_ {
-        self.leaves
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| (BlockId::new(i as u32), LeafId::new(l)))
+        self.leaves.iter().enumerate().map(|(i, &l)| (BlockId::new(i as u32), LeafId::new(l)))
     }
 }
 
@@ -76,8 +73,7 @@ mod tests {
     fn iter_in_id_order() {
         let mut m = DensePositionMap::new(3);
         m.set(BlockId::new(1), LeafId::new(9));
-        let pairs: Vec<(u32, u32)> =
-            m.iter().map(|(b, l)| (b.index(), l.index())).collect();
+        let pairs: Vec<(u32, u32)> = m.iter().map(|(b, l)| (b.index(), l.index())).collect();
         assert_eq!(pairs, vec![(0, 0), (1, 9), (2, 0)]);
     }
 

@@ -61,19 +61,13 @@ impl RecursivePositionMap {
         while labels > root_threshold {
             let blocks = labels.div_ceil(LABELS_PER_BLOCK);
             let oram = PathOramClient::new(
-                PathOramConfig::new(blocks)
-                    .with_seed(level_seed)
-                    .with_payloads(true),
+                PathOramConfig::new(blocks).with_seed(level_seed).with_payloads(true),
             )?;
             levels.push(oram);
             labels = blocks;
             level_seed = level_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
         }
-        Ok(RecursivePositionMap {
-            levels,
-            root_map: vec![0; labels as usize],
-            num_blocks,
-        })
+        Ok(RecursivePositionMap { levels, root_map: vec![0; labels as usize], num_blocks })
     }
 
     /// Number of application-level labels tracked.
@@ -135,10 +129,8 @@ impl RecursivePositionMap {
         let slot = (index % LABELS_PER_BLOCK) as usize;
         // Read-modify-write of the packed block in one oblivious access.
         self.levels[level].update(block, |old| {
-            let mut bytes = old.map_or_else(
-                || vec![0u8; LABELS_PER_BLOCK as usize * 4],
-                <[u8]>::to_vec,
-            );
+            let mut bytes =
+                old.map_or_else(|| vec![0u8; LABELS_PER_BLOCK as usize * 4], <[u8]>::to_vec);
             bytes[slot * 4..slot * 4 + 4].copy_from_slice(&label.to_le_bytes());
             bytes.into()
         })?;

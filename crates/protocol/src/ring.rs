@@ -21,9 +21,7 @@ use rand::{RngExt, SeedableRng};
 
 use oram_tree::{Block, BlockId, BucketProfile, LeafId, TreeGeometry};
 
-use crate::{
-    AccessStats, DensePositionMap, EvictionConfig, ProtocolError, Result, Stash,
-};
+use crate::{AccessStats, DensePositionMap, EvictionConfig, ProtocolError, Result, Stash};
 
 /// Configuration for [`RingOramClient`].
 #[derive(Debug, Clone)]
@@ -230,9 +228,7 @@ impl RingOramClient {
         let mut found = Vec::new();
         let mut i = 0;
         while i < self.buckets[idx].blocks.len() {
-            if let Some(pos) =
-                wanted.iter().position(|w| *w == self.buckets[idx].blocks[i].id())
-            {
+            if let Some(pos) = wanted.iter().position(|w| *w == self.buckets[idx].blocks[i].id()) {
                 wanted.swap_remove(pos);
                 found.push(self.buckets[idx].blocks.swap_remove(i));
             } else {
@@ -317,7 +313,7 @@ impl RingOramClient {
 
     fn after_access(&mut self) -> Result<()> {
         self.access_round += 1;
-        if self.access_round % u64::from(self.config.a) == 0 {
+        if self.access_round.is_multiple_of(u64::from(self.config.a)) {
             let leaf = self.next_evict_leaf();
             self.evict_path(leaf);
         }
@@ -359,10 +355,7 @@ impl RingOramClient {
         }
         let mut block = match fetched.pop() {
             Some(b) => b,
-            None => self
-                .stash
-                .take(id)
-                .ok_or(ProtocolError::CheckoutViolation { block: id })?,
+            None => self.stash.take(id).ok_or(ProtocolError::CheckoutViolation { block: id })?,
         };
         self.stats.blocks_fetched += 1;
         let new_leaf = match leaf_hint {
@@ -544,10 +537,9 @@ mod tests {
     fn reshuffles_trigger_on_hot_buckets() {
         // Hammering a single block exhausts dummy budgets on the root
         // bucket quickly.
-        let mut c = RingOramClient::new(
-            RingOramConfig::new(64).with_seed(4).with_ring_params(4, 2, 4),
-        )
-        .unwrap();
+        let mut c =
+            RingOramClient::new(RingOramConfig::new(64).with_seed(4).with_ring_params(4, 2, 4))
+                .unwrap();
         for _ in 0..200 {
             c.access(BlockId::new(0), None).unwrap();
         }

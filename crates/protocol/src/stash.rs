@@ -102,8 +102,7 @@ impl Stash {
         if self.blocks.is_empty() && self.index.is_empty() {
             // Fast path: adopt the vector wholesale.
             self.blocks = blocks;
-            self.index =
-                self.blocks.iter().enumerate().map(|(i, b)| (b.id(), i)).collect();
+            self.index = self.blocks.iter().enumerate().map(|(i, b)| (b.id(), i)).collect();
             assert_eq!(self.index.len(), self.blocks.len(), "duplicate block ids absorbed");
         } else {
             for b in blocks {
@@ -229,9 +228,11 @@ mod tests {
                 for op in ops {
                     match op {
                         Op::Insert(id) => {
-                            if !model.contains_key(&id) {
+                            if let std::collections::hash_map::Entry::Vacant(slot) =
+                                model.entry(id)
+                            {
+                                slot.insert(id);
                                 stash.insert(blk(id, id));
-                                model.insert(id, id);
                             }
                         }
                         Op::Take(id) => {

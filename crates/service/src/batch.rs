@@ -1,0 +1,73 @@
+//! Request/response types for batched serving.
+
+/// One embedding access inside a submitted batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Which hosted table to access (index into
+    /// [`ServiceConfig::tables`](crate::ServiceConfig)).
+    pub table: usize,
+    /// Embedding-table row index.
+    pub index: u32,
+    /// What to do with the row.
+    pub op: RequestOp,
+}
+
+/// The operation a [`Request`] performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestOp {
+    /// Read the row; the batch output holds its payload.
+    Read,
+    /// Replace the row's payload; the batch output holds the previous one.
+    Write(Box<[u8]>),
+}
+
+impl Request {
+    /// A read of `table[index]`.
+    #[must_use]
+    pub fn read(table: usize, index: u32) -> Self {
+        Request { table, index, op: RequestOp::Read }
+    }
+
+    /// A write of `payload` into `table[index]`.
+    #[must_use]
+    pub fn write(table: usize, index: u32, payload: Box<[u8]>) -> Self {
+        Request { table, index, op: RequestOp::Write(payload) }
+    }
+}
+
+/// Handle identifying a submitted batch; tickets are issued in submission
+/// order starting from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BatchTicket(pub(crate) u64);
+
+impl BatchTicket {
+    /// The batch's sequence number.
+    #[must_use]
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+/// The served results of one batch, aligned with its requests: reads
+/// yield the stored payload, writes yield the payload they replaced.
+#[derive(Debug)]
+pub struct BatchResponse {
+    /// The batch this response answers.
+    pub ticket: BatchTicket,
+    /// One output per request, in request order.
+    pub outputs: Vec<Option<Box<[u8]>>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = Request::read(1, 7);
+        assert_eq!(r.op, RequestOp::Read);
+        let w = Request::write(0, 3, vec![1, 2].into());
+        assert!(matches!(w.op, RequestOp::Write(ref p) if p.len() == 2));
+        assert_eq!(BatchTicket(5).id(), 5);
+    }
+}

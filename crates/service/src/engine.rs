@@ -1,0 +1,816 @@
+//! The serving engine: ingress queue → preprocessor → shard workers →
+//! collector.
+//!
+//! # Pipeline
+//!
+//! ```text
+//!  submit()──▶[ingress queue]──▶ preprocessor ──▶ per-worker queues ──▶ shard workers
+//!   (bounded,  batches            bins + assigns    Plan(N+1) then        one LaOram each,
+//!    blocking = backpressure)     paths for batch    Ops(N+1), double-    serve batch N
+//!                                 N+1 while shards   buffered             │
+//!                                 serve batch N                           ▼
+//!            next_response()◀──────────────── collector ◀── per-batch parts
+//! ```
+//!
+//! The preprocessor is the paper's dataset-scan + path-generation stage
+//! (§IV-B): while shard workers serve batch `N`, it bins batch `N+1` and
+//! draws its superblock paths, then stages the resulting
+//! [`SuperblockPlan`] into each worker's double-buffered queue. Workers
+//! opportunistically stage the next window *before* serving the current
+//! one, so block flushes exit toward their next-window paths and the
+//! steady state survives batch boundaries. Per-stage timestamps are
+//! recorded so the overlap is observable, not just asserted.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use laoram_core::{BatchOp, LaOram, LaOramConfig, SuperblockPlan, SuperblockPlanner};
+use oram_protocol::AccessStats;
+
+use crate::{
+    BatchResponse, BatchTicket, BatchTiming, PipelineStats, Request, RequestOp, ServiceConfig,
+    ServiceError, ServiceStats, ShardRouter, ShardStats,
+};
+
+/// Per-worker routing product: shard-local index stream, operations, and
+/// each operation's position in the original batch.
+type RoutedPart = (Vec<u32>, Vec<BatchOp>, Vec<u32>);
+
+/// Messages from the engine handle into the preprocessor.
+enum EngineMsg {
+    Batch { ticket: u64, requests: Vec<Request> },
+    ResetStats,
+}
+
+/// Messages from the preprocessor into one shard worker.
+enum WorkerMsg {
+    /// The next look-ahead window for this shard.
+    Plan(SuperblockPlan),
+    /// The operations of one batch under the most recently staged window.
+    Ops {
+        ticket: u64,
+        ops: Vec<BatchOp>,
+        slots: Vec<u32>,
+    },
+    ResetStats,
+}
+
+/// Messages into the collector.
+enum CollectorMsg {
+    /// Announces a batch: how many shard parts it splits into.
+    Manifest { ticket: u64, parts: usize, len: usize },
+    /// One shard's outputs, with the batch positions they belong at.
+    Part { ticket: u64, outputs: Vec<Option<Box<[u8]>>>, slots: Vec<u32> },
+}
+
+/// State shared between the engine handle and the pipeline threads.
+struct Shared {
+    start: Instant,
+    inner: Mutex<SharedInner>,
+    /// Requests accepted so far (diagnostics).
+    submitted: AtomicU64,
+}
+
+/// Per-batch timing records kept live (a rolling window, so an unbounded
+/// run cannot grow the shared state or the `stats()` clones without
+/// limit).
+const TIMING_WINDOW: usize = 4096;
+
+#[derive(Default)]
+struct SharedInner {
+    worker_stats: Vec<AccessStats>,
+    worker_serve_ns: Vec<u64>,
+    worker_batches: Vec<u64>,
+    worker_errors: Vec<Option<String>>,
+    preprocess_ns: u64,
+    batches_preprocessed: u64,
+    /// Timing records for tickets `timing_base ..`, oldest first.
+    batch_timing: Vec<BatchTiming>,
+    timing_base: u64,
+}
+
+impl SharedInner {
+    /// The timing record for `ticket`, growing the window as needed.
+    /// Returns `None` for tickets that pre-date a stats reset or have
+    /// aged out of the rolling window (late updates are dropped).
+    fn timing_slot(&mut self, ticket: u64) -> Option<&mut BatchTiming> {
+        if ticket < self.timing_base {
+            return None;
+        }
+        let idx = (ticket - self.timing_base) as usize;
+        if idx >= self.batch_timing.len() {
+            self.batch_timing.resize(idx + 1, BatchTiming::default());
+            if self.batch_timing.len() > TIMING_WINDOW {
+                let excess = self.batch_timing.len() - TIMING_WINDOW;
+                self.batch_timing.drain(..excess);
+                self.timing_base += excess as u64;
+            }
+        }
+        let idx = ticket.checked_sub(self.timing_base)? as usize;
+        self.batch_timing.get_mut(idx)
+    }
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+/// The sharded, pipelined LAORAM serving engine.
+///
+/// See the [crate docs](crate) for a usage example.
+pub struct LaoramService {
+    ingress: SyncSender<EngineMsg>,
+    responses: Receiver<BatchResponse>,
+    shared: Arc<Shared>,
+    router: Arc<ShardRouter>,
+    /// `(table, shard)` per flattened worker id.
+    worker_homes: Vec<(usize, u32)>,
+    handles: Vec<JoinHandle<()>>,
+    next_ticket: u64,
+    outstanding: u64,
+}
+
+impl std::fmt::Debug for LaoramService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaoramService")
+            .field("workers", &self.worker_homes.len())
+            .field("next_ticket", &self.next_ticket)
+            .field("outstanding", &self.outstanding)
+            .finish()
+    }
+}
+
+/// Final report returned by [`LaoramService::shutdown`].
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Statistics at shutdown, including each worker's final flush.
+    pub stats: ServiceStats,
+    /// Responses that were still queued when the engine shut down.
+    pub responses: Vec<BatchResponse>,
+    /// Total requests accepted over the engine's lifetime.
+    pub requests_served: u64,
+    /// `(worker id, failure)` for every shard that degraded (see
+    /// [`ServiceStats::worker_errors`]). Empty on a healthy run.
+    pub worker_errors: Vec<(usize, String)>,
+}
+
+impl LaoramService {
+    /// Builds the shard clients and starts the pipeline threads.
+    ///
+    /// # Errors
+    /// Rejects invalid configurations; propagates shard construction
+    /// failures.
+    pub fn start(config: ServiceConfig) -> Result<Self, ServiceError> {
+        if config.queue_depth == 0 {
+            return Err(ServiceError::InvalidConfig("queue depth must be nonzero".into()));
+        }
+        // Shared (not cloned): the per-index partition tables are the
+        // engine's largest structure.
+        let router = Arc::new(ShardRouter::new(&config.tables)?);
+        let num_workers = router.num_workers();
+
+        // Build every shard's LAORAM client and matching planner up front.
+        let mut clients: Vec<LaOram> = Vec::with_capacity(num_workers);
+        let mut planners: Vec<SuperblockPlanner> = Vec::with_capacity(num_workers);
+        let mut worker_homes = Vec::with_capacity(num_workers);
+        for worker in 0..num_workers {
+            let (table, shard) = router.worker_home(worker);
+            let spec = &config.tables[table];
+            let shard_blocks = router.partition(table).shard_size(shard);
+            let shard_seed = shard_split_seed(spec.seed, table, shard);
+            let laoram_config = LaOramConfig::builder(shard_blocks)
+                .superblock_size(spec.superblock_size)
+                .fat_tree(spec.fat_tree)
+                .payloads(spec.payloads)
+                .eviction(spec.eviction)
+                .seed(shard_seed)
+                .build()?;
+            let client = LaOram::new(laoram_config.clone())?;
+            let planner =
+                SuperblockPlanner::for_config(&laoram_config, client.geometry().num_leaves());
+            clients.push(client);
+            planners.push(planner);
+            worker_homes.push((table, shard));
+        }
+
+        let shared = Arc::new(Shared {
+            start: Instant::now(),
+            inner: Mutex::new(SharedInner {
+                worker_stats: vec![AccessStats::new(); num_workers],
+                worker_serve_ns: vec![0; num_workers],
+                worker_batches: vec![0; num_workers],
+                worker_errors: vec![None; num_workers],
+                ..Default::default()
+            }),
+            submitted: AtomicU64::new(0),
+        });
+
+        let (ingress_tx, ingress_rx) = sync_channel::<EngineMsg>(config.queue_depth);
+        let (collector_tx, collector_rx) = mpsc::channel::<CollectorMsg>();
+        let (responses_tx, responses_rx) = mpsc::channel::<BatchResponse>();
+
+        let mut worker_txs = Vec::with_capacity(num_workers);
+        let mut handles = Vec::with_capacity(num_workers + 2);
+        for (worker, client) in clients.into_iter().enumerate() {
+            // Depth 4 fits a full double-buffered step (Plan+Ops twice).
+            let (tx, rx) = sync_channel::<WorkerMsg>(4);
+            worker_txs.push(tx);
+            let collector = collector_tx.clone();
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("laoram-shard-{worker}"))
+                    .spawn(move || run_worker(worker, client, rx, collector, shared))
+                    .expect("spawn shard worker"),
+            );
+        }
+
+        let router_for_prep = Arc::clone(&router);
+        let shared_for_prep = Arc::clone(&shared);
+        handles.push(
+            std::thread::Builder::new()
+                .name("laoram-preprocessor".into())
+                .spawn(move || {
+                    run_preprocessor(
+                        ingress_rx,
+                        router_for_prep,
+                        planners,
+                        worker_txs,
+                        collector_tx,
+                        shared_for_prep,
+                    )
+                })
+                .expect("spawn preprocessor"),
+        );
+        handles.push(
+            std::thread::Builder::new()
+                .name("laoram-collector".into())
+                .spawn(move || run_collector(collector_rx, responses_tx))
+                .expect("spawn collector"),
+        );
+
+        Ok(LaoramService {
+            ingress: ingress_tx,
+            responses: responses_rx,
+            shared,
+            router,
+            worker_homes,
+            handles,
+            next_ticket: 0,
+            outstanding: 0,
+        })
+    }
+
+    /// Validates and enqueues a batch, blocking while the ingress queue is
+    /// full (backpressure). Returns the ticket its response will carry.
+    ///
+    /// # Errors
+    /// Rejects requests naming unknown tables or out-of-range indices;
+    /// [`ServiceError::Disconnected`] if the pipeline died.
+    pub fn submit(&mut self, batch: Vec<Request>) -> Result<BatchTicket, ServiceError> {
+        self.validate(&batch)?;
+        let requests = batch.len() as u64;
+        let ticket = self.take_ticket();
+        self.ingress
+            .send(EngineMsg::Batch { ticket: ticket.0, requests: batch })
+            .map_err(|_| ServiceError::Disconnected)?;
+        self.shared.submitted.fetch_add(requests, Ordering::Relaxed);
+        Ok(ticket)
+    }
+
+    /// As [`submit`](Self::submit), but failing fast instead of blocking
+    /// when the queue is full; the batch is handed back inside
+    /// [`ServiceError::Backpressure`].
+    ///
+    /// # Errors
+    /// As [`submit`](Self::submit), plus [`ServiceError::Backpressure`].
+    pub fn try_submit(&mut self, batch: Vec<Request>) -> Result<BatchTicket, ServiceError> {
+        self.validate(&batch)?;
+        let requests = batch.len() as u64;
+        let ticket = self.take_ticket_peek();
+        match self.ingress.try_send(EngineMsg::Batch { ticket, requests: batch }) {
+            Ok(()) => {
+                self.shared.submitted.fetch_add(requests, Ordering::Relaxed);
+                Ok(self.take_ticket())
+            }
+            Err(std::sync::mpsc::TrySendError::Full(EngineMsg::Batch { requests, .. })) => {
+                Err(ServiceError::Backpressure(requests))
+            }
+            Err(_) => Err(ServiceError::Disconnected),
+        }
+    }
+
+    /// Receives the next completed batch, in submission order (blocking).
+    ///
+    /// A degraded shard answers its part of a batch with empty outputs
+    /// rather than stalling the pipeline; check
+    /// [`ServiceStats::worker_errors`] (via [`stats`](Self::stats)) to
+    /// distinguish that from legitimately empty rows.
+    ///
+    /// # Errors
+    /// [`ServiceError::NoPendingBatches`] with nothing outstanding;
+    /// [`ServiceError::Disconnected`] if the pipeline died.
+    pub fn next_response(&mut self) -> Result<BatchResponse, ServiceError> {
+        if self.outstanding == 0 {
+            return Err(ServiceError::NoPendingBatches);
+        }
+        let response = self.responses.recv().map_err(|_| ServiceError::Disconnected)?;
+        self.outstanding -= 1;
+        Ok(response)
+    }
+
+    /// Waits for every outstanding batch, returning the responses in
+    /// submission order.
+    ///
+    /// # Errors
+    /// As [`next_response`](Self::next_response).
+    pub fn drain(&mut self) -> Result<Vec<BatchResponse>, ServiceError> {
+        let mut out = Vec::with_capacity(self.outstanding as usize);
+        while self.outstanding > 0 {
+            out.push(self.next_response()?);
+        }
+        Ok(out)
+    }
+
+    /// Zeroes every shard's access counters and the pipeline timers, after
+    /// all previously submitted batches (ordered through the same queues).
+    /// Call [`drain`](Self::drain) first for a clean measurement boundary.
+    ///
+    /// # Errors
+    /// [`ServiceError::Disconnected`] if the pipeline died.
+    pub fn reset_stats(&mut self) -> Result<(), ServiceError> {
+        self.ingress.send(EngineMsg::ResetStats).map_err(|_| ServiceError::Disconnected)
+    }
+
+    /// A snapshot of shard, merged, and pipeline statistics.
+    ///
+    /// Shard counters reflect batches whose responses have been emitted;
+    /// for exact boundaries, [`drain`](Self::drain) first.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let inner = self.shared.inner.lock().expect("stats lock");
+        build_stats(&inner, &self.worker_homes, self.shared.now_ns())
+    }
+
+    /// Number of batches submitted but not yet returned.
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
+    }
+
+    /// The routing layer (introspection: shard sizes, worker homes).
+    #[must_use]
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Stops the pipeline: flushes every shard, joins all threads, and
+    /// returns the final statistics plus any responses that were still
+    /// queued. Worker failures do not discard this data — they are
+    /// reported in [`ServiceReport::worker_errors`] (and live in
+    /// [`ServiceStats::worker_errors`]); check it before trusting the
+    /// outputs of a long run.
+    ///
+    /// # Errors
+    /// Infallible today; the `Result` reserves room for teardown
+    /// failures.
+    pub fn shutdown(mut self) -> Result<ServiceReport, ServiceError> {
+        let mut responses = Vec::new();
+        while self.outstanding > 0 {
+            match self.responses.recv() {
+                Ok(r) => {
+                    self.outstanding -= 1;
+                    responses.push(r);
+                }
+                Err(_) => break,
+            }
+        }
+        drop(self.ingress); // closes the pipeline end to end
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        let inner = self.shared.inner.lock().expect("shutdown lock");
+        let stats = build_stats(&inner, &self.worker_homes, self.shared.now_ns());
+        let worker_errors = stats.worker_errors.clone();
+        Ok(ServiceReport {
+            stats,
+            responses,
+            requests_served: self.shared.submitted.load(Ordering::Relaxed),
+            worker_errors,
+        })
+    }
+
+    fn validate(&self, batch: &[Request]) -> Result<(), ServiceError> {
+        for request in batch {
+            self.router.route(request.table, request.index)?;
+        }
+        Ok(())
+    }
+
+    fn take_ticket(&mut self) -> BatchTicket {
+        let ticket = BatchTicket(self.next_ticket);
+        self.next_ticket += 1;
+        self.outstanding += 1;
+        ticket
+    }
+
+    fn take_ticket_peek(&self) -> u64 {
+        self.next_ticket
+    }
+}
+
+/// Independent per-shard seed stream (SplitMix64-style mixing).
+fn shard_split_seed(base: u64, table: usize, shard: u32) -> u64 {
+    let mut z = base
+        .wrapping_add((table as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(u64::from(shard).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The preprocessor stage: routes each batch to shards, bins each shard's
+/// sub-stream and assigns its superblock paths, then dispatches
+/// `Plan(N+1)` + `Ops(N+1)` while the workers serve batch `N`.
+fn run_preprocessor(
+    ingress: Receiver<EngineMsg>,
+    router: Arc<ShardRouter>,
+    mut planners: Vec<SuperblockPlanner>,
+    workers: Vec<SyncSender<WorkerMsg>>,
+    collector: mpsc::Sender<CollectorMsg>,
+    shared: Arc<Shared>,
+) {
+    // The one-batch dispatch delay that makes the pipeline deterministic:
+    // batch N's operations are held back until batch N+1's plans have been
+    // dispatched, so every worker has window N+1 staged *before* it starts
+    // serving window N (warm exits at every boundary). When the ingress is
+    // idle there is no N+1 to wait for, and the pending operations flush
+    // immediately — no added latency for an unloaded service.
+    let mut pending: Option<Vec<(usize, WorkerMsg)>> = None;
+    // Ticket the next batch will carry; a stats reset anchors the timing
+    // window here so pre-reset records are dropped, not resurrected.
+    let mut next_ticket_hint = 0u64;
+    let flush = |pending: &mut Option<Vec<(usize, WorkerMsg)>>| -> bool {
+        if let Some(parts) = pending.take() {
+            for (worker, msg) in parts {
+                if workers[worker].send(msg).is_err() {
+                    return false;
+                }
+            }
+        }
+        true
+    };
+    loop {
+        let msg = if pending.is_some() {
+            match ingress.try_recv() {
+                Ok(m) => m,
+                Err(TryRecvError::Empty) => {
+                    if !flush(&mut pending) {
+                        return;
+                    }
+                    match ingress.recv() {
+                        Ok(m) => m,
+                        Err(_) => break,
+                    }
+                }
+                Err(TryRecvError::Disconnected) => break,
+            }
+        } else {
+            match ingress.recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            }
+        };
+        match msg {
+            EngineMsg::ResetStats => {
+                if !flush(&mut pending) {
+                    return;
+                }
+                {
+                    let mut inner = shared.inner.lock().expect("preprocessor lock");
+                    inner.preprocess_ns = 0;
+                    inner.batches_preprocessed = 0;
+                    inner.batch_timing.clear();
+                    // Drop (don't re-create) records of pre-reset tickets:
+                    // late worker updates for them are discarded.
+                    inner.timing_base = next_ticket_hint;
+                }
+                for tx in &workers {
+                    if tx.send(WorkerMsg::ResetStats).is_err() {
+                        return;
+                    }
+                }
+            }
+            EngineMsg::Batch { ticket, requests } => {
+                next_ticket_hint = ticket + 1;
+                let prep_start_ns = shared.now_ns();
+                // Route: split the batch into per-worker index streams and
+                // operation lists, remembering each op's batch position.
+                let mut per_worker: HashMap<usize, RoutedPart> = HashMap::new();
+                for (position, request) in requests.into_iter().enumerate() {
+                    let (worker, local) = router
+                        .route(request.table, request.index)
+                        .expect("submit() validated every request");
+                    let entry = per_worker.entry(worker).or_default();
+                    entry.0.push(local);
+                    entry.1.push(match request.op {
+                        RequestOp::Read => BatchOp::Read(local),
+                        RequestOp::Write(payload) => BatchOp::Write(local, payload),
+                    });
+                    entry.2.push(position as u32);
+                }
+                // Plan each shard's window: the dataset-scan +
+                // path-generation step, timed as the pipeline's stage A.
+                let mut dispatch = Vec::with_capacity(per_worker.len());
+                for (worker, (indices, ops, slots)) in per_worker {
+                    let plan = planners[worker].plan(&indices);
+                    dispatch.push((worker, plan, ops, slots));
+                }
+                dispatch.sort_by_key(|(worker, ..)| *worker);
+                let prep_end_ns = shared.now_ns();
+                {
+                    let mut inner = shared.inner.lock().expect("preprocessor lock");
+                    inner.preprocess_ns += prep_end_ns - prep_start_ns;
+                    inner.batches_preprocessed += 1;
+                    if let Some(timing) = inner.timing_slot(ticket) {
+                        timing.prep_start_ns = prep_start_ns;
+                        timing.prep_end_ns = prep_end_ns;
+                    }
+                }
+                if collector
+                    .send(CollectorMsg::Manifest {
+                        ticket,
+                        parts: dispatch.len(),
+                        len: dispatch.iter().map(|(_, _, ops, _)| ops.len()).sum(),
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+                // Dispatch this batch's plan windows now, then release the
+                // *previous* batch's held-back operations.
+                let mut ops_parts = Vec::with_capacity(dispatch.len());
+                for (worker, plan, ops, slots) in dispatch {
+                    if workers[worker].send(WorkerMsg::Plan(plan)).is_err() {
+                        return;
+                    }
+                    ops_parts.push((worker, WorkerMsg::Ops { ticket, ops, slots }));
+                }
+                if !flush(&mut pending) {
+                    return;
+                }
+                pending = Some(ops_parts);
+            }
+        }
+    }
+    let _ = flush(&mut pending);
+    // Ingress closed: dropping the worker senders ends the workers, whose
+    // dropped collector senders then end the collector.
+}
+
+/// One shard worker: owns a LAORAM instance, installs plan windows, and
+/// serves operation batches. Before serving, it opportunistically stages
+/// the *next* window if the preprocessor already delivered it, so cache
+/// flushes exit toward next-window paths (the warm cross-batch pipeline).
+fn run_worker(
+    worker: usize,
+    mut client: LaOram,
+    rx: Receiver<WorkerMsg>,
+    collector: mpsc::Sender<CollectorMsg>,
+    shared: Arc<Shared>,
+) {
+    // Local FIFO mirror of the channel. Messages are only ever appended in
+    // channel order; the one out-of-order operation is `stage_next_plan`,
+    // which removes the *first* Plan in the queue — plans are staged
+    // strictly in arrival order.
+    let mut queue: VecDeque<WorkerMsg> = VecDeque::new();
+    // Keep the *first* failure: later PlanIncomplete/PlanBacklog errors
+    // are cascades of the root cause and would otherwise mask it.
+    let fail = |shared: &Shared, e: &dyn std::fmt::Display| {
+        let slot = &mut shared.inner.lock().expect("worker lock").worker_errors[worker];
+        if slot.is_none() {
+            *slot = Some(e.to_string());
+        }
+    };
+    /// Pumps every already-delivered message into the local queue.
+    fn pump(rx: &Receiver<WorkerMsg>, queue: &mut VecDeque<WorkerMsg>) {
+        while let Ok(m) = rx.try_recv() {
+            queue.push_back(m);
+        }
+    }
+    /// Stages the earliest queued Plan, if any and if the slot is free.
+    fn stage_next_plan(
+        client: &mut LaOram,
+        queue: &mut VecDeque<WorkerMsg>,
+    ) -> laoram_core::Result<()> {
+        if client.has_staged_plan() {
+            return Ok(());
+        }
+        if let Some(at) = queue.iter().position(|m| matches!(m, WorkerMsg::Plan(_))) {
+            let Some(WorkerMsg::Plan(plan)) = queue.remove(at) else {
+                unreachable!("position() found a Plan");
+            };
+            client.stage_plan(plan)?;
+        }
+        Ok(())
+    }
+    loop {
+        if queue.is_empty() {
+            match rx.recv() {
+                Ok(m) => queue.push_back(m),
+                Err(_) => break,
+            }
+        }
+        pump(&rx, &mut queue);
+        let msg = queue.pop_front().expect("nonempty after recv");
+        match msg {
+            WorkerMsg::ResetStats => {
+                client.reset_stats();
+                let mut inner = shared.inner.lock().expect("worker lock");
+                inner.worker_stats[worker] = AccessStats::new();
+                inner.worker_serve_ns[worker] = 0;
+                inner.worker_batches[worker] = 0;
+            }
+            WorkerMsg::Plan(plan) => {
+                // Normally plans are absorbed by `stage_next_plan`; one
+                // reaches here only when it arrived with no ops pending.
+                if client.has_staged_plan() && client.plan_remaining() == 0 {
+                    if let Err(e) = client.advance_plan() {
+                        fail(&shared, &e);
+                    }
+                }
+                // A stage failure is recorded, not fatal: the window's ops
+                // will fail below and be answered with empty outputs, so
+                // the collector never starves.
+                if let Err(e) = client.stage_plan(plan) {
+                    fail(&shared, &e);
+                }
+            }
+            WorkerMsg::Ops { ticket, ops, slots } => {
+                // Activate the window these ops belong to.
+                if client.plan_remaining() == 0 && client.has_staged_plan() {
+                    if let Err(e) = client.advance_plan() {
+                        fail(&shared, &e);
+                    }
+                }
+                // Pipeline lookahead: if the *next* window is already
+                // delivered, stage it before serving so this batch's cache
+                // flushes exit toward next-window paths.
+                pump(&rx, &mut queue);
+                if let Err(e) = stage_next_plan(&mut client, &mut queue) {
+                    fail(&shared, &e);
+                }
+                let serve_start_ns = shared.now_ns();
+                let outputs = match client.serve_batch(ops) {
+                    Ok(outputs) => outputs,
+                    Err(e) => {
+                        // Degrade instead of deadlocking: record the error
+                        // and answer with empty outputs so every submitted
+                        // batch still completes.
+                        fail(&shared, &e);
+                        vec![None; slots.len()]
+                    }
+                };
+                let serve_end_ns = shared.now_ns();
+                {
+                    let mut inner = shared.inner.lock().expect("worker lock");
+                    inner.worker_stats[worker] = client.stats().clone();
+                    inner.worker_serve_ns[worker] += serve_end_ns - serve_start_ns;
+                    inner.worker_batches[worker] += 1;
+                    if let Some(timing) = inner.timing_slot(ticket) {
+                        if timing.serve_start_ns == 0 || serve_start_ns < timing.serve_start_ns {
+                            timing.serve_start_ns = serve_start_ns;
+                        }
+                        if serve_end_ns > timing.serve_end_ns {
+                            timing.serve_end_ns = serve_end_ns;
+                        }
+                    }
+                }
+                if collector.send(CollectorMsg::Part { ticket, outputs, slots }).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    // Channel closed: flush the shard and record final statistics.
+    if let Err(e) = client.finish() {
+        fail(&shared, &e);
+    }
+    shared.inner.lock().expect("worker lock").worker_stats[worker] = client.stats().clone();
+}
+
+/// The collector: reassembles shard parts into whole-batch responses and
+/// emits them in ticket order.
+fn run_collector(rx: Receiver<CollectorMsg>, responses: mpsc::Sender<BatchResponse>) {
+    struct Pending {
+        outputs: Vec<Option<Box<[u8]>>>,
+        remaining: usize,
+    }
+    let mut pending: HashMap<u64, Pending> = HashMap::new();
+    let mut done: BTreeMap<u64, Vec<Option<Box<[u8]>>>> = BTreeMap::new();
+    let mut next_emit = 0u64;
+    let emit = |done: &mut BTreeMap<u64, Vec<Option<Box<[u8]>>>>, next_emit: &mut u64| {
+        while let Some(outputs) = done.remove(next_emit) {
+            if responses.send(BatchResponse { ticket: BatchTicket(*next_emit), outputs }).is_err() {
+                return;
+            }
+            *next_emit += 1;
+        }
+    };
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            CollectorMsg::Manifest { ticket, parts, len } => {
+                if parts == 0 {
+                    done.insert(ticket, Vec::new());
+                } else {
+                    pending.insert(ticket, Pending { outputs: vec![None; len], remaining: parts });
+                }
+                emit(&mut done, &mut next_emit);
+            }
+            CollectorMsg::Part { ticket, outputs, slots } => {
+                let entry = pending.get_mut(&ticket).expect("part before manifest");
+                for (slot, output) in slots.into_iter().zip(outputs) {
+                    entry.outputs[slot as usize] = output;
+                }
+                entry.remaining -= 1;
+                if entry.remaining == 0 {
+                    let finished = pending.remove(&ticket).expect("present");
+                    done.insert(ticket, finished.outputs);
+                    emit(&mut done, &mut next_emit);
+                }
+            }
+        }
+    }
+}
+
+fn build_stats(inner: &SharedInner, worker_homes: &[(usize, u32)], wall_ns: u64) -> ServiceStats {
+    let mut shards = Vec::with_capacity(worker_homes.len());
+    let mut merged = AccessStats::new();
+    for (worker, &(table, shard)) in worker_homes.iter().enumerate() {
+        let stats = inner.worker_stats[worker].clone();
+        merged.merge(&stats);
+        shards.push(ShardStats {
+            table,
+            shard,
+            stats,
+            serve_ns: inner.worker_serve_ns[worker],
+            batches: inner.worker_batches[worker],
+        });
+    }
+    // Overlap: preprocessing wall-clock hidden behind concurrent serving.
+    // Merge all serve spans into disjoint intervals, then intersect each
+    // batch's preprocessing span with the union.
+    let mut serve_spans: Vec<(u64, u64)> = inner
+        .batch_timing
+        .iter()
+        .filter(|t| t.serve_end_ns > t.serve_start_ns)
+        .map(|t| (t.serve_start_ns, t.serve_end_ns))
+        .collect();
+    serve_spans.sort_unstable();
+    let mut merged_spans: Vec<(u64, u64)> = Vec::with_capacity(serve_spans.len());
+    for (lo, hi) in serve_spans {
+        match merged_spans.last_mut() {
+            Some((_, last_hi)) if lo <= *last_hi => *last_hi = (*last_hi).max(hi),
+            _ => merged_spans.push((lo, hi)),
+        }
+    }
+    let mut overlap_ns = 0u64;
+    let mut window_preprocess_ns = 0u64;
+    for timing in &inner.batch_timing {
+        if timing.prep_end_ns <= timing.prep_start_ns {
+            continue;
+        }
+        window_preprocess_ns += timing.prep_end_ns - timing.prep_start_ns;
+        for &(lo, hi) in &merged_spans {
+            let cut_lo = timing.prep_start_ns.max(lo);
+            let cut_hi = timing.prep_end_ns.min(hi);
+            overlap_ns += cut_hi.saturating_sub(cut_lo);
+        }
+    }
+    let worker_errors = inner
+        .worker_errors
+        .iter()
+        .enumerate()
+        .filter_map(|(worker, e)| e.as_ref().map(|m| (worker, m.clone())))
+        .collect();
+    ServiceStats {
+        shards,
+        merged,
+        worker_errors,
+        pipeline: PipelineStats {
+            batches: inner.batches_preprocessed,
+            preprocess_ns: inner.preprocess_ns,
+            serve_ns: inner.worker_serve_ns.iter().sum(),
+            wall_ns,
+            window_preprocess_ns,
+            overlap_ns,
+        },
+        batches: inner.batch_timing.clone(),
+    }
+}

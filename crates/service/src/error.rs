@@ -1,0 +1,99 @@
+//! Error type for the serving engine.
+
+use std::error::Error;
+use std::fmt;
+
+use laoram_core::LaOramError;
+
+use crate::Request;
+
+/// Errors produced by the serving engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// Configuration rejected at startup.
+    InvalidConfig(String),
+    /// A request named a table the service does not host.
+    UnknownTable {
+        /// The requested table id.
+        table: usize,
+        /// Number of hosted tables.
+        tables: usize,
+    },
+    /// A request indexed past the end of its table.
+    IndexOutOfRange {
+        /// The requested table id.
+        table: usize,
+        /// The requested index.
+        index: u32,
+        /// The table's entry count.
+        num_blocks: u32,
+    },
+    /// The bounded request queue is full ([`try_submit`]); the batch is
+    /// handed back for resubmission.
+    ///
+    /// [`try_submit`]: crate::LaoramService::try_submit
+    Backpressure(
+        /// The rejected batch, returned unchanged.
+        Vec<Request>,
+    ),
+    /// [`next_response`](crate::LaoramService::next_response) was called
+    /// with no submitted batch outstanding.
+    NoPendingBatches,
+    /// A pipeline stage terminated unexpectedly (a worker panicked or an
+    /// internal channel closed early).
+    Disconnected,
+    /// Constructing a shard's underlying LAORAM client failed.
+    Core(LaOramError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ServiceError::UnknownTable { table, tables } => {
+                write!(f, "table {table} out of range ({tables} tables hosted)")
+            }
+            ServiceError::IndexOutOfRange { table, index, num_blocks } => {
+                write!(f, "index {index} outside table {table} of {num_blocks} entries")
+            }
+            ServiceError::Backpressure(batch) => {
+                write!(f, "request queue full ({} requests rejected)", batch.len())
+            }
+            ServiceError::NoPendingBatches => write!(f, "no submitted batch outstanding"),
+            ServiceError::Disconnected => write!(f, "pipeline stage terminated unexpectedly"),
+            ServiceError::Core(e) => write!(f, "shard construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for ServiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServiceError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LaOramError> for ServiceError {
+    fn from(e: LaOramError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ServiceError::UnknownTable { table: 3, tables: 2 };
+        assert!(e.to_string().contains("table 3"));
+        let e = ServiceError::IndexOutOfRange { table: 0, index: 9, num_blocks: 8 };
+        assert!(e.to_string().contains("index 9"));
+        let e: ServiceError = LaOramError::InvalidConfig("x".into()).into();
+        assert!(e.source().is_some());
+        assert!(ServiceError::Backpressure(vec![]).to_string().contains("queue full"));
+    }
+}

@@ -1,0 +1,283 @@
+//! `laoram-service` — a sharded, pipelined, multi-table LAORAM embedding
+//! serving engine.
+//!
+//! The LAORAM paper's key structural insight is that training knows its
+//! future access stream, so preprocessing (superblock binning + path
+//! generation, §IV-B) can run *ahead of* and *concurrently with* serving
+//! (§VII). The core crate's [`LaOram`](laoram_core::LaOram) client
+//! exercises the protocol for one table and one thread; this crate builds
+//! the serving system around it:
+//!
+//! * **Multi-table** — the engine hosts any number of embedding tables
+//!   ([`TableSpec`]), each with its own LAORAM parameters.
+//! * **Sharded** — each table is hash-partitioned ([`ShardRouter`]) across
+//!   shard workers, one `LaOram` instance and thread per shard, so
+//!   independent shards serve in parallel.
+//! * **Pipelined** — a dedicated preprocessor thread bins and
+//!   path-assigns batch `N+1` (via the resumable
+//!   [`SuperblockPlanner`](laoram_core::SuperblockPlanner)) while the
+//!   shard workers serve batch `N`, handing each worker double-buffered
+//!   [`SuperblockPlan`](laoram_core::SuperblockPlan) windows over
+//!   channels. Per-stage timestamps ([`PipelineStats`], [`BatchTiming`])
+//!   make the overlap observable.
+//! * **Backpressured** — the ingress queue is bounded;
+//!   [`submit`](LaoramService::submit) blocks and
+//!   [`try_submit`](LaoramService::try_submit) rejects when serving falls
+//!   behind.
+//!
+//! # Security model
+//!
+//! *Within* a shard, the single-client guarantee is unchanged: the
+//! shard's server sees a sequence of uniformly random path requests
+//! (§VI). *Across* shards, routing is a deterministic hash of the
+//! accessed index, so an adversary observing which shard serves each
+//! request learns the per-shard traffic *volume* distribution — a
+//! coarse, input-dependent signal that a single-instance deployment
+//! does not emit. This is the standard trade-off of partitioned ORAM;
+//! deployments that cannot accept it should run one shard per table or
+//! pad per-shard sub-batches to equal length (a roadmap item, see
+//! ROADMAP.md).
+//!
+//! # Example
+//!
+//! ```
+//! use laoram_service::{LaoramService, Request, ServiceConfig, TableSpec};
+//!
+//! let mut service = LaoramService::start(
+//!     ServiceConfig::new()
+//!         .table(TableSpec::new("embeddings", 256).shards(2).superblock_size(4))
+//!         .queue_depth(2),
+//! )?;
+//! // One training batch: update two rows, read one.
+//! service.submit(vec![
+//!     Request::write(0, 7, vec![1u8; 8].into()),
+//!     Request::write(0, 91, vec![2u8; 8].into()),
+//!     Request::read(0, 7),
+//! ])?;
+//! let response = service.next_response()?;
+//! assert_eq!(response.outputs[2].as_deref(), Some(&[1u8; 8][..]));
+//! let report = service.shutdown()?;
+//! assert_eq!(report.stats.merged.real_accesses, 3);
+//! # Ok::<(), laoram_service::ServiceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod engine;
+mod error;
+mod router;
+mod spec;
+mod stats;
+
+pub use batch::{BatchResponse, BatchTicket, Request, RequestOp};
+pub use engine::{LaoramService, ServiceReport};
+pub use error::ServiceError;
+pub use router::{ShardRouter, TablePartition};
+pub use spec::{ServiceConfig, TableSpec};
+pub use stats::{BatchTiming, PipelineStats, ServiceStats, ShardStats};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ServiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_shard_config() -> ServiceConfig {
+        ServiceConfig::new()
+            .table(TableSpec::new("t0", 512).shards(2).superblock_size(4).seed(11))
+            .queue_depth(4)
+    }
+
+    #[test]
+    fn start_validates_configuration() {
+        assert!(LaoramService::start(ServiceConfig::new()).is_err(), "no tables");
+        assert!(
+            LaoramService::start(ServiceConfig::new().table(TableSpec::new("t", 8)).queue_depth(0))
+                .is_err(),
+            "zero queue depth"
+        );
+        assert!(
+            LaoramService::start(ServiceConfig::new().table(TableSpec::new("t", 8).shards(16)))
+                .is_err(),
+            "more shards than entries"
+        );
+    }
+
+    #[test]
+    fn read_your_writes_across_batches() {
+        let mut service = LaoramService::start(two_shard_config()).unwrap();
+        let writes: Vec<Request> =
+            (0..64).map(|i| Request::write(0, i * 7 % 512, vec![i as u8; 4].into())).collect();
+        let expect: Vec<u32> = writes.iter().map(|r| r.index).collect();
+        service.submit(writes).unwrap();
+        let reads: Vec<Request> = expect.iter().map(|&i| Request::read(0, i)).collect();
+        service.submit(reads).unwrap();
+        let responses = service.drain().unwrap();
+        assert_eq!(responses.len(), 2);
+        // Later writes to a repeated index win; track the model.
+        let mut model = std::collections::HashMap::new();
+        for (i, &idx) in expect.iter().enumerate() {
+            model.insert(idx, vec![i as u8; 4]);
+        }
+        for (pos, &idx) in expect.iter().enumerate() {
+            assert_eq!(
+                responses[1].outputs[pos].as_deref(),
+                Some(model[&idx].as_slice()),
+                "row {idx}"
+            );
+        }
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn responses_arrive_in_submission_order() {
+        let mut service = LaoramService::start(two_shard_config()).unwrap();
+        for b in 0..6u64 {
+            let batch: Vec<Request> =
+                (0..32).map(|i| Request::read(0, (b as u32 * 31 + i) % 512)).collect();
+            let ticket = service.submit(batch).unwrap();
+            assert_eq!(ticket.id(), b);
+        }
+        for b in 0..6u64 {
+            assert_eq!(service.next_response().unwrap().ticket.id(), b);
+        }
+        assert!(matches!(service.next_response(), Err(ServiceError::NoPendingBatches)));
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn invalid_requests_rejected_synchronously() {
+        let mut service = LaoramService::start(two_shard_config()).unwrap();
+        assert!(matches!(
+            service.submit(vec![Request::read(1, 0)]),
+            Err(ServiceError::UnknownTable { .. })
+        ));
+        assert!(matches!(
+            service.submit(vec![Request::read(0, 512)]),
+            Err(ServiceError::IndexOutOfRange { .. })
+        ));
+        assert_eq!(service.outstanding(), 0);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn empty_batches_complete() {
+        let mut service = LaoramService::start(two_shard_config()).unwrap();
+        service.submit(Vec::new()).unwrap();
+        let response = service.next_response().unwrap();
+        assert!(response.outputs.is_empty());
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn backpressure_rejects_when_queue_full() {
+        // Queue depth 1 and no consumption: the queue must eventually
+        // reject. (The first batch may be dequeued by the preprocessor, so
+        // allow a couple of accepted submissions before the rejection.)
+        let mut service = LaoramService::start(
+            ServiceConfig::new()
+                .table(TableSpec::new("t0", 64).superblock_size(2).seed(3))
+                .queue_depth(1),
+        )
+        .unwrap();
+        let mut rejected = false;
+        for _ in 0..64 {
+            let batch: Vec<Request> = (0..64).map(|i| Request::read(0, i)).collect();
+            match service.try_submit(batch) {
+                Ok(_) => continue,
+                Err(ServiceError::Backpressure(returned)) => {
+                    assert_eq!(returned.len(), 64, "batch handed back intact");
+                    rejected = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(rejected, "queue of depth 1 never pushed back");
+        service.drain().unwrap();
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn merged_stats_equal_sum_of_shards() {
+        let mut service = LaoramService::start(two_shard_config()).unwrap();
+        for b in 0..4u32 {
+            let batch: Vec<Request> =
+                (0..128).map(|i| Request::read(0, (i * 3 + b) % 512)).collect();
+            service.submit(batch).unwrap();
+        }
+        service.drain().unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.shards.len(), 2);
+        assert_eq!(stats.merged.real_accesses, 512);
+        let sum: u64 = stats.shards.iter().map(|s| s.stats.real_accesses).sum();
+        assert_eq!(stats.merged.real_accesses, sum);
+        let sum_reads: u64 = stats.shards.iter().map(|s| s.stats.path_reads).sum();
+        assert_eq!(stats.merged.path_reads, sum_reads);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn multi_table_batches_route_to_their_tables() {
+        let mut service = LaoramService::start(
+            ServiceConfig::new()
+                .table(TableSpec::new("a", 128).shards(2).seed(1))
+                .table(TableSpec::new("b", 256).shards(2).seed(2)),
+        )
+        .unwrap();
+        let batch: Vec<Request> = (0..64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Request::write(0, i % 128, vec![1, i as u8].into())
+                } else {
+                    Request::write(1, i, vec![2, i as u8].into())
+                }
+            })
+            .collect();
+        service.submit(batch).unwrap();
+        let verify: Vec<Request> = (0..64)
+            .map(|i| if i % 2 == 0 { Request::read(0, i % 128) } else { Request::read(1, i) })
+            .collect();
+        service.submit(verify).unwrap();
+        let responses = service.drain().unwrap();
+        for i in 0..64u32 {
+            let tag = if i % 2 == 0 { 1 } else { 2 };
+            assert_eq!(
+                responses[1].outputs[i as usize].as_deref(),
+                Some(&[tag, i as u8][..]),
+                "request {i}"
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.table_merged(0).real_accesses, 64);
+        assert_eq!(stats.table_merged(1).real_accesses, 64);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters_in_order() {
+        let mut service = LaoramService::start(two_shard_config()).unwrap();
+        let batch: Vec<Request> = (0..256).map(|i| Request::read(0, i % 512)).collect();
+        service.submit(batch.clone()).unwrap();
+        service.drain().unwrap();
+        service.reset_stats().unwrap();
+        service.submit(batch).unwrap();
+        service.drain().unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.merged.real_accesses, 256, "only the post-reset batch counted");
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_reports_lifetime_requests() {
+        let mut service = LaoramService::start(two_shard_config()).unwrap();
+        service.submit((0..32).map(|i| Request::read(0, i)).collect()).unwrap();
+        let report = service.shutdown().unwrap();
+        assert_eq!(report.requests_served, 32);
+        assert_eq!(report.responses.len(), 1, "shutdown drains unclaimed responses");
+        assert!(report.worker_errors.is_empty(), "healthy run reports no shard failures");
+    }
+}

@@ -1,0 +1,258 @@
+//! Hash partitioning of tables across shard workers.
+
+use crate::{ServiceError, TableSpec};
+
+/// The partition of one table's index space across its shards.
+///
+/// Indices are spread by a Fibonacci multiplicative hash, so hot rows
+/// (which cluster at low indices in DLRM-style tables) land on different
+/// shards instead of all hitting shard 0. Each global index maps to a
+/// `(shard, local)` pair; locals are dense per shard, sized to exactly
+/// the number of global indices hashed there, so every shard's LAORAM
+/// instance is as small as possible.
+#[derive(Debug, Clone)]
+pub struct TablePartition {
+    shard_of: Vec<u16>,
+    local_of: Vec<u32>,
+    shard_sizes: Vec<u32>,
+}
+
+/// Fibonacci multiplicative hash: spreads consecutive indices far apart.
+fn fib_hash(index: u32) -> u32 {
+    index.wrapping_mul(0x9E37_79B9).rotate_right(16)
+}
+
+impl TablePartition {
+    /// Partitions `num_blocks` indices across `shards`.
+    ///
+    /// Falls back to plain modulo striping in the degenerate case where
+    /// hashing leaves some shard empty (only possible for tiny tables).
+    ///
+    /// # Errors
+    /// Rejects zero shards, more shards than entries, or more than
+    /// `u16::MAX` shards.
+    pub fn new(num_blocks: u32, shards: u32) -> Result<Self, ServiceError> {
+        if shards == 0 {
+            return Err(ServiceError::InvalidConfig("a table needs at least one shard".into()));
+        }
+        if shards > num_blocks {
+            return Err(ServiceError::InvalidConfig(format!(
+                "{shards} shards for a table of {num_blocks} entries"
+            )));
+        }
+        if shards > u32::from(u16::MAX) {
+            return Err(ServiceError::InvalidConfig(format!("{shards} shards exceed u16 range")));
+        }
+        let assign = |hash: bool| -> (Vec<u16>, Vec<u32>, Vec<u32>) {
+            let mut shard_of = Vec::with_capacity(num_blocks as usize);
+            let mut local_of = Vec::with_capacity(num_blocks as usize);
+            let mut shard_sizes = vec![0u32; shards as usize];
+            for index in 0..num_blocks {
+                let shard = if hash { fib_hash(index) % shards } else { index % shards };
+                shard_of.push(shard as u16);
+                local_of.push(shard_sizes[shard as usize]);
+                shard_sizes[shard as usize] += 1;
+            }
+            (shard_of, local_of, shard_sizes)
+        };
+        let (shard_of, local_of, shard_sizes) = assign(true);
+        let (shard_of, local_of, shard_sizes) = if shard_sizes.contains(&0) {
+            assign(false)
+        } else {
+            (shard_of, local_of, shard_sizes)
+        };
+        Ok(TablePartition { shard_of, local_of, shard_sizes })
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> u32 {
+        self.shard_sizes.len() as u32
+    }
+
+    /// Number of global indices assigned to `shard`.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn shard_size(&self, shard: u32) -> u32 {
+        self.shard_sizes[shard as usize]
+    }
+
+    /// The `(shard, local index)` of a global index, or `None` out of
+    /// range.
+    #[must_use]
+    pub fn locate(&self, index: u32) -> Option<(u32, u32)> {
+        let i = index as usize;
+        Some((u32::from(*self.shard_of.get(i)?), self.local_of[i]))
+    }
+
+    /// Number of partitioned indices.
+    #[must_use]
+    pub fn num_blocks(&self) -> u32 {
+        self.shard_of.len() as u32
+    }
+}
+
+/// Routes `(table, index)` requests to flattened worker ids.
+///
+/// Workers are numbered contiguously: table 0's shards first, then table
+/// 1's, and so on. [`ShardRouter::route`] returns the worker id plus the
+/// shard-local block index the worker's LAORAM instance understands.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    partitions: Vec<TablePartition>,
+    worker_base: Vec<usize>,
+    num_workers: usize,
+}
+
+impl ShardRouter {
+    /// Builds the router for a set of hosted tables.
+    ///
+    /// # Errors
+    /// Propagates partition validation failures; rejects an empty table
+    /// list.
+    pub fn new(tables: &[TableSpec]) -> Result<Self, ServiceError> {
+        if tables.is_empty() {
+            return Err(ServiceError::InvalidConfig("service hosts no tables".into()));
+        }
+        let mut partitions = Vec::with_capacity(tables.len());
+        let mut worker_base = Vec::with_capacity(tables.len());
+        let mut next = 0usize;
+        for spec in tables {
+            worker_base.push(next);
+            let partition = TablePartition::new(spec.num_blocks, spec.shards)?;
+            next += partition.shards() as usize;
+            partitions.push(partition);
+        }
+        Ok(ShardRouter { partitions, worker_base, num_workers: next })
+    }
+
+    /// Total worker count across all tables.
+    #[must_use]
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// The partition of `table`.
+    ///
+    /// # Panics
+    /// Panics if `table` is out of range.
+    #[must_use]
+    pub fn partition(&self, table: usize) -> &TablePartition {
+        &self.partitions[table]
+    }
+
+    /// The `(table, shard)` a flattened worker id serves.
+    ///
+    /// # Panics
+    /// Panics if `worker` is out of range.
+    #[must_use]
+    pub fn worker_home(&self, worker: usize) -> (usize, u32) {
+        let table = match self.worker_base.binary_search(&worker) {
+            Ok(t) => t,
+            Err(i) => i - 1,
+        };
+        (table, (worker - self.worker_base[table]) as u32)
+    }
+
+    /// Routes one request to `(worker id, shard-local index)`.
+    ///
+    /// # Errors
+    /// Rejects unknown tables and out-of-range indices.
+    pub fn route(&self, table: usize, index: u32) -> Result<(usize, u32), ServiceError> {
+        let partition = self
+            .partitions
+            .get(table)
+            .ok_or(ServiceError::UnknownTable { table, tables: self.partitions.len() })?;
+        let (shard, local) = partition.locate(index).ok_or(ServiceError::IndexOutOfRange {
+            table,
+            index,
+            num_blocks: partition.num_blocks(),
+        })?;
+        Ok((self.worker_base[table] + shard as usize, local))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_every_index_once() {
+        let p = TablePartition::new(1000, 4).unwrap();
+        let total: u32 = (0..4).map(|s| p.shard_size(s)).sum();
+        assert_eq!(total, 1000);
+        // locals are dense per shard: seeing shard s's local l implies all
+        // locals below l were seen too.
+        let mut seen: Vec<Vec<bool>> =
+            (0..4).map(|s| vec![false; p.shard_size(s) as usize]).collect();
+        for i in 0..1000 {
+            let (s, l) = p.locate(i).unwrap();
+            assert!(!seen[s as usize][l as usize], "local reused");
+            seen[s as usize][l as usize] = true;
+        }
+        assert!(seen.iter().flatten().all(|&b| b));
+    }
+
+    #[test]
+    fn hash_spreads_consecutive_hot_indices() {
+        // DLRM-style hot band: indices 0..32 must not pile on one shard.
+        let p = TablePartition::new(1 << 16, 8).unwrap();
+        let mut counts = [0u32; 8];
+        for i in 0..32 {
+            counts[p.locate(i).unwrap().0 as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max <= 12, "hot band concentrated: {counts:?}");
+    }
+
+    #[test]
+    fn partition_balance_is_reasonable() {
+        let p = TablePartition::new(100_000, 8).unwrap();
+        for s in 0..8 {
+            let size = p.shard_size(s);
+            assert!((11_000..14_000).contains(&size), "shard {s} got {size}");
+        }
+    }
+
+    #[test]
+    fn tiny_tables_fall_back_to_striping() {
+        // 4 entries, 4 shards: every shard must still be nonempty.
+        let p = TablePartition::new(4, 4).unwrap();
+        for s in 0..4 {
+            assert_eq!(p.shard_size(s), 1);
+        }
+    }
+
+    #[test]
+    fn invalid_partitions_rejected() {
+        assert!(TablePartition::new(8, 0).is_err());
+        assert!(TablePartition::new(4, 8).is_err());
+    }
+
+    #[test]
+    fn router_flattens_tables_in_order() {
+        let tables = vec![TableSpec::new("a", 64).shards(2), TableSpec::new("b", 128).shards(3)];
+        let r = ShardRouter::new(&tables).unwrap();
+        assert_eq!(r.num_workers(), 5);
+        assert_eq!(r.worker_home(0), (0, 0));
+        assert_eq!(r.worker_home(1), (0, 1));
+        assert_eq!(r.worker_home(2), (1, 0));
+        assert_eq!(r.worker_home(4), (1, 2));
+        let (w, _) = r.route(1, 100).unwrap();
+        assert!((2..5).contains(&w));
+        assert!(matches!(r.route(2, 0), Err(ServiceError::UnknownTable { .. })));
+        assert!(matches!(r.route(0, 64), Err(ServiceError::IndexOutOfRange { .. })));
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let tables = vec![TableSpec::new("a", 4096).shards(4)];
+        let a = ShardRouter::new(&tables).unwrap();
+        let b = ShardRouter::new(&tables).unwrap();
+        for i in (0..4096).step_by(97) {
+            assert_eq!(a.route(0, i).unwrap(), b.route(0, i).unwrap());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Service and per-table configuration.
+
+use oram_protocol::EvictionConfig;
+
+/// Configuration of one hosted embedding table.
+///
+/// Each table is partitioned across `shards` independent LAORAM
+/// instances (one worker thread each); requests are routed by an index
+/// hash. All shards of a table share the LAORAM parameters below.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Human-readable table name (diagnostics only).
+    pub name: String,
+    /// Number of embedding entries.
+    pub num_blocks: u32,
+    /// Number of shards (LAORAM instances) the table is partitioned into.
+    pub shards: u32,
+    /// Superblock size `S` for every shard.
+    pub superblock_size: u32,
+    /// Whether shards use the fat-tree bucket profile (§V).
+    pub fat_tree: bool,
+    /// Whether rows carry payload bytes (disable for metadata-only
+    /// simulation).
+    pub payloads: bool,
+    /// Background-eviction policy for every shard.
+    pub eviction: EvictionConfig,
+    /// Base RNG seed; each shard derives an independent stream from it.
+    pub seed: u64,
+}
+
+impl TableSpec {
+    /// A table of `num_blocks` entries with paper-default LAORAM
+    /// parameters: one shard, `S = 4`, normal tree, payloads on.
+    #[must_use]
+    pub fn new(name: impl Into<String>, num_blocks: u32) -> Self {
+        TableSpec {
+            name: name.into(),
+            num_blocks,
+            shards: 1,
+            superblock_size: 4,
+            fat_tree: false,
+            payloads: true,
+            eviction: EvictionConfig::paper_default(),
+            seed: 0xD15C_07AB,
+        }
+    }
+
+    /// Sets the shard count.
+    #[must_use]
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the superblock size `S`.
+    #[must_use]
+    pub fn superblock_size(mut self, s: u32) -> Self {
+        self.superblock_size = s;
+        self
+    }
+
+    /// Selects the fat-tree bucket profile.
+    #[must_use]
+    pub fn fat_tree(mut self, fat: bool) -> Self {
+        self.fat_tree = fat;
+        self
+    }
+
+    /// Enables or disables payload storage.
+    #[must_use]
+    pub fn payloads(mut self, payloads: bool) -> Self {
+        self.payloads = payloads;
+        self
+    }
+
+    /// Sets the background-eviction policy.
+    #[must_use]
+    pub fn eviction(mut self, eviction: EvictionConfig) -> Self {
+        self.eviction = eviction;
+        self
+    }
+
+    /// Sets the base RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Configuration of the whole serving engine.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The hosted tables; request `table` fields index into this list.
+    pub tables: Vec<TableSpec>,
+    /// Capacity of the bounded ingress queue, in batches. Submitting past
+    /// it blocks ([`submit`](crate::LaoramService::submit)) or rejects
+    /// ([`try_submit`](crate::LaoramService::try_submit)) — the service's
+    /// backpressure.
+    pub queue_depth: usize,
+}
+
+impl ServiceConfig {
+    /// An empty configuration with the default queue depth (4 batches).
+    #[must_use]
+    pub fn new() -> Self {
+        ServiceConfig { tables: Vec::new(), queue_depth: 4 }
+    }
+
+    /// Adds a hosted table.
+    #[must_use]
+    pub fn table(mut self, spec: TableSpec) -> Self {
+        self.tables.push(spec);
+        self
+    }
+
+    /// Sets the ingress queue depth (in batches).
+    #[must_use]
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let spec = TableSpec::new("emb", 1024);
+        assert_eq!(spec.shards, 1);
+        assert_eq!(spec.superblock_size, 4);
+        assert!(spec.payloads);
+        let spec = spec.shards(4).superblock_size(8).fat_tree(true).seed(1);
+        assert_eq!(spec.shards, 4);
+        assert_eq!(spec.superblock_size, 8);
+        assert!(spec.fat_tree);
+
+        let cfg = ServiceConfig::new().table(TableSpec::new("a", 16)).queue_depth(2);
+        assert_eq!(cfg.tables.len(), 1);
+        assert_eq!(cfg.queue_depth, 2);
+    }
+}

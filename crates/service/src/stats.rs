@@ -1,0 +1,141 @@
+//! Merged, shard-level, and pipeline-stage statistics.
+
+use oram_protocol::AccessStats;
+
+/// Statistics of one shard worker.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Table the shard belongs to.
+    pub table: usize,
+    /// Shard number within the table.
+    pub shard: u32,
+    /// The shard's LAORAM access counters.
+    pub stats: AccessStats,
+    /// Wall-clock nanoseconds this worker spent serving batches.
+    pub serve_ns: u64,
+    /// Batches this worker served.
+    pub batches: u64,
+}
+
+/// Per-stage timing of the lookahead pipeline.
+///
+/// `overlap_ns` is the wall-clock time preprocessing spans spent inside
+/// the union of serving spans — time in which the preprocessor
+/// demonstrably ran concurrently with shard serving (§VII's pipeline
+/// overlap; under the engine's one-batch dispatch delay, batch `N+1` is
+/// planned while batch `N` or earlier is being served).
+///
+/// Overlap is computed from the recent per-batch timing window, so it is
+/// paired with `window_preprocess_ns` (the same window's preprocessing
+/// time) rather than the cumulative `preprocess_ns` — on runs longer
+/// than the window the cumulative total keeps growing while old timing
+/// records age out. A pipelined engine under load shows
+/// [`overlap_fraction`](Self::overlap_fraction) near 1, i.e.
+/// preprocessing almost entirely hidden off the critical path.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Batches preprocessed since start (or the last stats reset).
+    pub batches: u64,
+    /// Cumulative wall-clock nanoseconds spent binning + path-assigning.
+    pub preprocess_ns: u64,
+    /// Cumulative wall-clock nanoseconds of shard serving, summed across
+    /// workers.
+    pub serve_ns: u64,
+    /// Wall-clock nanoseconds since the engine started.
+    pub wall_ns: u64,
+    /// Preprocessing nanoseconds within the recent timing window.
+    pub window_preprocess_ns: u64,
+    /// Preprocessing nanoseconds of the recent timing window that
+    /// overlapped concurrent serving.
+    pub overlap_ns: u64,
+}
+
+impl PipelineStats {
+    /// Fraction of recent-window preprocessing hidden behind serving
+    /// (0 when nothing was preprocessed).
+    #[must_use]
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.window_preprocess_ns == 0 {
+            0.0
+        } else {
+            self.overlap_ns as f64 / self.window_preprocess_ns as f64
+        }
+    }
+}
+
+/// Timing record of one batch's trip through the pipeline (nanoseconds
+/// since engine start).
+#[derive(Debug, Clone, Default)]
+pub struct BatchTiming {
+    /// Preprocessing (routing + planning) started.
+    pub prep_start_ns: u64,
+    /// Preprocessing finished; shard messages dispatched.
+    pub prep_end_ns: u64,
+    /// Earliest shard began serving this batch (0 until served).
+    pub serve_start_ns: u64,
+    /// Latest shard finished serving this batch (0 until served).
+    pub serve_end_ns: u64,
+}
+
+/// A consistent snapshot of the whole engine's statistics.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// One entry per shard worker, in flattened worker order.
+    pub shards: Vec<ShardStats>,
+    /// All shard counters merged ([`AccessStats::merge`]).
+    pub merged: AccessStats,
+    /// `(worker id, failure description)` for every shard that has
+    /// degraded. A failed shard keeps answering its batches with empty
+    /// outputs so the pipeline never stalls — poll this (or
+    /// `ServiceReport::worker_errors` at shutdown) to detect it.
+    pub worker_errors: Vec<(usize, String)>,
+    /// Pipeline-stage timing.
+    pub pipeline: PipelineStats,
+    /// Per-batch timing records for a recent window of batches, oldest
+    /// first (bounded; long runs age out old records).
+    pub batches: Vec<BatchTiming>,
+}
+
+impl ServiceStats {
+    /// Merged counters of one table's shards.
+    #[must_use]
+    pub fn table_merged(&self, table: usize) -> AccessStats {
+        let mut merged = AccessStats::new();
+        for shard in self.shards.iter().filter(|s| s.table == table) {
+            merged.merge(&shard.stats);
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_fraction_bounds() {
+        let mut p = PipelineStats::default();
+        assert_eq!(p.overlap_fraction(), 0.0);
+        p.window_preprocess_ns = 100;
+        p.overlap_ns = 80;
+        assert!((p.overlap_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_merge_filters_by_table() {
+        let mk = |table, accesses| {
+            let mut stats = AccessStats::new();
+            stats.real_accesses = accesses;
+            ShardStats { table, shard: 0, stats, serve_ns: 0, batches: 0 }
+        };
+        let stats = ServiceStats {
+            shards: vec![mk(0, 5), mk(1, 7), mk(0, 11)],
+            merged: AccessStats::new(),
+            worker_errors: Vec::new(),
+            pipeline: PipelineStats::default(),
+            batches: Vec::new(),
+        };
+        assert_eq!(stats.table_merged(0).real_accesses, 16);
+        assert_eq!(stats.table_merged(1).real_accesses, 7);
+    }
+}

@@ -109,7 +109,7 @@ impl BucketProfile {
                         caps.len(),
                         leaf_level + 1
                     )))
-                } else if caps.iter().any(|&c| c == 0) {
+                } else if caps.contains(&0) {
                     Err(TreeError::InvalidProfile("custom profile contains a zero capacity".into()))
                 } else {
                     Ok(())
@@ -155,8 +155,7 @@ impl TreeGeometry {
             return Err(TreeError::TooManyLevels { levels });
         }
         profile.validate(levels)?;
-        let capacities: Vec<u32> =
-            (0..=levels).map(|lvl| profile.capacity(lvl, levels)).collect();
+        let capacities: Vec<u32> = (0..=levels).map(|lvl| profile.capacity(lvl, levels)).collect();
         let mut level_slot_offsets = Vec::with_capacity(capacities.len() + 1);
         let mut acc = 0u64;
         for (lvl, &cap) in capacities.iter().enumerate() {
@@ -318,7 +317,8 @@ mod tests {
     #[test]
     fn fat_linear_profile_endpoints_and_monotonicity() {
         // Paper example: leaf 5, six levels (L = 5) -> 10, 9, 8, 7, 6, 5.
-        let g = TreeGeometry::with_levels(5, BucketProfile::FatLinear { leaf_capacity: 5 }).unwrap();
+        let g =
+            TreeGeometry::with_levels(5, BucketProfile::FatLinear { leaf_capacity: 5 }).unwrap();
         let caps: Vec<u32> = (0..=5).map(|l| g.bucket_capacity(l)).collect();
         assert_eq!(caps, vec![10, 9, 8, 7, 6, 5]);
         for w in caps.windows(2) {
@@ -329,9 +329,10 @@ mod tests {
     #[test]
     fn fat_linear_root_is_double_leaf_for_various_sizes() {
         for (levels, leaf_cap) in [(4u32, 4u32), (10, 4), (20, 8), (23, 5)] {
-            let g = TreeGeometry::with_levels(levels, BucketProfile::FatLinear {
-                leaf_capacity: leaf_cap,
-            })
+            let g = TreeGeometry::with_levels(
+                levels,
+                BucketProfile::FatLinear { leaf_capacity: leaf_cap },
+            )
             .unwrap();
             assert_eq!(g.bucket_capacity(0), 2 * leaf_cap, "root at L={levels}");
             assert_eq!(g.bucket_capacity(levels), leaf_cap, "leaf at L={levels}");
@@ -340,17 +341,18 @@ mod tests {
 
     #[test]
     fn fat_linear_single_node_tree_degenerates_to_leaf_capacity() {
-        let g = TreeGeometry::with_levels(0, BucketProfile::FatLinear { leaf_capacity: 4 }).unwrap();
+        let g =
+            TreeGeometry::with_levels(0, BucketProfile::FatLinear { leaf_capacity: 4 }).unwrap();
         assert_eq!(g.bucket_capacity(0), 4);
         assert_eq!(g.num_leaves(), 1);
     }
 
     #[test]
     fn fat_exponential_clamps() {
-        let g = TreeGeometry::with_levels(6, BucketProfile::FatExponential {
-            leaf_capacity: 4,
-            max_capacity: 32,
-        })
+        let g = TreeGeometry::with_levels(
+            6,
+            BucketProfile::FatExponential { leaf_capacity: 4, max_capacity: 32 },
+        )
         .unwrap();
         assert_eq!(g.bucket_capacity(6), 4);
         assert_eq!(g.bucket_capacity(5), 8);
@@ -377,12 +379,14 @@ mod tests {
     #[test]
     fn zero_capacity_profiles_rejected() {
         assert!(TreeGeometry::with_levels(3, BucketProfile::Uniform { capacity: 0 }).is_err());
-        assert!(TreeGeometry::with_levels(3, BucketProfile::FatLinear { leaf_capacity: 0 }).is_err());
+        assert!(
+            TreeGeometry::with_levels(3, BucketProfile::FatLinear { leaf_capacity: 0 }).is_err()
+        );
         assert!(TreeGeometry::with_levels(3, BucketProfile::Custom(vec![4, 0, 4, 4])).is_err());
-        assert!(TreeGeometry::with_levels(3, BucketProfile::FatExponential {
-            leaf_capacity: 4,
-            max_capacity: 2
-        })
+        assert!(TreeGeometry::with_levels(
+            3,
+            BucketProfile::FatExponential { leaf_capacity: 4, max_capacity: 2 }
+        )
         .is_err());
     }
 
@@ -443,7 +447,8 @@ mod tests {
 
     #[test]
     fn bucket_slot_ranges_are_disjoint_and_cover() {
-        let g = TreeGeometry::with_levels(3, BucketProfile::FatLinear { leaf_capacity: 2 }).unwrap();
+        let g =
+            TreeGeometry::with_levels(3, BucketProfile::FatLinear { leaf_capacity: 2 }).unwrap();
         let mut seen = vec![false; g.total_slots() as usize];
         for level in 0..=3u32 {
             for node in 0..(1u64 << level) {

@@ -37,12 +37,7 @@ impl Default for DlrmTraceConfig {
     }
 }
 
-pub(crate) fn generate(
-    cfg: &DlrmTraceConfig,
-    num_blocks: u32,
-    len: usize,
-    seed: u64,
-) -> Vec<u32> {
+pub(crate) fn generate(cfg: &DlrmTraceConfig, num_blocks: u32, len: usize, seed: u64) -> Vec<u32> {
     assert!(num_blocks > 0);
     assert!((0.0..=1.0).contains(&cfg.hot_probability), "hot probability out of [0,1]");
     let band = cfg.hot_band.min(num_blocks);
@@ -111,8 +106,8 @@ impl DlrmMultiTable {
     pub fn kaggle_like(scale: f64) -> Self {
         // Size classes modelled on the Criteo categorical cardinalities.
         let raw: [u32; 26] = [
-            10_131_227, 2_202_608, 305_776, 142_572, 38_985, 17_295, 12_973, 11_156, 7_122,
-            5_652, 4_605, 3_194, 2_173, 1_460, 976, 554, 305, 105, 36, 27, 14, 10, 4, 4, 3, 3,
+            10_131_227, 2_202_608, 305_776, 142_572, 38_985, 17_295, 12_973, 11_156, 7_122, 5_652,
+            4_605, 3_194, 2_173, 1_460, 976, 554, 305, 105, 36, 27, 14, 10, 4, 4, 3, 3,
         ];
         let sizes: Vec<u32> =
             raw.iter().map(|&s| ((f64::from(s) * scale).ceil() as u32).max(1)).collect();
@@ -161,9 +156,8 @@ impl DlrmMultiTable {
             for (t, sampler) in samplers.iter().enumerate() {
                 let rank = sampler.sample(&mut rng);
                 // Scatter ranks so hot rows are not id-adjacent.
-                let within =
-                    ((u64::from(rank) + 1).wrapping_mul(2_654_435_761) % u64::from(self.sizes[t]))
-                        as u32;
+                let within = ((u64::from(rank) + 1).wrapping_mul(2_654_435_761)
+                    % u64::from(self.sizes[t])) as u32;
                 accesses.push(self.offsets[t] + within);
             }
         }
@@ -263,7 +257,7 @@ mod tests {
         let small = DlrmMultiTable::kaggle_like(0.001);
         assert_eq!(small.num_tables(), 26);
         assert!(small.total_rows() < 20_000);
-        assert!(small.table_range(25).len() >= 1);
+        assert!(!small.table_range(25).is_empty());
     }
 
     #[test]

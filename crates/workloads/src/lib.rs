@@ -35,6 +35,7 @@ mod io;
 mod permutation;
 mod sampling;
 mod stats;
+mod tenancy;
 mod trace;
 mod xnli;
 mod zipf;
@@ -44,6 +45,7 @@ pub use gaussian::GaussianTraceConfig;
 pub use io::{read_trace_csv, write_trace_csv};
 pub use sampling::{BoxMuller, ZipfSampler};
 pub use stats::TraceStats;
+pub use tenancy::{MultiTenantMix, TenantSpec};
 pub use trace::{Trace, TraceKind};
 pub use xnli::XnliTraceConfig;
 pub use zipf::ZipfTraceConfig;

@@ -1,0 +1,207 @@
+//! Multi-tenant traffic: several trace streams interleaved into shared
+//! batches, the load shape a multi-table serving engine sees.
+//!
+//! Each tenant owns a table and a trace generator; the mixer interleaves
+//! the tenants' streams by weight using smooth weighted round-robin, then
+//! chunks the combined stream into fixed-size batches of
+//! `(table, index)` pairs. Everything is deterministic given a seed.
+
+use crate::{Trace, TraceKind};
+
+/// One tenant: a table served with a particular traffic pattern.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Table the tenant's requests target.
+    pub table: usize,
+    /// Traffic pattern.
+    pub kind: TraceKind,
+    /// Entries in the tenant's table.
+    pub num_blocks: u32,
+    /// Relative share of the mixed stream (must be nonzero).
+    pub weight: u32,
+}
+
+impl TenantSpec {
+    /// A tenant of weight 1.
+    #[must_use]
+    pub fn new(table: usize, kind: TraceKind, num_blocks: u32) -> Self {
+        TenantSpec { table, kind, num_blocks, weight: 1 }
+    }
+
+    /// Sets the tenant's traffic weight.
+    #[must_use]
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+}
+
+/// Deterministic weighted interleaver over several tenants' traces.
+///
+/// # Example
+/// ```
+/// use oram_workloads::{MultiTenantMix, TenantSpec, TraceKind, ZipfTraceConfig};
+///
+/// let mix = MultiTenantMix::new(vec![
+///     TenantSpec::new(0, TraceKind::Zipf(ZipfTraceConfig::default()), 1024).weight(3),
+///     TenantSpec::new(1, TraceKind::Permutation, 512),
+/// ]);
+/// let batches = mix.batches(256, 4, 7);
+/// assert_eq!(batches.len(), 4);
+/// assert!(batches.iter().all(|b| b.len() == 256));
+/// // Tenant 0 gets ~3/4 of every batch.
+/// let t0 = batches[0].iter().filter(|(t, _)| *t == 0).count();
+/// assert!((160..224).contains(&t0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiTenantMix {
+    tenants: Vec<TenantSpec>,
+}
+
+impl MultiTenantMix {
+    /// Builds a mixer.
+    ///
+    /// # Panics
+    /// Panics on an empty tenant list or a zero weight.
+    #[must_use]
+    pub fn new(tenants: Vec<TenantSpec>) -> Self {
+        assert!(!tenants.is_empty(), "mix needs at least one tenant");
+        assert!(tenants.iter().all(|t| t.weight > 0), "tenant weights must be nonzero");
+        MultiTenantMix { tenants }
+    }
+
+    /// The tenants in this mix.
+    #[must_use]
+    pub fn tenants(&self) -> &[TenantSpec] {
+        &self.tenants
+    }
+
+    /// Generates `num_batches` batches of `batch_len` `(table, index)`
+    /// pairs: each tenant's trace is generated at its share of the total
+    /// length, then interleaved by smooth weighted round-robin.
+    #[must_use]
+    pub fn batches(
+        &self,
+        batch_len: usize,
+        num_batches: usize,
+        seed: u64,
+    ) -> Vec<Vec<(usize, u32)>> {
+        let total = batch_len * num_batches;
+        // Per-tenant traces, each long enough for the worst-case share.
+        let traces: Vec<Trace> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let share = self.share_len(i, total);
+                Trace::generate(
+                    t.kind.clone(),
+                    t.num_blocks,
+                    share,
+                    seed.wrapping_add(0x007E_4A57 * (i as u64 + 1)),
+                )
+            })
+            .collect();
+        let mut cursors = vec![0usize; self.tenants.len()];
+        // Smooth weighted round-robin (nginx-style): deterministic, no RNG.
+        let total_weight: i64 = self.tenants.iter().map(|t| i64::from(t.weight)).sum();
+        let mut current: Vec<i64> = vec![0; self.tenants.len()];
+        let mut batches = Vec::with_capacity(num_batches);
+        let mut batch = Vec::with_capacity(batch_len);
+        for _ in 0..total {
+            let mut best = 0usize;
+            for (i, tenant) in self.tenants.iter().enumerate() {
+                current[i] += i64::from(tenant.weight);
+                if current[i] > current[best] {
+                    best = i;
+                }
+            }
+            current[best] -= total_weight;
+            let trace = &traces[best];
+            let index = trace.accesses()[cursors[best] % trace.len()];
+            cursors[best] += 1;
+            batch.push((self.tenants[best].table, index));
+            if batch.len() == batch_len {
+                batches.push(std::mem::replace(&mut batch, Vec::with_capacity(batch_len)));
+            }
+        }
+        batches
+    }
+
+    /// Upper bound on tenant `i`'s share of `total` interleaved positions.
+    fn share_len(&self, i: usize, total: usize) -> usize {
+        let total_weight: u64 = self.tenants.iter().map(|t| u64::from(t.weight)).sum();
+        let share =
+            (total as u64 * u64::from(self.tenants[i].weight)).div_ceil(total_weight) as usize;
+        share.max(1) + 1 // +1 covers round-robin rounding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ZipfTraceConfig;
+
+    fn mix2() -> MultiTenantMix {
+        MultiTenantMix::new(vec![
+            TenantSpec::new(0, TraceKind::Zipf(ZipfTraceConfig::default()), 256).weight(2),
+            TenantSpec::new(1, TraceKind::Permutation, 128),
+        ])
+    }
+
+    #[test]
+    fn batches_have_requested_shape() {
+        let batches = mix2().batches(100, 5, 1);
+        assert_eq!(batches.len(), 5);
+        for batch in &batches {
+            assert_eq!(batch.len(), 100);
+            for &(table, index) in batch {
+                match table {
+                    0 => assert!(index < 256),
+                    1 => assert!(index < 128),
+                    other => panic!("unknown table {other}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weights_shape_the_mix() {
+        let batches = mix2().batches(300, 2, 2);
+        let t0: usize = batches.iter().flatten().filter(|(t, _)| *t == 0).count();
+        // Weight 2 of 3 => exactly 2/3 under smooth WRR.
+        assert_eq!(t0, 400);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = mix2().batches(64, 3, 9);
+        let b = mix2().batches(64, 3, 9);
+        assert_eq!(a, b);
+        let c = mix2().batches(64, 3, 10);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn single_tenant_mix_degenerates_to_its_trace() {
+        let mix = MultiTenantMix::new(vec![TenantSpec::new(4, TraceKind::Permutation, 64)]);
+        let batches = mix.batches(64, 1, 3);
+        assert!(batches[0].iter().all(|&(t, _)| t == 4));
+        // One permutation epoch: every entry exactly once.
+        let mut seen: Vec<u32> = batches[0].iter().map(|&(_, i)| i).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn empty_mix_rejected() {
+        let _ = MultiTenantMix::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_weight_rejected() {
+        let _ = MultiTenantMix::new(vec![TenantSpec::new(0, TraceKind::Permutation, 8).weight(0)]);
+    }
+}

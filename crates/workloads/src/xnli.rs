@@ -32,12 +32,7 @@ impl Default for XnliTraceConfig {
     }
 }
 
-pub(crate) fn generate(
-    cfg: &XnliTraceConfig,
-    num_blocks: u32,
-    len: usize,
-    seed: u64,
-) -> Vec<u32> {
+pub(crate) fn generate(cfg: &XnliTraceConfig, num_blocks: u32, len: usize, seed: u64) -> Vec<u32> {
     assert!(num_blocks > 0);
     assert!((0.0..=1.0).contains(&cfg.repeat_within_sentence), "repeat fraction out of [0,1]");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -110,9 +105,6 @@ mod tests {
             }
             total += 1;
         }
-        assert!(
-            windows_with_dup * 2 > total,
-            "{windows_with_dup}/{total} windows contain repeats"
-        );
+        assert!(windows_with_dup * 2 > total, "{windows_with_dup}/{total} windows contain repeats");
     }
 }

@@ -23,12 +23,7 @@ impl Default for ZipfTraceConfig {
     }
 }
 
-pub(crate) fn generate(
-    cfg: &ZipfTraceConfig,
-    num_blocks: u32,
-    len: usize,
-    seed: u64,
-) -> Vec<u32> {
+pub(crate) fn generate(cfg: &ZipfTraceConfig, num_blocks: u32, len: usize, seed: u64) -> Vec<u32> {
     assert!(num_blocks > 0);
     let mut rng = StdRng::seed_from_u64(seed);
     let sampler = ZipfSampler::new(num_blocks, cfg.exponent);

@@ -13,9 +13,7 @@
 //!    smaller ORAMs, costing a few extra oblivious metadata accesses per
 //!    operation instead of 4 bytes of client RAM per block.
 
-use laoram::protocol::{
-    PathOramClient, PathOramConfig, RecursivePositionMap,
-};
+use laoram::protocol::{PathOramClient, PathOramConfig, RecursivePositionMap};
 use laoram::tree::{BlockId, LeafId};
 
 const TABLE_ROWS: u32 = 1 << 16;

@@ -37,10 +37,9 @@ fn row_to_bytes(row: &[f32]) -> Box<[u8]> {
 fn bytes_to_row(bytes: Option<&[u8]>) -> Vec<f32> {
     match bytes {
         None => vec![0.0; DIM],
-        Some(b) => b
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect(),
+        Some(b) => {
+            b.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+        }
     }
 }
 

@@ -36,9 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = CostModel::ddr4_pcie(XNLI_ENTRY_BYTES);
 
     // Path ORAM baseline.
-    let mut baseline = PathOramClient::new(
-        PathOramConfig::new(XNLI_TABLE_ENTRIES).with_seed(17),
-    )?;
+    let mut baseline = PathOramClient::new(PathOramConfig::new(XNLI_TABLE_ENTRIES).with_seed(17))?;
     for idx in trace.iter() {
         baseline.read(BlockId::new(idx))?;
     }

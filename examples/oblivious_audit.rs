@@ -11,8 +11,7 @@
 //! are indistinguishable from each other, while (c) the *insecure* access
 //! streams are trivially distinguishable.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use laoram::analysis::UniformityAudit;
 use laoram::core::{LaOram, LaOramConfig};
@@ -25,13 +24,13 @@ const ACCESSES: usize = 8_192;
 /// Observer that shares its recording with the harness.
 #[derive(Clone, Default)]
 struct BusProbe {
-    leaves: Rc<RefCell<Vec<LeafId>>>,
+    leaves: Arc<Mutex<Vec<LeafId>>>,
 }
 
 impl AccessObserver for BusProbe {
     fn observe(&mut self, op: ServerOp) {
         if let ServerOp::ReadPath(leaf, _) = op {
-            self.leaves.borrow_mut().push(leaf);
+            self.leaves.lock().expect("probe lock").push(leaf);
         }
     }
 }
@@ -42,7 +41,7 @@ fn run_and_probe(stream: &[u32], seed: u64) -> Result<Vec<LeafId>, Box<dyn std::
     let mut oram = LaOram::with_lookahead(config, stream)?;
     oram.set_observer(Box::new(probe.clone()));
     oram.run_to_end()?;
-    let leaves = probe.leaves.borrow().clone();
+    let leaves = probe.leaves.lock().expect("probe lock").clone();
     Ok(leaves)
 }
 
@@ -86,8 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // would skew. (The request *counts* differ — LAORAM compresses the
     // hot-row stream into fewer fetches — which is exactly the allowed
     // leakage: total work, never which addresses.)
-    let combined: Vec<LeafId> =
-        hot_leaves.iter().chain(sweep_leaves.iter()).copied().collect();
+    let combined: Vec<LeafId> = hot_leaves.iter().chain(sweep_leaves.iter()).copied().collect();
     let combined_audit = UniformityAudit::over(leaves, combined);
     println!(
         "  combined {} requests | frequency p = {:.4} | uniform: {}",

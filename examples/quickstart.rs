@@ -64,10 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Compare. --------------------------------------------------------
     let model = CostModel::ddr4_pcie(128);
     println!("\n                      LAORAM      PathORAM");
-    println!(
-        "path reads        {:>10}    {:>10}",
-        la_stats.path_reads, base_stats.path_reads
-    );
+    println!("path reads        {:>10}    {:>10}", la_stats.path_reads, base_stats.path_reads);
     println!(
         "slots moved       {:>10}    {:>10}",
         la_stats.total_slots_moved(),

@@ -6,6 +6,9 @@
 //!
 //! * [`core`] — the paper's contribution: look-ahead superblock formation,
 //!   the preprocessing pipeline, and the LAORAM client.
+//! * [`service`] — the sharded, pipelined multi-table serving engine built
+//!   on top of the core client (preprocessing of batch `N+1` overlapped
+//!   with serving of batch `N`).
 //! * [`tree`] — the server-side binary tree storage, including the fat tree.
 //! * [`protocol`] — Path ORAM and Ring ORAM protocol clients.
 //! * [`baselines`] — PrORAM (static/dynamic superblocks) and an insecure RAM.
@@ -37,6 +40,7 @@
 //! ```
 
 pub use laoram_core as core;
+pub use laoram_service as service;
 pub use memsim;
 pub use oram_analysis as analysis;
 pub use oram_baselines as baselines;

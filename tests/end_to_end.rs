@@ -3,9 +3,7 @@
 
 use laoram::baselines::InsecureRam;
 use laoram::core::{LaOram, LaOramConfig};
-use laoram::workloads::{
-    DlrmTraceConfig, GaussianTraceConfig, Trace, TraceKind, XnliTraceConfig,
-};
+use laoram::workloads::{DlrmTraceConfig, GaussianTraceConfig, Trace, TraceKind, XnliTraceConfig};
 
 /// Runs a write-then-verify workload through LAORAM and mirrors it on an
 /// insecure RAM, requiring byte-exact agreement on every read.

@@ -4,7 +4,7 @@
 
 use laoram::core::{LaOram, LaOramConfig, LaRing, LaRingConfig};
 use laoram::memsim::{CostModel, Traffic};
-use laoram::protocol::{EvictionConfig, PathOramClient, PathOramConfig, AccessStats};
+use laoram::protocol::{AccessStats, EvictionConfig, PathOramClient, PathOramConfig};
 use laoram::tree::{BlockId, BucketProfile, TreeGeometry};
 use laoram::workloads::{DlrmTraceConfig, Trace, TraceKind};
 
@@ -24,10 +24,8 @@ fn run_laoram(trace: &Trace, s: u32, fat: bool, eviction: EvictionConfig) -> Acc
 }
 
 fn run_baseline(trace: &Trace) -> AccessStats {
-    let mut client = PathOramClient::new(
-        PathOramConfig::new(trace.num_blocks()).with_seed(0xC1A1),
-    )
-    .expect("construction");
+    let mut client = PathOramClient::new(PathOramConfig::new(trace.num_blocks()).with_seed(0xC1A1))
+        .expect("construction");
     for idx in trace.iter() {
         client.read(BlockId::new(idx)).expect("access");
     }
@@ -119,8 +117,7 @@ fn claim_figure9_traffic_bounds() {
 fn claim_table1_memory_overheads() {
     let entries = 8u64 << 20;
     let insecure = entries * 128;
-    let normal =
-        TreeGeometry::for_blocks(entries, BucketProfile::Uniform { capacity: 4 }).unwrap();
+    let normal = TreeGeometry::for_blocks(entries, BucketProfile::Uniform { capacity: 4 }).unwrap();
     let fat =
         TreeGeometry::for_blocks(entries, BucketProfile::FatLinear { leaf_capacity: 4 }).unwrap();
     let overhead = normal.server_bytes(128) as f64 / insecure as f64;

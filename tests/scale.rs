@@ -12,12 +12,8 @@ use laoram::workloads::{Trace, TraceKind, XnliTraceConfig, XNLI_TABLE_ENTRIES};
 fn xnli_native_scale_smoke() {
     // The paper's actual XLM-R vocabulary size: 262,144 entries, 19-level
     // tree. 4,000 accesses at S = 8.
-    let trace = Trace::generate(
-        TraceKind::Xnli(XnliTraceConfig::default()),
-        XNLI_TABLE_ENTRIES,
-        4_000,
-        1,
-    );
+    let trace =
+        Trace::generate(TraceKind::Xnli(XnliTraceConfig::default()), XNLI_TABLE_ENTRIES, 4_000, 1);
     let config = LaOramConfig::builder(XNLI_TABLE_ENTRIES)
         .superblock_size(8)
         .fat_tree(true)
@@ -37,8 +33,7 @@ fn xnli_native_scale_smoke() {
 #[test]
 fn million_entry_baseline_smoke() {
     let n: u32 = 1 << 20;
-    let mut client =
-        PathOramClient::new(PathOramConfig::new(n).with_seed(2)).unwrap();
+    let mut client = PathOramClient::new(PathOramConfig::new(n).with_seed(2)).unwrap();
     assert_eq!(client.geometry().num_leaves(), u64::from(n));
     for i in (0..2_000u32).map(|i| i * 523) {
         client.read(BlockId::new(i % n)).unwrap();
@@ -53,7 +48,8 @@ fn million_entry_baseline_smoke() {
 fn million_entry_laoram_steady_state() {
     let n: u32 = 1 << 20;
     let trace = Trace::generate(TraceKind::Permutation, n, 8_192, 3);
-    let config = LaOramConfig::builder(n).superblock_size(8).fat_tree(true).seed(3).build().unwrap();
+    let config =
+        LaOramConfig::builder(n).superblock_size(8).fat_tree(true).seed(3).build().unwrap();
     let mut oram = LaOram::with_lookahead(config, trace.accesses()).unwrap();
     let stats = oram.run_to_end().unwrap();
     assert_eq!(stats.path_reads, 8_192 / 8, "exactly one read per bin at scale");

@@ -2,14 +2,11 @@
 //! every system's server-visible request sequence must be statistically
 //! uniform and independent of the input stream.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use laoram::analysis::UniformityAudit;
 use laoram::core::{LaOram, LaOramConfig};
-use laoram::protocol::{
-    AccessObserver, PathOramClient, PathOramConfig, ServerOp,
-};
+use laoram::protocol::{AccessObserver, PathOramClient, PathOramConfig, ServerOp};
 use laoram::tree::{BlockId, LeafId};
 use laoram::workloads::{DlrmTraceConfig, Trace, TraceKind};
 
@@ -19,15 +16,15 @@ const ALPHA: f64 = 0.001;
 
 #[derive(Clone, Default)]
 struct Probe {
-    reads: Rc<RefCell<Vec<LeafId>>>,
-    writes: Rc<RefCell<Vec<LeafId>>>,
+    reads: Arc<Mutex<Vec<LeafId>>>,
+    writes: Arc<Mutex<Vec<LeafId>>>,
 }
 
 impl AccessObserver for Probe {
     fn observe(&mut self, op: ServerOp) {
         match op {
-            ServerOp::ReadPath(leaf, _) => self.reads.borrow_mut().push(leaf),
-            ServerOp::WritePath(leaf) => self.writes.borrow_mut().push(leaf),
+            ServerOp::ReadPath(leaf, _) => self.reads.lock().expect("probe lock").push(leaf),
+            ServerOp::WritePath(leaf) => self.writes.lock().expect("probe lock").push(leaf),
         }
     }
 }
@@ -43,8 +40,8 @@ fn laoram_views(trace: &Trace, s: u32, fat: bool, seed: u64) -> (Vec<LeafId>, Ve
     let mut oram = LaOram::with_lookahead(config, trace.accesses()).expect("construction");
     oram.set_observer(Box::new(probe.clone()));
     oram.run_to_end().expect("run");
-    let r = probe.reads.borrow().clone();
-    let w = probe.writes.borrow().clone();
+    let r = probe.reads.lock().expect("probe lock").clone();
+    let w = probe.writes.lock().expect("probe lock").clone();
     (r, w)
 }
 
@@ -58,7 +55,7 @@ fn path_oram_requests_are_uniform() {
     for idx in trace.iter() {
         client.read(BlockId::new(idx)).expect("access");
     }
-    let reads = probe.reads.borrow().clone();
+    let reads = probe.reads.lock().expect("probe lock").clone();
     let audit = UniformityAudit::over(u64::from(N), reads);
     assert!(audit.passes(ALPHA), "frequency p = {}", audit.frequency().p_value);
 }
@@ -116,16 +113,16 @@ fn dummy_reads_are_indistinguishable_from_real_reads() {
     // (uniform) distribution.
     let trace = Trace::generate(TraceKind::Permutation, N, LEN, 5);
     let probe = Probe::default();
-    let kinds = Rc::new(RefCell::new(Vec::new()));
+    let kinds = Arc::new(Mutex::new(Vec::new()));
     #[derive(Clone)]
     struct KindProbe {
         inner: Probe,
-        kinds: Rc<RefCell<Vec<laoram::protocol::AccessKind>>>,
+        kinds: Arc<Mutex<Vec<laoram::protocol::AccessKind>>>,
     }
     impl AccessObserver for KindProbe {
         fn observe(&mut self, op: ServerOp) {
             if let ServerOp::ReadPath(_, kind) = op {
-                self.kinds.borrow_mut().push(kind);
+                self.kinds.lock().expect("probe lock").push(kind);
             }
             self.inner.observe(op);
         }
@@ -140,8 +137,8 @@ fn dummy_reads_are_indistinguishable_from_real_reads() {
     oram.set_observer(Box::new(KindProbe { inner: probe.clone(), kinds: kinds.clone() }));
     oram.run_to_end().expect("run");
 
-    let reads = probe.reads.borrow();
-    let kinds = kinds.borrow();
+    let reads = probe.reads.lock().expect("probe lock");
+    let kinds = kinds.lock().expect("probe lock");
     assert_eq!(reads.len(), kinds.len());
     let dummies: Vec<LeafId> = reads
         .iter()

@@ -1,0 +1,179 @@
+//! Integration tests of the sharded, pipelined serving engine: mixed
+//! multi-tenant traffic over multiple shards, the LAORAM bandwidth
+//! invariant per shard, stat mergeability, and observable pipeline
+//! overlap.
+
+use laoram::service::{LaoramService, Request, ServiceConfig, TableSpec};
+use laoram::workloads::{DlrmTraceConfig, MultiTenantMix, TenantSpec, TraceKind, ZipfTraceConfig};
+
+const ZIPF_ENTRIES: u32 = 1024;
+const DLRM_ENTRIES: u32 = 1024;
+const BATCH_LEN: usize = 8192;
+
+/// Two tables (zipf-shaped and DLRM-shaped traffic), two shards each.
+fn mixed_service(superblock_size: u32) -> LaoramService {
+    LaoramService::start(
+        ServiceConfig::new()
+            .table(
+                TableSpec::new("xnli-emb", ZIPF_ENTRIES)
+                    .shards(2)
+                    .superblock_size(superblock_size)
+                    .payloads(false)
+                    .seed(41),
+            )
+            .table(
+                TableSpec::new("kaggle-emb", DLRM_ENTRIES)
+                    .shards(2)
+                    .superblock_size(superblock_size)
+                    .payloads(false)
+                    .seed(42),
+            )
+            .queue_depth(4),
+    )
+    .expect("service start")
+}
+
+fn mixed_batches(num_batches: usize, seed: u64) -> Vec<Vec<Request>> {
+    let mix = MultiTenantMix::new(vec![
+        TenantSpec::new(0, TraceKind::Zipf(ZipfTraceConfig::default()), ZIPF_ENTRIES),
+        TenantSpec::new(1, TraceKind::Dlrm(DlrmTraceConfig::default()), DLRM_ENTRIES),
+    ]);
+    mix.batches(BATCH_LEN, num_batches, seed)
+        .into_iter()
+        .map(|batch| batch.into_iter().map(|(table, index)| Request::read(table, index)).collect())
+        .collect()
+}
+
+#[test]
+fn sharded_mixed_traffic_preserves_laoram_invariant_at_s8() {
+    let mut service = mixed_service(8);
+    let batches = mixed_batches(9, 7);
+
+    // Warm-up: the first windows place blocks onto their planned paths.
+    for batch in &batches[..3] {
+        service.submit(batch.clone()).expect("submit warmup");
+    }
+    service.drain().expect("drain warmup");
+    service.reset_stats().expect("reset");
+
+    // Steady state under continuous load (the queue keeps the
+    // preprocessor a window ahead of every shard).
+    for batch in &batches[3..] {
+        service.submit(batch.clone()).expect("submit");
+    }
+    service.drain().expect("drain");
+
+    let stats = service.stats();
+    assert_eq!(stats.shards.len(), 4, "2 tables x 2 shards");
+    let expected: u64 = (6 * BATCH_LEN) as u64;
+    assert_eq!(stats.merged.real_accesses, expected);
+
+    // Every shard saw traffic from its table, and every shard preserves
+    // the paper's bandwidth bound: S = 8 serves each path read's worth of
+    // traffic well above the 3x margin.
+    for shard in &stats.shards {
+        assert!(
+            shard.stats.real_accesses > 1000,
+            "table {} shard {} undertrafficked: {}",
+            shard.table,
+            shard.shard,
+            shard.stats.real_accesses
+        );
+        assert!(
+            shard.stats.path_reads * 3 < shard.stats.real_accesses,
+            "table {} shard {}: {} path reads for {} accesses",
+            shard.table,
+            shard.shard,
+            shard.stats.path_reads,
+            shard.stats.real_accesses
+        );
+    }
+    assert!(stats.merged.path_reads * 3 < stats.merged.real_accesses);
+
+    service.shutdown().expect("shutdown");
+}
+
+#[test]
+fn merged_stats_equal_sum_of_shard_stats() {
+    let mut service = mixed_service(4);
+    for batch in mixed_batches(4, 11) {
+        service.submit(batch).expect("submit");
+    }
+    service.drain().expect("drain");
+
+    let stats = service.stats();
+    let sum = |f: fn(&laoram::protocol::AccessStats) -> u64| {
+        stats.shards.iter().map(|s| f(&s.stats)).sum::<u64>()
+    };
+    assert_eq!(stats.merged.real_accesses, sum(|s| s.real_accesses));
+    assert_eq!(stats.merged.path_reads, sum(|s| s.path_reads));
+    assert_eq!(stats.merged.path_writes, sum(|s| s.path_writes));
+    assert_eq!(stats.merged.dummy_reads, sum(|s| s.dummy_reads));
+    assert_eq!(stats.merged.cache_hits, sum(|s| s.cache_hits));
+    assert_eq!(stats.merged.cold_misses, sum(|s| s.cold_misses));
+    assert_eq!(stats.merged.slots_read, sum(|s| s.slots_read));
+    assert_eq!(stats.merged.slots_written, sum(|s| s.slots_written));
+    assert_eq!(
+        stats.merged.stash_peak,
+        stats.shards.iter().map(|s| s.stats.stash_peak).max().unwrap_or(0),
+        "peaks merge by max, not sum"
+    );
+    // Conservation holds on the merged view exactly as on a single client.
+    assert_eq!(stats.merged.path_writes, stats.merged.path_reads + stats.merged.dummy_reads);
+    assert_eq!(stats.merged.real_accesses, stats.merged.cache_hits + stats.merged.path_reads);
+    service.shutdown().expect("shutdown");
+}
+
+#[test]
+fn preprocessing_overlaps_serving_under_load() {
+    let mut service = mixed_service(4);
+    let batches = mixed_batches(12, 23);
+    for batch in batches {
+        service.submit(batch).expect("submit");
+    }
+    service.drain().expect("drain");
+
+    let stats = service.stats();
+    assert_eq!(stats.pipeline.batches, 12);
+    assert!(stats.pipeline.preprocess_ns > 0, "preprocessing was timed");
+    assert!(stats.pipeline.serve_ns > 0, "serving was timed");
+    assert_eq!(stats.batches.len(), 12, "one timing record per batch");
+    for (i, timing) in stats.batches.iter().enumerate() {
+        assert!(timing.prep_end_ns >= timing.prep_start_ns, "batch {i}");
+        assert!(timing.serve_end_ns >= timing.serve_start_ns, "batch {i}");
+        assert!(timing.serve_end_ns > 0, "batch {i} was served");
+    }
+    // The lookahead pipeline: preprocessing of batch N+1 ran while batch N
+    // was being served. Under a saturated queue this overlap is real
+    // wall-clock time, summed across consecutive batch pairs.
+    assert!(
+        stats.pipeline.overlap_ns > 0,
+        "no preprocessing/serving overlap observed: {:?}",
+        stats.pipeline
+    );
+
+    let report = service.shutdown().expect("shutdown");
+    assert_eq!(report.requests_served, (12 * BATCH_LEN) as u64);
+}
+
+#[test]
+fn service_survives_interleaved_write_read_traffic() {
+    // Payload mode across 2 shards: writes land, reads see them, across
+    // batch boundaries, under hash routing.
+    let mut service = LaoramService::start(
+        ServiceConfig::new().table(TableSpec::new("emb", 512).shards(2).superblock_size(4).seed(5)),
+    )
+    .expect("start");
+    let rows: Vec<u32> = (0..256).map(|i| (i * 13) % 512).collect();
+    let writes: Vec<Request> =
+        rows.iter().map(|&r| Request::write(0, r, r.to_le_bytes().to_vec().into())).collect();
+    service.submit(writes).expect("writes");
+    let reads: Vec<Request> = rows.iter().map(|&r| Request::read(0, r)).collect();
+    service.submit(reads).expect("reads");
+    let responses = service.drain().expect("drain");
+    for (pos, &row) in rows.iter().enumerate() {
+        let got = responses[1].outputs[pos].as_deref();
+        assert_eq!(got, Some(&row.to_le_bytes()[..]), "row {row}");
+    }
+    service.shutdown().expect("shutdown");
+}

@@ -1,0 +1,29 @@
+//! Strategies over collections.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::ops::Range;
+
+/// Strategy for `Vec<T>` with a length drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = if self.len.start >= self.len.end {
+            self.len.start
+        } else {
+            rng.random_range(self.len.clone())
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `Vec` of values from `element`, with length uniform in `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}

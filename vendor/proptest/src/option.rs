@@ -1,0 +1,27 @@
+//! Strategies over `Option`.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Strategy for `Option<T>`.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        // Match real proptest's default: None about a quarter of the time.
+        if rng.random_bool(0.25) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `Some` of a value from `inner` (~75%) or `None` (~25%).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,7 @@
+//! The common import surface: `use proptest::prelude::*;`.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union,
+};
+pub use rand::{RngExt, SeedableRng};
