@@ -1,19 +1,162 @@
-//! Serving-engine throughput baseline: accesses/sec vs shard count.
+//! Serving-engine throughput baseline: accesses/sec vs shard count, for
+//! both ingress paths.
 //!
 //! Drives the `laoram-service` engine with mixed two-table zipf + DLRM
-//! traffic at shard counts 1/2/4/8 and reports sustained throughput plus
-//! pipeline-stage timing (how much preprocessing was hidden behind
-//! serving). This is the perf baseline future scaling PRs measure
-//! against.
+//! traffic at each shard count, twice per point:
+//!
+//! * **batch** — the training shape: caller-assembled batches via
+//!   `submit()` / `drain()`.
+//! * **request** — the serving shape: one `submit_request()` per access
+//!   through the micro-batcher (`align_to_superblock` on), completions
+//!   claimed from the poll-based queue, with p50/p95/p99 per-request
+//!   latency from `ServiceStats`.
+//!
+//! This is the perf baseline future scaling PRs measure against; pass
+//! `--json PATH` to emit the machine-readable `BENCH_service.json`
+//! tracked by CI.
 //!
 //! Usage: `service_throughput [--entries 65536] [--batch 8192]
-//! [--batches 24] [--warmup 4] [--s 8] [--seed N] [--shards 1,2,4,8]`
+//! [--batches 24] [--warmup 4] [--s 8] [--seed N] [--shards 1,2,4,8]
+//! [--json PATH]`
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use laoram_bench::runner::Args;
-use laoram_service::{LaoramService, Request, ServiceConfig, TableSpec};
+use laoram_service::{BatchPolicy, LaoramService, Request, ServiceConfig, ServiceStats, TableSpec};
 use oram_workloads::{DlrmTraceConfig, MultiTenantMix, TenantSpec, TraceKind, ZipfTraceConfig};
+
+struct Measurement {
+    shards: u32,
+    path: &'static str,
+    accesses: u64,
+    throughput: f64,
+    reads_per_access: f64,
+    hidden_fraction: f64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+}
+
+fn service_config(
+    entries: u32,
+    shards: u32,
+    superblock: u32,
+    seed: u64,
+    batch: usize,
+) -> ServiceConfig {
+    ServiceConfig::new()
+        .table(
+            TableSpec::new("zipf", entries)
+                .shards(shards)
+                .superblock_size(superblock)
+                .payloads(false)
+                .seed(seed),
+        )
+        .table(
+            TableSpec::new("dlrm", entries)
+                .shards(shards)
+                .superblock_size(superblock)
+                .payloads(false)
+                .seed(seed ^ 0xD1),
+        )
+        .queue_depth(4)
+        .batch_policy(
+            BatchPolicy::new()
+                .max_batch(batch)
+                .max_delay(std::time::Duration::from_millis(2))
+                .align_to_superblock(true),
+        )
+}
+
+fn finish(shards: u32, path: &'static str, stats: &ServiceStats, elapsed_secs: f64) -> Measurement {
+    let accesses = stats.merged.real_accesses;
+    let latency = &stats.request_latency.total;
+    Measurement {
+        shards,
+        path,
+        accesses,
+        throughput: accesses as f64 / elapsed_secs,
+        reads_per_access: stats.merged.total_path_reads() as f64 / accesses.max(1) as f64,
+        hidden_fraction: stats.pipeline.overlap_fraction(),
+        p50_ns: latency.p50(),
+        p95_ns: latency.p95(),
+        p99_ns: latency.p99(),
+    }
+}
+
+/// Batch path: pre-coalesced groups, drained in submission order.
+fn run_batch_path(
+    traffic: &[Vec<Request>],
+    warmup: usize,
+    shards: u32,
+    entries: u32,
+    superblock: u32,
+    seed: u64,
+    batch_len: usize,
+) -> Measurement {
+    let mut service =
+        LaoramService::start(service_config(entries, shards, superblock, seed, batch_len))
+            .expect("service start");
+    for batch in &traffic[..warmup] {
+        service.submit(batch.clone()).expect("warmup submit");
+    }
+    service.drain().expect("warmup drain");
+    service.reset_stats().expect("reset");
+
+    let start = Instant::now();
+    for batch in &traffic[warmup..] {
+        service.submit(batch.clone()).expect("submit");
+    }
+    service.drain().expect("drain");
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = service.stats();
+    service.shutdown().expect("shutdown");
+    finish(shards, "batch", &stats, elapsed)
+}
+
+/// Request path: one submission per access through the micro-batcher,
+/// completions claimed from the poll queue while submitting (the shape a
+/// serving loop has).
+fn run_request_path(
+    traffic: &[Vec<Request>],
+    warmup: usize,
+    shards: u32,
+    entries: u32,
+    superblock: u32,
+    seed: u64,
+    batch_len: usize,
+) -> Measurement {
+    fn drive(service: &LaoramService, batches: &[Vec<Request>]) {
+        let mut claimed = 0u64;
+        let total: u64 = batches.iter().map(|b| b.len() as u64).sum();
+        for batch in batches {
+            for request in batch {
+                service.submit_request(request.clone()).expect("submit request");
+            }
+            while service.try_complete().is_some() {
+                claimed += 1;
+            }
+        }
+        service.flush().expect("flush");
+        while claimed < total {
+            service.complete_blocking().expect("complete");
+            claimed += 1;
+        }
+    }
+    let mut service =
+        LaoramService::start(service_config(entries, shards, superblock, seed, batch_len))
+            .expect("service start");
+    drive(&service, &traffic[..warmup]);
+    service.reset_stats().expect("reset");
+
+    let start = Instant::now();
+    drive(&service, &traffic[warmup..]);
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = service.stats();
+    service.shutdown().expect("shutdown");
+    finish(shards, "request", &stats, elapsed)
+}
 
 fn main() {
     let args = Args::from_env();
@@ -23,6 +166,7 @@ fn main() {
     let warmup: usize = args.get_or("warmup", 4);
     let superblock: u32 = args.get_or("s", 8);
     let seed: u64 = args.get_or("seed", 2024);
+    let json_path: Option<String> = args.get("json").map(str::to_owned);
     let shard_counts: Vec<u32> = args
         .get("shards")
         .unwrap_or("1,2,4,8")
@@ -43,58 +187,60 @@ fn main() {
     println!("# laoram-service throughput ({entries} entries/table x 2 tables, S={superblock})");
     println!("# {batches} measured batches of {batch_len} after {warmup} warm-up batches");
     println!(
-        "{:>7} {:>14} {:>12} {:>12} {:>12} {:>9}",
-        "shards", "accesses/sec", "reads/acc", "prep ms", "serve ms", "hidden%"
+        "{:>7} {:>8} {:>14} {:>10} {:>9} {:>10} {:>10} {:>10}",
+        "shards", "path", "accesses/sec", "reads/acc", "hidden%", "p50 µs", "p95 µs", "p99 µs"
     );
+    let mut measurements = Vec::new();
     for &shards in &shard_counts {
-        let mut service = LaoramService::start(
-            ServiceConfig::new()
-                .table(
-                    TableSpec::new("zipf", entries)
-                        .shards(shards)
-                        .superblock_size(superblock)
-                        .payloads(false)
-                        .seed(seed),
-                )
-                .table(
-                    TableSpec::new("dlrm", entries)
-                        .shards(shards)
-                        .superblock_size(superblock)
-                        .payloads(false)
-                        .seed(seed ^ 0xD1),
-                )
-                .queue_depth(4),
-        )
-        .expect("service start");
-
-        for batch in &traffic[..warmup] {
-            service.submit(batch.clone()).expect("warmup submit");
+        for m in [
+            run_batch_path(&traffic, warmup, shards, entries, superblock, seed, batch_len),
+            run_request_path(&traffic, warmup, shards, entries, superblock, seed, batch_len),
+        ] {
+            println!(
+                "{:>7} {:>8} {:>14.0} {:>10.3} {:>8.1}% {:>10.1} {:>10.1} {:>10.1}",
+                m.shards,
+                m.path,
+                m.throughput,
+                m.reads_per_access,
+                m.hidden_fraction * 100.0,
+                m.p50_ns as f64 / 1e3,
+                m.p95_ns as f64 / 1e3,
+                m.p99_ns as f64 / 1e3,
+            );
+            measurements.push(m);
         }
-        service.drain().expect("warmup drain");
-        service.reset_stats().expect("reset");
-
-        let start = Instant::now();
-        for batch in &traffic[warmup..] {
-            service.submit(batch.clone()).expect("submit");
-        }
-        service.drain().expect("drain");
-        let elapsed = start.elapsed();
-
-        let stats = service.stats();
-        let accesses = stats.merged.real_accesses;
-        let throughput = accesses as f64 / elapsed.as_secs_f64();
-        let reads_per_access = stats.merged.total_path_reads() as f64 / accesses as f64;
-        println!(
-            "{:>7} {:>14.0} {:>12.3} {:>12.2} {:>12.2} {:>8.1}%",
-            shards,
-            throughput,
-            reads_per_access,
-            stats.pipeline.preprocess_ns as f64 / 1e6,
-            stats.pipeline.serve_ns as f64 / 1e6,
-            stats.pipeline.overlap_fraction() * 100.0,
-        );
-        service.shutdown().expect("shutdown");
     }
     println!("# reads/acc << 1 is the LAORAM effect (S accesses per path read);");
-    println!("# hidden% is preprocessing wall-clock overlapped with serving.");
+    println!("# hidden% is preprocessing wall-clock overlapped with serving;");
+    println!("# request-path latency is enqueue -> completion (micro-batch wait included).");
+
+    if let Some(path) = json_path {
+        let mut json = String::from("{\n  \"bench\": \"service_throughput\",\n");
+        let _ = writeln!(json, "  \"entries\": {entries},");
+        let _ = writeln!(json, "  \"batch_len\": {batch_len},");
+        let _ = writeln!(json, "  \"batches\": {batches},");
+        let _ = writeln!(json, "  \"superblock\": {superblock},");
+        json.push_str("  \"points\": [\n");
+        for (i, m) in measurements.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"shards\": {}, \"path\": \"{}\", \"accesses\": {}, \
+                 \"accesses_per_sec\": {:.0}, \"reads_per_access\": {:.4}, \
+                 \"hidden_fraction\": {:.4}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+                m.shards,
+                m.path,
+                m.accesses,
+                m.throughput,
+                m.reads_per_access,
+                m.hidden_fraction,
+                m.p50_ns,
+                m.p95_ns,
+                m.p99_ns,
+            );
+            json.push_str(if i + 1 < measurements.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write json");
+        println!("# wrote {path}");
+    }
 }

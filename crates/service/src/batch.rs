@@ -37,14 +37,38 @@ impl Request {
 
 /// Handle identifying a submitted batch; tickets are issued in submission
 /// order starting from 0.
+///
+/// A batch is one *pre-coalesced group* on the request-level pipeline:
+/// every request in it carries its own [`RequestTicket`], and the batch
+/// ticket records that contiguous range
+/// ([`request_tickets`](Self::request_tickets)). The batch's response can
+/// therefore be claimed either wholesale
+/// ([`next_response`](crate::LaoramService::next_response)) or — if you
+/// skip `next_response` — request by request through the completion
+/// queue. Don't mix the two for one batch: a request claimed through
+/// [`wait`](crate::LaoramService::wait) is gone when `next_response`
+/// assembles the batch.
+///
+/// [`RequestTicket`]: crate::RequestTicket
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct BatchTicket(pub(crate) u64);
+pub struct BatchTicket {
+    pub(crate) id: u64,
+    pub(crate) first_request: u64,
+    pub(crate) len: u64,
+}
 
 impl BatchTicket {
     /// The batch's sequence number.
     #[must_use]
     pub fn id(self) -> u64 {
-        self.0
+        self.id
+    }
+
+    /// The contiguous request-ticket ids of this batch's requests, in
+    /// request order (empty for an empty batch).
+    #[must_use]
+    pub fn request_tickets(self) -> std::ops::Range<u64> {
+        self.first_request..self.first_request + self.len
     }
 }
 
@@ -68,6 +92,8 @@ mod tests {
         assert_eq!(r.op, RequestOp::Read);
         let w = Request::write(0, 3, vec![1, 2].into());
         assert!(matches!(w.op, RequestOp::Write(ref p) if p.len() == 2));
-        assert_eq!(BatchTicket(5).id(), 5);
+        let t = BatchTicket { id: 5, first_request: 40, len: 3 };
+        assert_eq!(t.id(), 5);
+        assert_eq!(t.request_tickets().collect::<Vec<_>>(), vec![40, 41, 42]);
     }
 }

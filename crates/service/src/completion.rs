@@ -1,0 +1,350 @@
+//! The poll-based completion queue.
+//!
+//! The collector thread emits one [`GroupDone`] per pipeline group, in
+//! group order, over an unbounded channel. This module owns the consumer
+//! side: groups are expanded into per-request [`Completion`]s which are
+//! claimed exactly once — FIFO via `try_complete`/`complete_blocking`,
+//! or by ticket via `wait`.
+//!
+//! # The pump protocol
+//!
+//! All methods take `&self`, so several threads can poll and wait at
+//! once. At most one thread at a time is the *pumper*: it takes the
+//! channel receiver out of the shared state, blocks on `recv()` with the
+//! lock released, then reinstalls the receiver, ingests the message, and
+//! wakes every waiter. A thread that finds the receiver absent parks on
+//! the condvar instead of blocking on the channel. Because the pipeline
+//! answers every submitted group (degraded shards answer with empty
+//! outputs) and a dead pipeline closes the channel, every `wait` either
+//! gets its completion or observes the disconnect — a blocked `wait` can
+//! never deadlock against concurrent `try_complete` polling.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use crate::ingress::RequestMeta;
+use crate::{Completion, RequestTicket, RequestTiming, ServiceError};
+
+/// One finished pipeline group, emitted by the collector in group order.
+pub(crate) struct GroupDone {
+    /// The batch ticket id, for groups submitted through the batch API.
+    pub batch: Option<u64>,
+    /// One output per request, in group order.
+    pub outputs: Vec<Option<Box<[u8]>>>,
+    /// Per-request submission metadata, parallel to `outputs`.
+    pub requests: Vec<RequestMeta>,
+    /// When the group was coalesced and handed to the pipeline.
+    pub coalesce_ns: u64,
+    /// Earliest shard began serving the group (0 for an empty group).
+    pub serve_start_ns: u64,
+    /// Latest shard finished serving the group (0 for an empty group).
+    pub serve_end_ns: u64,
+    /// When the collector finished reassembling the group.
+    pub done_ns: u64,
+}
+
+/// Tracks which tickets have been claimed without unbounded growth:
+/// a dense watermark (everything below is claimed) plus a sparse
+/// overflow set for out-of-order claims ahead of it.
+#[derive(Default)]
+struct TicketLedger {
+    watermark: u64,
+    ahead: HashSet<u64>,
+}
+
+impl TicketLedger {
+    fn claim(&mut self, ticket: u64) {
+        if ticket == self.watermark {
+            self.watermark += 1;
+            while self.ahead.remove(&self.watermark) {
+                self.watermark += 1;
+            }
+        } else if ticket > self.watermark {
+            self.ahead.insert(ticket);
+        }
+    }
+
+    fn is_claimed(&self, ticket: u64) -> bool {
+        ticket < self.watermark || self.ahead.contains(&ticket)
+    }
+}
+
+/// Counters describing everything the completion queue accounted for.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CompletionCounters {
+    /// Completions expanded from finished groups.
+    pub expanded: u64,
+    /// Completions claimed by callers.
+    pub claimed: u64,
+    /// Tickets voided because their group could not be handed to a dead
+    /// pipeline.
+    pub voided: u64,
+}
+
+struct CompletionState {
+    /// Taken (`None`) while a pumper blocks on the channel.
+    rx: Option<Receiver<GroupDone>>,
+    /// Completed, unclaimed requests by ticket id.
+    ready: HashMap<u64, Completion>,
+    /// Completion order for FIFO claims; may hold stale ids whose
+    /// completion was claimed by ticket (skipped on pop). Invariant:
+    /// every `ready` key has exactly one live entry here.
+    fifo: VecDeque<u64>,
+    /// Batch ids of completed *empty* batches (no tickets to wait on).
+    batch_done: HashSet<u64>,
+    ledger: TicketLedger,
+    /// Tickets dropped unserved because the pipeline died before their
+    /// group could be sent (populated only on failure, so it stays tiny);
+    /// `wait` reports these as `Disconnected`, not `TicketClaimed`.
+    voided_tickets: HashSet<u64>,
+    counters: CompletionCounters,
+    disconnected: bool,
+}
+
+/// Everything left unclaimed when the engine shut down.
+pub(crate) struct CompletionDrain {
+    pub ready: HashMap<u64, Completion>,
+    pub batch_done: HashSet<u64>,
+    pub counters: CompletionCounters,
+}
+
+/// The shared consumer side of the completion channel.
+pub(crate) struct CompletionShared {
+    state: Mutex<CompletionState>,
+    cond: Condvar,
+}
+
+impl CompletionShared {
+    pub fn new(rx: Receiver<GroupDone>) -> Self {
+        CompletionShared {
+            state: Mutex::new(CompletionState {
+                rx: Some(rx),
+                ready: HashMap::new(),
+                fifo: VecDeque::new(),
+                batch_done: HashSet::new(),
+                ledger: TicketLedger::default(),
+                voided_tickets: HashSet::new(),
+                counters: CompletionCounters::default(),
+                disconnected: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Expands one finished group into per-request completions.
+    fn ingest(state: &mut CompletionState, msg: GroupDone) {
+        if msg.requests.is_empty() {
+            if let Some(batch) = msg.batch {
+                state.batch_done.insert(batch);
+            }
+            return;
+        }
+        state.counters.expanded += msg.requests.len() as u64;
+        for (meta, output) in msg.requests.into_iter().zip(msg.outputs) {
+            let completion = Completion {
+                ticket: RequestTicket(meta.ticket),
+                session: meta.session,
+                output,
+                timing: RequestTiming {
+                    enqueue_ns: meta.enqueue_ns,
+                    coalesce_ns: msg.coalesce_ns,
+                    serve_start_ns: msg.serve_start_ns,
+                    serve_end_ns: msg.serve_end_ns,
+                    complete_ns: msg.done_ns,
+                },
+            };
+            state.fifo.push_back(meta.ticket);
+            state.ready.insert(meta.ticket, completion);
+        }
+    }
+
+    /// Ingests every already-delivered message without blocking; wakes
+    /// waiters if anything arrived.
+    fn drain_channel(&self, state: &mut CompletionState) {
+        let mut ingested = false;
+        while let Some(rx) = state.rx.as_ref() {
+            match rx.try_recv() {
+                Ok(msg) => {
+                    Self::ingest(state, msg);
+                    ingested = true;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    state.disconnected = true;
+                    ingested = true;
+                    break;
+                }
+            }
+        }
+        if ingested {
+            self.cond.notify_all();
+        }
+    }
+
+    /// Blocks until one more message arrives (becoming the pumper) or
+    /// until the current pumper delivers one.
+    fn block_pump<'a>(
+        &'a self,
+        mut state: MutexGuard<'a, CompletionState>,
+    ) -> MutexGuard<'a, CompletionState> {
+        if let Some(rx) = state.rx.take() {
+            drop(state);
+            let msg = rx.recv();
+            let mut state = self.state.lock().expect("completion lock");
+            state.rx = Some(rx);
+            match msg {
+                Ok(msg) => Self::ingest(&mut state, msg),
+                Err(_) => state.disconnected = true,
+            }
+            self.cond.notify_all();
+            state
+        } else {
+            self.cond.wait(state).expect("completion wait")
+        }
+    }
+
+    fn claim_fifo(state: &mut CompletionState) -> Option<Completion> {
+        while let Some(ticket) = state.fifo.pop_front() {
+            if let Some(completion) = state.ready.remove(&ticket) {
+                state.ledger.claim(ticket);
+                state.counters.claimed += 1;
+                return Some(completion);
+            }
+            // Stale entry: this completion was claimed by ticket.
+        }
+        None
+    }
+
+    /// The oldest unclaimed completion, without blocking.
+    pub fn try_complete(&self) -> Option<Completion> {
+        let mut state = self.state.lock().expect("completion lock");
+        self.drain_channel(&mut state);
+        Self::claim_fifo(&mut state)
+    }
+
+    /// The oldest unclaimed completion, blocking while requests are
+    /// outstanding. `issued` re-reads the ticket high-water mark so
+    /// requests submitted concurrently keep the wait alive.
+    pub fn complete_blocking(&self, issued: impl Fn() -> u64) -> Result<Completion, ServiceError> {
+        let mut state = self.state.lock().expect("completion lock");
+        loop {
+            self.drain_channel(&mut state);
+            if let Some(completion) = Self::claim_fifo(&mut state) {
+                return Ok(completion);
+            }
+            let c = state.counters;
+            if issued() == c.claimed + c.voided {
+                return Err(ServiceError::NoPendingRequests);
+            }
+            if state.disconnected {
+                return Err(ServiceError::Disconnected);
+            }
+            state = self.block_pump(state);
+        }
+    }
+
+    /// The completion of one specific ticket, blocking until its group
+    /// finishes.
+    pub fn wait(&self, ticket: u64, issued: u64) -> Result<Completion, ServiceError> {
+        let mut state = self.state.lock().expect("completion lock");
+        loop {
+            self.drain_channel(&mut state);
+            if let Some(completion) = state.ready.remove(&ticket) {
+                state.ledger.claim(ticket);
+                state.counters.claimed += 1;
+                return Ok(completion);
+            }
+            if state.voided_tickets.contains(&ticket) {
+                return Err(ServiceError::Disconnected);
+            }
+            if state.ledger.is_claimed(ticket) {
+                return Err(ServiceError::TicketClaimed { ticket });
+            }
+            if ticket >= issued {
+                return Err(ServiceError::UnknownTicket { ticket });
+            }
+            if state.disconnected {
+                return Err(ServiceError::Disconnected);
+            }
+            state = self.block_pump(state);
+        }
+    }
+
+    /// Blocks until the (empty) batch `batch` completes.
+    pub fn wait_batch(&self, batch: u64) -> Result<(), ServiceError> {
+        let mut state = self.state.lock().expect("completion lock");
+        loop {
+            self.drain_channel(&mut state);
+            if state.batch_done.remove(&batch) {
+                return Ok(());
+            }
+            if state.disconnected {
+                return Err(ServiceError::Disconnected);
+            }
+            state = self.block_pump(state);
+        }
+    }
+
+    /// Records tickets whose group never reached the pipeline (the send
+    /// failed); they will never complete and no longer count as
+    /// outstanding.
+    pub fn void(&self, metas: &[RequestMeta]) {
+        let mut state = self.state.lock().expect("completion lock");
+        for meta in metas {
+            state.ledger.claim(meta.ticket);
+            state.voided_tickets.insert(meta.ticket);
+        }
+        state.counters.voided += metas.len() as u64;
+        self.cond.notify_all();
+    }
+
+    /// Requests issued but not yet claimed or voided, given the ticket
+    /// high-water mark.
+    pub fn unclaimed(&self, issued: u64) -> u64 {
+        let state = self.state.lock().expect("completion lock");
+        issued - state.counters.claimed - state.counters.voided
+    }
+
+    /// Shutdown path: ingest everything still buffered in the channel
+    /// (the pipeline threads have exited, so nothing more is coming) and
+    /// hand the leftovers to the caller.
+    pub fn drain_for_shutdown(&self) -> CompletionDrain {
+        let mut state = self.state.lock().expect("completion lock");
+        if let Some(rx) = state.rx.take() {
+            while let Ok(msg) = rx.try_recv() {
+                Self::ingest(&mut state, msg);
+            }
+            state.rx = Some(rx);
+        }
+        state.disconnected = true;
+        state.fifo.clear();
+        CompletionDrain {
+            ready: std::mem::take(&mut state.ready),
+            batch_done: std::mem::take(&mut state.batch_done),
+            counters: state.counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_watermark_compacts() {
+        let mut ledger = TicketLedger::default();
+        ledger.claim(0);
+        ledger.claim(2);
+        ledger.claim(3);
+        assert!(ledger.is_claimed(0));
+        assert!(!ledger.is_claimed(1));
+        assert!(ledger.is_claimed(3));
+        assert_eq!(ledger.watermark, 1);
+        assert_eq!(ledger.ahead.len(), 2);
+        ledger.claim(1);
+        assert_eq!(ledger.watermark, 4, "out-of-order claims fold into the watermark");
+        assert!(ledger.ahead.is_empty());
+        assert!(!ledger.is_claimed(4));
+    }
+}

@@ -1,24 +1,26 @@
-//! The serving engine: ingress queue → preprocessor → shard workers →
-//! collector.
+//! The serving engine: micro-batcher → preprocessor → shard workers →
+//! collector → completion queue.
 //!
 //! # Pipeline
 //!
 //! ```text
-//!  submit()──▶[ingress queue]──▶ preprocessor ──▶ per-worker queues ──▶ shard workers
-//!   (bounded,  batches            bins + assigns    Plan(N+1) then        one LaOram each,
-//!    blocking = backpressure)     paths for batch    Ops(N+1), double-    serve batch N
-//!                                 N+1 while shards   buffered             │
-//!                                 serve batch N                           ▼
-//!            next_response()◀──────────────── collector ◀── per-batch parts
+//!  submit_request()/Session ─▶[pending]─▶ micro-batcher ─┐   (coalesces under BatchPolicy)
+//!                                                        ▼
+//!  submit() batch ──────────────────────────▶ [ingress queue] ──▶ preprocessor ──▶ shard workers
+//!   (pre-coalesced group,                      (bounded,          bins + assigns     one LaOram each,
+//!    backpressure)                              groups)           paths for group    serve group N
+//!                                                                 N+1 while shards       │
+//!                                                                 serve group N           ▼
+//!  try_complete()/wait()◀── completion queue ◀────────────── collector ◀── per-group parts
 //! ```
 //!
 //! The preprocessor is the paper's dataset-scan + path-generation stage
-//! (§IV-B): while shard workers serve batch `N`, it bins batch `N+1` and
+//! (§IV-B): while shard workers serve group `N`, it bins group `N+1` and
 //! draws its superblock paths, then stages the resulting
 //! [`SuperblockPlan`] into each worker's double-buffered queue. Workers
 //! opportunistically stage the next window *before* serving the current
 //! one, so block flushes exit toward their next-window paths and the
-//! steady state survives batch boundaries. Per-stage timestamps are
+//! steady state survives group boundaries. Per-stage timestamps are
 //! recorded so the overlap is observable, not just asserted.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -31,28 +33,28 @@ use std::time::Instant;
 use laoram_core::{BatchOp, LaOram, LaOramConfig, SuperblockPlan, SuperblockPlanner};
 use oram_protocol::AccessStats;
 
+use crate::completion::{CompletionShared, GroupDone};
+use crate::ingress::{run_batcher, EngineMsg, GroupMeta, Ingress};
 use crate::{
-    BatchResponse, BatchTicket, BatchTiming, PipelineStats, Request, RequestOp, ServiceConfig,
-    ServiceError, ServiceStats, ShardRouter, ShardStats,
+    BatchResponse, BatchTicket, BatchTiming, Completion, PipelineStats, Request,
+    RequestLatencyStats, RequestOp, RequestTicket, ServiceConfig, ServiceError, ServiceStats,
+    Session, ShardRouter, ShardStats,
 };
 
 /// Per-worker routing product: shard-local index stream, operations, and
-/// each operation's position in the original batch.
+/// each operation's position in the original group.
 type RoutedPart = (Vec<u32>, Vec<BatchOp>, Vec<u32>);
 
-/// Messages from the engine handle into the preprocessor.
-enum EngineMsg {
-    Batch { ticket: u64, requests: Vec<Request> },
-    ResetStats,
-}
+/// Slot sentinel marking a padding operation whose output is discarded.
+const PAD_SLOT: u32 = u32::MAX;
 
 /// Messages from the preprocessor into one shard worker.
 enum WorkerMsg {
     /// The next look-ahead window for this shard.
     Plan(SuperblockPlan),
-    /// The operations of one batch under the most recently staged window.
+    /// The operations of one group under the most recently staged window.
     Ops {
-        ticket: u64,
+        group: u64,
         ops: Vec<BatchOp>,
         slots: Vec<u32>,
     },
@@ -61,47 +63,65 @@ enum WorkerMsg {
 
 /// Messages into the collector.
 enum CollectorMsg {
-    /// Announces a batch: how many shard parts it splits into.
-    Manifest { ticket: u64, parts: usize, len: usize },
-    /// One shard's outputs, with the batch positions they belong at.
-    Part { ticket: u64, outputs: Vec<Option<Box<[u8]>>>, slots: Vec<u32> },
+    /// Announces a group: how many shard parts it splits into, its
+    /// request count, and the submission metadata the completion queue
+    /// needs.
+    Manifest { group: u64, parts: usize, len: usize, meta: GroupMeta },
+    /// One shard's outputs, with the group positions they belong at.
+    Part {
+        group: u64,
+        outputs: Vec<Option<Box<[u8]>>>,
+        slots: Vec<u32>,
+        serve_start_ns: u64,
+        serve_end_ns: u64,
+    },
+    /// Zero the latency statistics once every group below `before_group`
+    /// has been emitted, so in-flight pre-reset groups cannot pollute the
+    /// post-reset histograms.
+    ResetLatency { before_group: u64 },
 }
 
 /// State shared between the engine handle and the pipeline threads.
-struct Shared {
+pub(crate) struct Shared {
     start: Instant,
-    inner: Mutex<SharedInner>,
+    pub(crate) inner: Mutex<SharedInner>,
     /// Requests accepted so far (diagnostics).
-    submitted: AtomicU64,
+    pub(crate) submitted: AtomicU64,
 }
 
-/// Per-batch timing records kept live (a rolling window, so an unbounded
+/// Per-group timing records kept live (a rolling window, so an unbounded
 /// run cannot grow the shared state or the `stats()` clones without
 /// limit).
 const TIMING_WINDOW: usize = 4096;
 
 #[derive(Default)]
-struct SharedInner {
+pub(crate) struct SharedInner {
     worker_stats: Vec<AccessStats>,
     worker_serve_ns: Vec<u64>,
     worker_batches: Vec<u64>,
     worker_errors: Vec<Option<String>>,
     preprocess_ns: u64,
     batches_preprocessed: u64,
-    /// Timing records for tickets `timing_base ..`, oldest first.
+    /// Timing records for groups `timing_base ..`, oldest first.
     batch_timing: Vec<BatchTiming>,
     timing_base: u64,
+    /// Per-request latency, recorded by the collector at group
+    /// completion.
+    request_latency: RequestLatencyStats,
+    requests_completed: u64,
+    /// Dummy accesses emitted to equalise per-shard sub-batch lengths.
+    pad_accesses: u64,
 }
 
 impl SharedInner {
-    /// The timing record for `ticket`, growing the window as needed.
-    /// Returns `None` for tickets that pre-date a stats reset or have
+    /// The timing record for `group`, growing the window as needed.
+    /// Returns `None` for groups that pre-date a stats reset or have
     /// aged out of the rolling window (late updates are dropped).
-    fn timing_slot(&mut self, ticket: u64) -> Option<&mut BatchTiming> {
-        if ticket < self.timing_base {
+    fn timing_slot(&mut self, group: u64) -> Option<&mut BatchTiming> {
+        if group < self.timing_base {
             return None;
         }
-        let idx = (ticket - self.timing_base) as usize;
+        let idx = (group - self.timing_base) as usize;
         if idx >= self.batch_timing.len() {
             self.batch_timing.resize(idx + 1, BatchTiming::default());
             if self.batch_timing.len() > TIMING_WINDOW {
@@ -110,38 +130,41 @@ impl SharedInner {
                 self.timing_base += excess as u64;
             }
         }
-        let idx = ticket.checked_sub(self.timing_base)? as usize;
+        let idx = group.checked_sub(self.timing_base)? as usize;
         self.batch_timing.get_mut(idx)
     }
 }
 
 impl Shared {
-    fn now_ns(&self) -> u64 {
+    pub(crate) fn now_ns(&self) -> u64 {
         self.start.elapsed().as_nanos() as u64
     }
 }
 
 /// The sharded, pipelined LAORAM serving engine.
 ///
-/// See the [crate docs](crate) for a usage example.
+/// See the [crate docs](crate) for a usage example and the relationship
+/// between the request-level and batch-level APIs.
 pub struct LaoramService {
-    ingress: SyncSender<EngineMsg>,
-    responses: Receiver<BatchResponse>,
+    ingress: Arc<Ingress>,
+    completions: Arc<CompletionShared>,
     shared: Arc<Shared>,
     router: Arc<ShardRouter>,
     /// `(table, shard)` per flattened worker id.
     worker_homes: Vec<(usize, u32)>,
+    batcher: Option<JoinHandle<()>>,
     handles: Vec<JoinHandle<()>>,
-    next_ticket: u64,
-    outstanding: u64,
+    next_batch: u64,
+    pending_batches: VecDeque<BatchTicket>,
+    next_session: AtomicU64,
 }
 
 impl std::fmt::Debug for LaoramService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LaoramService")
             .field("workers", &self.worker_homes.len())
-            .field("next_ticket", &self.next_ticket)
-            .field("outstanding", &self.outstanding)
+            .field("next_batch", &self.next_batch)
+            .field("outstanding_batches", &self.pending_batches.len())
             .finish()
     }
 }
@@ -151,12 +174,22 @@ impl std::fmt::Debug for LaoramService {
 pub struct ServiceReport {
     /// Statistics at shutdown, including each worker's final flush.
     pub stats: ServiceStats,
-    /// Responses that were still queued when the engine shut down.
+    /// Responses of batches that were complete but unclaimed when the
+    /// engine shut down, in submission order.
     pub responses: Vec<BatchResponse>,
+    /// Individually submitted completions that were never claimed, in
+    /// ticket order.
+    pub completions: Vec<Completion>,
     /// Total requests accepted over the engine's lifetime.
     pub requests_served: u64,
+    /// Requests that never completed because the pipeline died mid-drain
+    /// (also reported as a synthetic [`worker_errors`](Self::worker_errors)
+    /// entry). 0 on a healthy run.
+    pub truncated_requests: u64,
     /// `(worker id, failure)` for every shard that degraded (see
-    /// [`ServiceStats::worker_errors`]). Empty on a healthy run.
+    /// [`ServiceStats::worker_errors`]); an entry with id equal to the
+    /// worker count describes a pipeline-level failure such as truncated
+    /// shutdown. Empty on a healthy run.
     pub worker_errors: Vec<(usize, String)>,
 }
 
@@ -169,6 +202,11 @@ impl LaoramService {
     pub fn start(config: ServiceConfig) -> Result<Self, ServiceError> {
         if config.queue_depth == 0 {
             return Err(ServiceError::InvalidConfig("queue depth must be nonzero".into()));
+        }
+        if config.batch_policy.max_batch == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "BatchPolicy::max_batch must be nonzero".into(),
+            ));
         }
         // Shared (not cloned): the per-index partition tables are the
         // engine's largest structure.
@@ -213,7 +251,23 @@ impl LaoramService {
 
         let (ingress_tx, ingress_rx) = sync_channel::<EngineMsg>(config.queue_depth);
         let (collector_tx, collector_rx) = mpsc::channel::<CollectorMsg>();
-        let (responses_tx, responses_rx) = mpsc::channel::<BatchResponse>();
+        let (done_tx, done_rx) = mpsc::channel::<GroupDone>();
+        let completions = Arc::new(CompletionShared::new(done_rx));
+
+        // Alignment quantum for the micro-batcher: one full superblock
+        // window per shard worker, in expectation, when a group of this
+        // size hash-splits across the shards.
+        let max_superblock =
+            config.tables.iter().map(|t| t.superblock_size).max().unwrap_or(1).max(1);
+        let quantum = max_superblock as usize * num_workers;
+        let ingress = Arc::new(Ingress::new(
+            Arc::clone(&router),
+            Arc::clone(&shared),
+            Arc::clone(&completions),
+            config.batch_policy.clone(),
+            quantum,
+            ingress_tx,
+        ));
 
         let mut worker_txs = Vec::with_capacity(num_workers);
         let mut handles = Vec::with_capacity(num_workers + 2);
@@ -233,6 +287,7 @@ impl LaoramService {
 
         let router_for_prep = Arc::clone(&router);
         let shared_for_prep = Arc::clone(&shared);
+        let pad_shard_batches = config.pad_shard_batches;
         handles.push(
             std::thread::Builder::new()
                 .name("laoram-preprocessor".into())
@@ -244,43 +299,143 @@ impl LaoramService {
                         worker_txs,
                         collector_tx,
                         shared_for_prep,
+                        pad_shard_batches,
                     )
                 })
                 .expect("spawn preprocessor"),
         );
+        let shared_for_collector = Arc::clone(&shared);
         handles.push(
             std::thread::Builder::new()
                 .name("laoram-collector".into())
-                .spawn(move || run_collector(collector_rx, responses_tx))
+                .spawn(move || run_collector(collector_rx, done_tx, shared_for_collector))
                 .expect("spawn collector"),
         );
 
+        let batcher = std::thread::Builder::new()
+            .name("laoram-batcher".into())
+            .spawn({
+                let ingress = Arc::clone(&ingress);
+                move || run_batcher(ingress)
+            })
+            .expect("spawn micro-batcher");
+
         Ok(LaoramService {
-            ingress: ingress_tx,
-            responses: responses_rx,
+            ingress,
+            completions,
             shared,
             router,
             worker_homes,
+            batcher: Some(batcher),
             handles,
-            next_ticket: 0,
-            outstanding: 0,
+            next_batch: 0,
+            pending_batches: VecDeque::new(),
+            next_session: AtomicU64::new(1),
         })
     }
 
-    /// Validates and enqueues a batch, blocking while the ingress queue is
-    /// full (backpressure). Returns the ticket its response will carry.
+    // ------------------------------------------------------------------
+    // Request-level API
+    // ------------------------------------------------------------------
+
+    /// Validates and enqueues one request into the micro-batcher,
+    /// returning the ticket its [`Completion`] will carry. The request is
+    /// coalesced into a pipeline group under the configured
+    /// [`BatchPolicy`](crate::BatchPolicy).
+    ///
+    /// # Errors
+    /// Rejects requests naming unknown tables or out-of-range indices.
+    pub fn submit_request(&self, request: Request) -> Result<RequestTicket, ServiceError> {
+        self.ingress.submit_request(0, request)
+    }
+
+    /// A new per-tenant submission handle. Sessions share this engine's
+    /// micro-batcher and pipeline; their completions carry the session's
+    /// id for fan-out. Sessions may outlive the handle and be used from
+    /// any thread.
+    #[must_use]
+    pub fn session(&self) -> Session {
+        Session {
+            ingress: Arc::clone(&self.ingress),
+            id: self.next_session.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Releases every pending micro-batcher request into the pipeline
+    /// now instead of waiting for the
+    /// [`BatchPolicy`](crate::BatchPolicy) size or deadline trigger.
+    /// Asynchronous: the micro-batcher thread performs the flush (it is
+    /// the only sender of coalesced groups, which is what keeps request
+    /// order total), so completions become observable through
+    /// [`wait`](Self::wait) / [`try_complete`](Self::try_complete)
+    /// shortly after, not necessarily before this returns.
+    ///
+    /// # Errors
+    /// Infallible today; the `Result` reserves room for shutdown races.
+    pub fn flush(&self) -> Result<(), ServiceError> {
+        self.ingress.flush()
+    }
+
+    /// Claims the oldest unclaimed completion without blocking.
+    /// Completions surface in *completion order* (group order, request
+    /// order within a group), which matches submission order per session
+    /// but may interleave across sessions and deadline flushes.
+    #[must_use]
+    pub fn try_complete(&self) -> Option<Completion> {
+        self.completions.try_complete()
+    }
+
+    /// Claims the oldest unclaimed completion, blocking while requests
+    /// are outstanding (a pending micro-batch counts: the deadline flush
+    /// will release it).
+    ///
+    /// # Errors
+    /// [`ServiceError::NoPendingRequests`] with nothing outstanding;
+    /// [`ServiceError::Disconnected`] if the pipeline died.
+    pub fn complete_blocking(&self) -> Result<Completion, ServiceError> {
+        self.completions.complete_blocking(|| self.ingress.issued())
+    }
+
+    /// Blocks until `ticket`'s request completes and claims it. Safe to
+    /// call while other threads poll
+    /// [`try_complete`](Self::try_complete): if a poll claims the ticket
+    /// first, this returns [`ServiceError::TicketClaimed`].
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownTicket`] for a never-issued ticket;
+    /// [`ServiceError::TicketClaimed`] if already claimed;
+    /// [`ServiceError::Disconnected`] if the pipeline died.
+    pub fn wait(&self, ticket: RequestTicket) -> Result<Completion, ServiceError> {
+        self.completions.wait(ticket.0, self.ingress.issued())
+    }
+
+    /// Requests submitted (through every path) whose completions have not
+    /// been claimed yet, including requests still pending in the
+    /// micro-batcher.
+    #[must_use]
+    pub fn outstanding_requests(&self) -> u64 {
+        self.completions.unclaimed(self.ingress.issued())
+    }
+
+    // ------------------------------------------------------------------
+    // Batch API (a pre-coalesced group sharing a ticket range)
+    // ------------------------------------------------------------------
+
+    /// Validates and enqueues a pre-coalesced batch as one pipeline
+    /// group, blocking while the ingress queue is full (backpressure).
+    /// Returns the ticket its response will carry; the ticket also names
+    /// the batch's per-request ticket range
+    /// ([`BatchTicket::request_tickets`]).
     ///
     /// # Errors
     /// Rejects requests naming unknown tables or out-of-range indices;
     /// [`ServiceError::Disconnected`] if the pipeline died.
     pub fn submit(&mut self, batch: Vec<Request>) -> Result<BatchTicket, ServiceError> {
-        self.validate(&batch)?;
-        let requests = batch.len() as u64;
-        let ticket = self.take_ticket();
-        self.ingress
-            .send(EngineMsg::Batch { ticket: ticket.0, requests: batch })
-            .map_err(|_| ServiceError::Disconnected)?;
-        self.shared.submitted.fetch_add(requests, Ordering::Relaxed);
+        let id = self.next_batch;
+        let (first_request, len) = self.ingress.submit_batch(batch, id)?;
+        self.next_batch += 1;
+        let ticket = BatchTicket { id, first_request, len };
+        self.pending_batches.push_back(ticket);
         Ok(ticket)
     }
 
@@ -291,38 +446,40 @@ impl LaoramService {
     /// # Errors
     /// As [`submit`](Self::submit), plus [`ServiceError::Backpressure`].
     pub fn try_submit(&mut self, batch: Vec<Request>) -> Result<BatchTicket, ServiceError> {
-        self.validate(&batch)?;
-        let requests = batch.len() as u64;
-        let ticket = self.take_ticket_peek();
-        match self.ingress.try_send(EngineMsg::Batch { ticket, requests: batch }) {
-            Ok(()) => {
-                self.shared.submitted.fetch_add(requests, Ordering::Relaxed);
-                Ok(self.take_ticket())
-            }
-            Err(std::sync::mpsc::TrySendError::Full(EngineMsg::Batch { requests, .. })) => {
-                Err(ServiceError::Backpressure(requests))
-            }
-            Err(_) => Err(ServiceError::Disconnected),
-        }
+        let id = self.next_batch;
+        let (first_request, len) = self.ingress.try_submit_batch(batch, id)?;
+        self.next_batch += 1;
+        let ticket = BatchTicket { id, first_request, len };
+        self.pending_batches.push_back(ticket);
+        Ok(ticket)
     }
 
     /// Receives the next completed batch, in submission order (blocking).
+    /// Implemented on the completion queue: the batch's request
+    /// completions are claimed in ticket order and reassembled.
     ///
-    /// A degraded shard answers its part of a batch with empty outputs
+    /// A degraded shard answers its part of a group with empty outputs
     /// rather than stalling the pipeline; check
     /// [`ServiceStats::worker_errors`] (via [`stats`](Self::stats)) to
     /// distinguish that from legitimately empty rows.
     ///
     /// # Errors
     /// [`ServiceError::NoPendingBatches`] with nothing outstanding;
+    /// [`ServiceError::TicketClaimed`] if one of the batch's requests was
+    /// already claimed individually;
     /// [`ServiceError::Disconnected`] if the pipeline died.
     pub fn next_response(&mut self) -> Result<BatchResponse, ServiceError> {
-        if self.outstanding == 0 {
-            return Err(ServiceError::NoPendingBatches);
+        let ticket = self.pending_batches.pop_front().ok_or(ServiceError::NoPendingBatches)?;
+        if ticket.len == 0 {
+            self.completions.wait_batch(ticket.id)?;
+            return Ok(BatchResponse { ticket, outputs: Vec::new() });
         }
-        let response = self.responses.recv().map_err(|_| ServiceError::Disconnected)?;
-        self.outstanding -= 1;
-        Ok(response)
+        let issued = self.ingress.issued();
+        let mut outputs = Vec::with_capacity(ticket.len as usize);
+        for request in ticket.request_tickets() {
+            outputs.push(self.completions.wait(request, issued)?.output);
+        }
+        Ok(BatchResponse { ticket, outputs })
     }
 
     /// Waits for every outstanding batch, returning the responses in
@@ -331,26 +488,33 @@ impl LaoramService {
     /// # Errors
     /// As [`next_response`](Self::next_response).
     pub fn drain(&mut self) -> Result<Vec<BatchResponse>, ServiceError> {
-        let mut out = Vec::with_capacity(self.outstanding as usize);
-        while self.outstanding > 0 {
+        let mut out = Vec::with_capacity(self.pending_batches.len());
+        while !self.pending_batches.is_empty() {
             out.push(self.next_response()?);
         }
         Ok(out)
     }
 
-    /// Zeroes every shard's access counters and the pipeline timers, after
-    /// all previously submitted batches (ordered through the same queues).
-    /// Call [`drain`](Self::drain) first for a clean measurement boundary.
+    // ------------------------------------------------------------------
+    // Statistics and lifecycle
+    // ------------------------------------------------------------------
+
+    /// Zeroes every shard's access counters, the pipeline timers, and the
+    /// latency histograms, ordered after all previously *coalesced*
+    /// groups. Call [`drain`](Self::drain) (and claim outstanding
+    /// completions) first for a clean measurement boundary; requests
+    /// still pending in the micro-batcher will be counted after the
+    /// reset.
     ///
     /// # Errors
     /// [`ServiceError::Disconnected`] if the pipeline died.
     pub fn reset_stats(&mut self) -> Result<(), ServiceError> {
-        self.ingress.send(EngineMsg::ResetStats).map_err(|_| ServiceError::Disconnected)
+        self.ingress.send_reset()
     }
 
-    /// A snapshot of shard, merged, and pipeline statistics.
+    /// A snapshot of shard, merged, pipeline, and latency statistics.
     ///
-    /// Shard counters reflect batches whose responses have been emitted;
+    /// Shard counters reflect groups whose completions have been emitted;
     /// for exact boundaries, [`drain`](Self::drain) first.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
@@ -361,7 +525,7 @@ impl LaoramService {
     /// Number of batches submitted but not yet returned.
     #[must_use]
     pub fn outstanding(&self) -> u64 {
-        self.outstanding
+        self.pending_batches.len() as u64
     }
 
     /// The routing layer (introspection: shard sizes, worker homes).
@@ -370,58 +534,84 @@ impl LaoramService {
         &self.router
     }
 
-    /// Stops the pipeline: flushes every shard, joins all threads, and
-    /// returns the final statistics plus any responses that were still
-    /// queued. Worker failures do not discard this data — they are
-    /// reported in [`ServiceReport::worker_errors`] (and live in
-    /// [`ServiceStats::worker_errors`]); check it before trusting the
+    /// Stops the pipeline: flushes the micro-batcher and every shard,
+    /// joins all threads, and returns the final statistics plus
+    /// everything that was still unclaimed. If a worker died mid-drain,
+    /// the lost requests are *counted*, not silently dropped:
+    /// [`ServiceReport::truncated_requests`] carries the shortfall and a
+    /// synthetic entry is appended to
+    /// [`ServiceReport::worker_errors`]. Check both before trusting the
     /// outputs of a long run.
     ///
     /// # Errors
     /// Infallible today; the `Result` reserves room for teardown
     /// failures.
     pub fn shutdown(mut self) -> Result<ServiceReport, ServiceError> {
-        let mut responses = Vec::new();
-        while self.outstanding > 0 {
-            match self.responses.recv() {
-                Ok(r) => {
-                    self.outstanding -= 1;
-                    responses.push(r);
-                }
-                Err(_) => break,
-            }
+        // 1. Stop accepting; the micro-batcher flushes its pending tail.
+        self.ingress.begin_shutdown();
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
         }
-        drop(self.ingress); // closes the pipeline end to end
+        // 2. Close the pipeline end to end and let every stage drain.
+        self.ingress.close_channel();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+        // 3. Everything that completed is now buffered in the completion
+        //    channel; ingest it all and account for what is missing.
+        let drain = self.completions.drain_for_shutdown();
+        let mut ready = drain.ready;
+        let mut responses = Vec::new();
+        let mut truncated_batches = 0u64;
+        for ticket in std::mem::take(&mut self.pending_batches) {
+            if ticket.len == 0 {
+                if drain.batch_done.contains(&ticket.id) {
+                    responses.push(BatchResponse { ticket, outputs: Vec::new() });
+                } else {
+                    truncated_batches += 1;
+                }
+                continue;
+            }
+            if ticket.request_tickets().all(|t| ready.contains_key(&t)) {
+                let outputs = ticket
+                    .request_tickets()
+                    .map(|t| ready.remove(&t).expect("checked present").output)
+                    .collect();
+                responses.push(BatchResponse { ticket, outputs });
+            } else {
+                // Leave any partial completions in `ready`: they surface
+                // in `ServiceReport::completions` instead of vanishing.
+                truncated_batches += 1;
+            }
+        }
+        let mut completions: Vec<Completion> = ready.into_values().collect();
+        completions.sort_by_key(|c| c.ticket.id());
+
+        let issued = self.ingress.issued();
+        let counters = drain.counters;
+        let truncated_requests = issued.saturating_sub(counters.voided + counters.expanded);
+
         let inner = self.shared.inner.lock().expect("shutdown lock");
-        let stats = build_stats(&inner, &self.worker_homes, self.shared.now_ns());
+        let mut stats = build_stats(&inner, &self.worker_homes, self.shared.now_ns());
+        drop(inner);
+        if truncated_requests > 0 || truncated_batches > 0 {
+            stats.worker_errors.push((
+                self.worker_homes.len(),
+                format!(
+                    "shutdown truncated {truncated_requests} request(s) across \
+                     {truncated_batches} unclaimed batch(es): a pipeline stage died mid-drain"
+                ),
+            ));
+        }
         let worker_errors = stats.worker_errors.clone();
         Ok(ServiceReport {
             stats,
             responses,
+            completions,
             requests_served: self.shared.submitted.load(Ordering::Relaxed),
+            truncated_requests,
             worker_errors,
         })
-    }
-
-    fn validate(&self, batch: &[Request]) -> Result<(), ServiceError> {
-        for request in batch {
-            self.router.route(request.table, request.index)?;
-        }
-        Ok(())
-    }
-
-    fn take_ticket(&mut self) -> BatchTicket {
-        let ticket = BatchTicket(self.next_ticket);
-        self.next_ticket += 1;
-        self.outstanding += 1;
-        ticket
-    }
-
-    fn take_ticket_peek(&self) -> u64 {
-        self.next_ticket
     }
 }
 
@@ -435,9 +625,10 @@ fn shard_split_seed(base: u64, table: usize, shard: u32) -> u64 {
     z ^ (z >> 31)
 }
 
-/// The preprocessor stage: routes each batch to shards, bins each shard's
-/// sub-stream and assigns its superblock paths, then dispatches
-/// `Plan(N+1)` + `Ops(N+1)` while the workers serve batch `N`.
+/// The preprocessor stage: routes each group to shards, optionally pads
+/// per-shard sub-batches to equal length, bins each shard's sub-stream
+/// and assigns its superblock paths, then dispatches `Plan(N+1)` +
+/// `Ops(N+1)` while the workers serve group `N`.
 fn run_preprocessor(
     ingress: Receiver<EngineMsg>,
     router: Arc<ShardRouter>,
@@ -445,17 +636,20 @@ fn run_preprocessor(
     workers: Vec<SyncSender<WorkerMsg>>,
     collector: mpsc::Sender<CollectorMsg>,
     shared: Arc<Shared>,
+    pad_shard_batches: bool,
 ) {
-    // The one-batch dispatch delay that makes the pipeline deterministic:
-    // batch N's operations are held back until batch N+1's plans have been
+    // The one-group dispatch delay that makes the pipeline deterministic:
+    // group N's operations are held back until group N+1's plans have been
     // dispatched, so every worker has window N+1 staged *before* it starts
     // serving window N (warm exits at every boundary). When the ingress is
     // idle there is no N+1 to wait for, and the pending operations flush
     // immediately — no added latency for an unloaded service.
     let mut pending: Option<Vec<(usize, WorkerMsg)>> = None;
-    // Ticket the next batch will carry; a stats reset anchors the timing
+    // Group id the next group will carry; a stats reset anchors the timing
     // window here so pre-reset records are dropped, not resurrected.
-    let mut next_ticket_hint = 0u64;
+    let mut next_group_hint = 0u64;
+    // Rotating per-worker cursor choosing padding rows.
+    let mut pad_cursor: Vec<u32> = vec![0; workers.len()];
     let flush = |pending: &mut Option<Vec<(usize, WorkerMsg)>>| -> bool {
         if let Some(parts) = pending.take() {
             for (worker, msg) in parts {
@@ -497,9 +691,19 @@ fn run_preprocessor(
                     inner.preprocess_ns = 0;
                     inner.batches_preprocessed = 0;
                     inner.batch_timing.clear();
-                    // Drop (don't re-create) records of pre-reset tickets:
+                    // Drop (don't re-create) records of pre-reset groups:
                     // late worker updates for them are discarded.
-                    inner.timing_base = next_ticket_hint;
+                    inner.timing_base = next_group_hint;
+                    inner.pad_accesses = 0;
+                }
+                // The latency histograms are written by the collector, so
+                // their reset is a collector-side barrier: it fires only
+                // after every already-coalesced group has been emitted.
+                if collector
+                    .send(CollectorMsg::ResetLatency { before_group: next_group_hint })
+                    .is_err()
+                {
+                    return;
                 }
                 for tx in &workers {
                     if tx.send(WorkerMsg::ResetStats).is_err() {
@@ -507,16 +711,16 @@ fn run_preprocessor(
                     }
                 }
             }
-            EngineMsg::Batch { ticket, requests } => {
-                next_ticket_hint = ticket + 1;
+            EngineMsg::Group { group, requests, meta } => {
+                next_group_hint = group + 1;
                 let prep_start_ns = shared.now_ns();
-                // Route: split the batch into per-worker index streams and
-                // operation lists, remembering each op's batch position.
+                // Route: split the group into per-worker index streams and
+                // operation lists, remembering each op's group position.
                 let mut per_worker: HashMap<usize, RoutedPart> = HashMap::new();
                 for (position, request) in requests.into_iter().enumerate() {
                     let (worker, local) = router
                         .route(request.table, request.index)
-                        .expect("submit() validated every request");
+                        .expect("ingress validated every request");
                     let entry = per_worker.entry(worker).or_default();
                     entry.0.push(local);
                     entry.1.push(match request.op {
@@ -524,6 +728,33 @@ fn run_preprocessor(
                         RequestOp::Write(payload) => BatchOp::Write(local, payload),
                     });
                     entry.2.push(position as u32);
+                }
+                // Volume padding: bring every shard of every table touched
+                // by this group up to the table's longest sub-batch, so
+                // per-shard volumes stop being input-dependent.
+                let mut pads = 0u64;
+                if pad_shard_batches {
+                    let mut table_max: HashMap<usize, usize> = HashMap::new();
+                    for (&worker, part) in &per_worker {
+                        let (table, _) = router.worker_home(worker);
+                        let longest = table_max.entry(table).or_default();
+                        *longest = (*longest).max(part.1.len());
+                    }
+                    for (&table, &longest) in &table_max {
+                        for worker in router.table_workers(table) {
+                            let entry = per_worker.entry(worker).or_default();
+                            let (_, shard) = router.worker_home(worker);
+                            let shard_size = router.partition(table).shard_size(shard);
+                            while entry.1.len() < longest {
+                                let local = pad_cursor[worker] % shard_size;
+                                pad_cursor[worker] = pad_cursor[worker].wrapping_add(1);
+                                entry.0.push(local);
+                                entry.1.push(BatchOp::Read(local));
+                                entry.2.push(PAD_SLOT);
+                                pads += 1;
+                            }
+                        }
+                    }
                 }
                 // Plan each shard's window: the dataset-scan +
                 // path-generation step, timed as the pipeline's stage A.
@@ -538,29 +769,31 @@ fn run_preprocessor(
                     let mut inner = shared.inner.lock().expect("preprocessor lock");
                     inner.preprocess_ns += prep_end_ns - prep_start_ns;
                     inner.batches_preprocessed += 1;
-                    if let Some(timing) = inner.timing_slot(ticket) {
+                    inner.pad_accesses += pads;
+                    if let Some(timing) = inner.timing_slot(group) {
                         timing.prep_start_ns = prep_start_ns;
                         timing.prep_end_ns = prep_end_ns;
                     }
                 }
                 if collector
                     .send(CollectorMsg::Manifest {
-                        ticket,
+                        group,
                         parts: dispatch.len(),
-                        len: dispatch.iter().map(|(_, _, ops, _)| ops.len()).sum(),
+                        len: meta.requests.len(),
+                        meta,
                     })
                     .is_err()
                 {
                     return;
                 }
-                // Dispatch this batch's plan windows now, then release the
-                // *previous* batch's held-back operations.
+                // Dispatch this group's plan windows now, then release the
+                // *previous* group's held-back operations.
                 let mut ops_parts = Vec::with_capacity(dispatch.len());
                 for (worker, plan, ops, slots) in dispatch {
                     if workers[worker].send(WorkerMsg::Plan(plan)).is_err() {
                         return;
                     }
-                    ops_parts.push((worker, WorkerMsg::Ops { ticket, ops, slots }));
+                    ops_parts.push((worker, WorkerMsg::Ops { group, ops, slots }));
                 }
                 if !flush(&mut pending) {
                     return;
@@ -575,7 +808,7 @@ fn run_preprocessor(
 }
 
 /// One shard worker: owns a LAORAM instance, installs plan windows, and
-/// serves operation batches. Before serving, it opportunistically stages
+/// serves operation groups. Before serving, it opportunistically stages
 /// the *next* window if the preprocessor already delivered it, so cache
 /// flushes exit toward next-window paths (the warm cross-batch pipeline).
 fn run_worker(
@@ -652,7 +885,7 @@ fn run_worker(
                     fail(&shared, &e);
                 }
             }
-            WorkerMsg::Ops { ticket, ops, slots } => {
+            WorkerMsg::Ops { group, ops, slots } => {
                 // Activate the window these ops belong to.
                 if client.plan_remaining() == 0 && client.has_staged_plan() {
                     if let Err(e) = client.advance_plan() {
@@ -660,7 +893,7 @@ fn run_worker(
                     }
                 }
                 // Pipeline lookahead: if the *next* window is already
-                // delivered, stage it before serving so this batch's cache
+                // delivered, stage it before serving so this group's cache
                 // flushes exit toward next-window paths.
                 pump(&rx, &mut queue);
                 if let Err(e) = stage_next_plan(&mut client, &mut queue) {
@@ -672,7 +905,7 @@ fn run_worker(
                     Err(e) => {
                         // Degrade instead of deadlocking: record the error
                         // and answer with empty outputs so every submitted
-                        // batch still completes.
+                        // group still completes.
                         fail(&shared, &e);
                         vec![None; slots.len()]
                     }
@@ -683,7 +916,7 @@ fn run_worker(
                     inner.worker_stats[worker] = client.stats().clone();
                     inner.worker_serve_ns[worker] += serve_end_ns - serve_start_ns;
                     inner.worker_batches[worker] += 1;
-                    if let Some(timing) = inner.timing_slot(ticket) {
+                    if let Some(timing) = inner.timing_slot(group) {
                         if timing.serve_start_ns == 0 || serve_start_ns < timing.serve_start_ns {
                             timing.serve_start_ns = serve_start_ns;
                         }
@@ -692,7 +925,16 @@ fn run_worker(
                         }
                     }
                 }
-                if collector.send(CollectorMsg::Part { ticket, outputs, slots }).is_err() {
+                if collector
+                    .send(CollectorMsg::Part {
+                        group,
+                        outputs,
+                        slots,
+                        serve_start_ns,
+                        serve_end_ns,
+                    })
+                    .is_err()
+                {
                     break;
                 }
             }
@@ -705,45 +947,116 @@ fn run_worker(
     shared.inner.lock().expect("worker lock").worker_stats[worker] = client.stats().clone();
 }
 
-/// The collector: reassembles shard parts into whole-batch responses and
-/// emits them in ticket order.
-fn run_collector(rx: Receiver<CollectorMsg>, responses: mpsc::Sender<BatchResponse>) {
-    struct Pending {
-        outputs: Vec<Option<Box<[u8]>>>,
-        remaining: usize,
+/// One group being reassembled by the collector.
+struct PendingGroup {
+    outputs: Vec<Option<Box<[u8]>>>,
+    remaining: usize,
+    meta: GroupMeta,
+    serve_start_ns: u64,
+    serve_end_ns: u64,
+}
+
+impl PendingGroup {
+    fn finish(self, done_ns: u64) -> GroupDone {
+        GroupDone {
+            batch: self.meta.batch,
+            outputs: self.outputs,
+            requests: self.meta.requests,
+            coalesce_ns: self.meta.coalesce_ns,
+            serve_start_ns: self.serve_start_ns,
+            serve_end_ns: self.serve_end_ns,
+            done_ns,
+        }
     }
-    let mut pending: HashMap<u64, Pending> = HashMap::new();
-    let mut done: BTreeMap<u64, Vec<Option<Box<[u8]>>>> = BTreeMap::new();
+}
+
+/// Records one emitted group's per-request latencies.
+fn record_latency(shared: &Shared, group: &GroupDone) {
+    if group.requests.is_empty() {
+        return;
+    }
+    let mut inner = shared.inner.lock().expect("collector lock");
+    inner.requests_completed += group.requests.len() as u64;
+    for meta in &group.requests {
+        inner.request_latency.total.record(group.done_ns.saturating_sub(meta.enqueue_ns));
+        inner.request_latency.queue_wait.record(group.coalesce_ns.saturating_sub(meta.enqueue_ns));
+        inner.request_latency.service.record(group.serve_end_ns.saturating_sub(group.coalesce_ns));
+    }
+}
+
+/// The collector: reassembles shard parts into whole-group completions
+/// and emits the groups in group order, recording per-request latency at
+/// emission — emission order is group order, which is what lets a stats
+/// reset act as a clean barrier (`ResetLatency`) between pre- and
+/// post-reset traffic.
+fn run_collector(
+    rx: Receiver<CollectorMsg>,
+    completions: mpsc::Sender<GroupDone>,
+    shared: Arc<Shared>,
+) {
+    let mut pending: HashMap<u64, PendingGroup> = HashMap::new();
+    let mut done: BTreeMap<u64, GroupDone> = BTreeMap::new();
     let mut next_emit = 0u64;
-    let emit = |done: &mut BTreeMap<u64, Vec<Option<Box<[u8]>>>>, next_emit: &mut u64| {
-        while let Some(outputs) = done.remove(next_emit) {
-            if responses.send(BatchResponse { ticket: BatchTicket(*next_emit), outputs }).is_err() {
-                return;
-            }
-            *next_emit += 1;
+    // Latency-reset barrier: fires once `next_emit` reaches it.
+    let mut reset_at: Option<u64> = None;
+    let apply_reset = |reset_at: &mut Option<u64>, next_emit: u64, shared: &Shared| {
+        if reset_at.is_some_and(|before| next_emit >= before) {
+            let mut inner = shared.inner.lock().expect("collector lock");
+            inner.request_latency = RequestLatencyStats::default();
+            inner.requests_completed = 0;
+            *reset_at = None;
         }
     };
+    let emit =
+        |done: &mut BTreeMap<u64, GroupDone>, next_emit: &mut u64, reset_at: &mut Option<u64>| {
+            while let Some(group) = done.remove(next_emit) {
+                apply_reset(reset_at, *next_emit, &shared);
+                record_latency(&shared, &group);
+                if completions.send(group).is_err() {
+                    return;
+                }
+                *next_emit += 1;
+            }
+            apply_reset(reset_at, *next_emit, &shared);
+        };
     while let Ok(msg) = rx.recv() {
         match msg {
-            CollectorMsg::Manifest { ticket, parts, len } => {
+            CollectorMsg::Manifest { group, parts, len, meta } => {
+                let entry = PendingGroup {
+                    outputs: vec![None; len],
+                    remaining: parts,
+                    meta,
+                    serve_start_ns: 0,
+                    serve_end_ns: 0,
+                };
                 if parts == 0 {
-                    done.insert(ticket, Vec::new());
+                    done.insert(group, entry.finish(shared.now_ns()));
                 } else {
-                    pending.insert(ticket, Pending { outputs: vec![None; len], remaining: parts });
+                    pending.insert(group, entry);
                 }
-                emit(&mut done, &mut next_emit);
+                emit(&mut done, &mut next_emit, &mut reset_at);
             }
-            CollectorMsg::Part { ticket, outputs, slots } => {
-                let entry = pending.get_mut(&ticket).expect("part before manifest");
+            CollectorMsg::Part { group, outputs, slots, serve_start_ns, serve_end_ns } => {
+                let entry = pending.get_mut(&group).expect("part before manifest");
                 for (slot, output) in slots.into_iter().zip(outputs) {
-                    entry.outputs[slot as usize] = output;
+                    if slot != PAD_SLOT {
+                        entry.outputs[slot as usize] = output;
+                    }
                 }
+                if entry.serve_start_ns == 0 || serve_start_ns < entry.serve_start_ns {
+                    entry.serve_start_ns = serve_start_ns;
+                }
+                entry.serve_end_ns = entry.serve_end_ns.max(serve_end_ns);
                 entry.remaining -= 1;
                 if entry.remaining == 0 {
-                    let finished = pending.remove(&ticket).expect("present");
-                    done.insert(ticket, finished.outputs);
-                    emit(&mut done, &mut next_emit);
+                    let finished = pending.remove(&group).expect("present");
+                    done.insert(group, finished.finish(shared.now_ns()));
+                    emit(&mut done, &mut next_emit, &mut reset_at);
                 }
+            }
+            CollectorMsg::ResetLatency { before_group } => {
+                reset_at = Some(reset_at.map_or(before_group, |b| b.max(before_group)));
+                apply_reset(&mut reset_at, next_emit, &shared);
             }
         }
     }
@@ -765,7 +1078,7 @@ fn build_stats(inner: &SharedInner, worker_homes: &[(usize, u32)], wall_ns: u64)
     }
     // Overlap: preprocessing wall-clock hidden behind concurrent serving.
     // Merge all serve spans into disjoint intervals, then intersect each
-    // batch's preprocessing span with the union.
+    // group's preprocessing span with the union.
     let mut serve_spans: Vec<(u64, u64)> = inner
         .batch_timing
         .iter()
@@ -812,5 +1125,8 @@ fn build_stats(inner: &SharedInner, worker_homes: &[(usize, u32)], wall_ns: u64)
             overlap_ns,
         },
         batches: inner.batch_timing.clone(),
+        request_latency: inner.request_latency.clone(),
+        requests_completed: inner.requests_completed,
+        pad_accesses: inner.pad_accesses,
     }
 }

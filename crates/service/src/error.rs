@@ -40,6 +40,27 @@ pub enum ServiceError {
     /// [`next_response`](crate::LaoramService::next_response) was called
     /// with no submitted batch outstanding.
     NoPendingBatches,
+    /// [`complete_blocking`](crate::LaoramService::complete_blocking) was
+    /// called with no unclaimed request outstanding.
+    NoPendingRequests,
+    /// [`wait`](crate::LaoramService::wait) named a ticket that was never
+    /// issued.
+    UnknownTicket {
+        /// The requested ticket id.
+        ticket: u64,
+    },
+    /// [`wait`](crate::LaoramService::wait) named a ticket whose
+    /// completion was already claimed (by an earlier `wait`, a
+    /// [`try_complete`](crate::LaoramService::try_complete) poll, or the
+    /// batch-level
+    /// [`next_response`](crate::LaoramService::next_response)).
+    TicketClaimed {
+        /// The requested ticket id.
+        ticket: u64,
+    },
+    /// The request was submitted after
+    /// [`shutdown`](crate::LaoramService::shutdown) began.
+    ShuttingDown,
     /// A pipeline stage terminated unexpectedly (a worker panicked or an
     /// internal channel closed early).
     Disconnected,
@@ -61,6 +82,14 @@ impl fmt::Display for ServiceError {
                 write!(f, "request queue full ({} requests rejected)", batch.len())
             }
             ServiceError::NoPendingBatches => write!(f, "no submitted batch outstanding"),
+            ServiceError::NoPendingRequests => write!(f, "no unclaimed request outstanding"),
+            ServiceError::UnknownTicket { ticket } => {
+                write!(f, "request ticket {ticket} was never issued")
+            }
+            ServiceError::TicketClaimed { ticket } => {
+                write!(f, "request ticket {ticket} already claimed")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Disconnected => write!(f, "pipeline stage terminated unexpectedly"),
             ServiceError::Core(e) => write!(f, "shard construction failed: {e}"),
         }

@@ -1,5 +1,5 @@
 //! `laoram-service` — a sharded, pipelined, multi-table LAORAM embedding
-//! serving engine.
+//! serving engine with a request-level API.
 //!
 //! The LAORAM paper's key structural insight is that training knows its
 //! future access stream, so preprocessing (superblock binning + path
@@ -8,35 +8,68 @@
 //! exercises the protocol for one table and one thread; this crate builds
 //! the serving system around it:
 //!
+//! * **Request-level** — the unit of work is one [`Request`]:
+//!   [`submit_request`](LaoramService::submit_request) (or a per-tenant
+//!   [`Session`]) returns a [`RequestTicket`], and an internal
+//!   **micro-batcher** coalesces pending requests into superblock-aligned
+//!   pipeline groups under a configurable [`BatchPolicy`]
+//!   (`max_batch` / `max_delay` / `align_to_superblock`) — lookahead
+//!   preprocessing still sees full windows, but callers never assemble
+//!   batches by hand.
+//! * **Poll-based completion** — results are claimed from a completion
+//!   queue: [`try_complete`](LaoramService::try_complete) (non-blocking,
+//!   FIFO), [`complete_blocking`](LaoramService::complete_blocking), or
+//!   [`wait`](LaoramService::wait) for one specific ticket. Each
+//!   [`Completion`] carries the request's output and its
+//!   enqueue → coalesce → serve → complete timestamps
+//!   ([`RequestTiming`]); p50/p95/p99 latency histograms are folded into
+//!   [`ServiceStats::request_latency`].
+//! * **Batch-compatible** — the training-shaped batch API
+//!   ([`submit`](LaoramService::submit) /
+//!   [`next_response`](LaoramService::next_response)) is a thin layer on
+//!   the same path: a batch is one *pre-coalesced group* whose requests
+//!   share a contiguous ticket range
+//!   ([`BatchTicket::request_tickets`]).
 //! * **Multi-table** — the engine hosts any number of embedding tables
 //!   ([`TableSpec`]), each with its own LAORAM parameters.
 //! * **Sharded** — each table is hash-partitioned ([`ShardRouter`]) across
 //!   shard workers, one `LaOram` instance and thread per shard, so
 //!   independent shards serve in parallel.
 //! * **Pipelined** — a dedicated preprocessor thread bins and
-//!   path-assigns batch `N+1` (via the resumable
+//!   path-assigns group `N+1` (via the resumable
 //!   [`SuperblockPlanner`](laoram_core::SuperblockPlanner)) while the
-//!   shard workers serve batch `N`, handing each worker double-buffered
+//!   shard workers serve group `N`, handing each worker double-buffered
 //!   [`SuperblockPlan`](laoram_core::SuperblockPlan) windows over
 //!   channels. Per-stage timestamps ([`PipelineStats`], [`BatchTiming`])
 //!   make the overlap observable.
-//! * **Backpressured** — the ingress queue is bounded;
-//!   [`submit`](LaoramService::submit) blocks and
-//!   [`try_submit`](LaoramService::try_submit) rejects when serving falls
-//!   behind.
+//! * **Backpressured** — the pipeline queue is bounded;
+//!   [`submit`](LaoramService::submit) blocks,
+//!   [`try_submit`](LaoramService::try_submit) rejects, and the
+//!   micro-batcher stalls its flushes when serving falls behind.
 //!
 //! # Security model
 //!
 //! *Within* a shard, the single-client guarantee is unchanged: the
 //! shard's server sees a sequence of uniformly random path requests
-//! (§VI). *Across* shards, routing is a deterministic hash of the
-//! accessed index, so an adversary observing which shard serves each
-//! request learns the per-shard traffic *volume* distribution — a
-//! coarse, input-dependent signal that a single-instance deployment
-//! does not emit. This is the standard trade-off of partitioned ORAM;
-//! deployments that cannot accept it should run one shard per table or
-//! pad per-shard sub-batches to equal length (a roadmap item, see
-//! ROADMAP.md).
+//! (§VI). Two cross-cutting signals remain, both input-dependent:
+//!
+//! * **Per-shard volumes.** Routing is a deterministic hash of the
+//!   accessed index, so an adversary observing which shard serves each
+//!   request learns the per-shard traffic *volume* distribution — a
+//!   coarse signal that a single-instance deployment does not emit.
+//!   [`ServiceConfig::pad_shard_batches`] closes this channel by padding
+//!   every table's per-shard sub-batches to equal length with dummy
+//!   reads; the bandwidth price is counted in
+//!   [`ServiceStats::pad_accesses`].
+//! * **Batch timing.** Micro-batch *boundaries* leak arrival timing:
+//!   a group flushed by `max_delay` reveals that fewer than `max_batch`
+//!   requests arrived in that window, and group sizes under deadline
+//!   coalescing track the offered load. This is the same class of
+//!   leakage as per-shard volumes — metadata about *how much* traffic
+//!   arrived *when*, never about which rows it touched. Deployments that
+//!   cannot accept it should drive the engine at fixed cadence with
+//!   fixed-size batches (the training shape) or pad the request stream
+//!   upstream.
 //!
 //! # Example
 //!
@@ -48,16 +81,23 @@
 //!         .table(TableSpec::new("embeddings", 256).shards(2).superblock_size(4))
 //!         .queue_depth(2),
 //! )?;
-//! // One training batch: update two rows, read one.
+//! // Request-level path: per-tenant sessions, micro-batched internally.
+//! let tenant = service.session();
+//! let ticket = tenant.write(0, 7, vec![1u8; 8].into())?;
+//! service.flush()?; // or let BatchPolicy::max_delay coalesce it
+//! let completion = service.wait(ticket)?;
+//! assert_eq!(completion.session, tenant.id());
+//!
+//! // Batch path (training shape): one pre-coalesced group.
 //! service.submit(vec![
-//!     Request::write(0, 7, vec![1u8; 8].into()),
 //!     Request::write(0, 91, vec![2u8; 8].into()),
 //!     Request::read(0, 7),
 //! ])?;
 //! let response = service.next_response()?;
-//! assert_eq!(response.outputs[2].as_deref(), Some(&[1u8; 8][..]));
+//! assert_eq!(response.outputs[1].as_deref(), Some(&[1u8; 8][..]));
 //! let report = service.shutdown()?;
 //! assert_eq!(report.stats.merged.real_accesses, 3);
+//! assert_eq!(report.truncated_requests, 0);
 //! # Ok::<(), laoram_service::ServiceError>(())
 //! ```
 
@@ -65,8 +105,11 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod completion;
 mod engine;
 mod error;
+mod ingress;
+mod request;
 mod router;
 mod spec;
 mod stats;
@@ -74,9 +117,12 @@ mod stats;
 pub use batch::{BatchResponse, BatchTicket, Request, RequestOp};
 pub use engine::{LaoramService, ServiceReport};
 pub use error::ServiceError;
+pub use request::{Completion, RequestTicket, RequestTiming, Session, SessionId};
 pub use router::{ShardRouter, TablePartition};
-pub use spec::{ServiceConfig, TableSpec};
-pub use stats::{BatchTiming, PipelineStats, ServiceStats, ShardStats};
+pub use spec::{BatchPolicy, ServiceConfig, TableSpec};
+pub use stats::{
+    BatchTiming, LatencyHistogram, PipelineStats, RequestLatencyStats, ServiceStats, ShardStats,
+};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, ServiceError>;
@@ -279,5 +325,155 @@ mod tests {
         assert_eq!(report.requests_served, 32);
         assert_eq!(report.responses.len(), 1, "shutdown drains unclaimed responses");
         assert!(report.worker_errors.is_empty(), "healthy run reports no shard failures");
+        assert_eq!(report.truncated_requests, 0, "healthy shutdown loses nothing");
+        assert!(report.completions.is_empty(), "all requests belonged to the batch");
+    }
+
+    #[test]
+    fn service_handle_and_sessions_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LaoramService>();
+        assert_send_sync::<Session>();
+        assert_send_sync::<Completion>();
+    }
+
+    #[test]
+    fn request_path_round_trip_with_flush() {
+        let service = LaoramService::start(two_shard_config()).unwrap();
+        let t1 = service.submit_request(Request::write(0, 3, vec![7u8; 4].into())).unwrap();
+        let t2 = service.submit_request(Request::read(0, 3)).unwrap();
+        assert_eq!(service.outstanding_requests(), 2);
+        service.flush().unwrap();
+        let c1 = service.wait(t1).unwrap();
+        assert_eq!(c1.ticket, t1);
+        assert_eq!(c1.output, None, "first write of a row replaces nothing");
+        let c2 = service.wait(t2).unwrap();
+        assert_eq!(c2.output.as_deref(), Some(&[7u8; 4][..]));
+        assert!(c2.timing.total_ns() > 0, "completion carries a latency");
+        assert!(c2.timing.complete_ns >= c2.timing.serve_end_ns);
+        assert!(c2.timing.serve_end_ns >= c2.timing.serve_start_ns);
+        assert_eq!(service.outstanding_requests(), 0);
+        let report = service.shutdown().unwrap();
+        assert_eq!(report.truncated_requests, 0);
+    }
+
+    #[test]
+    fn micro_batcher_deadline_flushes_without_explicit_flush() {
+        let service = LaoramService::start(
+            ServiceConfig::new()
+                .table(TableSpec::new("t0", 512).shards(2).superblock_size(4).seed(11))
+                .batch_policy(
+                    BatchPolicy::new()
+                        .max_batch(1 << 20)
+                        .max_delay(std::time::Duration::from_millis(1)),
+                ),
+        )
+        .unwrap();
+        let ticket = service.submit_request(Request::read(0, 5)).unwrap();
+        // No flush(): the deadline must coalesce the lone request.
+        let completion = service.wait(ticket).unwrap();
+        assert_eq!(completion.ticket, ticket);
+        assert!(
+            completion.timing.queue_wait_ns() > 0,
+            "a deadline-flushed request waited in the micro-batcher"
+        );
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn sessions_tag_completions() {
+        let service = LaoramService::start(two_shard_config()).unwrap();
+        let a = service.session();
+        let b = service.session();
+        assert_ne!(a.id(), b.id());
+        assert_ne!(a.id(), 0, "session ids never collide with the default stream");
+        let ta = a.write(0, 9, vec![0xA].into()).unwrap();
+        let tb = b.read(0, 10).unwrap();
+        service.flush().unwrap();
+        let ca = service.wait(ta).unwrap();
+        let cb = service.wait(tb).unwrap();
+        assert_eq!(ca.session, a.id());
+        assert_eq!(cb.session, b.id());
+        let report = service.shutdown().unwrap();
+        assert_eq!(report.requests_served, 2);
+    }
+
+    #[test]
+    fn completion_queue_fifo_and_ticket_errors() {
+        let service = LaoramService::start(two_shard_config()).unwrap();
+        assert!(service.try_complete().is_none());
+        assert!(matches!(service.complete_blocking(), Err(ServiceError::NoPendingRequests)));
+        assert!(matches!(
+            service.wait(RequestTicket(99)),
+            Err(ServiceError::UnknownTicket { ticket: 99 })
+        ));
+        let t0 = service.submit_request(Request::read(0, 1)).unwrap();
+        let t1 = service.submit_request(Request::read(0, 2)).unwrap();
+        service.flush().unwrap();
+        let c0 = service.complete_blocking().unwrap();
+        assert_eq!(c0.ticket, t0, "completions surface oldest first");
+        let c1 = service.wait(t1).unwrap();
+        assert_eq!(c1.ticket, t1);
+        assert!(matches!(service.wait(t1), Err(ServiceError::TicketClaimed { .. })));
+        assert!(service.try_complete().is_none());
+        assert_eq!(service.outstanding_requests(), 0);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn batch_tickets_expose_their_request_range() {
+        let mut service = LaoramService::start(two_shard_config()).unwrap();
+        let a = service.submit((0..5).map(|i| Request::read(0, i)).collect()).unwrap();
+        let b = service.submit((0..3).map(|i| Request::read(0, i)).collect()).unwrap();
+        assert_eq!(a.request_tickets(), 0..5);
+        assert_eq!(b.request_tickets(), 5..8, "batches share the global ticket sequence");
+        service.drain().unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.requests_completed, 8);
+        assert_eq!(stats.request_latency.total.count(), 8);
+        assert!(stats.request_latency.total.p50() > 0, "batch requests feed the histograms");
+        assert!(stats.request_latency.total.p99() >= stats.request_latency.total.p50());
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn reset_without_drain_excludes_in_flight_latency() {
+        // The latency reset is a collector-side barrier: groups coalesced
+        // before the reset must not pollute the post-reset histograms
+        // even when they are still in flight at reset time.
+        let mut service = LaoramService::start(two_shard_config()).unwrap();
+        service.submit((0..64).map(|i| Request::read(0, i)).collect()).unwrap();
+        service.reset_stats().unwrap();
+        service.submit((0..32).map(|i| Request::read(0, i)).collect()).unwrap();
+        service.drain().unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.requests_completed, 32, "only the post-reset batch counted");
+        assert_eq!(stats.request_latency.total.count(), 32);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shard_batch_padding_equalises_volumes() {
+        let mut service = LaoramService::start(
+            ServiceConfig::new()
+                .table(TableSpec::new("t0", 512).shards(2).superblock_size(4).seed(11))
+                .pad_shard_batches(true),
+        )
+        .unwrap();
+        // Skewed traffic: only indices that route to the table's first
+        // worker.
+        let skew: Vec<u32> =
+            (0..512).filter(|&i| service.router().route(0, i).unwrap().0 == 0).take(64).collect();
+        assert_eq!(skew.len(), 64);
+        service.submit(skew.iter().map(|&i| Request::read(0, i)).collect()).unwrap();
+        service.drain().unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.pad_accesses, 64, "the idle shard was padded to equal length");
+        assert_eq!(
+            stats.shards[0].stats.real_accesses, stats.shards[1].stats.real_accesses,
+            "per-shard volumes are indistinguishable"
+        );
+        assert_eq!(stats.merged.real_accesses, 128, "pads count as shard accesses");
+        service.shutdown().unwrap();
     }
 }

@@ -1,0 +1,148 @@
+//! Request-level serving types: tickets, completions, and per-tenant
+//! sessions.
+
+use std::sync::Arc;
+
+use crate::ingress::Ingress;
+use crate::{Request, ServiceError};
+
+/// Identifier of the session a request was submitted through.
+///
+/// Session 0 is the engine's own default stream
+/// ([`submit_request`](crate::LaoramService::submit_request) and the batch
+/// API); [`LaoramService::session`](crate::LaoramService::session) hands
+/// out ids from 1 upward.
+pub type SessionId = u64;
+
+/// Handle identifying one submitted request; ids are issued in submission
+/// order starting from 0 (shared across all sessions and the batch API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestTicket(pub(crate) u64);
+
+impl RequestTicket {
+    /// The request's sequence number.
+    #[must_use]
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+/// Per-request pipeline timestamps, in nanoseconds since the engine
+/// started. `serve_*` span the whole group the request was coalesced
+/// into (a request is served exactly when its group is).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestTiming {
+    /// The request entered the micro-batcher (or the batch API accepted
+    /// it).
+    pub enqueue_ns: u64,
+    /// The request's group was coalesced and handed to the pipeline.
+    pub coalesce_ns: u64,
+    /// Earliest shard began serving the group.
+    pub serve_start_ns: u64,
+    /// Latest shard finished serving the group.
+    pub serve_end_ns: u64,
+    /// The group's last shard part was reassembled; the completion became
+    /// claimable.
+    pub complete_ns: u64,
+}
+
+impl RequestTiming {
+    /// Time spent waiting in the micro-batcher before coalescing.
+    #[must_use]
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.coalesce_ns.saturating_sub(self.enqueue_ns)
+    }
+
+    /// Full enqueue → completion latency.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.complete_ns.saturating_sub(self.enqueue_ns)
+    }
+}
+
+/// The completed result of one request, claimed from the completion
+/// queue ([`try_complete`](crate::LaoramService::try_complete),
+/// [`complete_blocking`](crate::LaoramService::complete_blocking), or
+/// [`wait`](crate::LaoramService::wait)).
+#[derive(Debug)]
+pub struct Completion {
+    /// The request this completion answers.
+    pub ticket: RequestTicket,
+    /// The session the request was submitted through.
+    pub session: SessionId,
+    /// The request's output: reads yield the stored payload, writes yield
+    /// the payload they replaced (`None` for a never-written row, a
+    /// payload-free table, or a degraded shard — see
+    /// [`ServiceStats::worker_errors`](crate::ServiceStats::worker_errors)).
+    pub output: Option<Box<[u8]>>,
+    /// The request's trip through the pipeline.
+    pub timing: RequestTiming,
+}
+
+impl Completion {
+    /// Full enqueue → completion latency in nanoseconds.
+    #[must_use]
+    pub fn latency_ns(&self) -> u64 {
+        self.timing.total_ns()
+    }
+}
+
+/// A per-tenant request stream.
+///
+/// Sessions share the service's micro-batcher and pipeline; what they add
+/// is attribution — every [`Completion`] carries the [`SessionId`] of the
+/// session that submitted it, so a caller multiplexing tenants over one
+/// engine can fan completions back out. Sessions are cheap, cloneable,
+/// and usable from any thread; they stay valid for the engine's lifetime
+/// (submitting after [`shutdown`](crate::LaoramService::shutdown) returns
+/// [`ServiceError::ShuttingDown`]).
+#[derive(Clone)]
+pub struct Session {
+    pub(crate) ingress: Arc<Ingress>,
+    pub(crate) id: SessionId,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").field("id", &self.id).finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// This session's id, echoed in its completions.
+    #[must_use]
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Validates and enqueues one request into the micro-batcher,
+    /// returning the ticket its completion will carry.
+    ///
+    /// # Errors
+    /// Rejects unknown tables and out-of-range indices;
+    /// [`ServiceError::ShuttingDown`] after engine shutdown.
+    pub fn submit(&self, request: Request) -> Result<RequestTicket, ServiceError> {
+        self.ingress.submit_request(self.id, request)
+    }
+
+    /// Submits a read of `table[index]`.
+    ///
+    /// # Errors
+    /// As [`submit`](Self::submit).
+    pub fn read(&self, table: usize, index: u32) -> Result<RequestTicket, ServiceError> {
+        self.submit(Request::read(table, index))
+    }
+
+    /// Submits a write of `payload` into `table[index]`.
+    ///
+    /// # Errors
+    /// As [`submit`](Self::submit).
+    pub fn write(
+        &self,
+        table: usize,
+        index: u32,
+        payload: Box<[u8]>,
+    ) -> Result<RequestTicket, ServiceError> {
+        self.submit(Request::write(table, index, payload))
+    }
+}

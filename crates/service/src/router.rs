@@ -143,6 +143,16 @@ impl ShardRouter {
         &self.partitions[table]
     }
 
+    /// The flattened worker ids serving `table`, in shard order.
+    ///
+    /// # Panics
+    /// Panics if `table` is out of range.
+    #[must_use]
+    pub fn table_workers(&self, table: usize) -> std::ops::Range<usize> {
+        let base = self.worker_base[table];
+        base..base + self.partitions[table].shards() as usize
+    }
+
     /// The `(table, shard)` a flattened worker id serves.
     ///
     /// # Panics

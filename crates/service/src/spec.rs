@@ -1,5 +1,7 @@
 //! Service and per-table configuration.
 
+use std::time::Duration;
+
 use oram_protocol::EvictionConfig;
 
 /// Configuration of one hosted embedding table.
@@ -88,23 +90,104 @@ impl TableSpec {
     }
 }
 
+/// How the micro-batcher coalesces individually submitted requests
+/// ([`submit_request`](crate::LaoramService::submit_request), [`Session`])
+/// into pipeline groups.
+///
+/// A group is flushed as soon as `max_batch` requests are pending, or when
+/// the *oldest* pending request has waited `max_delay` (the deadline
+/// flush), whichever comes first. With `align_to_superblock` set, the
+/// size-triggered flush is rounded down to the service's superblock
+/// quantum (`max(table superblock size) × total shard workers`) so the
+/// lookahead preprocessor keeps seeing full superblock windows per shard;
+/// deadline flushes always take everything pending — bounding latency
+/// wins over alignment.
+///
+/// Note the timing side channel this creates: *when* a deadline flush
+/// fires depends on when requests arrived, so group boundaries under
+/// `max_delay` coalescing are input-dependent (the same class of leakage
+/// as per-shard volumes — see the crate-level security model).
+///
+/// [`Session`]: crate::Session
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush as soon as this many requests are pending. Must be nonzero.
+    pub max_batch: usize,
+    /// Flush when the oldest pending request has waited this long.
+    pub max_delay: Duration,
+    /// Round size-triggered flushes down to the superblock quantum.
+    pub align_to_superblock: bool,
+}
+
+impl BatchPolicy {
+    /// The default policy: up to 1024 requests or 2 ms, aligned.
+    #[must_use]
+    pub fn new() -> Self {
+        BatchPolicy {
+            max_batch: 1024,
+            max_delay: Duration::from_millis(2),
+            align_to_superblock: true,
+        }
+    }
+
+    /// Sets the size trigger.
+    #[must_use]
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the deadline trigger.
+    #[must_use]
+    pub fn max_delay(mut self, max_delay: Duration) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Enables or disables superblock alignment of size-triggered flushes.
+    #[must_use]
+    pub fn align_to_superblock(mut self, align: bool) -> Self {
+        self.align_to_superblock = align;
+        self
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Configuration of the whole serving engine.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// The hosted tables; request `table` fields index into this list.
     pub tables: Vec<TableSpec>,
-    /// Capacity of the bounded ingress queue, in batches. Submitting past
+    /// Capacity of the bounded ingress queue, in groups. Submitting past
     /// it blocks ([`submit`](crate::LaoramService::submit)) or rejects
     /// ([`try_submit`](crate::LaoramService::try_submit)) — the service's
     /// backpressure.
     pub queue_depth: usize,
+    /// Micro-batching policy for individually submitted requests.
+    pub batch_policy: BatchPolicy,
+    /// Pad every table's per-shard sub-batches to equal length with dummy
+    /// reads, hiding the per-shard traffic volume distribution (at the
+    /// bandwidth cost reported in
+    /// [`ServiceStats::pad_accesses`](crate::ServiceStats::pad_accesses)).
+    pub pad_shard_batches: bool,
 }
 
 impl ServiceConfig {
-    /// An empty configuration with the default queue depth (4 batches).
+    /// An empty configuration with the default queue depth (4 groups),
+    /// default [`BatchPolicy`], and shard-batch padding off.
     #[must_use]
     pub fn new() -> Self {
-        ServiceConfig { tables: Vec::new(), queue_depth: 4 }
+        ServiceConfig {
+            tables: Vec::new(),
+            queue_depth: 4,
+            batch_policy: BatchPolicy::default(),
+            pad_shard_batches: false,
+        }
     }
 
     /// Adds a hosted table.
@@ -114,10 +197,24 @@ impl ServiceConfig {
         self
     }
 
-    /// Sets the ingress queue depth (in batches).
+    /// Sets the ingress queue depth (in groups).
     #[must_use]
     pub fn queue_depth(mut self, depth: usize) -> Self {
         self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the micro-batching policy.
+    #[must_use]
+    pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
+        self.batch_policy = policy;
+        self
+    }
+
+    /// Enables or disables per-shard sub-batch padding.
+    #[must_use]
+    pub fn pad_shard_batches(mut self, pad: bool) -> Self {
+        self.pad_shard_batches = pad;
         self
     }
 }
@@ -146,5 +243,18 @@ mod tests {
         let cfg = ServiceConfig::new().table(TableSpec::new("a", 16)).queue_depth(2);
         assert_eq!(cfg.tables.len(), 1);
         assert_eq!(cfg.queue_depth, 2);
+        assert!(!cfg.pad_shard_batches);
+        assert_eq!(cfg.batch_policy, BatchPolicy::default());
+    }
+
+    #[test]
+    fn batch_policy_builder() {
+        let p = BatchPolicy::new()
+            .max_batch(64)
+            .max_delay(Duration::from_micros(500))
+            .align_to_superblock(false);
+        assert_eq!(p.max_batch, 64);
+        assert_eq!(p.max_delay, Duration::from_micros(500));
+        assert!(!p.align_to_superblock);
     }
 }

@@ -1,6 +1,122 @@
-//! Merged, shard-level, and pipeline-stage statistics.
+//! Merged, shard-level, pipeline-stage, and per-request latency
+//! statistics.
 
 use oram_protocol::AccessStats;
+
+/// A log₂-bucketed latency histogram (nanoseconds).
+///
+/// Values are counted in power-of-two buckets, so quantiles carry
+/// relative (not absolute) precision: [`quantile`](Self::quantile)
+/// interpolates linearly inside the chosen bucket, giving estimates
+/// within a factor of two of the true value at any scale from 1 ns to
+/// ~584 years. This is the fixed-footprint shape a long-running service
+/// needs — recording is O(1) and the histogram never grows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: [0; 64], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, ns: u64) {
+        let bucket = 63 - ns.max(1).leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Largest recorded latency in nanoseconds.
+    #[must_use]
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds, interpolated
+    /// within the matching log₂ bucket; 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = 1u64 << bucket;
+                let width = lo; // bucket spans [lo, 2*lo)
+                let into = (rank - seen) as f64 / n as f64;
+                let est = lo as f64 + width as f64 * into;
+                return (est as u64).min(self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Median latency (ns).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency (ns).
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency (ns).
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-request latency statistics, one histogram per pipeline stage
+/// boundary (all in nanoseconds). Recorded when a request's group
+/// completes, so the counters do not depend on when the caller polls its
+/// completions.
+#[derive(Debug, Clone, Default)]
+pub struct RequestLatencyStats {
+    /// enqueue → completion: the full per-request latency.
+    pub total: LatencyHistogram,
+    /// enqueue → coalesce: time spent waiting in the micro-batcher (0 for
+    /// requests submitted through the pre-coalesced batch API).
+    pub queue_wait: LatencyHistogram,
+    /// coalesce → last shard finished serving the group.
+    pub service: LatencyHistogram,
+}
 
 /// Statistics of one shard worker.
 #[derive(Debug, Clone)]
@@ -91,9 +207,24 @@ pub struct ServiceStats {
     pub worker_errors: Vec<(usize, String)>,
     /// Pipeline-stage timing.
     pub pipeline: PipelineStats,
-    /// Per-batch timing records for a recent window of batches, oldest
-    /// first (bounded; long runs age out old records).
+    /// Per-group timing records for a recent window of pipeline groups,
+    /// oldest first (bounded; long runs age out old records).
     pub batches: Vec<BatchTiming>,
+    /// Per-request latency percentiles (enqueue → coalesce → serve →
+    /// complete).
+    pub request_latency: RequestLatencyStats,
+    /// Requests that completed (their group finished serving), whether or
+    /// not the caller has claimed the completions yet.
+    pub requests_completed: u64,
+    /// Dummy accesses emitted to pad per-shard sub-batches to equal
+    /// length ([`ServiceConfig::pad_shard_batches`]); each one costs the
+    /// same shard bandwidth as a real access. Padded reads are counted
+    /// inside the shards' (and therefore `merged`'s) `real_accesses`, so
+    /// the padding overhead relative to genuine traffic is
+    /// `pad_accesses / (merged.real_accesses - pad_accesses)`.
+    ///
+    /// [`ServiceConfig::pad_shard_batches`]: crate::ServiceConfig::pad_shard_batches
+    pub pad_accesses: u64,
 }
 
 impl ServiceStats {
@@ -134,8 +265,38 @@ mod tests {
             worker_errors: Vec::new(),
             pipeline: PipelineStats::default(),
             batches: Vec::new(),
+            request_latency: RequestLatencyStats::default(),
+            requests_completed: 0,
+            pad_accesses: 0,
         };
         assert_eq!(stats.table_merged(0).real_accesses, 16);
         assert_eq!(stats.table_merged(1).real_accesses, 7);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.p50(), 0);
+        for ns in [100u64, 200, 300, 400, 1000, 2000, 4000, 100_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max_ns(), 100_000);
+        let p50 = h.p50();
+        assert!((64..=512).contains(&p50), "p50 ≈ 256-bucket: {p50}");
+        assert!(h.p99() > h.p50());
+        assert!(h.p99() <= h.max_ns());
+        assert!(h.mean_ns() > 0);
+        // Monotone in q.
+        assert!(h.quantile(0.25) <= h.quantile(0.75));
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = LatencyHistogram::new();
+        h.record(0); // clamped into the 1-ns bucket
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) <= h.max_ns());
     }
 }

@@ -3,13 +3,22 @@
 //! Run with: `cargo run --release --example service_engine`
 //!
 //! Hosts two embedding tables, shards them across worker threads, and
-//! drives a few training batches through the lookahead pipeline: the
-//! preprocessor bins and path-assigns batch N+1 while the shard workers
-//! serve batch N. Afterwards the merged statistics show the LAORAM
-//! effect (far fewer path reads than accesses) and the pipeline timing
-//! shows preprocessing hidden behind serving.
+//! drives both ingress paths through the lookahead pipeline:
+//!
+//! 1. **Training shape** — pre-coalesced batches via `submit()`, the
+//!    preprocessor binning and path-assigning batch N+1 while the shard
+//!    workers serve batch N.
+//! 2. **Serving shape** — per-tenant `Session`s submitting one request
+//!    at a time; the micro-batcher coalesces them into
+//!    superblock-aligned groups under `BatchPolicy`, and completions are
+//!    claimed from the poll-based queue with per-request latency.
+//!
+//! Afterwards the merged statistics show the LAORAM effect (far fewer
+//! path reads than accesses), the pipeline timing shows preprocessing
+//! hidden behind serving, and the latency histograms show what each
+//! request paid end to end.
 
-use laoram::service::{LaoramService, Request, ServiceConfig, TableSpec};
+use laoram::service::{BatchPolicy, LaoramService, Request, ServiceConfig, TableSpec};
 use laoram::workloads::{MultiTenantMix, TenantSpec, TraceKind, ZipfTraceConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,7 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServiceConfig::new()
             .table(TableSpec::new("user-emb", ENTRIES).shards(2).superblock_size(8).seed(1))
             .table(TableSpec::new("item-emb", ENTRIES).shards(2).superblock_size(8).seed(2))
-            .queue_depth(4),
+            .queue_depth(4)
+            .batch_policy(
+                BatchPolicy::new()
+                    .max_batch(4096)
+                    .max_delay(std::time::Duration::from_millis(1))
+                    .align_to_superblock(true),
+            ),
     )?;
 
     // Multi-tenant traffic: two zipf streams of different weights, the
@@ -30,17 +45,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TenantSpec::new(0, TraceKind::Zipf(ZipfTraceConfig::default()), ENTRIES).weight(2),
         TenantSpec::new(1, TraceKind::Zipf(ZipfTraceConfig::default()), ENTRIES).weight(1),
     ]);
+    let traffic = mix.batches(BATCH_LEN, BATCHES, 7);
 
-    for (round, batch) in mix.batches(BATCH_LEN, BATCHES, 7).into_iter().enumerate() {
+    // --- Path 1: the training shape (pre-coalesced batches). ---
+    for (round, batch) in traffic[..BATCHES / 2].iter().enumerate() {
         // One "training step" per row: read-modify-write the embedding.
         let requests: Vec<Request> = batch
-            .into_iter()
-            .map(|(table, index)| Request::write(table, index, vec![round as u8; 8].into()))
+            .iter()
+            .map(|&(table, index)| Request::write(table, index, vec![round as u8; 8].into()))
             .collect();
         service.submit(requests)?;
     }
     let responses = service.drain()?;
-    println!("served {} batches of {} requests", responses.len(), BATCH_LEN);
+    println!("batch path: served {} batches of {} requests", responses.len(), BATCH_LEN);
+
+    // --- Path 2: the serving shape (per-request, micro-batched). ---
+    let tenants = [service.session(), service.session()];
+    let mut completed = 0u64;
+    let mut total = 0u64;
+    for batch in &traffic[BATCHES / 2..] {
+        for &(table, index) in batch {
+            tenants[table].read(table, index)?;
+            total += 1;
+            // Keep the completion queue drained while submitting.
+            while service.try_complete().is_some() {
+                completed += 1;
+            }
+        }
+    }
+    service.flush()?;
+    while completed < total {
+        let completion = service.complete_blocking()?;
+        assert!(completion.session == tenants[0].id() || completion.session == tenants[1].id());
+        completed += 1;
+    }
+    println!("request path: {completed} requests completed through {} sessions", tenants.len());
 
     let stats = service.stats();
     for shard in &stats.shards {
@@ -65,8 +104,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.pipeline.serve_ns as f64 / 1e6,
         stats.pipeline.overlap_fraction() * 100.0,
     );
+    let latency = &stats.request_latency.total;
+    println!(
+        "request latency: p50 {:.1} µs, p95 {:.1} µs, p99 {:.1} µs over {} requests",
+        latency.p50() as f64 / 1e3,
+        latency.p95() as f64 / 1e3,
+        latency.p99() as f64 / 1e3,
+        latency.count(),
+    );
 
     let report = service.shutdown()?;
-    println!("lifetime requests: {}", report.requests_served);
+    println!(
+        "lifetime requests: {} ({} truncated)",
+        report.requests_served, report.truncated_requests
+    );
     Ok(())
 }

@@ -7,8 +7,9 @@
 //! * [`core`] — the paper's contribution: look-ahead superblock formation,
 //!   the preprocessing pipeline, and the LAORAM client.
 //! * [`service`] — the sharded, pipelined multi-table serving engine built
-//!   on top of the core client (preprocessing of batch `N+1` overlapped
-//!   with serving of batch `N`).
+//!   on top of the core client: request-level admission (sessions, a
+//!   deadline-driven micro-batcher, a poll-based completion queue) with
+//!   preprocessing of group `N+1` overlapped with serving of group `N`.
 //! * [`tree`] — the server-side binary tree storage, including the fat tree.
 //! * [`protocol`] — Path ORAM and Ring ORAM protocol clients.
 //! * [`baselines`] — PrORAM (static/dynamic superblocks) and an insecure RAM.

@@ -1,9 +1,10 @@
 //! Integration tests of the sharded, pipelined serving engine: mixed
 //! multi-tenant traffic over multiple shards, the LAORAM bandwidth
-//! invariant per shard, stat mergeability, and observable pipeline
-//! overlap.
+//! invariant per shard, stat mergeability, observable pipeline overlap,
+//! and the request-level path (sessions + micro-batcher + completion
+//! queue) riding the same pipeline.
 
-use laoram::service::{LaoramService, Request, ServiceConfig, TableSpec};
+use laoram::service::{BatchPolicy, LaoramService, Request, ServiceConfig, TableSpec};
 use laoram::workloads::{DlrmTraceConfig, MultiTenantMix, TenantSpec, TraceKind, ZipfTraceConfig};
 
 const ZIPF_ENTRIES: u32 = 1024;
@@ -154,6 +155,118 @@ fn preprocessing_overlaps_serving_under_load() {
 
     let report = service.shutdown().expect("shutdown");
     assert_eq!(report.requests_served, (12 * BATCH_LEN) as u64);
+}
+
+#[test]
+fn request_path_serves_mixed_traffic_through_full_windows() {
+    // The same two-table mixed traffic as the batch tests, but submitted
+    // request by request through per-tenant sessions. With
+    // align_to_superblock, the micro-batcher's size-triggered groups keep
+    // the lookahead invariant alive: path reads stay well under accesses.
+    const REQUESTS: usize = 3 * BATCH_LEN;
+    let service = LaoramService::start(
+        ServiceConfig::new()
+            .table(
+                TableSpec::new("xnli-emb", ZIPF_ENTRIES)
+                    .shards(2)
+                    .superblock_size(8)
+                    .payloads(false)
+                    .seed(41),
+            )
+            .table(
+                TableSpec::new("kaggle-emb", DLRM_ENTRIES)
+                    .shards(2)
+                    .superblock_size(8)
+                    .payloads(false)
+                    .seed(42),
+            )
+            .queue_depth(4)
+            .batch_policy(
+                BatchPolicy::new()
+                    .max_batch(4096)
+                    .max_delay(std::time::Duration::from_millis(2))
+                    .align_to_superblock(true),
+            ),
+    )
+    .expect("service start");
+
+    let traffic: Vec<(usize, u32)> =
+        mixed_batches(3, 17).into_iter().flatten().map(|r| (r.table, r.index)).collect();
+    assert_eq!(traffic.len(), REQUESTS);
+    let tenants = [service.session(), service.session()];
+    let mut claimed = 0usize;
+    for &(table, index) in &traffic {
+        tenants[table].read(table, index).expect("session read");
+        // Keep the completion queue drained while submitting, the shape a
+        // serving loop has.
+        while service.try_complete().is_some() {
+            claimed += 1;
+        }
+    }
+    service.flush().expect("flush");
+    while claimed < REQUESTS {
+        let completion = service.complete_blocking().expect("complete");
+        assert!(
+            completion.session == tenants[0].id() || completion.session == tenants[1].id(),
+            "completion from an unknown session"
+        );
+        claimed += 1;
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.requests_completed, REQUESTS as u64);
+    assert_eq!(stats.merged.real_accesses, REQUESTS as u64);
+    assert_eq!(stats.request_latency.total.count(), REQUESTS as u64);
+    assert!(stats.request_latency.total.p50() > 0, "latency percentiles populate");
+    assert!(stats.request_latency.total.p99() >= stats.request_latency.total.p95());
+    assert!(
+        stats.pipeline.batches >= (REQUESTS / 4096) as u64,
+        "micro-batcher produced size-triggered groups"
+    );
+    // Aligned coalescing keeps superblock windows full enough that the
+    // LAORAM effect survives per-request submission.
+    assert!(
+        stats.merged.path_reads * 3 < stats.merged.real_accesses,
+        "{} path reads for {} accesses",
+        stats.merged.path_reads,
+        stats.merged.real_accesses
+    );
+    let report = service.shutdown().expect("shutdown");
+    assert_eq!(report.truncated_requests, 0);
+}
+
+#[test]
+fn padding_hides_per_shard_volumes_across_tables() {
+    // Two tables, two shards each, deliberately skewed traffic; padding
+    // must equalise each table's per-shard access counts and report its
+    // bandwidth cost.
+    let mut service = LaoramService::start(
+        ServiceConfig::new()
+            .table(TableSpec::new("a", 512).shards(2).superblock_size(4).payloads(false).seed(1))
+            .table(TableSpec::new("b", 512).shards(2).superblock_size(4).payloads(false).seed(2))
+            .pad_shard_batches(true),
+    )
+    .expect("start");
+    // Skew table 0 hard toward its first shard; spread table 1 evenly.
+    let skewed: Vec<u32> =
+        (0..512).filter(|&i| service.router().route(0, i).unwrap().0 == 0).take(96).collect();
+    let mut batch: Vec<Request> = skewed.iter().map(|&i| Request::read(0, i)).collect();
+    batch.extend((0..64).map(|i| Request::read(1, i * 7 % 512)));
+    service.submit(batch).expect("submit");
+    service.drain().expect("drain");
+
+    let stats = service.stats();
+    assert!(stats.pad_accesses > 0, "skew forced padding");
+    for table in 0..2 {
+        let volumes: Vec<u64> = stats
+            .shards
+            .iter()
+            .filter(|s| s.table == table)
+            .map(|s| s.stats.real_accesses)
+            .collect();
+        assert_eq!(volumes[0], volumes[1], "table {table} shard volumes differ: {volumes:?}");
+    }
+    service.shutdown().expect("shutdown");
 }
 
 #[test]
