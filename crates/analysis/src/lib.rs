@@ -3,8 +3,8 @@
 //! The paper's §VI security argument is that every server-visible path
 //! request is drawn uniformly at random, independent of the input stream.
 //! This crate turns that claim into an executable check: record the leaf
-//! sequence with a
-//! [`RecordingObserver`](oram_protocol::RecordingObserver), then run a
+//! sequence with a `RecordingObserver` (from the `oram-protocol` crate,
+//! which this crate deliberately does not depend on), then run a
 //! [`UniformityAudit`] over it — a chi-square goodness-of-fit test against
 //! the uniform distribution, with proper p-values via the regularised
 //! incomplete gamma function.

@@ -13,21 +13,27 @@
 //!
 //! This is the perf baseline future scaling PRs measure against; pass
 //! `--json PATH` to emit the machine-readable `BENCH_service.json`
-//! tracked by CI.
+//! tracked by CI. `--backends mem,disk` measures the same sweep over the
+//! in-memory and disk-backed (`DiskStore`) bucket stores, quantifying
+//! what serving a larger-than-RAM table costs.
 //!
 //! Usage: `service_throughput [--entries 65536] [--batch 8192]
 //! [--batches 24] [--warmup 4] [--s 8] [--seed N] [--shards 1,2,4,8]
-//! [--json PATH]`
+//! [--backends mem,disk] [--json PATH]`
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use laoram_bench::runner::Args;
-use laoram_service::{BatchPolicy, LaoramService, Request, ServiceConfig, ServiceStats, TableSpec};
+use laoram_service::{
+    BatchPolicy, DiskBackendSpec, LaoramService, Request, ServiceConfig, ServiceStats,
+    StorageBackend, TableSpec,
+};
 use oram_workloads::{DlrmTraceConfig, MultiTenantMix, TenantSpec, TraceKind, ZipfTraceConfig};
 
 struct Measurement {
     shards: u32,
+    backend: &'static str,
     path: &'static str,
     accesses: u64,
     throughput: f64,
@@ -38,42 +44,71 @@ struct Measurement {
     p99_ns: u64,
 }
 
-fn service_config(
-    entries: u32,
+/// Per-table backend selection for the sweep: `mem` stays on the default
+/// in-memory store, `disk` pins every table to a `DiskStore` under a
+/// bench-unique temp directory.
+fn backend_for(backend: &'static str) -> StorageBackend {
+    match backend {
+        "mem" => StorageBackend::InMemory,
+        "disk" => {
+            let dir =
+                std::env::temp_dir().join(format!("laoram-bench-disk-{}", std::process::id()));
+            StorageBackend::Disk(DiskBackendSpec::new(dir))
+        }
+        other => panic!("unknown backend '{other}' (expected mem or disk)"),
+    }
+}
+
+/// One sweep point: the engine shape shared by both ingress paths.
+#[derive(Clone, Copy)]
+struct SweepPoint {
     shards: u32,
+    entries: u32,
     superblock: u32,
     seed: u64,
-    batch: usize,
-) -> ServiceConfig {
+    batch_len: usize,
+    backend: &'static str,
+}
+
+fn service_config(p: SweepPoint) -> ServiceConfig {
     ServiceConfig::new()
         .table(
-            TableSpec::new("zipf", entries)
-                .shards(shards)
-                .superblock_size(superblock)
+            TableSpec::new("zipf", p.entries)
+                .shards(p.shards)
+                .superblock_size(p.superblock)
                 .payloads(false)
-                .seed(seed),
+                .backend(backend_for(p.backend))
+                .seed(p.seed),
         )
         .table(
-            TableSpec::new("dlrm", entries)
-                .shards(shards)
-                .superblock_size(superblock)
+            TableSpec::new("dlrm", p.entries)
+                .shards(p.shards)
+                .superblock_size(p.superblock)
                 .payloads(false)
-                .seed(seed ^ 0xD1),
+                .backend(backend_for(p.backend))
+                .seed(p.seed ^ 0xD1),
         )
         .queue_depth(4)
         .batch_policy(
             BatchPolicy::new()
-                .max_batch(batch)
+                .max_batch(p.batch_len)
                 .max_delay(std::time::Duration::from_millis(2))
                 .align_to_superblock(true),
         )
 }
 
-fn finish(shards: u32, path: &'static str, stats: &ServiceStats, elapsed_secs: f64) -> Measurement {
+fn finish(
+    shards: u32,
+    backend: &'static str,
+    path: &'static str,
+    stats: &ServiceStats,
+    elapsed_secs: f64,
+) -> Measurement {
     let accesses = stats.merged.real_accesses;
     let latency = &stats.request_latency.total;
     Measurement {
         shards,
+        backend,
         path,
         accesses,
         throughput: accesses as f64 / elapsed_secs,
@@ -86,18 +121,8 @@ fn finish(shards: u32, path: &'static str, stats: &ServiceStats, elapsed_secs: f
 }
 
 /// Batch path: pre-coalesced groups, drained in submission order.
-fn run_batch_path(
-    traffic: &[Vec<Request>],
-    warmup: usize,
-    shards: u32,
-    entries: u32,
-    superblock: u32,
-    seed: u64,
-    batch_len: usize,
-) -> Measurement {
-    let mut service =
-        LaoramService::start(service_config(entries, shards, superblock, seed, batch_len))
-            .expect("service start");
+fn run_batch_path(traffic: &[Vec<Request>], warmup: usize, p: SweepPoint) -> Measurement {
+    let mut service = LaoramService::start(service_config(p)).expect("service start");
     for batch in &traffic[..warmup] {
         service.submit(batch.clone()).expect("warmup submit");
     }
@@ -112,21 +137,13 @@ fn run_batch_path(
     let elapsed = start.elapsed().as_secs_f64();
     let stats = service.stats();
     service.shutdown().expect("shutdown");
-    finish(shards, "batch", &stats, elapsed)
+    finish(p.shards, p.backend, "batch", &stats, elapsed)
 }
 
 /// Request path: one submission per access through the micro-batcher,
 /// completions claimed from the poll queue while submitting (the shape a
 /// serving loop has).
-fn run_request_path(
-    traffic: &[Vec<Request>],
-    warmup: usize,
-    shards: u32,
-    entries: u32,
-    superblock: u32,
-    seed: u64,
-    batch_len: usize,
-) -> Measurement {
+fn run_request_path(traffic: &[Vec<Request>], warmup: usize, p: SweepPoint) -> Measurement {
     fn drive(service: &LaoramService, batches: &[Vec<Request>]) {
         let mut claimed = 0u64;
         let total: u64 = batches.iter().map(|b| b.len() as u64).sum();
@@ -144,9 +161,7 @@ fn run_request_path(
             claimed += 1;
         }
     }
-    let mut service =
-        LaoramService::start(service_config(entries, shards, superblock, seed, batch_len))
-            .expect("service start");
+    let mut service = LaoramService::start(service_config(p)).expect("service start");
     drive(&service, &traffic[..warmup]);
     service.reset_stats().expect("reset");
 
@@ -155,7 +170,7 @@ fn run_request_path(
     let elapsed = start.elapsed().as_secs_f64();
     let stats = service.stats();
     service.shutdown().expect("shutdown");
-    finish(shards, "request", &stats, elapsed)
+    finish(p.shards, p.backend, "request", &stats, elapsed)
 }
 
 fn main() {
@@ -173,6 +188,16 @@ fn main() {
         .split(',')
         .map(|s| s.trim().parse().expect("shard count"))
         .collect();
+    let backends: Vec<&'static str> = args
+        .get("backends")
+        .unwrap_or("mem")
+        .split(',')
+        .map(|b| match b.trim() {
+            "mem" => "mem",
+            "disk" => "disk",
+            other => panic!("unknown backend '{other}' (expected mem or disk)"),
+        })
+        .collect();
 
     let mix = MultiTenantMix::new(vec![
         TenantSpec::new(0, TraceKind::Zipf(ZipfTraceConfig::default()), entries).weight(1),
@@ -187,32 +212,48 @@ fn main() {
     println!("# laoram-service throughput ({entries} entries/table x 2 tables, S={superblock})");
     println!("# {batches} measured batches of {batch_len} after {warmup} warm-up batches");
     println!(
-        "{:>7} {:>8} {:>14} {:>10} {:>9} {:>10} {:>10} {:>10}",
-        "shards", "path", "accesses/sec", "reads/acc", "hidden%", "p50 µs", "p95 µs", "p99 µs"
+        "{:>7} {:>8} {:>8} {:>14} {:>10} {:>9} {:>10} {:>10} {:>10}",
+        "shards",
+        "backend",
+        "path",
+        "accesses/sec",
+        "reads/acc",
+        "hidden%",
+        "p50 µs",
+        "p95 µs",
+        "p99 µs"
     );
     let mut measurements = Vec::new();
-    for &shards in &shard_counts {
-        for m in [
-            run_batch_path(&traffic, warmup, shards, entries, superblock, seed, batch_len),
-            run_request_path(&traffic, warmup, shards, entries, superblock, seed, batch_len),
-        ] {
-            println!(
-                "{:>7} {:>8} {:>14.0} {:>10.3} {:>8.1}% {:>10.1} {:>10.1} {:>10.1}",
-                m.shards,
-                m.path,
-                m.throughput,
-                m.reads_per_access,
-                m.hidden_fraction * 100.0,
-                m.p50_ns as f64 / 1e3,
-                m.p95_ns as f64 / 1e3,
-                m.p99_ns as f64 / 1e3,
-            );
-            measurements.push(m);
+    for &backend in &backends {
+        for &shards in &shard_counts {
+            let point = SweepPoint { shards, entries, superblock, seed, batch_len, backend };
+            for m in
+                [run_batch_path(&traffic, warmup, point), run_request_path(&traffic, warmup, point)]
+            {
+                println!(
+                    "{:>7} {:>8} {:>8} {:>14.0} {:>10.3} {:>8.1}% {:>10.1} {:>10.1} {:>10.1}",
+                    m.shards,
+                    m.backend,
+                    m.path,
+                    m.throughput,
+                    m.reads_per_access,
+                    m.hidden_fraction * 100.0,
+                    m.p50_ns as f64 / 1e3,
+                    m.p95_ns as f64 / 1e3,
+                    m.p99_ns as f64 / 1e3,
+                );
+                measurements.push(m);
+            }
         }
     }
     println!("# reads/acc << 1 is the LAORAM effect (S accesses per path read);");
     println!("# hidden% is preprocessing wall-clock overlapped with serving;");
-    println!("# request-path latency is enqueue -> completion (micro-batch wait included).");
+    println!("# request-path latency is enqueue -> completion (micro-batch wait included);");
+    println!("# backend 'disk' serves every table from a DiskStore (larger-than-RAM mode).");
+    if backends.contains(&"disk") {
+        let dir = std::env::temp_dir().join(format!("laoram-bench-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(dir);
+    }
 
     if let Some(path) = json_path {
         let mut json = String::from("{\n  \"bench\": \"service_throughput\",\n");
@@ -224,10 +265,11 @@ fn main() {
         for (i, m) in measurements.iter().enumerate() {
             let _ = write!(
                 json,
-                "    {{\"shards\": {}, \"path\": \"{}\", \"accesses\": {}, \
+                "    {{\"shards\": {}, \"backend\": \"{}\", \"path\": \"{}\", \"accesses\": {}, \
                  \"accesses_per_sec\": {:.0}, \"reads_per_access\": {:.4}, \
                  \"hidden_fraction\": {:.4}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
                 m.shards,
+                m.backend,
                 m.path,
                 m.accesses,
                 m.throughput,

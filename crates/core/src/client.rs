@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use oram_protocol::{AccessKind, AccessObserver, AccessStats, PathOramClient, PathOramConfig};
-use oram_tree::{Block, BlockId, TreeGeometry};
+use oram_tree::{Block, BlockId, BucketStore, TreeGeometry, TreeStorage};
 
 use crate::{LaOramConfig, LaOramError, Result, SuperblockPlan};
 
@@ -46,8 +46,20 @@ impl BatchOp {
 /// bin already resides on the bin's path, so a bin of size `S` costs one
 /// path read + one path write instead of `S` of each: the paper's
 /// bandwidth bound (§VIII-F).
-pub struct LaOram {
-    inner: PathOramClient,
+///
+/// # Storage backends
+///
+/// The client is generic over the server-side
+/// [`BucketStore`](oram_tree::BucketStore), defaulting to the in-memory
+/// [`TreeStorage`]. [`with_store`](Self::with_store) runs the identical
+/// protocol over any backend — e.g. a file-backed
+/// [`DiskStore`](oram_tree::DiskStore) for embedding tables larger than
+/// RAM. Superblock boundaries double as storage
+/// [`sync`](oram_tree::BucketStore::sync) points: whenever the cache of
+/// a finished bin is flushed, the store's write-back buffer is flushed
+/// too, so a disk-backed table is durable per served superblock.
+pub struct LaOram<S: BucketStore = TreeStorage> {
+    inner: PathOramClient<S>,
     plan: SuperblockPlan,
     /// The next look-ahead window, staged by the preprocessor while the
     /// current window is still being served (double buffering). Exit
@@ -68,7 +80,7 @@ pub struct LaOram {
     sealer: Option<oram_tree::BlockSealer>,
 }
 
-impl std::fmt::Debug for LaOram {
+impl<S: BucketStore> std::fmt::Debug for LaOram<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LaOram")
             .field("num_blocks", &self.config.num_blocks)
@@ -80,7 +92,23 @@ impl std::fmt::Debug for LaOram {
     }
 }
 
-impl LaOram {
+/// The protocol-layer configuration a [`LaOramConfig`] implies, shared
+/// by every constructor so backends cannot diverge on protocol
+/// parameters.
+fn proto_config(config: &LaOramConfig) -> PathOramConfig {
+    let mut proto_cfg = PathOramConfig::new(config.num_blocks)
+        .with_profile(config.profile())
+        .with_eviction(config.eviction)
+        .with_seed(config.seed)
+        .with_payloads(config.payloads)
+        .with_populate(!config.warm_start);
+    if let Some(levels) = config.levels {
+        proto_cfg = proto_cfg.with_levels(levels);
+    }
+    proto_cfg
+}
+
+impl LaOram<TreeStorage> {
     /// Builds a LAORAM client for the known `future` access stream.
     ///
     /// Preprocesses the stream (dataset scan + superblock path generation),
@@ -131,16 +159,27 @@ impl LaOram {
     /// configuration defers population to the first `advance_plan`, which
     /// warm-places from that window's bins.
     fn build(config: LaOramConfig) -> Result<Self> {
-        let mut proto_cfg = PathOramConfig::new(config.num_blocks)
-            .with_profile(config.profile())
-            .with_eviction(config.eviction)
-            .with_seed(config.seed)
-            .with_payloads(config.payloads)
-            .with_populate(!config.warm_start);
-        if let Some(levels) = config.levels {
-            proto_cfg = proto_cfg.with_levels(levels);
-        }
-        let inner = PathOramClient::new(proto_cfg)?;
+        let inner = PathOramClient::new(proto_config(&config))?;
+        Self::from_parts(config, inner)
+    }
+}
+
+impl<S: BucketStore> LaOram<S> {
+    /// Builds an incremental LAORAM client (as [`new`](LaOram::new)) over
+    /// a caller-provided server store — the constructor the serving
+    /// engine uses to put a table's shards on disk. The store must have
+    /// been built against [`LaOramConfig::geometry`] and agree with the
+    /// configuration's payload mode.
+    ///
+    /// # Errors
+    /// Propagates configuration failures and store/configuration
+    /// mismatches.
+    pub fn with_store(config: LaOramConfig, store: S) -> Result<Self> {
+        let inner = PathOramClient::with_store(proto_config(&config), store)?;
+        Self::from_parts(config, inner)
+    }
+
+    fn from_parts(config: LaOramConfig, inner: PathOramClient<S>) -> Result<Self> {
         let sealer = config.sealing_key.map(oram_tree::BlockSealer::new);
         let populated = !config.warm_start;
         let plan = SuperblockPlan::empty(config.superblock_size);
@@ -509,6 +548,9 @@ impl LaOram {
             self.inner.return_to_stash(block)?;
         }
         self.inner.maybe_background_evict()?;
+        // Superblock boundary = storage durability point: flush the
+        // store's write-back buffer (no-op for in-memory trees).
+        self.inner.sync_storage()?;
         Ok(())
     }
 

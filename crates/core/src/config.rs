@@ -77,6 +77,23 @@ impl LaOramConfig {
             BucketProfile::Uniform { capacity: self.bucket_capacity }
         }
     }
+
+    /// The server-tree geometry this configuration implies. Callers
+    /// constructing their own [`BucketStore`](oram_tree::BucketStore)
+    /// (for [`LaOram::with_store`](crate::LaOram::with_store)) build it
+    /// against this geometry.
+    ///
+    /// # Errors
+    /// Propagates geometry validation failures.
+    pub fn geometry(&self) -> Result<oram_tree::TreeGeometry, LaOramError> {
+        let geometry = match self.levels {
+            Some(levels) => oram_tree::TreeGeometry::with_levels(levels, self.profile())?,
+            None => {
+                oram_tree::TreeGeometry::for_blocks(u64::from(self.num_blocks), self.profile())?
+            }
+        };
+        Ok(geometry)
+    }
 }
 
 /// Builder for [`LaOramConfig`].

@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use oram_tree::{Block, BlockId, LeafId, TreeGeometry, TreeStorage};
+use oram_tree::{Block, BlockId, BucketStore, LeafId, TreeGeometry, TreeStorage};
 
 use crate::{
     AccessKind, AccessObserver, AccessStats, DensePositionMap, EvictionConfig, NullObserver,
@@ -23,6 +23,16 @@ use crate::{
 /// 4. greedily writes the stash back along the path just read,
 /// 5. drains the stash with dummy reads if it exceeds the high-water mark.
 ///
+/// # Storage backends
+///
+/// The client is generic over its server-side [`BucketStore`], defaulting
+/// to the in-memory [`TreeStorage`] ([`PathOramClient::new`]). Use
+/// [`with_store`](Self::with_store) to run the identical protocol over
+/// any other backend — e.g. a file-backed
+/// [`DiskStore`](oram_tree::DiskStore) for tables larger than RAM. The
+/// protocol's obliviousness is backend-independent: the server-visible
+/// request sequence is generated above the storage boundary.
+///
 /// # Advanced primitives
 ///
 /// [`fetch_path`](Self::fetch_path), [`writeback_path`](Self::writeback_path),
@@ -33,8 +43,8 @@ use crate::{
 /// its members in a client cache. Misuse is guarded: blocks taken from the
 /// stash are tracked as *checked out* and the invariant checker accounts for
 /// them.
-pub struct PathOramClient {
-    storage: TreeStorage,
+pub struct PathOramClient<S: BucketStore = TreeStorage> {
+    storage: S,
     stash: Stash2,
     posmap: DensePositionMap,
     rng: StdRng,
@@ -50,7 +60,7 @@ pub struct PathOramClient {
 // Internal alias so the public `Stash` name stays available for reuse.
 use crate::Stash as Stash2;
 
-impl std::fmt::Debug for PathOramClient {
+impl<S: BucketStore> std::fmt::Debug for PathOramClient<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PathOramClient")
             .field("num_blocks", &self.num_blocks)
@@ -61,8 +71,8 @@ impl std::fmt::Debug for PathOramClient {
     }
 }
 
-impl PathOramClient {
-    /// Builds a client (and its server tree) from `config`.
+impl PathOramClient<TreeStorage> {
+    /// Builds a client (and its in-memory server tree) from `config`.
     ///
     /// When `config.populate` is set, all `num_blocks` blocks are created
     /// and placed on uniformly random paths — the standard oblivious setup.
@@ -71,27 +81,58 @@ impl PathOramClient {
     /// Returns [`ProtocolError::Tree`] for invalid geometry and
     /// [`ProtocolError::InvalidConfig`] for a zero-block population.
     pub fn new(config: PathOramConfig) -> Result<Self> {
+        let geometry = config.geometry()?;
+        let storage = if config.payloads {
+            TreeStorage::new(geometry)
+        } else {
+            TreeStorage::metadata_only(geometry)
+        };
+        Self::with_store(config, storage)
+    }
+}
+
+impl<S: BucketStore> PathOramClient<S> {
+    /// Builds a client over a caller-provided server store.
+    ///
+    /// The store must have been built against
+    /// [`config.geometry()`](PathOramConfig::geometry) (or a geometry with
+    /// identical capacities) and must agree with `config.payloads` on
+    /// whether blocks carry bytes. An empty store is populated here when
+    /// `config.populate` is set; a store reopened from disk with its
+    /// blocks already in place should be paired with
+    /// `config.with_populate(false)`.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::InvalidConfig`] for a zero-block
+    /// population or a payload-mode mismatch, and [`ProtocolError::Tree`]
+    /// when the store cannot hold `num_blocks`.
+    pub fn with_store(config: PathOramConfig, storage: S) -> Result<Self> {
         if config.num_blocks == 0 {
             return Err(ProtocolError::InvalidConfig("num_blocks must be nonzero".into()));
         }
         if config.sealing_key.is_some() && !config.payloads {
             return Err(ProtocolError::InvalidConfig("sealing requires payload storage".into()));
         }
-        let geometry = match config.levels {
-            Some(levels) => TreeGeometry::with_levels(levels, config.profile.clone())?,
-            None => TreeGeometry::for_blocks(u64::from(config.num_blocks), config.profile.clone())?,
-        };
-        if geometry.total_slots() < u64::from(config.num_blocks) {
+        if storage.payloads_enabled() != config.payloads {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "store payload mode ({}) disagrees with the configuration ({})",
+                storage.payloads_enabled(),
+                config.payloads
+            )));
+        }
+        if storage.geometry().total_slots() < u64::from(config.num_blocks) {
             return Err(ProtocolError::Tree(oram_tree::TreeError::InsufficientCapacity {
-                slots: geometry.total_slots(),
+                slots: storage.geometry().total_slots(),
                 blocks: u64::from(config.num_blocks),
             }));
         }
-        let storage = if config.payloads {
-            TreeStorage::new(geometry)
-        } else {
-            TreeStorage::metadata_only(geometry)
-        };
+        if config.populate && storage.occupancy() != 0 {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "store already holds {} blocks but the configuration asks to populate; \
+                 pair a reopened store with with_populate(false)",
+                storage.occupancy()
+            )));
+        }
         let mut client = PathOramClient {
             storage,
             stash: Stash2::new(),
@@ -371,6 +412,17 @@ impl PathOramClient {
         self.storage.write_path(leaf, &mut candidates);
         self.stash.absorb(candidates);
         self.stats.observe_stash(self.stash.len() + self.checked_out.len());
+    }
+
+    /// Flushes the server store's write-back buffer to its backing
+    /// medium (a durability point for disk-backed stores; a no-op for the
+    /// in-memory [`TreeStorage`]). The look-ahead layer calls this at
+    /// superblock boundaries.
+    ///
+    /// # Errors
+    /// Propagates [`ProtocolError::Tree`] on backing-medium failures.
+    pub fn sync_storage(&mut self) -> Result<()> {
+        self.storage.sync().map_err(ProtocolError::Tree)
     }
 
     /// Removes a block from the stash into the caller's custody (the

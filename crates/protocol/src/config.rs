@@ -1,6 +1,6 @@
 //! Path ORAM client configuration.
 
-use oram_tree::BucketProfile;
+use oram_tree::{BucketProfile, TreeError, TreeGeometry};
 
 use crate::EvictionConfig;
 
@@ -109,6 +109,22 @@ impl PathOramConfig {
     pub fn with_populate(mut self, populate: bool) -> Self {
         self.populate = populate;
         self
+    }
+
+    /// The server-tree geometry this configuration implies: the explicit
+    /// leaf level if one was forced, otherwise the smallest tree with at
+    /// least one leaf per block. Callers constructing their own
+    /// [`BucketStore`](oram_tree::BucketStore) (for
+    /// [`PathOramClient::with_store`](crate::PathOramClient::with_store))
+    /// build it against this geometry.
+    ///
+    /// # Errors
+    /// Propagates geometry validation failures.
+    pub fn geometry(&self) -> std::result::Result<TreeGeometry, TreeError> {
+        match self.levels {
+            Some(levels) => TreeGeometry::with_levels(levels, self.profile.clone()),
+            None => TreeGeometry::for_blocks(u64::from(self.num_blocks), self.profile.clone()),
+        }
     }
 }
 

@@ -15,6 +15,16 @@
 //! * [`AccessObserver`] — taps recording the *server-visible* access
 //!   sequence, feeding the security audit in `oram-analysis`.
 //!
+//! Every client is generic over its server-side storage through the
+//! [`BucketStore`](oram_tree::BucketStore) trait, defaulting to the
+//! in-memory [`TreeStorage`](oram_tree::TreeStorage); pass a
+//! [`DiskStore`](oram_tree::DiskStore) to
+//! [`PathOramClient::with_store`] / [`RingOramClient::with_store`] to
+//! serve trees larger than RAM. Obliviousness is backend-independent —
+//! the adversary-visible path sequence is generated above the storage
+//! boundary — and the workspace's backend-equivalence tests assert that
+//! responses and observer sequences are identical across backends.
+//!
 //! # Example
 //!
 //! ```

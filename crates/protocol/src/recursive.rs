@@ -9,7 +9,7 @@
 //! access per recursion level, all of which remain uniformly random to
 //! the adversary.
 
-use oram_tree::{BlockId, LeafId};
+use oram_tree::{BlockId, BucketStore, LeafId, TreeStorage};
 
 use crate::{PathOramClient, PathOramConfig, ProtocolError, Result};
 
@@ -17,17 +17,22 @@ use crate::{PathOramClient, PathOramConfig, ProtocolError, Result};
 const LABELS_PER_BLOCK: u32 = 64;
 
 /// A position map stored obliviously in a chain of smaller Path ORAMs.
-pub struct RecursivePositionMap {
+///
+/// Generic over the inner ORAMs' [`BucketStore`], defaulting to the
+/// in-memory [`TreeStorage`] ([`RecursivePositionMap::new`]); use
+/// [`with_store_factory`](Self::with_store_factory) to host the packed
+/// label blocks on another backend.
+pub struct RecursivePositionMap<S: BucketStore = TreeStorage> {
     /// Recursion levels, outermost first. Level `i` stores the packed
     /// leaf labels of level `i - 1`'s blocks (level 0 stores the
     /// application's labels).
-    levels: Vec<PathOramClient>,
+    levels: Vec<PathOramClient<S>>,
     /// Plain in-client map for the innermost level.
     root_map: Vec<u32>,
     num_blocks: u32,
 }
 
-impl std::fmt::Debug for RecursivePositionMap {
+impl<S: BucketStore> std::fmt::Debug for RecursivePositionMap<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RecursivePositionMap")
             .field("num_blocks", &self.num_blocks)
@@ -37,7 +42,7 @@ impl std::fmt::Debug for RecursivePositionMap {
     }
 }
 
-impl RecursivePositionMap {
+impl RecursivePositionMap<TreeStorage> {
     /// Builds a recursive map for `num_blocks` labels, recursing until a
     /// level has at most `root_threshold` labels (which are then kept in
     /// plain client memory).
@@ -49,6 +54,29 @@ impl RecursivePositionMap {
     /// Propagates inner ORAM construction failures; rejects
     /// `num_blocks == 0` and `root_threshold == 0`.
     pub fn new(num_blocks: u32, root_threshold: u32, seed: u64) -> Result<Self> {
+        Self::with_store_factory(num_blocks, root_threshold, seed, |config| {
+            let geometry = config.geometry()?;
+            Ok(TreeStorage::new(geometry))
+        })
+    }
+}
+
+impl<S: BucketStore> RecursivePositionMap<S> {
+    /// As [`new`](RecursivePositionMap::new), but building each recursion
+    /// level's server store through `factory`, which receives the level's
+    /// [`PathOramConfig`] (payload-carrying; derive the store's shape
+    /// from [`PathOramConfig::geometry`]). Levels are built outermost
+    /// first.
+    ///
+    /// # Errors
+    /// Propagates factory and inner ORAM construction failures; rejects
+    /// `num_blocks == 0` and `root_threshold == 0`.
+    pub fn with_store_factory(
+        num_blocks: u32,
+        root_threshold: u32,
+        seed: u64,
+        mut factory: impl FnMut(&PathOramConfig) -> Result<S>,
+    ) -> Result<Self> {
         if num_blocks == 0 {
             return Err(ProtocolError::InvalidConfig("num_blocks must be nonzero".into()));
         }
@@ -60,9 +88,9 @@ impl RecursivePositionMap {
         let mut level_seed = seed;
         while labels > root_threshold {
             let blocks = labels.div_ceil(LABELS_PER_BLOCK);
-            let oram = PathOramClient::new(
-                PathOramConfig::new(blocks).with_seed(level_seed).with_payloads(true),
-            )?;
+            let config = PathOramConfig::new(blocks).with_seed(level_seed).with_payloads(true);
+            let store = factory(&config)?;
+            let oram = PathOramClient::with_store(config, store)?;
             levels.push(oram);
             labels = blocks;
             level_seed = level_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);

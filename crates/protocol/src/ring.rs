@@ -15,11 +15,19 @@
 //! * group fetches ([`RingOramClient::access_group`]) so the look-ahead
 //!   superblock layer can ride on Ring ORAM, costing `levels + S` slot
 //!   reads per superblock as derived in the paper.
+//!
+//! Bucket contents live behind the pluggable
+//! [`BucketStore`](oram_tree::BucketStore) boundary (bucket-granular
+//! [`read_bucket`](oram_tree::BucketStore::read_bucket) /
+//! [`write_bucket`](oram_tree::BucketStore::write_bucket) operations);
+//! the per-bucket *dummy budgets* are client metadata and stay in client
+//! memory, mirroring how a real deployment tracks them in the trusted
+//! domain.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use oram_tree::{Block, BlockId, BucketProfile, LeafId, TreeGeometry};
+use oram_tree::{Block, BlockId, BucketProfile, BucketStore, LeafId, TreeGeometry, TreeStorage};
 
 use crate::{AccessStats, DensePositionMap, EvictionConfig, ProtocolError, Result, Stash};
 
@@ -82,16 +90,13 @@ impl RingOramConfig {
     }
 }
 
-#[derive(Debug, Default)]
-struct RingBucket {
-    blocks: Vec<Block>,
-    dummies_remaining: u32,
-}
-
-/// A Ring ORAM protocol client (metadata-only).
-pub struct RingOramClient {
-    geometry: TreeGeometry,
-    buckets: Vec<RingBucket>,
+/// A Ring ORAM protocol client (metadata-only), generic over its bucket
+/// store (default: the in-memory [`TreeStorage`]).
+pub struct RingOramClient<S: BucketStore = TreeStorage> {
+    storage: S,
+    /// Remaining dummy budget per flat bucket index — client metadata,
+    /// not server state.
+    dummies: Vec<u32>,
     stash: Stash,
     posmap: DensePositionMap,
     rng: StdRng,
@@ -101,36 +106,83 @@ pub struct RingOramClient {
     evict_counter: u64,
 }
 
-impl std::fmt::Debug for RingOramClient {
+impl<S: BucketStore> std::fmt::Debug for RingOramClient<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RingOramClient")
             .field("num_blocks", &self.config.num_blocks)
-            .field("levels", &self.geometry.num_levels())
+            .field("levels", &self.geometry().num_levels())
             .field("stash_len", &self.stash.len())
             .finish()
     }
 }
 
-impl RingOramClient {
-    /// Builds and populates the Ring ORAM.
+impl RingOramConfig {
+    /// The server-tree geometry this configuration implies (uniform `Z`
+    /// buckets; explicit levels when forced).
+    ///
+    /// # Errors
+    /// Propagates geometry validation failures; rejects `z == 0`.
+    pub fn geometry(&self) -> Result<TreeGeometry> {
+        if self.z == 0 {
+            return Err(ProtocolError::InvalidConfig("z must be nonzero".into()));
+        }
+        let profile = BucketProfile::Uniform { capacity: self.z };
+        Ok(match self.levels {
+            Some(levels) => TreeGeometry::with_levels(levels, profile)?,
+            None => TreeGeometry::for_blocks(u64::from(self.num_blocks), profile)?,
+        })
+    }
+}
+
+impl RingOramClient<TreeStorage> {
+    /// Builds and populates the Ring ORAM over an in-memory store.
     ///
     /// # Errors
     /// Rejects zero-block populations and geometry violations.
     pub fn new(config: RingOramConfig) -> Result<Self> {
+        let storage = TreeStorage::metadata_only(config.geometry()?);
+        Self::with_store(config, storage)
+    }
+}
+
+impl<S: BucketStore> RingOramClient<S> {
+    /// Builds and populates the Ring ORAM over a caller-provided, empty
+    /// bucket store (built against [`RingOramConfig::geometry`]).
+    ///
+    /// # Errors
+    /// Rejects zero-block populations, `z == 0` / `a == 0`, and stores
+    /// whose bucket capacities disagree with the configuration.
+    pub fn with_store(config: RingOramConfig, storage: S) -> Result<Self> {
         if config.num_blocks == 0 {
             return Err(ProtocolError::InvalidConfig("num_blocks must be nonzero".into()));
         }
         if config.z == 0 || config.a == 0 {
             return Err(ProtocolError::InvalidConfig("z and a must be nonzero".into()));
         }
-        let profile = BucketProfile::Uniform { capacity: config.z };
-        let geometry = match config.levels {
-            Some(levels) => TreeGeometry::with_levels(levels, profile)?,
-            None => TreeGeometry::for_blocks(u64::from(config.num_blocks), profile)?,
-        };
-        let buckets = (0..geometry.num_nodes())
-            .map(|_| RingBucket { blocks: Vec::new(), dummies_remaining: config.s })
-            .collect();
+        let geometry = storage.geometry();
+        for level in 0..=geometry.leaf_level() {
+            if geometry.bucket_capacity(level) != config.z {
+                return Err(ProtocolError::InvalidConfig(format!(
+                    "store bucket capacity {} at level {level} disagrees with Z = {}",
+                    geometry.bucket_capacity(level),
+                    config.z
+                )));
+            }
+        }
+        if geometry.total_slots() < u64::from(config.num_blocks) {
+            return Err(ProtocolError::Tree(oram_tree::TreeError::InsufficientCapacity {
+                slots: geometry.total_slots(),
+                blocks: u64::from(config.num_blocks),
+            }));
+        }
+        if storage.occupancy() != 0 {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "store already holds {} blocks; Ring ORAM populates at construction and \
+                 needs an empty store",
+                storage.occupancy()
+            )));
+        }
+        let dummies = vec![config.s; geometry.num_nodes() as usize];
         let mut client = RingOramClient {
             posmap: DensePositionMap::new(config.num_blocks),
             stash: Stash::new(),
@@ -138,11 +190,11 @@ impl RingOramClient {
             stats: AccessStats::new(),
             access_round: 0,
             evict_counter: 0,
-            geometry,
-            buckets,
+            storage,
+            dummies,
             config,
         };
-        client.populate();
+        client.populate()?;
         Ok(client)
     }
 
@@ -150,33 +202,26 @@ impl RingOramClient {
         (((1u64 << level) - 1) + node_in_level) as usize
     }
 
-    fn populate(&mut self) {
-        let leaves = self.geometry.num_leaves() as u32;
+    fn populate(&mut self) -> Result<()> {
+        let leaves = self.storage.geometry().num_leaves() as u32;
         for id in 0..self.config.num_blocks {
             let leaf = LeafId::new(self.rng.random_range(0..leaves));
             let id = BlockId::new(id);
             self.posmap.set(id, leaf);
-            let mut placed = false;
-            for level in (0..=self.geometry.leaf_level()).rev() {
-                let node = self.geometry.path_node_in_level(leaf, level);
-                let idx = self.bucket_index(level, node);
-                if (self.buckets[idx].blocks.len() as u32) < self.config.z {
-                    self.buckets[idx].blocks.push(Block::metadata_only(id, leaf));
-                    placed = true;
-                    break;
-                }
-            }
-            if !placed {
+            // Deepest-first placement on the block's own path, exactly the
+            // semantics of the store's warm-start primitive.
+            if let Some(overflow) = self.storage.place_for_init(Block::metadata_only(id, leaf))? {
                 self.stats.init_stash_overflow += 1;
-                self.stash.insert(Block::metadata_only(id, leaf));
+                self.stash.insert(overflow);
             }
         }
+        Ok(())
     }
 
     /// The tree geometry (uniform `Z` buckets).
     #[must_use]
     pub fn geometry(&self) -> &TreeGeometry {
-        &self.geometry
+        self.storage.geometry()
     }
 
     /// Accumulated statistics.
@@ -216,35 +261,38 @@ impl RingOramClient {
     /// Draws a uniformly random leaf from the client's RNG (exposed so
     /// composed schemes reassign blocks with fresh randomness).
     pub fn random_leaf(&mut self) -> LeafId {
-        let leaves = self.geometry.num_leaves() as u32;
+        let leaves = self.storage.geometry().num_leaves() as u32;
         LeafId::new(self.rng.random_range(0..leaves))
     }
 
     /// Reads one slot from the bucket at (`level`, `node`): the wanted
     /// block if present, otherwise a dummy (reshuffling first if the dummy
-    /// budget is exhausted).
+    /// budget is exhausted). Physically this is a bucket read + write-back
+    /// of the unwanted blocks, but the *accounted* traffic is the Ring
+    /// ORAM cost model's one slot per bucket touch.
     fn read_one(&mut self, level: u32, node: u64, wanted: &mut Vec<BlockId>) -> Vec<Block> {
         let idx = self.bucket_index(level, node);
         let mut found = Vec::new();
-        let mut i = 0;
-        while i < self.buckets[idx].blocks.len() {
-            if let Some(pos) = wanted.iter().position(|w| *w == self.buckets[idx].blocks[i].id()) {
+        let mut rest = Vec::new();
+        for block in self.storage.read_bucket(level, node) {
+            if let Some(pos) = wanted.iter().position(|w| *w == block.id()) {
                 wanted.swap_remove(pos);
-                found.push(self.buckets[idx].blocks.swap_remove(i));
+                found.push(block);
             } else {
-                i += 1;
+                rest.push(block);
             }
         }
+        let leftover = self.storage.write_bucket(level, node, rest);
+        debug_assert!(leftover.is_empty(), "bucket rejected blocks it just held");
         // One physical slot per bucket touch, plus one per extra member
         // beyond the first (the paper's `log N + S` superblock cost).
         let slots = 1 + found.len().saturating_sub(1) as u64;
         self.stats.slots_read += slots;
         if found.is_empty() {
-            if self.buckets[idx].dummies_remaining == 0 {
+            if self.dummies[idx] == 0 {
                 self.early_reshuffle(idx);
             }
-            self.buckets[idx].dummies_remaining =
-                self.buckets[idx].dummies_remaining.saturating_sub(1);
+            self.dummies[idx] = self.dummies[idx].saturating_sub(1);
         }
         found
     }
@@ -255,18 +303,18 @@ impl RingOramClient {
         self.stats.reshuffles += 1;
         self.stats.slots_read += u64::from(self.config.z);
         self.stats.slots_written += u64::from(self.config.z + self.config.s);
-        self.buckets[idx].dummies_remaining = self.config.s;
+        self.dummies[idx] = self.config.s;
     }
 
     /// Deterministic reverse-lexicographic evict-path ordering.
     fn next_evict_leaf(&mut self) -> LeafId {
-        let l = self.geometry.leaf_level();
+        let l = self.storage.geometry().leaf_level();
         let g = self.evict_counter;
         self.evict_counter += 1;
         if l == 0 {
             return LeafId::new(0);
         }
-        let masked = (g % self.geometry.num_leaves()) as u32;
+        let masked = (g % self.storage.geometry().num_leaves()) as u32;
         let reversed = masked.reverse_bits() >> (32 - l);
         LeafId::new(reversed)
     }
@@ -274,37 +322,40 @@ impl RingOramClient {
     /// Full evict-path: read all real blocks along `leaf` into the stash,
     /// then write the stash back greedily and refresh dummy budgets.
     fn evict_path(&mut self, leaf: LeafId) {
+        let geometry = self.storage.geometry().clone();
         self.stats.path_writes += 1;
-        for level in 0..=self.geometry.leaf_level() {
-            let node = self.geometry.path_node_in_level(leaf, level);
+        for level in 0..=geometry.leaf_level() {
+            let node = geometry.path_node_in_level(leaf, level);
             let idx = self.bucket_index(level, node);
             self.stats.slots_read += u64::from(self.config.z);
             self.stats.slots_written += u64::from(self.config.z + self.config.s);
-            for b in self.buckets[idx].blocks.drain(..) {
+            for b in self.storage.read_bucket(level, node) {
                 self.stash.insert(b);
             }
-            self.buckets[idx].dummies_remaining = self.config.s;
+            self.dummies[idx] = self.config.s;
         }
         // Greedy deepest-first refill, as in Path ORAM.
         let mut candidates = self.stash.take_all();
         let mut keep = Vec::with_capacity(candidates.len());
         // Sort candidates by common depth descending so deep blocks sink first.
-        candidates.sort_by_key(|b| std::cmp::Reverse(self.geometry.common_depth(leaf, b.leaf())));
+        candidates.sort_by_key(|b| std::cmp::Reverse(geometry.common_depth(leaf, b.leaf())));
         let mut cursor = 0usize;
-        for level in (0..=self.geometry.leaf_level()).rev() {
-            let node = self.geometry.path_node_in_level(leaf, level);
-            let idx = self.bucket_index(level, node);
-            while (self.buckets[idx].blocks.len() as u32) < self.config.z
-                && cursor < candidates.len()
-            {
-                let cd = self.geometry.common_depth(leaf, candidates[cursor].leaf());
+        for level in (0..=geometry.leaf_level()).rev() {
+            let node = geometry.path_node_in_level(leaf, level);
+            let mut put = Vec::new();
+            while (put.len() as u32) < self.config.z && cursor < candidates.len() {
+                let cd = geometry.common_depth(leaf, candidates[cursor].leaf());
                 if cd >= level {
-                    self.buckets[idx].blocks.push(candidates[cursor].clone());
+                    put.push(candidates[cursor].clone());
                     cursor += 1;
                 } else {
                     break;
                 }
             }
+            // The path's buckets were fully drained above, so everything
+            // selected under the Z budget must fit.
+            let leftover = self.storage.write_bucket(level, node, put);
+            debug_assert!(leftover.is_empty(), "drained bucket rejected refill");
         }
         keep.extend(candidates.drain(cursor..));
         self.stash.absorb(keep);
@@ -349,8 +400,9 @@ impl RingOramClient {
         let leaf = self.posmap.get(id);
         let mut wanted = vec![id];
         let mut fetched = Vec::new();
-        for level in 0..=self.geometry.leaf_level() {
-            let node = self.geometry.path_node_in_level(leaf, level);
+        let leaf_level = self.storage.geometry().leaf_level();
+        for level in 0..=leaf_level {
+            let node = self.storage.geometry().path_node_in_level(leaf, level);
             fetched.extend(self.read_one(level, node, &mut wanted));
         }
         let mut block = match fetched.pop() {
@@ -360,7 +412,7 @@ impl RingOramClient {
         self.stats.blocks_fetched += 1;
         let new_leaf = match leaf_hint {
             Some(l) => {
-                self.geometry.check_leaf(l)?;
+                self.storage.geometry().check_leaf(l)?;
                 l
             }
             None => self.random_leaf(),
@@ -411,8 +463,9 @@ impl RingOramClient {
             self.stats.path_reads += 1;
             let mut wanted = on_path.clone();
             let mut fetched = Vec::new();
-            for level in 0..=self.geometry.leaf_level() {
-                let node = self.geometry.path_node_in_level(shared, level);
+            let leaf_level = self.storage.geometry().leaf_level();
+            for level in 0..=leaf_level {
+                let node = self.storage.geometry().path_node_in_level(shared, level);
                 fetched.extend(self.read_one(level, node, &mut wanted));
             }
             // Members mapped to the shared path but physically still in a
@@ -448,17 +501,17 @@ impl RingOramClient {
     pub fn verify_invariants(&self) -> std::result::Result<(), String> {
         let mut seen = vec![false; self.config.num_blocks as usize];
         let mut count = 0u64;
-        for (idx, bucket) in self.buckets.iter().enumerate() {
-            if bucket.blocks.len() as u32 > self.config.z {
-                return Err(format!("bucket {idx} over capacity"));
+        // Bucket capacity is enforced structurally by the store; check id
+        // range, duplicates, and conservation here.
+        for (id, _) in self.storage.collect_blocks() {
+            if id.as_usize() >= seen.len() {
+                return Err(format!("stored block {id} outside the population"));
             }
-            for b in &bucket.blocks {
-                if seen[b.id().as_usize()] {
-                    return Err(format!("block {} stored twice", b.id()));
-                }
-                seen[b.id().as_usize()] = true;
-                count += 1;
+            if seen[id.as_usize()] {
+                return Err(format!("block {id} stored twice"));
             }
+            seen[id.as_usize()] = true;
+            count += 1;
         }
         for b in self.stash.iter() {
             if seen[b.id().as_usize()] {

@@ -24,6 +24,7 @@
 //! recorded so the overlap is observable, not just asserted.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -32,14 +33,23 @@ use std::time::Instant;
 
 use laoram_core::{BatchOp, LaOram, LaOramConfig, SuperblockPlan, SuperblockPlanner};
 use oram_protocol::AccessStats;
+use oram_tree::{DiskStore, DiskStoreConfig, DynBucketStore, TreeStorage};
 
 use crate::completion::{CompletionShared, GroupDone};
 use crate::ingress::{run_batcher, EngineMsg, GroupMeta, Ingress};
 use crate::{
     BatchResponse, BatchTicket, BatchTiming, Completion, PipelineStats, Request,
-    RequestLatencyStats, RequestOp, RequestTicket, ServiceConfig, ServiceError, ServiceStats,
-    Session, ShardRouter, ShardStats,
+    RequestLatencyStats, RequestOp, RequestTicket, ResolvedBackend, ServiceConfig, ServiceError,
+    ServiceStats, Session, ShardRouter, ShardStats, StorageBackend, TableSpec,
 };
+
+/// A shard worker's LAORAM client: backend chosen at runtime, so the
+/// store is a boxed trait object behind the `BucketStore` boundary.
+type ShardClient = LaOram<DynBucketStore>;
+
+/// Monotonic discriminator making concurrent services' spill directories
+/// (and therefore shard files) collision-free within one process.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Per-worker routing product: shard-local index stream, operations, and
 /// each operation's position in the original group.
@@ -152,6 +162,13 @@ pub struct LaoramService {
     router: Arc<ShardRouter>,
     /// `(table, shard)` per flattened worker id.
     worker_homes: Vec<(usize, u32)>,
+    /// The storage backend chosen for each table at startup.
+    table_backends: Vec<ResolvedBackend>,
+    /// Shard files created for Auto-spilled tables, removed at shutdown.
+    spill_cleanup: Vec<PathBuf>,
+    /// The spill directory, when this service generated it (also removed
+    /// at shutdown).
+    generated_spill_dir: Option<PathBuf>,
     batcher: Option<JoinHandle<()>>,
     handles: Vec<JoinHandle<()>>,
     next_batch: u64,
@@ -213,9 +230,10 @@ impl LaoramService {
         let router = Arc::new(ShardRouter::new(&config.tables)?);
         let num_workers = router.num_workers();
 
-        // Build every shard's LAORAM client and matching planner up front.
-        let mut clients: Vec<LaOram> = Vec::with_capacity(num_workers);
-        let mut planners: Vec<SuperblockPlanner> = Vec::with_capacity(num_workers);
+        // Per-worker LAORAM configurations, built first so the footprint
+        // estimate behind Auto backend selection uses the exact per-shard
+        // geometries.
+        let mut worker_configs: Vec<LaOramConfig> = Vec::with_capacity(num_workers);
         let mut worker_homes = Vec::with_capacity(num_workers);
         for worker in 0..num_workers {
             let (table, shard) = router.worker_home(worker);
@@ -229,12 +247,52 @@ impl LaoramService {
                 .eviction(spec.eviction)
                 .seed(shard_seed)
                 .build()?;
-            let client = LaOram::new(laoram_config.clone())?;
-            let planner =
-                SuperblockPlanner::for_config(&laoram_config, client.geometry().num_leaves());
-            clients.push(client);
-            planners.push(planner);
+            worker_configs.push(laoram_config);
             worker_homes.push((table, shard));
+        }
+        let table_backends = resolve_backends(&config, &worker_homes, &worker_configs)?;
+
+        // Build every shard's LAORAM client (over its chosen backend) and
+        // matching planner. Auto-spill files are recorded for removal at
+        // shutdown: their client state (position map, stash) is not
+        // persisted, so they cannot serve a restart and would otherwise
+        // leak a full table footprint per service lifetime.
+        let mut clients: Vec<ShardClient> = Vec::with_capacity(num_workers);
+        let mut planners: Vec<SuperblockPlanner> = Vec::with_capacity(num_workers);
+        let mut spill_cleanup = Vec::new();
+        let mut generated_spill_dir = None;
+        let build_result = (|| -> Result<(), ServiceError> {
+            for (worker, laoram_config) in worker_configs.iter().enumerate() {
+                let (table, shard) = worker_homes[worker];
+                let spec = &config.tables[table];
+                // Record the spill file *before* creating it, so a
+                // partial-failure unwind below removes it too.
+                if let (StorageBackend::Auto, ResolvedBackend::Disk { dir }) =
+                    (&spec.backend, &table_backends[table])
+                {
+                    spill_cleanup.push(shard_file_path(dir, spec, table, shard));
+                    // The spill directory is always a service-unique
+                    // subdirectory this service created: remove it too.
+                    generated_spill_dir = Some(dir.clone());
+                }
+                let store = build_store(&table_backends[table], spec, table, shard, laoram_config)?;
+                let client = LaOram::with_store(laoram_config.clone(), store)?;
+                let planner =
+                    SuperblockPlanner::for_config(laoram_config, client.geometry().num_leaves());
+                clients.push(client);
+                planners.push(planner);
+            }
+            Ok(())
+        })();
+        if let Err(e) = build_result {
+            // Don't leak the already-created spill files of earlier shards.
+            for file in &spill_cleanup {
+                let _ = std::fs::remove_file(file);
+            }
+            if let Some(dir) = &generated_spill_dir {
+                let _ = std::fs::remove_dir(dir);
+            }
+            return Err(e);
         }
 
         let shared = Arc::new(Shared {
@@ -326,6 +384,9 @@ impl LaoramService {
             shared,
             router,
             worker_homes,
+            table_backends,
+            spill_cleanup,
+            generated_spill_dir,
             batcher: Some(batcher),
             handles,
             next_batch: 0,
@@ -534,9 +595,34 @@ impl LaoramService {
         &self.router
     }
 
+    /// The storage backend chosen for each table at startup, in table
+    /// order — reports whether an [`StorageBackend::Auto`] table spilled
+    /// to disk under
+    /// [`in_memory_cap_bytes`](crate::ServiceConfig::in_memory_cap_bytes).
+    #[must_use]
+    pub fn table_backends(&self) -> &[ResolvedBackend] {
+        &self.table_backends
+    }
+
+    /// Removes auto-spill shard files (and the spill directory, when this
+    /// service generated it). Idempotent; runs at shutdown and, as a
+    /// backstop, on drop.
+    fn cleanup_spill(&mut self) {
+        for file in self.spill_cleanup.drain(..) {
+            let _ = std::fs::remove_file(file);
+        }
+        if let Some(dir) = self.generated_spill_dir.take() {
+            let _ = std::fs::remove_dir(dir);
+        }
+    }
+
     /// Stops the pipeline: flushes the micro-batcher and every shard,
     /// joins all threads, and returns the final statistics plus
-    /// everything that was still unclaimed. If a worker died mid-drain,
+    /// everything that was still unclaimed. Shard files created by
+    /// [`StorageBackend::Auto`] spill are removed here (their client
+    /// state is not persisted, so they cannot serve a restart);
+    /// explicitly [`StorageBackend::Disk`]-backed files are
+    /// caller-managed and left in place. If a worker died mid-drain,
     /// the lost requests are *counted*, not silently dropped:
     /// [`ServiceReport::truncated_requests`] carries the shortfall and a
     /// synthetic entry is appended to
@@ -557,6 +643,9 @@ impl LaoramService {
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+        // Workers (and their stores) are gone: drop auto-spill files so a
+        // start/stop cycle cannot accumulate dead table footprints.
+        self.cleanup_spill();
         // 3. Everything that completed is now buffered in the completion
         //    channel; ingest it all and account for what is missing.
         let drain = self.completions.drain_for_shutdown();
@@ -613,6 +702,128 @@ impl LaoramService {
             worker_errors,
         })
     }
+}
+
+/// Chooses each table's storage backend: explicit selections are
+/// honoured, and `Auto` tables spill to disk when their exact per-shard
+/// footprint (slot counts from the real geometries, slot bytes from the
+/// disk layout) exceeds the configured in-memory cap.
+fn resolve_backends(
+    config: &ServiceConfig,
+    worker_homes: &[(usize, u32)],
+    worker_configs: &[LaOramConfig],
+) -> Result<Vec<ResolvedBackend>, ServiceError> {
+    // Exact footprint per table, from the geometries the shards will use
+    // and the disk layout's slot accounting.
+    let mut footprints = vec![0u64; config.tables.len()];
+    for (worker, &(table, _)) in worker_homes.iter().enumerate() {
+        let spec = &config.tables[table];
+        footprints[table] +=
+            worker_configs[worker].geometry()?.total_slots() * crate::spec::disk_slot_bytes(spec);
+    }
+    let mut spill_dir = None;
+    let mut resolved = Vec::with_capacity(config.tables.len());
+    for (table, spec) in config.tables.iter().enumerate() {
+        let choice = match &spec.backend {
+            StorageBackend::InMemory => ResolvedBackend::InMemory,
+            StorageBackend::Disk(disk) => ResolvedBackend::Disk { dir: disk.dir.clone() },
+            StorageBackend::Auto => match config.in_memory_cap_bytes {
+                Some(cap) if footprints[table] > cap => {
+                    // Always a service-unique subdirectory — even under a
+                    // caller-provided spill_dir — so two services sharing
+                    // one spill root can never clobber (or clean up) each
+                    // other's live shard files.
+                    let dir = spill_dir
+                        .get_or_insert_with(|| {
+                            let base = match &config.spill_dir {
+                                Some(dir) => dir.clone(),
+                                None => std::env::temp_dir(),
+                            };
+                            base.join(format!(
+                                "laoram-spill-{}-{}",
+                                std::process::id(),
+                                SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+                            ))
+                        })
+                        .clone();
+                    ResolvedBackend::Disk { dir }
+                }
+                _ => ResolvedBackend::InMemory,
+            },
+        };
+        if matches!(choice, ResolvedBackend::Disk { .. }) && spec.payloads && spec.row_bytes == 0 {
+            return Err(ServiceError::InvalidConfig(format!(
+                "table '{}' is disk-backed with payloads but row_bytes = 0; disk slots need a \
+                 fixed payload capacity",
+                spec.name
+            )));
+        }
+        resolved.push(choice);
+    }
+    Ok(resolved)
+}
+
+/// Builds one shard's bucket store on the table's resolved backend.
+fn build_store(
+    backend: &ResolvedBackend,
+    spec: &TableSpec,
+    table: usize,
+    shard: u32,
+    laoram_config: &LaOramConfig,
+) -> Result<DynBucketStore, ServiceError> {
+    let geometry = laoram_config.geometry()?;
+    match backend {
+        ResolvedBackend::InMemory => Ok(if spec.payloads {
+            Box::new(TreeStorage::new(geometry))
+        } else {
+            Box::new(TreeStorage::metadata_only(geometry))
+        }),
+        ResolvedBackend::Disk { dir } => {
+            let tree_err =
+                |e: oram_tree::TreeError| ServiceError::Core(laoram_core::LaOramError::from(e));
+            std::fs::create_dir_all(dir).map_err(|e| {
+                tree_err(oram_tree::TreeError::Io(format!(
+                    "create spill directory {}: {e}",
+                    dir.display()
+                )))
+            })?;
+            let file = shard_file_path(dir, spec, table, shard);
+            let mut disk_config = DiskStoreConfig::new().payload_capacity(if spec.payloads {
+                spec.row_bytes
+            } else {
+                0
+            });
+            // Auto spill keeps DiskStoreConfig's defaults; explicit disk
+            // tables carry their own tuning.
+            if let StorageBackend::Disk(d) = &spec.backend {
+                disk_config =
+                    disk_config.write_back_paths(d.write_back_paths).durable_sync(d.durable_sync);
+            }
+            let store = DiskStore::create(&file, geometry, disk_config).map_err(tree_err)?;
+            Ok(Box::new(store))
+        }
+    }
+}
+
+impl Drop for LaoramService {
+    fn drop(&mut self) {
+        // A service dropped without shutdown() must not leak its spill
+        // files; on unix, unlinking under still-running workers is safe
+        // (their file handles stay valid until they exit).
+        self.cleanup_spill();
+    }
+}
+
+/// The backing file a disk-backed shard uses under `dir`. The table
+/// *index* keys uniqueness — names are display-only, need not be unique,
+/// and are sanitised lossily.
+fn shard_file_path(dir: &Path, spec: &TableSpec, table: usize, shard: u32) -> PathBuf {
+    let sanitized: String = spec
+        .name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
+        .collect();
+    dir.join(format!("t{table}-{sanitized}-shard{shard}.oram"))
 }
 
 /// Independent per-shard seed stream (SplitMix64-style mixing).
@@ -813,7 +1024,7 @@ fn run_preprocessor(
 /// flushes exit toward next-window paths (the warm cross-batch pipeline).
 fn run_worker(
     worker: usize,
-    mut client: LaOram,
+    mut client: ShardClient,
     rx: Receiver<WorkerMsg>,
     collector: mpsc::Sender<CollectorMsg>,
     shared: Arc<Shared>,
@@ -839,7 +1050,7 @@ fn run_worker(
     }
     /// Stages the earliest queued Plan, if any and if the slot is free.
     fn stage_next_plan(
-        client: &mut LaOram,
+        client: &mut ShardClient,
         queue: &mut VecDeque<WorkerMsg>,
     ) -> laoram_core::Result<()> {
         if client.has_staged_plan() {

@@ -35,6 +35,11 @@
 //! * **Sharded** — each table is hash-partitioned ([`ShardRouter`]) across
 //!   shard workers, one `LaOram` instance and thread per shard, so
 //!   independent shards serve in parallel.
+//! * **Larger than RAM** — every shard's bucket store is chosen per table
+//!   ([`StorageBackend`]): in-memory by default, an explicit disk backend
+//!   ([`DiskBackendSpec`]), or automatic spill when the table's footprint
+//!   exceeds [`ServiceConfig::in_memory_cap_bytes`]. The backend actually
+//!   chosen is reported by [`LaoramService::table_backends`].
 //! * **Pipelined** — a dedicated preprocessor thread bins and
 //!   path-assigns group `N+1` (via the resumable
 //!   [`SuperblockPlanner`](laoram_core::SuperblockPlanner)) while the
@@ -47,11 +52,16 @@
 //!   [`try_submit`](LaoramService::try_submit) rejects, and the
 //!   micro-batcher stalls its flushes when serving falls behind.
 //!
-//! # Security model
+//! # Security model & leakage notes
 //!
 //! *Within* a shard, the single-client guarantee is unchanged: the
 //! shard's server sees a sequence of uniformly random path requests
-//! (§VI). Two cross-cutting signals remain, both input-dependent:
+//! (§VI), and that guarantee is **storage-backend-independent** — the
+//! request sequence is generated above the
+//! [`BucketStore`](oram_tree::BucketStore) boundary, and the workspace's
+//! backend-equivalence tests assert identical observer sequences across
+//! backends. The cross-cutting signals a *service* adds are collected
+//! here, in one place:
 //!
 //! * **Per-shard volumes.** Routing is a deterministic hash of the
 //!   accessed index, so an adversary observing which shard serves each
@@ -70,6 +80,25 @@
 //!   cannot accept it should drive the engine at fixed cadence with
 //!   fixed-size batches (the training shape) or pad the request stream
 //!   upstream.
+//! * **Cache trade-offs.** Each shard's client cache models the paper's
+//!   trainer VRAM: accesses to it are invisible to the adversary, and its
+//!   contents are *planned* (the current superblock's members), so hits
+//!   and misses follow the public plan rather than the private stream —
+//!   no extra leakage. A **shared, capacity-bounded hot-row cache** across
+//!   batches or tenants would break this: hit/miss behaviour (and its
+//!   timing) would depend on the private access history. Any future cache
+//!   of that shape must document its leakage budget before it ships; the
+//!   ROADMAP tracks this as an explicit trade-off study.
+//! * **Disk-backed tables.** A [`StorageBackend::Disk`] table turns
+//!   bucket accesses into file I/O, so the *operating system, hypervisor,
+//!   and storage device* join the set of observers. Since the protocol
+//!   only ever requests uniformly random paths, they observe no more than
+//!   the memory-bus adversary the paper already concedes — but the
+//!   backing file must live on storage inside the trust boundary being
+//!   defended (host-visible page-cache and block-layer traces are exactly
+//!   the server-side adversary's view), and `write_back_paths` buffering
+//!   means file-level observers see slot writes *batched at superblock
+//!   sync points*, not per access.
 //!
 //! # Example
 //!
@@ -119,7 +148,9 @@ pub use engine::{LaoramService, ServiceReport};
 pub use error::ServiceError;
 pub use request::{Completion, RequestTicket, RequestTiming, Session, SessionId};
 pub use router::{ShardRouter, TablePartition};
-pub use spec::{BatchPolicy, ServiceConfig, TableSpec};
+pub use spec::{
+    BatchPolicy, DiskBackendSpec, ResolvedBackend, ServiceConfig, StorageBackend, TableSpec,
+};
 pub use stats::{
     BatchTiming, LatencyHistogram, PipelineStats, RequestLatencyStats, ServiceStats, ShardStats,
 };

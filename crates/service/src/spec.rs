@@ -1,8 +1,88 @@
 //! Service and per-table configuration.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use oram_protocol::EvictionConfig;
+
+/// Which bucket-storage backend a table's shards use.
+///
+/// The service builds every shard's LAORAM client over the pluggable
+/// [`BucketStore`](oram_tree::BucketStore) boundary, so the choice is
+/// per-table and invisible to the protocol: obliviousness and responses
+/// are backend-independent (asserted by the workspace's equivalence
+/// tests). What a disk backend *does* change is operational: the table's
+/// access pattern becomes file I/O visible to the OS and storage device
+/// (see the crate-level security notes) and path operations pay file
+/// latency.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StorageBackend {
+    /// In-memory unless the table's estimated footprint exceeds
+    /// [`ServiceConfig::in_memory_cap_bytes`], in which case the table
+    /// spills to a disk store under [`ServiceConfig::spill_dir`]. Spill
+    /// files are owned by the service and deleted at
+    /// [`shutdown`](crate::LaoramService::shutdown) — the client state
+    /// they would need for a restart is not persisted. The default.
+    #[default]
+    Auto,
+    /// Always in-memory ([`TreeStorage`](oram_tree::TreeStorage)),
+    /// regardless of any configured cap.
+    InMemory,
+    /// Always on disk ([`DiskStore`](oram_tree::DiskStore)), one backing
+    /// file per shard.
+    Disk(DiskBackendSpec),
+}
+
+/// Options for a disk-backed table ([`StorageBackend::Disk`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskBackendSpec {
+    /// Directory holding the per-shard store files (created if missing).
+    pub dir: PathBuf,
+    /// Write-back buffer budget per shard, in paths (see
+    /// [`DiskStoreConfig::write_back_paths`](oram_tree::DiskStoreConfig::write_back_paths)).
+    pub write_back_paths: usize,
+    /// Whether superblock-boundary sync points fsync (durability at the
+    /// cost of device flushes).
+    pub durable_sync: bool,
+}
+
+impl DiskBackendSpec {
+    /// Disk backend rooted at `dir` with a 64-path write-back buffer and
+    /// no fsync.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DiskBackendSpec { dir: dir.into(), write_back_paths: 64, durable_sync: false }
+    }
+
+    /// Sets the per-shard write-back buffer budget, in paths.
+    #[must_use]
+    pub fn write_back_paths(mut self, paths: usize) -> Self {
+        self.write_back_paths = paths;
+        self
+    }
+
+    /// Enables or disables fsync at superblock sync points.
+    #[must_use]
+    pub fn durable_sync(mut self, durable: bool) -> Self {
+        self.durable_sync = durable;
+        self
+    }
+}
+
+/// The backend the service actually chose for a table at startup
+/// (reported by
+/// [`LaoramService::table_backends`](crate::LaoramService::table_backends)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolvedBackend {
+    /// The table's shards live in memory.
+    InMemory,
+    /// The table's shards live in per-shard files under `dir`.
+    Disk {
+        /// Directory holding the shard store files.
+        dir: PathBuf,
+    },
+}
 
 /// Configuration of one hosted embedding table.
 ///
@@ -11,7 +91,7 @@ use oram_protocol::EvictionConfig;
 /// hash. All shards of a table share the LAORAM parameters below.
 #[derive(Debug, Clone)]
 pub struct TableSpec {
-    /// Human-readable table name (diagnostics only).
+    /// Human-readable table name (diagnostics and spill-file naming).
     pub name: String,
     /// Number of embedding entries.
     pub num_blocks: u32,
@@ -28,11 +108,20 @@ pub struct TableSpec {
     pub eviction: EvictionConfig,
     /// Base RNG seed; each shard derives an independent stream from it.
     pub seed: u64,
+    /// Maximum row size in bytes. Used to estimate the table's in-memory
+    /// footprint for [`StorageBackend::Auto`] spill decisions and as the
+    /// fixed per-slot payload capacity of disk-backed shards — a write
+    /// larger than this to a disk-backed table is a fatal shard error.
+    /// Ignored (estimation aside) for metadata-only tables.
+    pub row_bytes: u32,
+    /// Storage backend selection for this table's shards.
+    pub backend: StorageBackend,
 }
 
 impl TableSpec {
     /// A table of `num_blocks` entries with paper-default LAORAM
-    /// parameters: one shard, `S = 4`, normal tree, payloads on.
+    /// parameters: one shard, `S = 4`, normal tree, payloads on,
+    /// 128-byte rows, automatic backend selection.
     #[must_use]
     pub fn new(name: impl Into<String>, num_blocks: u32) -> Self {
         TableSpec {
@@ -44,6 +133,8 @@ impl TableSpec {
             payloads: true,
             eviction: EvictionConfig::paper_default(),
             seed: 0xD15C_07AB,
+            row_bytes: 128,
+            backend: StorageBackend::Auto,
         }
     }
 
@@ -88,6 +179,53 @@ impl TableSpec {
         self.seed = seed;
         self
     }
+
+    /// Sets the maximum row size in bytes (footprint estimation, and the
+    /// per-slot payload capacity of disk-backed shards).
+    #[must_use]
+    pub fn row_bytes(mut self, bytes: u32) -> Self {
+        self.row_bytes = bytes;
+        self
+    }
+
+    /// Selects this table's storage backend.
+    #[must_use]
+    pub fn backend(mut self, backend: StorageBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Bytes of server storage this table needs across all its shards,
+    /// assuming rows of [`row_bytes`](Self::row_bytes): the figure
+    /// [`StorageBackend::Auto`] compares against
+    /// [`ServiceConfig::in_memory_cap_bytes`]. Shard sizes come from the
+    /// same hash partition the engine routes with, and slot accounting
+    /// from [`DiskStore::slot_bytes_for`](oram_tree::DiskStore::slot_bytes_for),
+    /// so the figure equals both the engine's spill decision and the
+    /// table's on-disk footprint when spilled.
+    ///
+    /// # Errors
+    /// Propagates partition and geometry validation failures (via the
+    /// same builders the engine uses).
+    pub fn estimated_store_bytes(&self) -> Result<u64, crate::ServiceError> {
+        let slot_bytes = disk_slot_bytes(self);
+        let partition = crate::TablePartition::new(self.num_blocks, self.shards)?;
+        let mut total = 0u64;
+        for shard in 0..partition.shards() {
+            let config = laoram_core::LaOramConfig::builder(partition.shard_size(shard))
+                .superblock_size(self.superblock_size.max(1))
+                .fat_tree(self.fat_tree)
+                .build()?;
+            total += config.geometry()?.total_slots() * slot_bytes;
+        }
+        Ok(total)
+    }
+}
+
+/// Bytes one bucket slot of `spec` occupies on disk — the shared figure
+/// behind spill decisions and footprint estimates.
+pub(crate) fn disk_slot_bytes(spec: &TableSpec) -> u64 {
+    oram_tree::DiskStore::slot_bytes_for(if spec.payloads { spec.row_bytes } else { 0 })
 }
 
 /// How the micro-batcher coalesces individually submitted requests
@@ -175,6 +313,18 @@ pub struct ServiceConfig {
     /// bandwidth cost reported in
     /// [`ServiceStats::pad_accesses`](crate::ServiceStats::pad_accesses)).
     pub pad_shard_batches: bool,
+    /// In-memory budget for [`StorageBackend::Auto`] tables: a table
+    /// whose estimated footprint exceeds this many bytes is served from a
+    /// disk store under [`spill_dir`](Self::spill_dir) instead of RAM.
+    /// `None` (the default) never spills.
+    pub in_memory_cap_bytes: Option<u64>,
+    /// Root under which [`StorageBackend::Auto`] spills put their shard
+    /// files (default: the system temp dir). The service always creates
+    /// a service-unique subdirectory beneath it — reported via
+    /// [`table_backends`](crate::LaoramService::table_backends) and
+    /// removed at shutdown — so services sharing a spill root never
+    /// touch each other's files.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl ServiceConfig {
@@ -187,6 +337,8 @@ impl ServiceConfig {
             queue_depth: 4,
             batch_policy: BatchPolicy::default(),
             pad_shard_batches: false,
+            in_memory_cap_bytes: None,
+            spill_dir: None,
         }
     }
 
@@ -215,6 +367,20 @@ impl ServiceConfig {
     #[must_use]
     pub fn pad_shard_batches(mut self, pad: bool) -> Self {
         self.pad_shard_batches = pad;
+        self
+    }
+
+    /// Sets the in-memory budget for automatic disk spill.
+    #[must_use]
+    pub fn in_memory_cap_bytes(mut self, cap: u64) -> Self {
+        self.in_memory_cap_bytes = Some(cap);
+        self
+    }
+
+    /// Sets the spill directory for automatically disk-backed tables.
+    #[must_use]
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
         self
     }
 }

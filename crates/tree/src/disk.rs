@@ -1,0 +1,976 @@
+//! A file-backed [`BucketStore`]: serve trees larger than RAM.
+//!
+//! The store keeps the whole bucket array in one file with a fixed
+//! per-slot layout (an MLKV-style flat key-value region addressed by slot
+//! index), a small **write-back buffer** of dirty slots in memory, and a
+//! **generation header** rewritten at every [`sync`](DiskStore::sync)
+//! point so a reader can tell which durability point a file reflects.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! offset 0            4096                                  EOF
+//! ┌──────────────────┬─────┬─────┬─────┬─── ··· ───┬─────┐
+//! │ header (4 KiB)   │slot0│slot1│slot2│           │slotN│
+//! └──────────────────┴─────┴─────┴─────┴─── ··· ───┴─────┘
+//! ```
+//!
+//! * **Header**: magic, format version, payload capacity, generation
+//!   counter, occupancy, and the tree's per-level bucket capacities (so a
+//!   file is self-describing and [`DiskStore::open`] can rebuild the
+//!   geometry and reject mismatched callers).
+//! * **Slot**: `id + 1` (`u32`, so a zero — and therefore a sparse,
+//!   never-written file region — means *empty*), the assigned leaf
+//!   (`u32`), and, when the store carries payloads, `len + 1` (`u32`,
+//!   zero = no payload) followed by `payload_capacity` bytes.
+//!
+//! Slots are ordered exactly like [`TreeStorage`](crate::TreeStorage)'s
+//! flat array (level by level, buckets in node order), so the two
+//! backends visit blocks in identical order — the property the
+//! backend-equivalence tests depend on.
+//!
+//! # Durability model
+//!
+//! Mutations land in the write-back buffer. The buffer is spilled to the
+//! file when it exceeds its budget ([`DiskStoreConfig::write_back_paths`]
+//! paths' worth of slots) and at every [`sync`](DiskStore::sync). Only
+//! `sync` is a *durability point*: it writes all dirty slots, bumps the
+//! generation, rewrites the header **after** the data, and — with
+//! [`DiskStoreConfig::durable_sync`] — fsyncs in that order, so a header
+//! naming generation `g` implies the data of every sync `≤ g` has been
+//! submitted before it. State between sync points is undefined after a
+//! crash. The look-ahead client calls `sync` at superblock boundaries.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use crate::store::{compact_unplaced, plan_greedy_write_back, plan_place_for_init};
+use crate::{
+    Block, BlockId, BucketProfile, BucketStore, LeafId, PathSnapshot, TreeError, TreeGeometry,
+};
+
+/// Fixed size of the self-describing header at the start of the file.
+const HEADER_LEN: u64 = 4096;
+/// Magic bytes identifying a LAORAM bucket-store file (format v1).
+const MAGIC: &[u8; 8] = b"LAORAM01";
+/// On-disk format version.
+const VERSION: u32 = 1;
+
+/// Tuning and layout options for a [`DiskStore`].
+#[derive(Debug, Clone)]
+pub struct DiskStoreConfig {
+    /// Maximum payload bytes storable per slot. `0` builds a
+    /// metadata-only store (8 bytes per slot), the mode paper-scale
+    /// simulations use. With sealing enabled upstream, remember that
+    /// ciphertexts are `NONCE_BYTES` longer than the plaintext rows.
+    pub payload_capacity: u32,
+    /// Write-back buffer budget, in *paths*: once the dirty-slot count
+    /// exceeds `write_back_paths × path_slots`, the buffer is spilled to
+    /// the file (without a durability barrier). Minimum 1 path.
+    pub write_back_paths: usize,
+    /// Whether [`sync`](DiskStore::sync) calls `fsync` (data, then
+    /// header). Off by default: tests and benches want sync's ordering
+    /// semantics without paying device flushes.
+    pub durable_sync: bool,
+}
+
+impl DiskStoreConfig {
+    /// Metadata-only store with a 64-path write-back buffer and no fsync.
+    #[must_use]
+    pub fn new() -> Self {
+        DiskStoreConfig { payload_capacity: 0, write_back_paths: 64, durable_sync: false }
+    }
+
+    /// Sets the per-slot payload capacity in bytes.
+    #[must_use]
+    pub fn payload_capacity(mut self, bytes: u32) -> Self {
+        self.payload_capacity = bytes;
+        self
+    }
+
+    /// Sets the write-back buffer budget in paths.
+    #[must_use]
+    pub fn write_back_paths(mut self, paths: usize) -> Self {
+        self.write_back_paths = paths;
+        self
+    }
+
+    /// Enables or disables fsync at sync points.
+    #[must_use]
+    pub fn durable_sync(mut self, durable: bool) -> Self {
+        self.durable_sync = durable;
+        self
+    }
+}
+
+impl Default for DiskStoreConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One slot's in-memory image while it sits in the write-back buffer.
+#[derive(Clone)]
+struct SlotRecord {
+    /// `0` marks an empty slot; otherwise the block id plus one.
+    id_plus1: u32,
+    leaf: u32,
+    data: Option<Box<[u8]>>,
+}
+
+impl SlotRecord {
+    const EMPTY: SlotRecord = SlotRecord { id_plus1: 0, leaf: 0, data: None };
+
+    fn is_empty(&self) -> bool {
+        self.id_plus1 == 0
+    }
+}
+
+/// A file-backed bucket store. See the `disk` module source docs above
+/// for the on-disk layout; the durability model is summarised here:
+/// mutations land in a write-back buffer, the buffer spills when it
+/// exceeds [`DiskStoreConfig::write_back_paths`] paths' worth of slots,
+/// and [`sync`](BucketStore::sync) is the only durability point (data
+/// first, then a generation-bumped header).
+///
+/// # Example
+/// ```
+/// use oram_tree::{Block, BlockId, BucketProfile, BucketStore, DiskStore, DiskStoreConfig,
+///                 LeafId, TreeGeometry};
+///
+/// let path = std::env::temp_dir().join(format!("laoram-doc-{}.oram", std::process::id()));
+/// let geometry = TreeGeometry::with_levels(4, BucketProfile::Uniform { capacity: 4 })?;
+/// let mut store = DiskStore::create(&path, geometry, DiskStoreConfig::new())?;
+///
+/// let mut blocks = vec![Block::metadata_only(BlockId::new(3), LeafId::new(9))];
+/// store.write_path(LeafId::new(9), &mut blocks);
+/// store.sync()?; // durability point: dirty slots reach the file
+///
+/// let fetched = store.read_path(LeafId::new(9));
+/// assert_eq!(fetched[0].id(), BlockId::new(3));
+/// # drop(store);
+/// # let _ = std::fs::remove_file(&path);
+/// # Ok::<(), oram_tree::TreeError>(())
+/// ```
+pub struct DiskStore {
+    file: File,
+    path: PathBuf,
+    geometry: TreeGeometry,
+    payload_capacity: u32,
+    durable_sync: bool,
+    /// Write-back buffer: flat slot index → pending slot image.
+    dirty: HashMap<u64, SlotRecord>,
+    /// Dirty-slot budget before an automatic (non-durable) spill.
+    dirty_limit: usize,
+    occupied: u64,
+    generation: u64,
+    /// First auto-spill failure, surfaced at the next `sync`.
+    pending_error: Option<TreeError>,
+}
+
+impl std::fmt::Debug for DiskStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskStore")
+            .field("path", &self.path)
+            .field("levels", &self.geometry.num_levels())
+            .field("total_slots", &self.geometry.total_slots())
+            .field("payload_capacity", &self.payload_capacity)
+            .field("occupied", &self.occupied)
+            .field("generation", &self.generation)
+            .field("dirty_slots", &self.dirty.len())
+            .finish()
+    }
+}
+
+fn io_err(context: &str, e: std::io::Error) -> TreeError {
+    TreeError::Io(format!("{context}: {e}"))
+}
+
+impl DiskStore {
+    /// Bytes one slot occupies on disk for a given payload capacity:
+    /// 8 bytes of metadata, plus `4 + payload_capacity` when payloads are
+    /// stored. The single source of truth for footprint estimates (the
+    /// serving engine's spill decisions size against this).
+    #[must_use]
+    pub fn slot_bytes_for(payload_capacity: u32) -> u64 {
+        if payload_capacity == 0 {
+            8
+        } else {
+            8 + 4 + u64::from(payload_capacity)
+        }
+    }
+
+    fn slot_bytes(&self) -> u64 {
+        Self::slot_bytes_for(self.payload_capacity)
+    }
+
+    /// Total bytes a store file occupies (logically — empty regions are
+    /// sparse) for a geometry and payload capacity.
+    #[must_use]
+    pub fn file_bytes_for(geometry: &TreeGeometry, payload_capacity: u32) -> u64 {
+        HEADER_LEN + geometry.total_slots() * Self::slot_bytes_for(payload_capacity)
+    }
+
+    fn slot_offset(&self, slot: u64) -> u64 {
+        HEADER_LEN + slot * self.slot_bytes()
+    }
+
+    /// Creates (or truncates) the backing file for an empty store.
+    ///
+    /// The file is sparse: empty slots are never materialised, so the
+    /// initial on-disk footprint is one header page regardless of the
+    /// tree size.
+    ///
+    /// # Errors
+    /// [`TreeError::Io`] on file-system failures.
+    pub fn create(
+        path: impl AsRef<Path>,
+        geometry: TreeGeometry,
+        config: DiskStoreConfig,
+    ) -> Result<Self, TreeError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err("create bucket-store file", e))?;
+        let total = Self::file_bytes_for(&geometry, config.payload_capacity);
+        file.set_len(total).map_err(|e| io_err("size bucket-store file", e))?;
+        let path_slots = geometry.path_slots().max(1) as usize;
+        let mut store = DiskStore {
+            file,
+            path,
+            geometry,
+            payload_capacity: config.payload_capacity,
+            durable_sync: config.durable_sync,
+            dirty: HashMap::new(),
+            dirty_limit: config.write_back_paths.max(1) * path_slots,
+            occupied: 0,
+            generation: 0,
+            pending_error: None,
+        };
+        store.write_header()?;
+        Ok(store)
+    }
+
+    /// Opens an existing store file, rebuilding the geometry from its
+    /// self-describing header.
+    ///
+    /// The tuning knobs of `config` (`write_back_paths`, `durable_sync`)
+    /// apply to the reopened store; its `payload_capacity` must match the
+    /// header's.
+    ///
+    /// # Errors
+    /// [`TreeError::Io`] on file-system failures;
+    /// [`TreeError::CorruptStore`] on bad magic/version or a payload
+    /// capacity mismatch.
+    pub fn open(path: impl AsRef<Path>, config: DiskStoreConfig) -> Result<Self, TreeError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err("open bucket-store file", e))?;
+        let mut header = vec![0u8; HEADER_LEN as usize];
+        file.read_exact_at(&mut header, 0).map_err(|e| io_err("read store header", e))?;
+        if &header[0..8] != MAGIC {
+            return Err(TreeError::CorruptStore("bad magic".into()));
+        }
+        let read_u32 = |at: usize| u32::from_le_bytes(header[at..at + 4].try_into().expect("4"));
+        let read_u64 = |at: usize| u64::from_le_bytes(header[at..at + 8].try_into().expect("8"));
+        if read_u32(8) != VERSION {
+            return Err(TreeError::CorruptStore(format!("unsupported version {}", read_u32(8))));
+        }
+        let payload_capacity = read_u32(12);
+        if payload_capacity != config.payload_capacity {
+            return Err(TreeError::CorruptStore(format!(
+                "payload capacity mismatch: file has {payload_capacity}, caller expects {}",
+                config.payload_capacity
+            )));
+        }
+        let generation = read_u64(16);
+        let occupied = read_u64(24);
+        let leaf_level = read_u32(32);
+        if leaf_level > crate::geometry::MAX_LEVELS {
+            return Err(TreeError::CorruptStore(format!("leaf level {leaf_level} out of range")));
+        }
+        let capacities: Vec<u32> =
+            (0..=leaf_level).map(|l| read_u32(40 + 4 * l as usize)).collect();
+        let geometry = TreeGeometry::with_levels(leaf_level, BucketProfile::Custom(capacities))
+            .map_err(|e| TreeError::CorruptStore(format!("header names invalid geometry: {e}")))?;
+        let expected_len = Self::file_bytes_for(&geometry, payload_capacity);
+        let actual_len = file.metadata().map_err(|e| io_err("stat bucket-store file", e))?.len();
+        if actual_len != expected_len {
+            return Err(TreeError::CorruptStore(format!(
+                "file is {actual_len} bytes but the header geometry implies {expected_len} \
+                 (truncated or mismatched copy?)"
+            )));
+        }
+        let path_slots = geometry.path_slots().max(1) as usize;
+        Ok(DiskStore {
+            file,
+            path,
+            geometry,
+            payload_capacity,
+            durable_sync: config.durable_sync,
+            dirty: HashMap::new(),
+            dirty_limit: config.write_back_paths.max(1) * path_slots,
+            occupied,
+            generation,
+            pending_error: None,
+        })
+    }
+
+    /// The backing file's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The generation counter: the number of completed sync points.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Slots currently pending in the write-back buffer.
+    #[must_use]
+    pub fn dirty_slots(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Maximum payload bytes one slot can hold (`0` = metadata-only).
+    #[must_use]
+    pub fn payload_capacity(&self) -> u32 {
+        self.payload_capacity
+    }
+
+    fn write_header(&mut self) -> Result<(), TreeError> {
+        let mut buf = vec![0u8; HEADER_LEN as usize];
+        buf[0..8].copy_from_slice(MAGIC);
+        buf[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.payload_capacity.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.generation.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.occupied.to_le_bytes());
+        buf[32..36].copy_from_slice(&self.geometry.leaf_level().to_le_bytes());
+        for level in 0..=self.geometry.leaf_level() {
+            let at = 40 + 4 * level as usize;
+            buf[at..at + 4].copy_from_slice(&self.geometry.bucket_capacity(level).to_le_bytes());
+        }
+        self.file.write_all_at(&buf, 0).map_err(|e| io_err("write store header", e))
+    }
+
+    /// Reads one slot's `(id + 1, leaf)` metadata, dirty-buffer first.
+    fn load_meta(&self, slot: u64) -> Result<(u32, u32), TreeError> {
+        if let Some(rec) = self.dirty.get(&slot) {
+            return Ok((rec.id_plus1, rec.leaf));
+        }
+        let mut buf = [0u8; 8];
+        self.file
+            .read_exact_at(&mut buf, self.slot_offset(slot))
+            .map_err(|e| io_err("read slot metadata", e))?;
+        Ok((
+            u32::from_le_bytes(buf[0..4].try_into().expect("4")),
+            u32::from_le_bytes(buf[4..8].try_into().expect("4")),
+        ))
+    }
+
+    /// Reads one whole slot, dirty-buffer first.
+    fn load_slot(&self, slot: u64) -> Result<SlotRecord, TreeError> {
+        if let Some(rec) = self.dirty.get(&slot) {
+            return Ok(rec.clone());
+        }
+        let mut buf = vec![0u8; self.slot_bytes() as usize];
+        self.file
+            .read_exact_at(&mut buf, self.slot_offset(slot))
+            .map_err(|e| io_err("read slot", e))?;
+        let id_plus1 = u32::from_le_bytes(buf[0..4].try_into().expect("4"));
+        let leaf = u32::from_le_bytes(buf[4..8].try_into().expect("4"));
+        let data = if self.payload_capacity > 0 {
+            let len_plus1 = u32::from_le_bytes(buf[8..12].try_into().expect("4"));
+            if len_plus1 == 0 {
+                None
+            } else {
+                let len = (len_plus1 - 1) as usize;
+                if len > self.payload_capacity as usize {
+                    return Err(TreeError::CorruptStore(format!(
+                        "slot {slot} claims a {len}-byte payload in a store with capacity {}",
+                        self.payload_capacity
+                    )));
+                }
+                Some(Box::from(&buf[12..12 + len]))
+            }
+        } else {
+            None
+        };
+        Ok(SlotRecord { id_plus1, leaf, data })
+    }
+
+    /// Queues one slot image in the write-back buffer.
+    fn store_slot(&mut self, slot: u64, rec: SlotRecord) {
+        if let Some(data) = &rec.data {
+            assert!(self.payload_capacity > 0, "payload block written into a metadata-only tree");
+            assert!(
+                data.len() <= self.payload_capacity as usize,
+                "payload of {} bytes exceeds the store's slot capacity of {}",
+                data.len(),
+                self.payload_capacity
+            );
+        }
+        self.dirty.insert(slot, rec);
+    }
+
+    /// Spills the write-back buffer when it exceeds its budget. I/O
+    /// failures are remembered (the data stays buffered) and surfaced at
+    /// the next [`sync`](Self::sync).
+    fn maybe_spill(&mut self) {
+        if self.dirty.len() > self.dirty_limit {
+            if let Err(e) = self.flush_dirty() {
+                if self.pending_error.is_none() {
+                    self.pending_error = Some(e);
+                }
+            }
+        }
+    }
+
+    /// Writes every buffered slot (and the current occupancy) to the
+    /// file, without a durability barrier and without advancing the
+    /// generation.
+    ///
+    /// # Errors
+    /// [`TreeError::Io`]; the buffer is preserved on failure.
+    pub fn flush_dirty(&mut self) -> Result<(), TreeError> {
+        if self.dirty.is_empty() {
+            return Ok(());
+        }
+        let slot_bytes = self.slot_bytes() as usize;
+        // Sorted order: adjacent dirty slots coalesce in the page cache.
+        let mut slots: Vec<u64> = self.dirty.keys().copied().collect();
+        slots.sort_unstable();
+        let mut buf = vec![0u8; slot_bytes];
+        for slot in slots {
+            let rec = &self.dirty[&slot];
+            buf.fill(0);
+            buf[0..4].copy_from_slice(&rec.id_plus1.to_le_bytes());
+            buf[4..8].copy_from_slice(&rec.leaf.to_le_bytes());
+            if self.payload_capacity > 0 {
+                match &rec.data {
+                    Some(d) => {
+                        buf[8..12].copy_from_slice(&(d.len() as u32 + 1).to_le_bytes());
+                        buf[12..12 + d.len()].copy_from_slice(d);
+                    }
+                    None => buf[8..12].copy_from_slice(&0u32.to_le_bytes()),
+                }
+            }
+            self.file
+                .write_all_at(&buf, self.slot_offset(slot))
+                .map_err(|e| io_err("write slot", e))?;
+        }
+        self.dirty.clear();
+        self.write_header()
+    }
+
+    fn bucket_slot_bounds(&self, level: u32, node_in_level: u64) -> std::ops::Range<u64> {
+        let range = self.geometry.bucket_slot_range(level, node_in_level);
+        range.start as u64..range.end as u64
+    }
+
+    fn rec_to_block(rec: SlotRecord) -> Block {
+        let id = BlockId::new(rec.id_plus1 - 1);
+        let leaf = LeafId::new(rec.leaf);
+        match rec.data {
+            Some(d) => Block::with_data(id, leaf, d),
+            None => Block::metadata_only(id, leaf),
+        }
+    }
+
+    fn block_to_rec(&self, block: &mut Block) -> SlotRecord {
+        let data = block.replace_data(None);
+        assert!(
+            data.is_none() || self.payload_capacity > 0,
+            "payload block written into a metadata-only tree"
+        );
+        SlotRecord { id_plus1: block.id().index() + 1, leaf: block.leaf().index(), data }
+    }
+}
+
+impl BucketStore for DiskStore {
+    fn geometry(&self) -> &TreeGeometry {
+        &self.geometry
+    }
+
+    fn payloads_enabled(&self) -> bool {
+        self.payload_capacity > 0
+    }
+
+    fn occupancy(&self) -> u64 {
+        self.occupied
+    }
+
+    fn read_path(&mut self, leaf: LeafId) -> Vec<Block> {
+        debug_assert!(self.geometry.check_leaf(leaf).is_ok(), "leaf {leaf} out of range");
+        let mut out = Vec::new();
+        for level in 0..=self.geometry.leaf_level() {
+            let node = self.geometry.path_node_in_level(leaf, level);
+            for slot in self.bucket_slot_bounds(level, node) {
+                let rec = self.load_slot(slot).expect("bucket-store read failed");
+                if rec.is_empty() {
+                    continue;
+                }
+                self.store_slot(slot, SlotRecord::EMPTY);
+                self.occupied -= 1;
+                out.push(Self::rec_to_block(rec));
+            }
+        }
+        self.maybe_spill();
+        out
+    }
+
+    fn write_path(&mut self, leaf: LeafId, candidates: &mut Vec<Block>) {
+        debug_assert!(self.geometry.check_leaf(leaf).is_ok(), "leaf {leaf} out of range");
+        if candidates.is_empty() {
+            return;
+        }
+        // Learn which path slots are free (one pass), then run the shared
+        // greedy planner against that snapshot.
+        let mut empties = std::collections::HashSet::new();
+        for level in 0..=self.geometry.leaf_level() {
+            let node = self.geometry.path_node_in_level(leaf, level);
+            for slot in self.bucket_slot_bounds(level, node) {
+                let (id_plus1, _) = self.load_meta(slot).expect("bucket-store read failed");
+                if id_plus1 == 0 {
+                    empties.insert(slot as usize);
+                }
+            }
+        }
+        let (placements, mut placed) =
+            plan_greedy_write_back(&self.geometry, leaf, candidates, |slot| {
+                empties.contains(&slot)
+            });
+        for (slot, idx) in placements {
+            let rec = self.block_to_rec(&mut candidates[idx]);
+            self.store_slot(slot as u64, rec);
+            self.occupied += 1;
+        }
+        compact_unplaced(candidates, &mut placed);
+        self.maybe_spill();
+    }
+
+    fn read_bucket(&mut self, level: u32, node_in_level: u64) -> Vec<Block> {
+        let mut out = Vec::new();
+        for slot in self.bucket_slot_bounds(level, node_in_level) {
+            let rec = self.load_slot(slot).expect("bucket-store read failed");
+            if rec.is_empty() {
+                continue;
+            }
+            self.store_slot(slot, SlotRecord::EMPTY);
+            self.occupied -= 1;
+            out.push(Self::rec_to_block(rec));
+        }
+        self.maybe_spill();
+        out
+    }
+
+    fn write_bucket(&mut self, level: u32, node_in_level: u64, blocks: Vec<Block>) -> Vec<Block> {
+        let mut blocks = blocks.into_iter();
+        let mut leftover = Vec::new();
+        for slot in self.bucket_slot_bounds(level, node_in_level) {
+            let (id_plus1, _) = self.load_meta(slot).expect("bucket-store read failed");
+            if id_plus1 != 0 {
+                continue;
+            }
+            let Some(mut block) = blocks.next() else { break };
+            let rec = self.block_to_rec(&mut block);
+            self.store_slot(slot, rec);
+            self.occupied += 1;
+        }
+        leftover.extend(blocks);
+        self.maybe_spill();
+        leftover
+    }
+
+    fn place_for_init(&mut self, block: Block) -> Result<Option<Block>, TreeError> {
+        self.geometry.check_leaf(block.leaf())?;
+        let mut io_failure = None;
+        let slot = plan_place_for_init(&self.geometry, block.leaf(), |slot| {
+            match self.load_meta(slot as u64) {
+                Ok((id_plus1, _)) => id_plus1 == 0,
+                Err(e) => {
+                    io_failure.get_or_insert(e);
+                    false
+                }
+            }
+        });
+        if let Some(e) = io_failure {
+            return Err(e);
+        }
+        match slot {
+            Some(slot) => {
+                let mut block = block;
+                let rec = self.block_to_rec(&mut block);
+                self.store_slot(slot as u64, rec);
+                self.occupied += 1;
+                self.maybe_spill();
+                Ok(None)
+            }
+            None => Ok(Some(block)),
+        }
+    }
+
+    fn snapshot_path(&self, leaf: LeafId) -> Result<PathSnapshot, TreeError> {
+        self.geometry.check_leaf(leaf)?;
+        let mut blocks = Vec::new();
+        for level in 0..=self.geometry.leaf_level() {
+            let node = self.geometry.path_node_in_level(leaf, level);
+            for slot in self.bucket_slot_bounds(level, node) {
+                let (id_plus1, leaf) = self.load_meta(slot)?;
+                if id_plus1 != 0 {
+                    blocks.push((BlockId::new(id_plus1 - 1), LeafId::new(leaf)));
+                }
+            }
+        }
+        Ok(PathSnapshot { leaf, blocks, slot_count: self.geometry.path_slots() })
+    }
+
+    fn collect_blocks(&self) -> Vec<(BlockId, LeafId)> {
+        let mut out = Vec::new();
+        for slot in 0..self.geometry.total_slots() {
+            let (id_plus1, leaf) = self.load_meta(slot).expect("bucket-store read failed");
+            if id_plus1 != 0 {
+                out.push((BlockId::new(id_plus1 - 1), LeafId::new(leaf)));
+            }
+        }
+        out
+    }
+
+    fn occupancy_by_level(&self) -> Vec<(u32, u64, u64)> {
+        let mut out = Vec::new();
+        for level in 0..=self.geometry.leaf_level() {
+            let cap = u64::from(self.geometry.bucket_capacity(level));
+            let nodes = 1u64 << level;
+            let mut used = 0;
+            for node in 0..nodes {
+                for slot in self.bucket_slot_bounds(level, node) {
+                    let (id_plus1, _) = self.load_meta(slot).expect("bucket-store read failed");
+                    if id_plus1 != 0 {
+                        used += 1;
+                    }
+                }
+            }
+            out.push((level, used, cap * nodes));
+        }
+        out
+    }
+
+    fn verify_consistency(&self, num_blocks: u64) -> Result<(), String> {
+        let mut seen = vec![false; num_blocks as usize];
+        for level in 0..=self.geometry.leaf_level() {
+            for node in 0..(1u64 << level) {
+                for slot in self.bucket_slot_bounds(level, node) {
+                    let (id_plus1, leaf) = self.load_meta(slot).map_err(|e| e.to_string())?;
+                    if id_plus1 == 0 {
+                        continue;
+                    }
+                    let id = u64::from(id_plus1 - 1);
+                    if id >= num_blocks {
+                        return Err(format!("slot {slot} holds out-of-range block {id}"));
+                    }
+                    if seen[id as usize] {
+                        return Err(format!("block {id} stored twice"));
+                    }
+                    seen[id as usize] = true;
+                    let leaf = LeafId::new(leaf);
+                    if self.geometry.check_leaf(leaf).is_err() {
+                        return Err(format!("block {id} assigned invalid leaf {leaf}"));
+                    }
+                    if self.geometry.path_node_in_level(leaf, level) != node {
+                        return Err(format!(
+                            "block {id} at level {level} node {node} not on path to leaf {leaf}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn clear(&mut self) {
+        self.dirty.clear();
+        self.pending_error = None;
+        self.occupied = 0;
+        // Re-sparsify the slot region: truncate, then restore the length.
+        let total = HEADER_LEN + self.geometry.total_slots() * self.slot_bytes();
+        self.file.set_len(HEADER_LEN).expect("truncate bucket-store file");
+        self.file.set_len(total).expect("size bucket-store file");
+        self.write_header().expect("rewrite bucket-store header");
+    }
+
+    fn sync(&mut self) -> Result<(), TreeError> {
+        if let Some(e) = self.pending_error.take() {
+            // A prior auto-spill failed; retry it as part of this sync.
+            self.flush_dirty().map_err(|_| e)?;
+        } else {
+            self.flush_dirty()?;
+        }
+        if self.durable_sync {
+            self.file.sync_data().map_err(|e| io_err("fsync slot data", e))?;
+        }
+        self.generation += 1;
+        self.write_header()?;
+        if self.durable_sync {
+            self.file.sync_data().map_err(|e| io_err("fsync store header", e))?;
+        }
+        let _ = self.file.flush();
+        Ok(())
+    }
+}
+
+impl Drop for DiskStore {
+    fn drop(&mut self) {
+        // Best-effort spill so a dropped store loses at most what a crash
+        // would lose anyway; errors are unreportable here.
+        let _ = self.flush_dirty();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeStorage;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("laoram-disk-test-{}-{name}.oram", std::process::id()))
+    }
+
+    fn uniform(levels: u32, cap: u32) -> TreeGeometry {
+        TreeGeometry::with_levels(levels, BucketProfile::Uniform { capacity: cap }).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let path = tmp("roundtrip");
+        let mut s = DiskStore::create(&path, uniform(3, 4), DiskStoreConfig::new()).unwrap();
+        let leaf = LeafId::new(5);
+        let mut blocks: Vec<Block> =
+            (0..3).map(|i| Block::metadata_only(BlockId::new(i), leaf)).collect();
+        s.write_path(leaf, &mut blocks);
+        assert!(blocks.is_empty());
+        assert_eq!(s.occupancy(), 3);
+        let mut fetched = s.read_path(leaf);
+        fetched.sort_by_key(Block::id);
+        let ids: Vec<u32> = fetched.iter().map(|b| b.id().index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(s.occupancy(), 0);
+        drop(s);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn payloads_roundtrip_including_empty() {
+        let path = tmp("payloads");
+        let cfg = DiskStoreConfig::new().payload_capacity(16);
+        let mut s = DiskStore::create(&path, uniform(3, 2), cfg).unwrap();
+        let leaf = LeafId::new(2);
+        let mut blocks = vec![
+            Block::with_data(BlockId::new(4), leaf, vec![0xAB; 16].into()),
+            Block::with_data(BlockId::new(5), leaf, Vec::new().into()),
+            Block::metadata_only(BlockId::new(6), leaf),
+        ];
+        s.write_path(leaf, &mut blocks);
+        s.sync().unwrap();
+        let mut fetched = s.read_path(leaf);
+        fetched.sort_by_key(Block::id);
+        assert_eq!(fetched[0].data(), Some(&[0xAB; 16][..]));
+        assert_eq!(fetched[1].data(), Some(&[][..]), "zero-length payloads stay Some");
+        assert_eq!(fetched[2].data(), None);
+        drop(s);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the store's slot capacity")]
+    fn oversized_payload_rejected() {
+        let path = tmp("oversize");
+        let cfg = DiskStoreConfig::new().payload_capacity(4);
+        let mut s = DiskStore::create(&path, uniform(2, 2), cfg).unwrap();
+        let mut blocks = vec![Block::with_data(BlockId::new(0), LeafId::new(0), vec![0; 5].into())];
+        s.write_path(LeafId::new(0), &mut blocks);
+    }
+
+    #[test]
+    #[should_panic(expected = "metadata-only")]
+    fn metadata_only_store_rejects_payloads() {
+        let path = tmp("meta-only");
+        let mut s = DiskStore::create(&path, uniform(2, 2), DiskStoreConfig::new()).unwrap();
+        let mut blocks = vec![Block::with_data(BlockId::new(0), LeafId::new(0), vec![1].into())];
+        s.write_path(LeafId::new(0), &mut blocks);
+    }
+
+    #[test]
+    fn sync_then_reopen_preserves_state_and_generation() {
+        let path = tmp("reopen");
+        let cfg = DiskStoreConfig::new().payload_capacity(8);
+        let mut s = DiskStore::create(&path, uniform(3, 2), cfg.clone()).unwrap();
+        for i in 0..4u32 {
+            s.place_for_init(Block::with_data(
+                BlockId::new(i),
+                LeafId::new(i),
+                vec![i as u8; 3].into(),
+            ))
+            .unwrap();
+        }
+        s.sync().unwrap();
+        s.sync().unwrap();
+        assert_eq!(s.generation(), 2);
+        drop(s);
+
+        let mut reopened = DiskStore::open(&path, cfg).unwrap();
+        assert_eq!(reopened.generation(), 2);
+        assert_eq!(reopened.occupancy(), 4);
+        reopened.verify_consistency(4).unwrap();
+        let fetched = reopened.read_path(LeafId::new(1));
+        assert!(fetched
+            .iter()
+            .any(|b| b.id() == BlockId::new(1) && b.data() == Some(&[1u8; 3][..])));
+        drop(reopened);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_rejects_mismatched_payload_capacity_and_bad_magic() {
+        let path = tmp("mismatch");
+        let s = DiskStore::create(&path, uniform(2, 2), DiskStoreConfig::new().payload_capacity(8))
+            .unwrap();
+        drop(s);
+        let err = DiskStore::open(&path, DiskStoreConfig::new().payload_capacity(4)).unwrap_err();
+        assert!(matches!(err, TreeError::CorruptStore(_)));
+        std::fs::write(&path, b"garbage").unwrap();
+        // Too-short files fail the header read; corrupt-but-long files
+        // fail the magic check. Both must refuse to open.
+        assert!(DiskStore::open(&path, DiskStoreConfig::new()).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_back_buffer_spills_at_budget() {
+        let path = tmp("spill");
+        // 1-path budget on a 3-level tree: several write-backs must spill.
+        let cfg = DiskStoreConfig::new().write_back_paths(1);
+        let mut s = DiskStore::create(&path, uniform(3, 4), cfg).unwrap();
+        for leaf in 0..8u32 {
+            let mut blocks = vec![Block::metadata_only(BlockId::new(leaf), LeafId::new(leaf))];
+            s.write_path(LeafId::new(leaf), &mut blocks);
+        }
+        assert!(
+            s.dirty_slots() <= s.geometry().path_slots() as usize + 1,
+            "buffer of {} slots never spilled",
+            s.dirty_slots()
+        );
+        s.verify_consistency(8).unwrap();
+        drop(s);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn clear_empties_file_and_buffer() {
+        let path = tmp("clear");
+        let mut s = DiskStore::create(&path, uniform(3, 2), DiskStoreConfig::new()).unwrap();
+        let mut blocks: Vec<Block> =
+            (0..4).map(|i| Block::metadata_only(BlockId::new(i), LeafId::new(i))).collect();
+        for leaf in 0..4u32 {
+            let mut one = vec![blocks.remove(0)];
+            s.write_path(LeafId::new(leaf), &mut one);
+        }
+        s.sync().unwrap();
+        s.clear();
+        assert_eq!(s.occupancy(), 0);
+        assert_eq!(s.dirty_slots(), 0);
+        assert!(s.collect_blocks().is_empty());
+        drop(s);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bucket_ops_match_memory_backend() {
+        let path = tmp("buckets");
+        let g = uniform(2, 2);
+        let mut disk = DiskStore::create(&path, g.clone(), DiskStoreConfig::new()).unwrap();
+        let mut mem = TreeStorage::metadata_only(g);
+        for store in [&mut disk as &mut dyn BucketStore, &mut mem as &mut dyn BucketStore] {
+            let leftover = store.write_bucket(
+                1,
+                1,
+                vec![
+                    Block::metadata_only(BlockId::new(0), LeafId::new(2)),
+                    Block::metadata_only(BlockId::new(1), LeafId::new(3)),
+                    Block::metadata_only(BlockId::new(2), LeafId::new(2)),
+                ],
+            );
+            assert_eq!(leftover.len(), 1, "bucket of 2 slots holds 2 of 3");
+            assert_eq!(leftover[0].id(), BlockId::new(2));
+        }
+        let d: Vec<_> = disk.read_bucket(1, 1).iter().map(Block::id).collect();
+        let m: Vec<_> = mem.read_bucket(1, 1).iter().map(Block::id).collect();
+        assert_eq!(d, m, "slot order identical across backends");
+        drop(disk);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The decisive equivalence check at the storage layer: a random
+    /// operation sequence drives both backends into identical states.
+    #[test]
+    fn random_ops_equivalent_to_tree_storage() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let path = tmp("equiv");
+        let g = uniform(4, 2);
+        let cfg = DiskStoreConfig::new().payload_capacity(4).write_back_paths(1);
+        let mut disk = DiskStore::create(&path, g.clone(), cfg).unwrap();
+        let mut mem = TreeStorage::new(g.clone());
+        let mut rng = StdRng::seed_from_u64(0xD15C);
+        let leaves = g.num_leaves() as u32;
+        let mut next_id = 0u32;
+        for round in 0..200 {
+            let leaf = LeafId::new(rng.random_range(0..leaves));
+            if rng.random_range(0..3u32) == 0 {
+                let a = disk.read_path(leaf);
+                let b = mem.read_path(leaf);
+                assert_eq!(a, b, "round {round}: destructive reads diverged");
+            } else {
+                let n = rng.random_range(1..4u32);
+                let mut batch_a = Vec::new();
+                for _ in 0..n {
+                    let id = BlockId::new(next_id % 1000);
+                    next_id += 1;
+                    let assigned = LeafId::new(rng.random_range(0..leaves));
+                    let block = if rng.random_range(0..2u32) == 0 {
+                        Block::with_data(id, assigned, vec![id.index() as u8; 3].into())
+                    } else {
+                        Block::metadata_only(id, assigned)
+                    };
+                    batch_a.push(block);
+                }
+                let mut batch_b = batch_a.clone();
+                disk.write_path(leaf, &mut batch_a);
+                mem.write_path(leaf, &mut batch_b);
+                assert_eq!(batch_a, batch_b, "round {round}: leftovers diverged");
+            }
+            if round % 17 == 0 {
+                disk.sync().unwrap();
+            }
+            assert_eq!(disk.occupancy(), mem.occupancy(), "round {round}");
+        }
+        let mut a = disk.collect_blocks();
+        let mut b = mem.collect_blocks();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "final states diverged");
+        drop(disk);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -37,6 +37,11 @@ pub enum TreeError {
         /// Requested leaf level.
         levels: u32,
     },
+    /// A disk-backed store failed to read or write its backing file.
+    Io(String),
+    /// A disk-backed store's on-disk header did not match what the caller
+    /// expected (wrong magic, version, geometry, or payload capacity).
+    CorruptStore(String),
 }
 
 impl fmt::Display for TreeError {
@@ -55,6 +60,8 @@ impl fmt::Display for TreeError {
             TreeError::TooManyLevels { levels } => {
                 write!(f, "leaf level {levels} exceeds the supported maximum of 30")
             }
+            TreeError::Io(msg) => write!(f, "bucket store i/o failed: {msg}"),
+            TreeError::CorruptStore(msg) => write!(f, "bucket store rejected: {msg}"),
         }
     }
 }

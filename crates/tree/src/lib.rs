@@ -12,6 +12,13 @@
 //! position map): it exposes path-granularity reads and greedy path
 //! write-back, which the [`oram-protocol`] crate drives.
 //!
+//! Storage is **pluggable** behind the [`BucketStore`] trait: the
+//! in-memory [`TreeStorage`] is the default backend, and the file-backed
+//! [`DiskStore`] serves trees larger than RAM with a write-back buffer
+//! and explicit [`sync`](BucketStore::sync) durability points. Protocol
+//! clients are generic over the backend (defaulting to `TreeStorage`),
+//! and serving engines pick one at runtime through [`DynBucketStore`].
+//!
 //! # Example
 //!
 //! ```
@@ -38,16 +45,20 @@
 #![warn(missing_docs)]
 
 mod block;
+mod disk;
 mod error;
 mod geometry;
 mod sealing;
 mod storage;
+mod store;
 
 pub use block::{Block, BlockId, LeafId};
+pub use disk::{DiskStore, DiskStoreConfig};
 pub use error::TreeError;
 pub use geometry::{BucketProfile, TreeGeometry};
 pub use sealing::{BlockSealer, NONCE_BYTES};
 pub use storage::{PathSnapshot, TreeStorage};
+pub use store::{BucketStore, DynBucketStore};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, TreeError>;

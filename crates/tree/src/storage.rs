@@ -5,7 +5,8 @@
 //! configurations of the paper within a laptop's memory when run
 //! metadata-only.
 
-use crate::{Block, BlockId, LeafId, TreeError, TreeGeometry};
+use crate::store::{compact_unplaced, plan_greedy_write_back, plan_place_for_init};
+use crate::{Block, BlockId, BucketStore, LeafId, TreeError, TreeGeometry};
 
 /// One slot's metadata. `id == BlockId::EMPTY_RAW` marks an empty (dummy)
 /// slot; dummies are never materialised as `Block` values.
@@ -25,8 +26,25 @@ impl SlotMeta {
 
 /// Non-destructive view of the real blocks currently stored on one path.
 ///
-/// Produced by [`TreeStorage::snapshot_path`]; used by tests, the security
-/// audit, and debugging tools.
+/// Produced by [`TreeStorage::snapshot_path`] (and any other
+/// [`BucketStore`]); used by tests, the security audit, and debugging
+/// tools.
+///
+/// # Example
+/// ```
+/// use oram_tree::{Block, BlockId, BucketProfile, LeafId, TreeGeometry, TreeStorage};
+///
+/// let geometry = TreeGeometry::with_levels(3, BucketProfile::Uniform { capacity: 4 })?;
+/// let mut storage = TreeStorage::new(geometry);
+/// let mut blocks = vec![Block::metadata_only(BlockId::new(9), LeafId::new(5))];
+/// storage.write_path(LeafId::new(5), &mut blocks);
+///
+/// let snapshot = storage.snapshot_path(LeafId::new(5))?;
+/// assert_eq!(snapshot.real_count(), 1);
+/// assert_eq!(snapshot.blocks[0], (BlockId::new(9), LeafId::new(5)));
+/// assert_eq!(snapshot.slot_count, 4 * 4); // four levels of Z = 4 buckets
+/// # Ok::<(), oram_tree::TreeError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct PathSnapshot {
     /// The inspected path.
@@ -46,12 +64,35 @@ impl PathSnapshot {
     }
 }
 
-/// The server-side ORAM tree: a flat, bucketised slot array.
+/// The server-side ORAM tree: a flat, bucketised slot array in memory.
 ///
+/// This is the canonical (and default) [`BucketStore`] implementation.
 /// Two construction modes exist: [`TreeStorage::new`] keeps a parallel
 /// payload array so blocks can carry bytes, while
 /// [`TreeStorage::metadata_only`] stores only `(id, leaf)` pairs — the mode
 /// used for the paper-scale simulations where only access *counts* matter.
+/// For tables whose tree does not fit in RAM, the file-backed
+/// [`DiskStore`](crate::DiskStore) offers the same interface.
+///
+/// # Example
+/// ```
+/// use oram_tree::{Block, BlockId, BucketProfile, LeafId, TreeGeometry, TreeStorage};
+///
+/// let geometry = TreeGeometry::with_levels(3, BucketProfile::Uniform { capacity: 4 })?;
+/// let mut storage = TreeStorage::new(geometry);
+///
+/// // Write a block onto a path, then destructively read the path back.
+/// let mut blocks = vec![Block::with_data(BlockId::new(7), LeafId::new(2), vec![1, 2].into())];
+/// storage.write_path(LeafId::new(2), &mut blocks);
+/// assert!(blocks.is_empty(), "the block found a slot");
+/// assert_eq!(storage.occupancy(), 1);
+///
+/// let fetched = storage.read_path(LeafId::new(2));
+/// assert_eq!(fetched.len(), 1);
+/// assert_eq!(fetched[0].data(), Some(&[1u8, 2][..]));
+/// assert_eq!(storage.occupancy(), 0, "path reads are destructive");
+/// # Ok::<(), oram_tree::TreeError>(())
+/// ```
 pub struct TreeStorage {
     geometry: TreeGeometry,
     meta: Vec<SlotMeta>,
@@ -169,68 +210,75 @@ impl TreeStorage {
         if candidates.is_empty() {
             return;
         }
-        let leaf_level = self.geometry.leaf_level() as usize;
-        // Bucket the candidate indices by their common depth with `leaf`:
-        // a block assigned to leaf l' may live at any level <= cd(l, l').
-        let mut by_depth: Vec<Vec<usize>> = vec![Vec::new(); leaf_level + 1];
-        for (idx, block) in candidates.iter().enumerate() {
-            debug_assert!(self.geometry.check_leaf(block.leaf()).is_ok());
-            let cd = self.geometry.common_depth(leaf, block.leaf()) as usize;
-            by_depth[cd].push(idx);
+        let meta = &self.meta;
+        let (placements, mut placed) =
+            plan_greedy_write_back(&self.geometry, leaf, candidates, |slot| meta[slot].is_empty());
+        for (slot, idx) in placements {
+            self.fill_slot(slot, &mut candidates[idx]);
         }
-        let mut placed = vec![false; candidates.len()];
-        // `pool_level` walks from the deepest group downwards as groups drain.
-        let mut pool_level = leaf_level;
-        for level in (0..=leaf_level).rev() {
-            if pool_level < level {
-                pool_level = level;
-            }
-            let node = self.geometry.path_node_in_level(leaf, level as u32);
-            for slot in self.geometry.bucket_slot_range(level as u32, node) {
-                if !self.meta[slot].is_empty() {
-                    continue;
-                }
-                // Find the next candidate eligible at this level (cd >= level),
-                // preferring deeper groups so leaf-bound blocks sink first.
-                let candidate = loop {
-                    if pool_level < level {
-                        break None;
-                    }
-                    match by_depth[pool_level].pop() {
-                        Some(idx) => break Some(idx),
-                        None => {
-                            if pool_level == level {
-                                break None;
-                            }
-                            pool_level -= 1;
-                        }
-                    }
-                };
-                let Some(idx) = candidate else { break };
-                let block = &mut candidates[idx];
-                let data = block.replace_data(None);
-                assert!(
-                    data.is_none() || self.payloads_enabled,
-                    "payload block written into a metadata-only tree"
-                );
-                self.meta[slot] = SlotMeta { id: block.id().index(), leaf: block.leaf().index() };
-                if self.payloads_enabled {
-                    self.data[slot] = data;
-                }
-                self.occupied += 1;
-                placed[idx] = true;
-            }
+        compact_unplaced(candidates, &mut placed);
+    }
+
+    /// Stores `block` into the (empty) slot, moving its payload out.
+    ///
+    /// # Panics
+    /// Panics if the block carries a payload and the tree is
+    /// metadata-only.
+    fn fill_slot(&mut self, slot: usize, block: &mut Block) {
+        let data = block.replace_data(None);
+        assert!(
+            data.is_none() || self.payloads_enabled,
+            "payload block written into a metadata-only tree"
+        );
+        self.meta[slot] = SlotMeta { id: block.id().index(), leaf: block.leaf().index() };
+        if self.payloads_enabled {
+            self.data[slot] = data;
         }
-        // Compact the unplaced candidates back into the vector.
-        let mut keep = 0;
-        for idx in 0..placed.len() {
-            if !placed[idx] {
-                candidates.swap(keep, idx);
-                placed.swap(keep, idx);
-                keep += 1;
+        self.occupied += 1;
+    }
+
+    /// Removes and returns every real block in one bucket, in slot order.
+    pub fn read_bucket(&mut self, level: u32, node_in_level: u64) -> Vec<Block> {
+        let mut out = Vec::new();
+        for slot in self.geometry.bucket_slot_range(level, node_in_level) {
+            let m = self.meta[slot];
+            if m.is_empty() {
+                continue;
             }
+            self.meta[slot] = SlotMeta::EMPTY;
+            self.occupied -= 1;
+            let data = if self.payloads_enabled { self.data[slot].take() } else { None };
+            let id = BlockId::new(m.id);
+            let assigned = LeafId::new(m.leaf);
+            out.push(match data {
+                Some(d) => Block::with_data(id, assigned, d),
+                None => Block::metadata_only(id, assigned),
+            });
         }
-        candidates.truncate(keep);
+        out
+    }
+
+    /// Places `blocks` into one bucket's empty slots in order, returning
+    /// the blocks that did not fit.
+    ///
+    /// # Panics
+    /// Panics if a payload-carrying block is written into a metadata-only
+    /// tree.
+    pub fn write_bucket(
+        &mut self,
+        level: u32,
+        node_in_level: u64,
+        blocks: Vec<Block>,
+    ) -> Vec<Block> {
+        let mut blocks = blocks.into_iter();
+        for slot in self.geometry.bucket_slot_range(level, node_in_level) {
+            if !self.meta[slot].is_empty() {
+                continue;
+            }
+            let Some(mut block) = blocks.next() else { return Vec::new() };
+            self.fill_slot(slot, &mut block);
+        }
+        blocks.collect()
     }
 
     /// Places one block anywhere on the path to *its own* assigned leaf,
@@ -241,28 +289,15 @@ impl TreeStorage {
     /// Returns [`TreeError::LeafOutOfRange`] if the block's leaf is invalid.
     pub fn place_for_init(&mut self, block: Block) -> Result<Option<Block>, TreeError> {
         self.geometry.check_leaf(block.leaf())?;
-        let leaf = block.leaf();
-        for level in (0..=self.geometry.leaf_level()).rev() {
-            let node = self.geometry.path_node_in_level(leaf, level);
-            for slot in self.geometry.bucket_slot_range(level, node) {
-                if self.meta[slot].is_empty() {
-                    let mut block = block;
-                    let data = block.replace_data(None);
-                    assert!(
-                        data.is_none() || self.payloads_enabled,
-                        "payload block written into a metadata-only tree"
-                    );
-                    self.meta[slot] =
-                        SlotMeta { id: block.id().index(), leaf: block.leaf().index() };
-                    if self.payloads_enabled {
-                        self.data[slot] = data;
-                    }
-                    self.occupied += 1;
-                    return Ok(None);
-                }
+        let meta = &self.meta;
+        match plan_place_for_init(&self.geometry, block.leaf(), |slot| meta[slot].is_empty()) {
+            Some(slot) => {
+                let mut block = block;
+                self.fill_slot(slot, &mut block);
+                Ok(None)
             }
+            None => Ok(Some(block)),
         }
-        Ok(Some(block))
     }
 
     /// Non-destructively lists the real blocks on a path.
@@ -345,6 +380,58 @@ impl TreeStorage {
             *d = None;
         }
         self.occupied = 0;
+    }
+
+    /// Every stored block as `(id, assigned leaf)` pairs, in level order.
+    #[must_use]
+    pub fn collect_blocks(&self) -> Vec<(BlockId, LeafId)> {
+        self.meta
+            .iter()
+            .filter(|m| !m.is_empty())
+            .map(|m| (BlockId::new(m.id), LeafId::new(m.leaf)))
+            .collect()
+    }
+}
+
+impl BucketStore for TreeStorage {
+    fn geometry(&self) -> &TreeGeometry {
+        TreeStorage::geometry(self)
+    }
+    fn payloads_enabled(&self) -> bool {
+        TreeStorage::payloads_enabled(self)
+    }
+    fn occupancy(&self) -> u64 {
+        TreeStorage::occupancy(self)
+    }
+    fn read_path(&mut self, leaf: LeafId) -> Vec<Block> {
+        TreeStorage::read_path(self, leaf)
+    }
+    fn write_path(&mut self, leaf: LeafId, candidates: &mut Vec<Block>) {
+        TreeStorage::write_path(self, leaf, candidates);
+    }
+    fn read_bucket(&mut self, level: u32, node_in_level: u64) -> Vec<Block> {
+        TreeStorage::read_bucket(self, level, node_in_level)
+    }
+    fn write_bucket(&mut self, level: u32, node_in_level: u64, blocks: Vec<Block>) -> Vec<Block> {
+        TreeStorage::write_bucket(self, level, node_in_level, blocks)
+    }
+    fn place_for_init(&mut self, block: Block) -> Result<Option<Block>, TreeError> {
+        TreeStorage::place_for_init(self, block)
+    }
+    fn snapshot_path(&self, leaf: LeafId) -> Result<PathSnapshot, TreeError> {
+        TreeStorage::snapshot_path(self, leaf)
+    }
+    fn collect_blocks(&self) -> Vec<(BlockId, LeafId)> {
+        TreeStorage::collect_blocks(self)
+    }
+    fn occupancy_by_level(&self) -> Vec<(u32, u64, u64)> {
+        TreeStorage::occupancy_by_level(self)
+    }
+    fn verify_consistency(&self, num_blocks: u64) -> Result<(), String> {
+        TreeStorage::verify_consistency(self, num_blocks)
+    }
+    fn clear(&mut self) {
+        TreeStorage::clear(self);
     }
 }
 

@@ -1,0 +1,308 @@
+//! The pluggable bucket-storage boundary.
+//!
+//! [`BucketStore`] is the server-side storage contract every ORAM protocol
+//! client in this workspace is written against. The canonical in-memory
+//! implementation is [`TreeStorage`](crate::TreeStorage); the file-backed
+//! [`DiskStore`](crate::DiskStore) serves tables larger than RAM behind the
+//! same interface. Protocol clients take the store as a type parameter
+//! defaulting to `TreeStorage`, so single-machine simulations pay no
+//! dynamic dispatch while serving engines can select a backend at runtime
+//! through [`DynBucketStore`].
+//!
+//! # Why the boundary sits here
+//!
+//! Everything *above* this trait is client state (stash, position map,
+//! superblock plans); everything *below* it is what the paper's host-side
+//! threat model hands to the untrusted server: an array of fixed-capacity
+//! buckets addressed by `(level, node)`. The trait therefore exposes
+//! exactly the operations the server performs on the client's behalf —
+//! whole-path reads and write-backs, bucket-granular reads for Ring-style
+//! protocols, and bulk initialisation — and nothing protocol-specific.
+
+use crate::{Block, LeafId, PathSnapshot, TreeError, TreeGeometry};
+
+/// Server-side bucket storage for tree-based ORAM protocols.
+///
+/// # Contract
+///
+/// Implementations model a complete binary tree of buckets whose shape is
+/// fixed at construction time by a [`TreeGeometry`]. All implementations
+/// must agree on the observable semantics below; the backend-equivalence
+/// property tests in the workspace assert that a trace produces **bit-
+/// identical responses and identical server-visible access sequences** on
+/// every backend.
+///
+/// ## Ordering
+///
+/// * [`read_path`](Self::read_path) visits buckets root → leaf and slots
+///   in ascending index order within each bucket, returning the real
+///   blocks in that visit order. Protocol-layer determinism (and therefore
+///   cross-backend equivalence) depends on this order.
+/// * [`write_path`](Self::write_path) uses the greedy deepest-first Path
+///   ORAM eviction rule, implemented once in this crate and shared by all
+///   backends so placement decisions cannot diverge.
+/// * [`read_bucket`](Self::read_bucket) /
+///   [`write_bucket`](Self::write_bucket) likewise preserve slot order.
+///
+/// ## Durability
+///
+/// Mutating operations may buffer writes client-side (a write-back
+/// buffer); [`sync`](Self::sync) is the only durability point. After a
+/// successful `sync`, a store reopened from its backing medium must
+/// reflect every operation issued before the `sync`. In-memory stores
+/// treat `sync` as a no-op. Callers that need crash consistency (the
+/// look-ahead client syncs at superblock boundaries) must not assume
+/// anything about state *between* sync points.
+///
+/// ## Obliviousness
+///
+/// The trait itself guarantees nothing about access-pattern privacy —
+/// that is the protocol layer's job, and it holds for any conforming
+/// backend because the adversary-visible request sequence (which paths
+/// are read and written) is generated *above* this boundary. What a
+/// backend does add is a **transport caveat**: a disk-backed store turns
+/// bucket accesses into file I/O that the operating system, hypervisor,
+/// and storage device can observe. Since the protocol only ever requests
+/// uniformly random paths, this reveals no more than the in-memory bus
+/// traffic the paper's threat model already concedes — but deployments
+/// must place the backing file on storage within the trust boundary they
+/// are defending (see the serving crate's security notes).
+pub trait BucketStore {
+    /// The tree shape this store was built with.
+    fn geometry(&self) -> &TreeGeometry;
+
+    /// Whether blocks in this store may carry payload bytes.
+    fn payloads_enabled(&self) -> bool;
+
+    /// Number of real blocks currently stored.
+    fn occupancy(&self) -> u64;
+
+    /// Removes and returns every real block on the path to `leaf`, root
+    /// first (see the ordering contract above). All touched slots become
+    /// dummies.
+    ///
+    /// # Panics
+    /// May panic (checked in debug builds) if `leaf` is out of range;
+    /// callers validate leaves at the protocol boundary. The infallible
+    /// read-side signatures (`read_path`, `read_bucket`,
+    /// `collect_blocks`, `occupancy_by_level`) mirror the in-memory
+    /// store, so backends whose reads can genuinely fail (disk I/O)
+    /// panic on unrecoverable backing-medium errors — a failed read has
+    /// no data to return and no deferred-error channel, unlike writes,
+    /// which buffer and surface failures at [`sync`](Self::sync).
+    fn read_path(&mut self, leaf: LeafId) -> Vec<Block>;
+
+    /// Greedily writes blocks from `candidates` back onto the path to
+    /// `leaf`, deepest eligible bucket first (the classic Path ORAM
+    /// eviction rule). Placed blocks are removed from `candidates`;
+    /// whatever remains must stay in the caller's stash. The relative
+    /// order of the remaining candidates is not preserved, but is
+    /// identical across backends.
+    ///
+    /// # Panics
+    /// May panic (debug) for out-of-range leaves, and always panics if a
+    /// payload-carrying block is written into a store without payload
+    /// storage.
+    fn write_path(&mut self, leaf: LeafId, candidates: &mut Vec<Block>);
+
+    /// Removes and returns every real block in the bucket at
+    /// (`level`, `node_in_level`), in slot order. Ring-style protocols
+    /// use this for slot-granular bucket maintenance.
+    fn read_bucket(&mut self, level: u32, node_in_level: u64) -> Vec<Block>;
+
+    /// Places `blocks` into the empty slots of the bucket at
+    /// (`level`, `node_in_level`), in order, returning the blocks that
+    /// did not fit.
+    ///
+    /// # Panics
+    /// Panics if a payload-carrying block is written into a store without
+    /// payload storage.
+    fn write_bucket(&mut self, level: u32, node_in_level: u64, blocks: Vec<Block>) -> Vec<Block>;
+
+    /// Places one block anywhere on the path to *its own* assigned leaf,
+    /// deepest empty slot first (warm-start initialisation). Returns the
+    /// block if the whole path is full.
+    ///
+    /// # Errors
+    /// Returns [`TreeError::LeafOutOfRange`] if the block's leaf is
+    /// invalid.
+    fn place_for_init(&mut self, block: Block) -> Result<Option<Block>, TreeError>;
+
+    /// Non-destructively lists the real blocks on a path, root first.
+    ///
+    /// # Errors
+    /// Returns [`TreeError::LeafOutOfRange`] for invalid leaves.
+    fn snapshot_path(&self, leaf: LeafId) -> Result<PathSnapshot, TreeError>;
+
+    /// Every real block currently stored, as `(id, assigned leaf)` pairs
+    /// in level order. Intended for audits, invariant checks, and
+    /// backend-migration tooling — O(tree), not a serving-path operation.
+    fn collect_blocks(&self) -> Vec<(crate::BlockId, LeafId)>;
+
+    /// Occupied and total slot counts per level, root to leaf.
+    fn occupancy_by_level(&self) -> Vec<(u32, u64, u64)>;
+
+    /// Verifies structural invariants: no duplicate block ids, every
+    /// stored id below `num_blocks`, and every block stored on a bucket
+    /// that lies on the path to its assigned leaf.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first violation.
+    fn verify_consistency(&self, num_blocks: u64) -> Result<(), String>;
+
+    /// Removes every block from the store.
+    fn clear(&mut self);
+
+    /// Durability point: flushes any write-back buffer to the backing
+    /// medium and advances the store's generation. A no-op for in-memory
+    /// stores. The look-ahead client calls this at superblock boundaries.
+    ///
+    /// # Errors
+    /// Propagates backing-medium failures ([`TreeError::Io`]).
+    fn sync(&mut self) -> Result<(), TreeError> {
+        Ok(())
+    }
+}
+
+impl<S: BucketStore + ?Sized> BucketStore for Box<S> {
+    fn geometry(&self) -> &TreeGeometry {
+        (**self).geometry()
+    }
+    fn payloads_enabled(&self) -> bool {
+        (**self).payloads_enabled()
+    }
+    fn occupancy(&self) -> u64 {
+        (**self).occupancy()
+    }
+    fn read_path(&mut self, leaf: LeafId) -> Vec<Block> {
+        (**self).read_path(leaf)
+    }
+    fn write_path(&mut self, leaf: LeafId, candidates: &mut Vec<Block>) {
+        (**self).write_path(leaf, candidates);
+    }
+    fn read_bucket(&mut self, level: u32, node_in_level: u64) -> Vec<Block> {
+        (**self).read_bucket(level, node_in_level)
+    }
+    fn write_bucket(&mut self, level: u32, node_in_level: u64, blocks: Vec<Block>) -> Vec<Block> {
+        (**self).write_bucket(level, node_in_level, blocks)
+    }
+    fn place_for_init(&mut self, block: Block) -> Result<Option<Block>, TreeError> {
+        (**self).place_for_init(block)
+    }
+    fn snapshot_path(&self, leaf: LeafId) -> Result<PathSnapshot, TreeError> {
+        (**self).snapshot_path(leaf)
+    }
+    fn collect_blocks(&self) -> Vec<(crate::BlockId, LeafId)> {
+        (**self).collect_blocks()
+    }
+    fn occupancy_by_level(&self) -> Vec<(u32, u64, u64)> {
+        (**self).occupancy_by_level()
+    }
+    fn verify_consistency(&self, num_blocks: u64) -> Result<(), String> {
+        (**self).verify_consistency(num_blocks)
+    }
+    fn clear(&mut self) {
+        (**self).clear();
+    }
+    fn sync(&mut self) -> Result<(), TreeError> {
+        (**self).sync()
+    }
+}
+
+/// A boxed, thread-movable bucket store — the form serving engines use
+/// when the backend is chosen at runtime (per-table spill-to-disk).
+pub type DynBucketStore = Box<dyn BucketStore + Send>;
+
+/// Plans the greedy deepest-first write-back shared by every backend.
+///
+/// Returns `(placements, placed)`: `placements` maps a flat slot index to
+/// the index of the candidate that fills it, and `placed[i]` is whether
+/// `candidates[i]` found a slot. The algorithm walks the path leaf → root,
+/// preferring candidates whose assigned leaf shares the deepest prefix
+/// with `leaf`, exactly as Path ORAM's eviction rule demands. Keeping the
+/// planner in one place is what makes backend placement decisions — and
+/// therefore stash contents and responses — identical across backends.
+pub(crate) fn plan_greedy_write_back(
+    geometry: &TreeGeometry,
+    leaf: LeafId,
+    candidates: &[Block],
+    mut slot_is_empty: impl FnMut(usize) -> bool,
+) -> (Vec<(usize, usize)>, Vec<bool>) {
+    let leaf_level = geometry.leaf_level() as usize;
+    // Bucket the candidate indices by their common depth with `leaf`:
+    // a block assigned to leaf l' may live at any level <= cd(l, l').
+    let mut by_depth: Vec<Vec<usize>> = vec![Vec::new(); leaf_level + 1];
+    for (idx, block) in candidates.iter().enumerate() {
+        debug_assert!(geometry.check_leaf(block.leaf()).is_ok());
+        let cd = geometry.common_depth(leaf, block.leaf()) as usize;
+        by_depth[cd].push(idx);
+    }
+    let mut placements = Vec::new();
+    let mut placed = vec![false; candidates.len()];
+    // `pool_level` walks from the deepest group downwards as groups drain.
+    let mut pool_level = leaf_level;
+    for level in (0..=leaf_level).rev() {
+        if pool_level < level {
+            pool_level = level;
+        }
+        let node = geometry.path_node_in_level(leaf, level as u32);
+        for slot in geometry.bucket_slot_range(level as u32, node) {
+            if !slot_is_empty(slot) {
+                continue;
+            }
+            // Find the next candidate eligible at this level (cd >= level),
+            // preferring deeper groups so leaf-bound blocks sink first.
+            let candidate = loop {
+                if pool_level < level {
+                    break None;
+                }
+                match by_depth[pool_level].pop() {
+                    Some(idx) => break Some(idx),
+                    None => {
+                        if pool_level == level {
+                            break None;
+                        }
+                        pool_level -= 1;
+                    }
+                }
+            };
+            let Some(idx) = candidate else { break };
+            placements.push((slot, idx));
+            placed[idx] = true;
+        }
+    }
+    (placements, placed)
+}
+
+/// Compacts the unplaced candidates to the front of `candidates` and
+/// truncates, mirroring [`plan_greedy_write_back`]'s `placed` flags. The
+/// resulting leftover order is deterministic and backend-independent.
+pub(crate) fn compact_unplaced(candidates: &mut Vec<Block>, placed: &mut [bool]) {
+    let mut keep = 0;
+    for idx in 0..placed.len() {
+        if !placed[idx] {
+            candidates.swap(keep, idx);
+            placed.swap(keep, idx);
+            keep += 1;
+        }
+    }
+    candidates.truncate(keep);
+}
+
+/// Finds the deepest empty slot on the path to `leaf` (warm-start
+/// placement), shared by every backend's `place_for_init`.
+pub(crate) fn plan_place_for_init(
+    geometry: &TreeGeometry,
+    leaf: LeafId,
+    mut slot_is_empty: impl FnMut(usize) -> bool,
+) -> Option<usize> {
+    for level in (0..=geometry.leaf_level()).rev() {
+        let node = geometry.path_node_in_level(leaf, level);
+        for slot in geometry.bucket_slot_range(level, node) {
+            if slot_is_empty(slot) {
+                return Some(slot);
+            }
+        }
+    }
+    None
+}

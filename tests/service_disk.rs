@@ -1,0 +1,146 @@
+//! End-to-end disk-backed serving: a table whose footprint exceeds the
+//! configured in-memory cap is served through `laoram-service` by the
+//! disk backend, with read-your-writes intact and a clean shutdown.
+
+use laoram::service::{
+    LaoramService, Request, ResolvedBackend, ServiceConfig, StorageBackend, TableSpec,
+};
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("laoram-svc-disk-{}-{tag}", std::process::id()))
+}
+
+#[test]
+fn table_over_memory_cap_is_served_from_disk() {
+    let dir = unique_dir("auto");
+    let spec = TableSpec::new("big-embeddings", 2048).shards(2).superblock_size(4).seed(3);
+    // The table's real footprint, from the same estimator Auto uses.
+    let footprint = spec.estimated_store_bytes().unwrap();
+    let cap = footprint / 4;
+    let mut service = LaoramService::start(
+        ServiceConfig::new().table(spec).in_memory_cap_bytes(cap).spill_dir(&dir).queue_depth(4),
+    )
+    .unwrap();
+
+    // The cap forced the spill into a service-unique subdirectory of the
+    // configured root, and the shard files exist on disk.
+    let spill = match &service.table_backends()[0] {
+        ResolvedBackend::Disk { dir: spill } => spill.clone(),
+        other => panic!("expected a disk backend, got {other:?}"),
+    };
+    assert!(spill.starts_with(&dir), "spill dir {} outside the root", spill.display());
+    let shard_files: Vec<_> = std::fs::read_dir(&spill)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "oram"))
+        .collect();
+    assert_eq!(shard_files.len(), 2, "one backing file per shard");
+
+    // Read-your-writes through the full pipeline, twice over to exercise
+    // the write-back buffer across superblock boundaries.
+    for round in 0..2u32 {
+        let writes: Vec<Request> = (0..256)
+            .map(|i| {
+                let row = vec![round as u8, i as u8, round as u8, i as u8];
+                Request::write(0, i * 7 % 2048, row.into())
+            })
+            .collect();
+        let expect: Vec<u32> = writes.iter().map(|r| r.index).collect();
+        service.submit(writes).unwrap();
+        service.submit(expect.iter().map(|&i| Request::read(0, i)).collect()).unwrap();
+        let responses = service.drain().unwrap();
+        let mut model = std::collections::HashMap::new();
+        for (i, &idx) in expect.iter().enumerate() {
+            model.insert(idx, vec![round as u8, i as u8, round as u8, i as u8]);
+        }
+        for (pos, &idx) in expect.iter().enumerate() {
+            assert_eq!(
+                responses[1].outputs[pos].as_deref(),
+                Some(model[&idx].as_slice()),
+                "round {round} row {idx}"
+            );
+        }
+    }
+
+    // On-disk footprint genuinely exceeds the cap the table was held to.
+    let on_disk: u64 = shard_files.iter().map(|p| p.metadata().unwrap().len()).sum();
+    assert!(on_disk > cap, "disk footprint {on_disk} should exceed the in-memory cap {cap}");
+
+    let report = service.shutdown().unwrap();
+    assert!(report.worker_errors.is_empty(), "disk shards degraded: {:?}", report.worker_errors);
+    assert_eq!(report.truncated_requests, 0);
+    assert_eq!(report.stats.merged.real_accesses, 1024);
+    // Auto-spill files are service-owned: shutdown removed them (the
+    // caller-provided directory itself is left alone).
+    for file in &shard_files {
+        assert!(!file.exists(), "spill file {} survived shutdown", file.display());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explicit_disk_and_memory_tables_coexist() {
+    use laoram::service::DiskBackendSpec;
+    let dir = unique_dir("mixed");
+    let mut service = LaoramService::start(
+        ServiceConfig::new()
+            .table(TableSpec::new("hot", 256).shards(2).seed(1).backend(StorageBackend::InMemory))
+            .table(
+                TableSpec::new("cold", 256)
+                    .shards(2)
+                    .seed(2)
+                    .row_bytes(8)
+                    .backend(StorageBackend::Disk(DiskBackendSpec::new(&dir).write_back_paths(1))),
+            ),
+    )
+    .unwrap();
+    assert_eq!(
+        service.table_backends(),
+        &[ResolvedBackend::InMemory, ResolvedBackend::Disk { dir: dir.clone() }]
+    );
+
+    let batch: Vec<Request> = (0..64)
+        .map(|i| Request::write(usize::from(i % 2 == 1), i, vec![i as u8; 4].into()))
+        .collect();
+    service.submit(batch).unwrap();
+    let verify: Vec<Request> = (0..64).map(|i| Request::read(usize::from(i % 2 == 1), i)).collect();
+    service.submit(verify).unwrap();
+    let responses = service.drain().unwrap();
+    for i in 0..64u32 {
+        assert_eq!(
+            responses[1].outputs[i as usize].as_deref(),
+            Some(&[i as u8; 4][..]),
+            "request {i}"
+        );
+    }
+    let report = service.shutdown().unwrap();
+    assert!(report.worker_errors.is_empty(), "{:?}", report.worker_errors);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn auto_tables_stay_in_memory_under_the_cap() {
+    let service = LaoramService::start(
+        ServiceConfig::new()
+            .table(TableSpec::new("small", 64).seed(4))
+            .in_memory_cap_bytes(u64::MAX),
+    )
+    .unwrap();
+    assert_eq!(service.table_backends(), &[ResolvedBackend::InMemory]);
+    service.shutdown().unwrap();
+}
+
+#[test]
+fn disk_backend_with_payloads_requires_row_bytes() {
+    use laoram::service::DiskBackendSpec;
+    let dir = unique_dir("invalid");
+    let err = LaoramService::start(
+        ServiceConfig::new().table(
+            TableSpec::new("bad", 64)
+                .row_bytes(0)
+                .backend(StorageBackend::Disk(DiskBackendSpec::new(&dir))),
+        ),
+    );
+    assert!(err.is_err(), "payloads with zero row_bytes must be rejected for disk tables");
+    let _ = std::fs::remove_dir_all(&dir);
+}
