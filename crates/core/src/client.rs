@@ -1,9 +1,10 @@
 //! The LAORAM trainer-side client over Path ORAM.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 
 use oram_protocol::{AccessKind, AccessObserver, AccessStats, PathOramClient, PathOramConfig};
-use oram_tree::{Block, BlockId, BucketStore, TreeGeometry, TreeStorage};
+use oram_tree::{Block, BlockId, BucketStore, LeafId, StateSnapshot, TreeGeometry, TreeStorage};
 
 use crate::{LaOramConfig, LaOramError, Result, SuperblockPlan};
 
@@ -78,6 +79,12 @@ pub struct LaOram<S: BucketStore = TreeStorage> {
     /// Simulated encryption-at-rest: rows are sealed before leaving the
     /// cache, so the server only ever holds ciphertext.
     sealer: Option<oram_tree::BlockSealer>,
+    /// When set, a [`StateSnapshot`] of the client state is written
+    /// atomically here at every storage sync boundary, making the table
+    /// restartable via [`LaOram::reopen`].
+    snapshot_path: Option<PathBuf>,
+    /// Whether snapshot writes fsync before publishing.
+    snapshot_durable: bool,
 }
 
 impl<S: BucketStore> std::fmt::Debug for LaOram<S> {
@@ -193,7 +200,101 @@ impl<S: BucketStore> LaOram<S> {
             populated,
             cache: HashMap::new(),
             sealer,
+            snapshot_path: None,
+            snapshot_durable: false,
         })
+    }
+
+    /// Rebuilds a client from a reopened store and the [`StateSnapshot`]
+    /// captured against it — the restart path for persistent tables. The
+    /// restored client starts with no plan installed (feed it windows
+    /// with [`stage_plan`](Self::stage_plan) as usual); its position map,
+    /// stash, RNG resume point, and lifetime access counter come from
+    /// the snapshot.
+    ///
+    /// Snapshot writing is *not* re-enabled automatically: call
+    /// [`persist_client_state`](Self::persist_client_state) (typically
+    /// with the same path) so the restored client keeps checkpointing.
+    ///
+    /// # Errors
+    /// [`TreeError::StaleSnapshot`](oram_tree::TreeError::StaleSnapshot)
+    /// (wrapped) when the snapshot's recorded generation disagrees with
+    /// the store's — the pair describes different durability points;
+    /// [`LaOramError::InvalidConfig`] for snapshots that do not describe
+    /// a dense single-level client of this shape.
+    pub fn reopen(config: LaOramConfig, store: S, snapshot: &StateSnapshot) -> Result<Self> {
+        let [state] = snapshot.levels.as_slice() else {
+            return Err(LaOramError::InvalidConfig(format!(
+                "expected a single-level (dense position map) snapshot, found {} levels",
+                snapshot.levels.len()
+            )));
+        };
+        if !snapshot.root_map.is_empty() {
+            return Err(LaOramError::InvalidConfig(format!(
+                "snapshot carries a {}-entry recursive root map; this client restores dense \
+                 position maps only",
+                snapshot.root_map.len()
+            )));
+        }
+        if snapshot.generation != state.generation {
+            return Err(LaOramError::InvalidConfig(format!(
+                "snapshot header names generation {} but its client level names {}",
+                snapshot.generation, state.generation
+            )));
+        }
+        let mut inner = PathOramClient::restore(proto_config(&config), store, state)?;
+        inner.resume_accesses(snapshot.accesses);
+        let mut client = Self::from_parts(config, inner)?;
+        client.populated = true;
+        Ok(client)
+    }
+
+    /// Enables client-state persistence: from now on, every storage sync
+    /// boundary (superblock flushes and [`finish`](Self::finish)) also
+    /// writes a checksummed [`StateSnapshot`] atomically to `path`, and
+    /// the client RNG is reseeded at each capture so a restored client
+    /// ([`reopen`](Self::reopen)) continues the exact leaf sequence.
+    /// With `durable`, snapshot writes fsync before publishing.
+    pub fn persist_client_state(&mut self, path: impl Into<PathBuf>, durable: bool) {
+        self.snapshot_path = Some(path.into());
+        self.snapshot_durable = durable;
+    }
+
+    /// Where client-state snapshots are being written, if enabled.
+    #[must_use]
+    pub fn snapshot_path(&self) -> Option<&Path> {
+        self.snapshot_path.as_deref()
+    }
+
+    /// The backing store's durability generation (0 for in-memory).
+    #[must_use]
+    pub fn storage_generation(&self) -> u64 {
+        self.inner.storage_generation()
+    }
+
+    /// Writes a [`StateSnapshot`] of the current client state to the
+    /// configured path (no-op when persistence is disabled). Called
+    /// automatically at sync boundaries; public so callers can force an
+    /// extra checkpoint. The client cache must be empty (snapshots
+    /// happen *between* superblocks, where every block is in the stash
+    /// or the tree).
+    ///
+    /// # Errors
+    /// Propagates capture failures (blocks checked out) and snapshot
+    /// I/O failures.
+    pub fn write_snapshot(&mut self) -> Result<()> {
+        let Some(path) = self.snapshot_path.clone() else {
+            return Ok(());
+        };
+        let state = self.inner.snapshot_state()?;
+        let snapshot = StateSnapshot {
+            generation: state.generation,
+            accesses: self.inner.stats().real_accesses,
+            levels: vec![state],
+            root_map: Vec::new(),
+        };
+        snapshot.write_atomic(&path, self.snapshot_durable)?;
+        Ok(())
     }
 
     /// Stages the next look-ahead window without activating it. While a
@@ -277,6 +378,17 @@ impl<S: BucketStore> LaOram<S> {
         }
         self.plan = plan;
         self.cursor = 0;
+        // Readahead hook: the incoming window's bin paths are exactly
+        // the paths this window's serving will read — hand them to the
+        // backing store as a batch prefetch hint (no-op in memory,
+        // bounded run-coalesced reads on disk; see
+        // `BucketStore::prefetch_paths` for why this is unobservable
+        // above the storage boundary).
+        let leaves: Vec<LeafId> =
+            (0..self.plan.num_bins() as u32).map(|bin| self.plan.bin_leaf(bin)).collect();
+        if !leaves.is_empty() {
+            self.inner.prefetch_paths(&leaves);
+        }
         Ok(())
     }
 
@@ -347,6 +459,13 @@ impl<S: BucketStore> LaOram<S> {
     #[must_use]
     pub fn geometry(&self) -> &TreeGeometry {
         self.inner.geometry()
+    }
+
+    /// Shared access to the server-side store (introspection: backend
+    /// I/O counters, occupancy audits).
+    #[must_use]
+    pub fn storage(&self) -> &S {
+        self.inner.storage()
     }
 
     /// Accumulated access statistics (includes the underlying protocol
@@ -549,20 +668,31 @@ impl<S: BucketStore> LaOram<S> {
         }
         self.inner.maybe_background_evict()?;
         // Superblock boundary = storage durability point: flush the
-        // store's write-back buffer (no-op for in-memory trees).
+        // store's write-back buffer (no-op for in-memory trees), then
+        // checkpoint the client state against the new generation when
+        // persistence is enabled.
         self.inner.sync_storage()?;
+        self.write_snapshot()?;
         Ok(())
     }
 
     /// Completes the stream: flushes any cached blocks back to the
-    /// protocol layer. Call once after the last planned access (tests and
-    /// invariant checks require it; forgetting it only delays write-backs).
+    /// protocol layer and syncs the backing store, so a disk-backed
+    /// table closes at a clean durability point (and, with persistence
+    /// enabled, a final snapshot). Call once after the last planned
+    /// access (tests and invariant checks require it; forgetting it only
+    /// delays write-backs).
     ///
     /// # Errors
     /// Propagates protocol failures.
     pub fn finish(&mut self) -> Result<()> {
         self.flush_cache()?;
         self.active_bin = None;
+        // flush_cache early-returns on an empty cache, so sync (and
+        // snapshot) here unconditionally: a finished client must leave
+        // its store at a durability point for reopen to accept it.
+        self.inner.sync_storage()?;
+        self.write_snapshot()?;
         Ok(())
     }
 
@@ -984,6 +1114,118 @@ mod tests {
         oram.finish().unwrap();
         oram.verify_invariants().unwrap();
         assert_eq!(oram.stats().real_accesses, 48);
+    }
+
+    #[test]
+    fn disk_snapshot_reopen_matches_uninterrupted_run() {
+        use oram_tree::{DiskStore, DiskStoreConfig, StateSnapshot};
+        let tag = std::process::id();
+        let file = |name: &str| {
+            std::env::temp_dir().join(format!("laoram-core-restart-{tag}-{name}.oram"))
+        };
+        let config = cfg(64).superblock_size(4).payloads(true).build().unwrap();
+        let disk_cfg = DiskStoreConfig::new().payload_capacity(8);
+        let geometry = config.geometry().unwrap();
+
+        let build = |name: &str| {
+            let store = DiskStore::create(file(name), geometry.clone(), disk_cfg.clone()).unwrap();
+            let mut oram = LaOram::with_store(config.clone(), store).unwrap();
+            oram.persist_client_state(StateSnapshot::default_path(&file(name)), false);
+            oram
+        };
+        let mut live = build("live");
+        let mut restarted = build("restarted");
+
+        // Window 1 on both, with identical (cloned) plans: write rows.
+        let w1: Vec<u32> = (0..64).collect();
+        let plan1 = SuperblockPlan::build(&w1, 4, geometry.num_leaves(), 1);
+        live.install_plan(plan1.clone()).unwrap();
+        restarted.install_plan(plan1).unwrap();
+        for &i in &w1 {
+            let a = live.write(i, vec![i as u8; 8].into()).unwrap();
+            let b = restarted.write(i, vec![i as u8; 8].into()).unwrap();
+            assert_eq!(a, b);
+        }
+        live.finish().unwrap();
+        restarted.finish().unwrap();
+
+        // Tear one down and reopen it from its files.
+        drop(restarted);
+        let store = DiskStore::open(file("restarted"), disk_cfg.clone()).unwrap();
+        let snapshot =
+            StateSnapshot::read_from(&StateSnapshot::default_path(&file("restarted"))).unwrap();
+        assert_eq!(snapshot.accesses, 64, "lifetime counter persisted");
+        let mut restarted = LaOram::reopen(config.clone(), store, &snapshot).unwrap();
+        restarted.persist_client_state(StateSnapshot::default_path(&file("restarted")), false);
+        restarted.verify_invariants().unwrap();
+        assert_eq!(restarted.stats().real_accesses, 64, "counter resumed");
+
+        // Window 2 on both: the restored client must answer identically
+        // to the uninterrupted one (values AND post-restart leaf draws,
+        // since the RNG resumed from the snapshot's reseed point).
+        let w2: Vec<u32> = (0..64).rev().collect();
+        let plan2 = SuperblockPlan::build(&w2, 4, geometry.num_leaves(), 2);
+        live.install_plan(plan2.clone()).unwrap();
+        restarted.install_plan(plan2).unwrap();
+        for &i in &w2 {
+            let a = live.read(i).unwrap();
+            let b = restarted.read(i).unwrap();
+            assert_eq!(a, b, "row {i} diverged after restart");
+            assert_eq!(a.as_deref(), Some(&[i as u8; 8][..]), "row {i} lost its payload");
+        }
+        live.finish().unwrap();
+        restarted.finish().unwrap();
+        live.verify_invariants().unwrap();
+        restarted.verify_invariants().unwrap();
+        for name in ["live", "restarted"] {
+            let _ = std::fs::remove_file(file(name));
+            let _ = std::fs::remove_file(StateSnapshot::default_path(&file(name)));
+        }
+    }
+
+    #[test]
+    fn reopen_refuses_stale_snapshot() {
+        use oram_tree::{DiskStore, DiskStoreConfig, StateSnapshot};
+        let tag = std::process::id();
+        let store_path = std::env::temp_dir().join(format!("laoram-core-stale-{tag}.oram"));
+        let snap_path = StateSnapshot::default_path(&store_path);
+        let config = cfg(16).superblock_size(2).payloads(true).build().unwrap();
+        let disk_cfg = DiskStoreConfig::new().payload_capacity(4);
+        let store =
+            DiskStore::create(&store_path, config.geometry().unwrap(), disk_cfg.clone()).unwrap();
+        let mut oram = LaOram::with_store(config.clone(), store).unwrap();
+        oram.persist_client_state(&snap_path, false);
+        let stream: Vec<u32> = (0..16).collect();
+        oram.install_plan(SuperblockPlan::build(&stream, 2, oram.geometry().num_leaves(), 1))
+            .unwrap();
+        for &i in &stream {
+            oram.write(i, vec![i as u8; 4].into()).unwrap();
+        }
+        oram.finish().unwrap();
+        // Keep the snapshot from this durability point, then let the
+        // store advance one more generation (snapshot becomes stale).
+        let stale = StateSnapshot::read_from(&snap_path).unwrap();
+        oram.install_plan(SuperblockPlan::build(&stream, 2, oram.geometry().num_leaves(), 2))
+            .unwrap();
+        for &i in &stream {
+            oram.read(i).unwrap();
+        }
+        oram.finish().unwrap();
+        drop(oram);
+
+        let store = DiskStore::open(&store_path, disk_cfg).unwrap();
+        let err = LaOram::reopen(config, store, &stale).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LaOramError::Protocol(oram_protocol::ProtocolError::Tree(
+                    oram_tree::TreeError::StaleSnapshot { .. }
+                ))
+            ),
+            "expected StaleSnapshot, got {err}"
+        );
+        let _ = std::fs::remove_file(&store_path);
+        let _ = std::fs::remove_file(&snap_path);
     }
 
     proptest! {

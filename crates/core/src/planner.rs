@@ -70,10 +70,22 @@ impl SuperblockPlanner {
     /// the plan `with_lookahead` would have built.
     #[must_use]
     pub fn for_config(config: &LaOramConfig, num_leaves: u64) -> Self {
+        Self::for_config_with_seed(config, num_leaves, config.seed)
+    }
+
+    /// As [`for_config`](Self::for_config), but drawing paths from an
+    /// explicit base seed (salted the same way) instead of the
+    /// configuration's. This is the **restart path**: a recovered shard
+    /// must not replay its previous session's path-draw sequence, so the
+    /// serving engine derives a fresh planner seed from the snapshot's
+    /// RNG reseed point — every restart then plans from a new uniform
+    /// stream, exactly as the obliviousness argument assumes.
+    #[must_use]
+    pub fn for_config_with_seed(config: &LaOramConfig, num_leaves: u64, seed: u64) -> Self {
         let mut planner = SuperblockPlanner::new(
             config.superblock_size(),
             num_leaves,
-            config.seed ^ PREPROCESSOR_SEED_SALT,
+            seed ^ PREPROCESSOR_SEED_SALT,
         );
         planner.window_len = config.lookahead_window;
         planner

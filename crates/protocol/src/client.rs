@@ -194,6 +194,14 @@ impl<S: BucketStore> PathOramClient<S> {
         self.storage.geometry()
     }
 
+    /// Shared access to the server-side store (introspection: backend
+    /// I/O counters, occupancy audits). All mutation goes through the
+    /// protocol operations.
+    #[must_use]
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+
     /// Number of logical blocks.
     #[must_use]
     pub fn num_blocks(&self) -> u32 {
@@ -215,6 +223,13 @@ impl<S: BucketStore> PathOramClient<S> {
     /// Resets the statistics (e.g. after a warm-up phase).
     pub fn reset_stats(&mut self) {
         self.stats = AccessStats::new();
+    }
+
+    /// Seeds the logical-access counter, so a client restored from a
+    /// snapshot resumes its lifetime accounting where the captured one
+    /// stopped (detailed histograms restart from zero).
+    pub fn resume_accesses(&mut self, accesses: u64) {
+        self.stats.real_accesses = accesses;
     }
 
     /// Current stash occupancy (excluding checked-out blocks).
@@ -423,6 +438,134 @@ impl<S: BucketStore> PathOramClient<S> {
     /// Propagates [`ProtocolError::Tree`] on backing-medium failures.
     pub fn sync_storage(&mut self) -> Result<()> {
         self.storage.sync().map_err(ProtocolError::Tree)
+    }
+
+    /// The backing store's durability generation
+    /// ([`BucketStore::generation`]): 0 for in-memory stores.
+    #[must_use]
+    pub fn storage_generation(&self) -> u64 {
+        self.storage.generation()
+    }
+
+    /// Forwards a readahead hint to the backing store
+    /// ([`BucketStore::prefetch_paths`]): the caller expects the paths to
+    /// `leaves` to be read soon. A no-op for in-memory stores; never
+    /// observable in responses or the protocol-level access sequence.
+    pub fn prefetch_paths(&mut self, leaves: &[LeafId]) {
+        self.storage.prefetch_paths(leaves);
+    }
+
+    /// Captures this client's restorable state — dense position map,
+    /// stash contents, the store generation it pairs with — and reseeds
+    /// the client RNG, recording the new seed.
+    ///
+    /// The reseed is what makes restore RNG-free: a client restored from
+    /// the captured state draws exactly the same leaves as this client
+    /// does from this point on, without serialising RNG internals. Call
+    /// at a storage [`sync`](Self::sync_storage) boundary and persist the
+    /// result (see [`oram_tree::StateSnapshot`]); restore with
+    /// [`restore`](Self::restore).
+    ///
+    /// # Errors
+    /// [`ProtocolError::CheckoutViolation`] while any block is checked
+    /// out — a checked-out block lives outside both the stash and the
+    /// tree, so the captured state would lose it. (The LAORAM layer
+    /// flushes its cache before snapshotting.)
+    pub fn snapshot_state(&mut self) -> Result<oram_tree::ClientLevelState> {
+        if let Some(&block) = self.checked_out.iter().next() {
+            return Err(ProtocolError::CheckoutViolation { block });
+        }
+        let reseed: u64 = self.rng.random();
+        self.rng = StdRng::seed_from_u64(reseed);
+        Ok(oram_tree::ClientLevelState {
+            generation: self.storage.generation(),
+            reseed,
+            position_map: self.posmap.iter().map(|(_, leaf)| leaf.index()).collect(),
+            stash: self
+                .stash
+                .iter()
+                .map(|b| oram_tree::SnapshotBlock {
+                    id: b.id().index(),
+                    leaf: b.leaf().index(),
+                    data: b.data().map(Box::from),
+                })
+                .collect(),
+        })
+    }
+
+    /// Rebuilds a client from a reopened store and a captured
+    /// [`ClientLevelState`](oram_tree::ClientLevelState) — the restart
+    /// path for disk-backed tables. The store must be the same one (or a
+    /// byte-identical copy of the one) the state was captured against.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Tree`] with [`oram_tree::TreeError::StaleSnapshot`] when the
+    /// state's recorded generation disagrees with the store's — the pair
+    /// describes two different durability points and restoring would
+    /// corrupt placement; [`ProtocolError::InvalidConfig`] for
+    /// shape mismatches (wrong position-map length, stash/tree block
+    /// conservation violated, duplicate or out-of-range stash blocks).
+    pub fn restore(
+        config: PathOramConfig,
+        storage: S,
+        state: &oram_tree::ClientLevelState,
+    ) -> Result<Self> {
+        if storage.generation() != state.generation {
+            return Err(ProtocolError::Tree(oram_tree::TreeError::StaleSnapshot {
+                snapshot: state.generation,
+                store: storage.generation(),
+            }));
+        }
+        let num_blocks = config.num_blocks;
+        if state.position_map.len() != num_blocks as usize {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "snapshot position map covers {} blocks but the configuration names {num_blocks}",
+                state.position_map.len()
+            )));
+        }
+        let mut client = Self::with_store(config.with_populate(false), storage)?;
+        if client.storage.occupancy() + state.stash.len() as u64 != u64::from(num_blocks) {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "block conservation violated on restore: tree {} + snapshot stash {} != {}",
+                client.storage.occupancy(),
+                state.stash.len(),
+                num_blocks
+            )));
+        }
+        for (index, &leaf) in state.position_map.iter().enumerate() {
+            let leaf = LeafId::new(leaf);
+            client.geometry().check_leaf(leaf)?;
+            client.posmap.set(BlockId::new(index as u32), leaf);
+        }
+        let mut seen = std::collections::HashSet::with_capacity(state.stash.len());
+        for block in &state.stash {
+            if block.id >= num_blocks || !seen.insert(block.id) {
+                return Err(ProtocolError::InvalidConfig(format!(
+                    "snapshot stash holds duplicate or out-of-range block {}",
+                    block.id
+                )));
+            }
+            if block.data.is_some() && !client.payloads {
+                return Err(ProtocolError::InvalidConfig(
+                    "snapshot stash carries payloads but the client is metadata-only".into(),
+                ));
+            }
+            let id = BlockId::new(block.id);
+            let leaf = LeafId::new(block.leaf);
+            client.geometry().check_leaf(leaf)?;
+            if client.posmap.get(id) != leaf {
+                return Err(ProtocolError::InvalidConfig(format!(
+                    "snapshot stash block {id} names leaf {leaf} but the position map says {}",
+                    client.posmap.get(id)
+                )));
+            }
+            client.stash.insert(match &block.data {
+                Some(data) => Block::with_data(id, leaf, data.clone()),
+                None => Block::metadata_only(id, leaf),
+            });
+        }
+        client.rng = StdRng::seed_from_u64(state.reseed);
+        Ok(client)
     }
 
     /// Removes a block from the stash into the caller's custody (the
@@ -964,6 +1107,68 @@ mod tests {
         let second = grab(&mut c);
         assert_ne!(first, second, "write-backs must re-seal with fresh nonces");
         assert_eq!(c.read(BlockId::new(7)).unwrap().as_deref(), Some(&[0x42; 16][..]));
+    }
+
+    #[test]
+    fn snapshot_restore_matches_uninterrupted_run() {
+        // Two identical clients; one is snapshotted, torn down, and
+        // restored onto a copy of its store. From the snapshot point on,
+        // both must behave identically (responses AND leaf draws).
+        let config = PathOramConfig::new(32).with_seed(77).with_payloads(true);
+        let mut live = PathOramClient::new(config.clone()).unwrap();
+        for i in 0..32u32 {
+            live.write(BlockId::new(i), vec![i as u8; 2].into()).unwrap();
+        }
+        let state = live.snapshot_state().unwrap();
+        let storage_copy = live.storage.clone();
+        let mut restored = PathOramClient::restore(config.clone(), storage_copy, &state).unwrap();
+        restored.verify_invariants().unwrap();
+        for i in (0..32u32).rev() {
+            let a = live.read(BlockId::new(i)).unwrap();
+            let b = restored.read(BlockId::new(i)).unwrap();
+            assert_eq!(a, b, "responses diverged at block {i}");
+            assert_eq!(
+                live.position_of(BlockId::new(i)).unwrap(),
+                restored.position_of(BlockId::new(i)).unwrap(),
+                "leaf draws diverged at block {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_refused_while_blocks_checked_out() {
+        let mut c = small_client(16, 78);
+        let id = BlockId::new(3);
+        let path = c.position_of(id).unwrap();
+        c.fetch_path(path, AccessKind::Real);
+        let b = c.take_from_stash(id).unwrap();
+        assert!(matches!(c.snapshot_state(), Err(ProtocolError::CheckoutViolation { .. })));
+        c.return_to_stash(b).unwrap();
+        c.writeback_path(path);
+        assert!(c.snapshot_state().is_ok());
+    }
+
+    #[test]
+    fn restore_rejects_stale_and_malformed_state() {
+        let config = PathOramConfig::new(16).with_seed(79).with_payloads(true);
+        let mut c = PathOramClient::new(config.clone()).unwrap();
+        let good = c.snapshot_state().unwrap();
+        // Stale generation.
+        let mut stale = good.clone();
+        stale.generation += 1;
+        let err = PathOramClient::restore(config.clone(), c.storage.clone(), &stale).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::Tree(oram_tree::TreeError::StaleSnapshot { snapshot: 1, store: 0 })
+        ));
+        // Wrong position-map length.
+        let mut short = good.clone();
+        short.position_map.pop();
+        assert!(PathOramClient::restore(config.clone(), c.storage.clone(), &short).is_err());
+        // Conservation violation: a phantom stash block.
+        let mut extra = good.clone();
+        extra.stash.push(oram_tree::SnapshotBlock { id: 0, leaf: 0, data: None });
+        assert!(PathOramClient::restore(config, c.storage.clone(), &extra).is_err());
     }
 
     #[test]

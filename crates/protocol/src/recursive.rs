@@ -123,6 +123,101 @@ impl<S: BucketStore> RecursivePositionMap<S> {
         self.levels.iter().map(|l| l.stats().total_path_reads()).sum()
     }
 
+    /// Syncs every recursion level's backing store (a durability point
+    /// for disk-hosted levels; a no-op for the in-memory default).
+    ///
+    /// # Errors
+    /// Propagates backing-medium failures.
+    pub fn sync_storage(&mut self) -> Result<()> {
+        for level in &mut self.levels {
+            level.sync_storage()?;
+        }
+        Ok(())
+    }
+
+    /// Captures the restorable state of the whole recursion chain: one
+    /// [`ClientLevelState`](oram_tree::ClientLevelState) per inner ORAM
+    /// (outermost first, each reseeding its client RNG exactly as
+    /// [`PathOramClient::snapshot_state`] does) plus the plain in-client
+    /// root map. Capture at a [`sync_storage`](Self::sync_storage)
+    /// boundary and persist inside a
+    /// [`StateSnapshot`](oram_tree::StateSnapshot); restore with
+    /// [`restore_with_store_factory`](Self::restore_with_store_factory).
+    ///
+    /// # Errors
+    /// Propagates per-level capture failures.
+    pub fn snapshot_state(&mut self) -> Result<(Vec<oram_tree::ClientLevelState>, Vec<u32>)> {
+        let mut levels = Vec::with_capacity(self.levels.len());
+        for level in &mut self.levels {
+            levels.push(level.snapshot_state()?);
+        }
+        Ok((levels, self.root_map.clone()))
+    }
+
+    /// Rebuilds a recursive map from captured state and reopened
+    /// per-level stores. `factory` is called once per recursion level,
+    /// outermost first, with the level's [`PathOramConfig`] — exactly as
+    /// in [`with_store_factory`](Self::with_store_factory), but handing
+    /// back the *reopened* store each level was captured against. Pass
+    /// the same `seed` the map was created with, so the per-level
+    /// configurations handed to `factory` match creation exactly (the
+    /// restored client RNGs themselves resume from the snapshot's
+    /// reseed points, not from the seed).
+    ///
+    /// # Errors
+    /// Rejects state whose level count or root-map length disagrees with
+    /// the recursion chain `num_blocks`/`root_threshold` imply, and
+    /// propagates per-level restore failures (including
+    /// [`TreeError::StaleSnapshot`](oram_tree::TreeError::StaleSnapshot)
+    /// generation mismatches).
+    pub fn restore_with_store_factory(
+        num_blocks: u32,
+        root_threshold: u32,
+        seed: u64,
+        state_levels: &[oram_tree::ClientLevelState],
+        root_map: Vec<u32>,
+        mut factory: impl FnMut(&PathOramConfig) -> Result<S>,
+    ) -> Result<Self> {
+        if num_blocks == 0 {
+            return Err(ProtocolError::InvalidConfig("num_blocks must be nonzero".into()));
+        }
+        if root_threshold == 0 {
+            return Err(ProtocolError::InvalidConfig("root threshold must be nonzero".into()));
+        }
+        let mut levels = Vec::new();
+        let mut labels = num_blocks;
+        let mut level_seed = seed;
+        while labels > root_threshold {
+            let depth = levels.len();
+            let Some(state) = state_levels.get(depth) else {
+                return Err(ProtocolError::InvalidConfig(format!(
+                    "snapshot captures {} recursion levels but the chain needs more",
+                    state_levels.len()
+                )));
+            };
+            let blocks = labels.div_ceil(LABELS_PER_BLOCK);
+            let config = PathOramConfig::new(blocks).with_seed(level_seed).with_payloads(true);
+            let store = factory(&config)?;
+            levels.push(PathOramClient::restore(config, store, state)?);
+            labels = blocks;
+            level_seed = level_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        }
+        if state_levels.len() != levels.len() {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "snapshot captures {} recursion levels but the chain has {}",
+                state_levels.len(),
+                levels.len()
+            )));
+        }
+        if root_map.len() != labels as usize {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "snapshot root map holds {} labels but the chain's root holds {labels}",
+                root_map.len()
+            )));
+        }
+        Ok(RecursivePositionMap { levels, root_map, num_blocks })
+    }
+
     fn check(&self, block: BlockId) -> Result<()> {
         if block.index() < self.num_blocks {
             Ok(())
@@ -293,5 +388,82 @@ mod tests {
     fn touch_recursion_walks_levels() {
         let mut m = RecursivePositionMap::new(100_000, 128, 8).unwrap();
         m.touch_recursion(BlockId::new(99_999)).unwrap();
+    }
+
+    #[test]
+    fn disk_hosted_levels_snapshot_and_restore() {
+        use oram_tree::{DiskStore, DiskStoreConfig};
+        let tag = std::process::id();
+        let path_for =
+            |i: usize| std::env::temp_dir().join(format!("laoram-recursive-snap-{tag}-L{i}.oram"));
+        let disk_cfg = DiskStoreConfig::new().payload_capacity(LABELS_PER_BLOCK * 4);
+        // Host every recursion level on its own DiskStore.
+        let mut created = 0usize;
+        let mut m = RecursivePositionMap::with_store_factory(10_000, 16, 9, |config| {
+            let store = DiskStore::create(path_for(created), config.geometry()?, disk_cfg.clone())?;
+            created += 1;
+            Ok(store)
+        })
+        .unwrap();
+        assert_eq!(m.recursion_depth(), 2);
+        for i in 0..64u32 {
+            m.set(BlockId::new(i * 100), LeafId::new(i + 1)).unwrap();
+        }
+        // Durability point, then capture and tear down.
+        m.sync_storage().unwrap();
+        let (levels, root_map) = m.snapshot_state().unwrap();
+        drop(m);
+
+        let mut opened = 0usize;
+        let mut restored = RecursivePositionMap::restore_with_store_factory(
+            10_000,
+            16,
+            9,
+            &levels,
+            root_map,
+            |_config| {
+                let store = DiskStore::open(path_for(opened), disk_cfg.clone())?;
+                opened += 1;
+                Ok(store)
+            },
+        )
+        .unwrap();
+        assert_eq!(restored.recursion_depth(), 2);
+        for i in 0..64u32 {
+            assert_eq!(
+                restored.get(BlockId::new(i * 100)).unwrap(),
+                LeafId::new(i + 1),
+                "label {i} after restart"
+            );
+        }
+        for i in 0..created {
+            let _ = std::fs::remove_file(path_for(i));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_chain_shape() {
+        let mut m = RecursivePositionMap::new(10_000, 16, 10).unwrap();
+        let (levels, root_map) = m.snapshot_state().unwrap();
+        // Wrong root threshold implies a different chain.
+        let err = RecursivePositionMap::restore_with_store_factory(
+            10_000,
+            10_000,
+            10,
+            &levels,
+            root_map.clone(),
+            |config| Ok(oram_tree::TreeStorage::new(config.geometry()?)),
+        );
+        assert!(err.is_err(), "level-count mismatch must be rejected");
+        // Truncated root map.
+        let err = RecursivePositionMap::restore_with_store_factory(
+            10_000,
+            16,
+            10,
+            &levels,
+            root_map[..1].to_vec(),
+            |config| Ok(oram_tree::TreeStorage::new(config.geometry()?)),
+        );
+        assert!(err.is_err(), "root-map length mismatch must be rejected");
     }
 }

@@ -33,14 +33,15 @@ use std::time::Instant;
 
 use laoram_core::{BatchOp, LaOram, LaOramConfig, SuperblockPlan, SuperblockPlanner};
 use oram_protocol::AccessStats;
-use oram_tree::{DiskStore, DiskStoreConfig, DynBucketStore, TreeStorage};
+use oram_tree::{DiskStore, DiskStoreConfig, DynBucketStore, StateSnapshot, TreeStorage};
 
 use crate::completion::{CompletionShared, GroupDone};
 use crate::ingress::{run_batcher, EngineMsg, GroupMeta, Ingress};
 use crate::{
     BatchResponse, BatchTicket, BatchTiming, Completion, PipelineStats, Request,
     RequestLatencyStats, RequestOp, RequestTicket, ResolvedBackend, ServiceConfig, ServiceError,
-    ServiceStats, Session, ShardRouter, ShardStats, StorageBackend, TableSpec,
+    ServiceStats, Session, ShardRouter, ShardStats, StorageBackend, TableRecovery, TableSpec,
+    TableStatus,
 };
 
 /// A shard worker's LAORAM client: backend chosen at runtime, so the
@@ -164,6 +165,8 @@ pub struct LaoramService {
     worker_homes: Vec<(usize, u32)>,
     /// The storage backend chosen for each table at startup.
     table_backends: Vec<ResolvedBackend>,
+    /// Per-table backend + recovered-vs-fresh status.
+    table_status: Vec<TableStatus>,
     /// Shard files created for Auto-spilled tables, removed at shutdown.
     spill_cleanup: Vec<PathBuf>,
     /// The spill directory, when this service generated it (also removed
@@ -208,6 +211,10 @@ pub struct ServiceReport {
     /// worker count describes a pipeline-level failure such as truncated
     /// shutdown. Empty on a healthy run.
     pub worker_errors: Vec<(usize, String)>,
+    /// Each table's storage backend and recovered-vs-fresh status, in
+    /// table order — not just the backend chosen at startup, but whether
+    /// the table's state came from persisted files.
+    pub table_status: Vec<TableStatus>,
 }
 
 impl LaoramService {
@@ -252,15 +259,48 @@ impl LaoramService {
         }
         let table_backends = resolve_backends(&config, &worker_homes, &worker_configs)?;
 
+        // Decide recovery per table BEFORE building anything: a refused
+        // partial state must leave the directory exactly as it found it
+        // (no fresh generation-0 store created in a missing shard's
+        // slot). Partial recovery is refused outright — a table serving
+        // a mix of restored and empty shards would answer inconsistently.
+        let mut table_recover = vec![false; config.tables.len()];
+        for (table, spec) in config.tables.iter().enumerate() {
+            let StorageBackend::Disk(disk) = &spec.backend else { continue };
+            if !disk.snapshots {
+                continue;
+            }
+            let ResolvedBackend::Disk { dir } = &table_backends[table] else { continue };
+            let present = (0..spec.shards)
+                .filter(|&shard| shard_file_path(dir, spec, table, shard).exists())
+                .count() as u32;
+            if present != 0 && present != spec.shards {
+                return Err(ServiceError::InvalidConfig(format!(
+                    "table '{}' has persisted state for {present} of {} shards; recover the \
+                     missing shard files (or move the stale ones aside) before starting",
+                    spec.name, spec.shards
+                )));
+            }
+            table_recover[table] = present > 0;
+        }
+
         // Build every shard's LAORAM client (over its chosen backend) and
         // matching planner. Auto-spill files are recorded for removal at
         // shutdown: their client state (position map, stash) is not
         // persisted, so they cannot serve a restart and would otherwise
-        // leak a full table footprint per service lifetime.
+        // leak a full table footprint per service lifetime. Explicit disk
+        // tables with snapshots enabled take the opposite path: existing
+        // store + snapshot pairs are *recovered* instead of recreated.
         let mut clients: Vec<ShardClient> = Vec::with_capacity(num_workers);
         let mut planners: Vec<SuperblockPlanner> = Vec::with_capacity(num_workers);
         let mut spill_cleanup = Vec::new();
         let mut generated_spill_dir = None;
+        // Files a *failed* start must also remove: freshly-created stores
+        // of snapshot-enabled tables. They contain nothing durable
+        // (generation 0, never synced), but left behind they would make
+        // every subsequent start refuse as a partial/stale recovery.
+        // Recovered tables' files are never in this list.
+        let mut fresh_persistent_cleanup: Vec<PathBuf> = Vec::new();
         let build_result = (|| -> Result<(), ServiceError> {
             for (worker, laoram_config) in worker_configs.iter().enumerate() {
                 let (table, shard) = worker_homes[worker];
@@ -275,18 +315,48 @@ impl LaoramService {
                     // subdirectory this service created: remove it too.
                     generated_spill_dir = Some(dir.clone());
                 }
-                let store = build_store(&table_backends[table], spec, table, shard, laoram_config)?;
-                let client = LaOram::with_store(laoram_config.clone(), store)?;
-                let planner =
-                    SuperblockPlanner::for_config(laoram_config, client.geometry().num_leaves());
+                if let (StorageBackend::Disk(disk), ResolvedBackend::Disk { dir }) =
+                    (&spec.backend, &table_backends[table])
+                {
+                    if disk.snapshots && !table_recover[table] {
+                        let file = shard_file_path(dir, spec, table, shard);
+                        fresh_persistent_cleanup.push(StateSnapshot::default_path(&file));
+                        fresh_persistent_cleanup.push(file);
+                    }
+                }
+                let (client, planner_reseed) = build_client(
+                    &table_backends[table],
+                    spec,
+                    table,
+                    shard,
+                    laoram_config,
+                    table_recover[table],
+                )?;
+                // A recovered shard's planner draws from a seed derived
+                // at the last checkpoint, NOT from the config seed: a
+                // restart must plan fresh uniform paths, never replay
+                // the previous session's draw sequence.
+                let planner = match planner_reseed {
+                    Some(seed) => SuperblockPlanner::for_config_with_seed(
+                        laoram_config,
+                        client.geometry().num_leaves(),
+                        seed,
+                    ),
+                    None => {
+                        SuperblockPlanner::for_config(laoram_config, client.geometry().num_leaves())
+                    }
+                };
                 clients.push(client);
                 planners.push(planner);
             }
             Ok(())
         })();
         if let Err(e) = build_result {
-            // Don't leak the already-created spill files of earlier shards.
-            for file in &spill_cleanup {
+            // Don't leak the already-created spill files of earlier
+            // shards, nor the fresh (empty, unsynced) stores of
+            // snapshot-enabled tables — those would make the next start
+            // refuse as a partial recovery.
+            for file in spill_cleanup.iter().chain(&fresh_persistent_cleanup) {
                 let _ = std::fs::remove_file(file);
             }
             if let Some(dir) = &generated_spill_dir {
@@ -294,6 +364,18 @@ impl LaoramService {
             }
             return Err(e);
         }
+        let table_status: Vec<TableStatus> = table_backends
+            .iter()
+            .zip(config.tables.iter().zip(&table_recover))
+            .map(|(backend, (spec, &recovered))| TableStatus {
+                backend: backend.clone(),
+                recovery: if recovered {
+                    TableRecovery::Recovered { shards: spec.shards }
+                } else {
+                    TableRecovery::Fresh
+                },
+            })
+            .collect();
 
         let shared = Arc::new(Shared {
             start: Instant::now(),
@@ -385,6 +467,7 @@ impl LaoramService {
             router,
             worker_homes,
             table_backends,
+            table_status,
             spill_cleanup,
             generated_spill_dir,
             batcher: Some(batcher),
@@ -599,9 +682,22 @@ impl LaoramService {
     /// order — reports whether an [`StorageBackend::Auto`] table spilled
     /// to disk under
     /// [`in_memory_cap_bytes`](crate::ServiceConfig::in_memory_cap_bytes).
+    /// See [`table_status`](Self::table_status) for the recovered-vs-fresh
+    /// status that goes with each backend.
     #[must_use]
     pub fn table_backends(&self) -> &[ResolvedBackend] {
         &self.table_backends
+    }
+
+    /// Each table's backend *and* recovered-vs-fresh status, in table
+    /// order: a snapshot-enabled disk table whose store + snapshot files
+    /// already existed at startup reports
+    /// [`TableRecovery::Recovered`], everything else
+    /// [`TableRecovery::Fresh`]. Also included in the final
+    /// [`ServiceReport`].
+    #[must_use]
+    pub fn table_status(&self) -> &[TableStatus] {
+        &self.table_status
     }
 
     /// Removes auto-spill shard files (and the spill directory, when this
@@ -700,6 +796,7 @@ impl LaoramService {
             requests_served: self.shared.submitted.load(Ordering::Relaxed),
             truncated_requests,
             worker_errors,
+            table_status: self.table_status.clone(),
         })
     }
 }
@@ -763,21 +860,30 @@ fn resolve_backends(
     Ok(resolved)
 }
 
-/// Builds one shard's bucket store on the table's resolved backend.
-fn build_store(
+/// Builds one shard's LAORAM client on the table's resolved backend.
+/// With `recover` set (decided table-wide by `start` *before* any file
+/// is created), the shard is restored from its persisted store +
+/// snapshot pair; the returned seed, derived from the snapshot's RNG
+/// reseed point, is what the shard's planner must draw from so a
+/// restart never replays the previous session's path sequence.
+fn build_client(
     backend: &ResolvedBackend,
     spec: &TableSpec,
     table: usize,
     shard: u32,
     laoram_config: &LaOramConfig,
-) -> Result<DynBucketStore, ServiceError> {
+    recover: bool,
+) -> Result<(ShardClient, Option<u64>), ServiceError> {
     let geometry = laoram_config.geometry()?;
     match backend {
-        ResolvedBackend::InMemory => Ok(if spec.payloads {
-            Box::new(TreeStorage::new(geometry))
-        } else {
-            Box::new(TreeStorage::metadata_only(geometry))
-        }),
+        ResolvedBackend::InMemory => {
+            let store: DynBucketStore = if spec.payloads {
+                Box::new(TreeStorage::new(geometry))
+            } else {
+                Box::new(TreeStorage::metadata_only(geometry))
+            };
+            Ok((LaOram::with_store(laoram_config.clone(), store)?, None))
+        }
         ResolvedBackend::Disk { dir } => {
             let tree_err =
                 |e: oram_tree::TreeError| ServiceError::Core(laoram_core::LaOramError::from(e));
@@ -795,12 +901,40 @@ fn build_store(
             });
             // Auto spill keeps DiskStoreConfig's defaults; explicit disk
             // tables carry their own tuning.
+            let mut snapshots = false;
+            let mut durable = false;
             if let StorageBackend::Disk(d) = &spec.backend {
-                disk_config =
-                    disk_config.write_back_paths(d.write_back_paths).durable_sync(d.durable_sync);
+                disk_config = disk_config
+                    .write_back_paths(d.write_back_paths)
+                    .durable_sync(d.durable_sync)
+                    .readahead_paths(d.readahead_paths);
+                snapshots = d.snapshots;
+                durable = d.durable_sync;
             }
-            let store = DiskStore::create(&file, geometry, disk_config).map_err(tree_err)?;
-            Ok(Box::new(store))
+            let snap_path = StateSnapshot::default_path(&file);
+            let (mut client, planner_reseed) = if recover && snapshots {
+                let snapshot = StateSnapshot::read_from(&snap_path).map_err(|e| {
+                    ServiceError::InvalidConfig(format!(
+                        "table '{}' shard {shard}: store file {} exists but its snapshot \
+                         cannot be used ({e}); restore the snapshot or move the store aside \
+                         to start fresh",
+                        spec.name,
+                        file.display()
+                    ))
+                })?;
+                let store: DynBucketStore =
+                    Box::new(DiskStore::open(&file, disk_config).map_err(tree_err)?);
+                let reseed = snapshot.levels.first().map_or(snapshot.generation, |l| l.reseed);
+                (LaOram::reopen(laoram_config.clone(), store, &snapshot)?, Some(reseed))
+            } else {
+                let store: DynBucketStore =
+                    Box::new(DiskStore::create(&file, geometry, disk_config).map_err(tree_err)?);
+                (LaOram::with_store(laoram_config.clone(), store)?, None)
+            };
+            if snapshots {
+                client.persist_client_state(snap_path, durable);
+            }
+            Ok((client, planner_reseed))
         }
     }
 }

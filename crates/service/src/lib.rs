@@ -40,6 +40,14 @@
 //!   ([`DiskBackendSpec`]), or automatic spill when the table's footprint
 //!   exceeds [`ServiceConfig::in_memory_cap_bytes`]. The backend actually
 //!   chosen is reported by [`LaoramService::table_backends`].
+//! * **Restartable** — a disk table with
+//!   [`DiskBackendSpec::snapshots`] checkpoints its client state
+//!   (position map, stash, RNG resume point) atomically at every
+//!   superblock sync; [`LaoramService::start`] recovers existing
+//!   store + snapshot pairs instead of recreating them, and
+//!   [`table_status`](LaoramService::table_status) /
+//!   [`ServiceReport::table_status`] report recovered-vs-fresh per
+//!   table. See `docs/PERSISTENCE.md` for the crash-recovery matrix.
 //! * **Pipelined** — a dedicated preprocessor thread bins and
 //!   path-assigns group `N+1` (via the resumable
 //!   [`SuperblockPlanner`](laoram_core::SuperblockPlanner)) while the
@@ -98,7 +106,13 @@
 //!   defended (host-visible page-cache and block-layer traces are exactly
 //!   the server-side adversary's view), and `write_back_paths` buffering
 //!   means file-level observers see slot writes *batched at superblock
-//!   sync points*, not per access.
+//!   sync points*, not per access. Readahead
+//!   ([`DiskBackendSpec::readahead_paths`]) only moves reads of the
+//!   already-uniform planned paths earlier. **Snapshot files are client
+//!   state**: a `.snap` file holds the position map and stash, which the
+//!   ORAM model assumes secret — protect them like the client itself.
+//!   The full caveat list and the crash-recovery matrix live in
+//!   `docs/PERSISTENCE.md`.
 //!
 //! # Example
 //!
@@ -149,7 +163,8 @@ pub use error::ServiceError;
 pub use request::{Completion, RequestTicket, RequestTiming, Session, SessionId};
 pub use router::{ShardRouter, TablePartition};
 pub use spec::{
-    BatchPolicy, DiskBackendSpec, ResolvedBackend, ServiceConfig, StorageBackend, TableSpec,
+    BatchPolicy, DiskBackendSpec, ResolvedBackend, ServiceConfig, StorageBackend, TableRecovery,
+    TableSpec, TableStatus,
 };
 pub use stats::{
     BatchTiming, LatencyHistogram, PipelineStats, RequestLatencyStats, ServiceStats, ShardStats,

@@ -43,16 +43,39 @@ pub struct DiskBackendSpec {
     /// [`DiskStoreConfig::write_back_paths`](oram_tree::DiskStoreConfig::write_back_paths)).
     pub write_back_paths: usize,
     /// Whether superblock-boundary sync points fsync (durability at the
-    /// cost of device flushes).
+    /// cost of device flushes), and — with [`snapshots`](Self::snapshots)
+    /// — whether snapshot writes fsync before publishing.
     pub durable_sync: bool,
+    /// Readahead budget per shard, in paths: the look-ahead preprocessor
+    /// hints each window's superblock paths to the store, which
+    /// batch-loads them ahead of serving (see
+    /// [`DiskStoreConfig::readahead_paths`](oram_tree::DiskStoreConfig::readahead_paths)).
+    /// `0` disables readahead.
+    pub readahead_paths: usize,
+    /// Client-state persistence: when set, every shard writes a
+    /// checksummed [`StateSnapshot`](oram_tree::StateSnapshot) (position
+    /// map, stash, RNG resume point) next to its store file at each sync
+    /// boundary, and [`LaoramService::start`](crate::LaoramService::start)
+    /// **recovers** tables whose store + snapshot files already exist
+    /// instead of recreating them — the restart story. Recovery status is
+    /// reported per table by
+    /// [`table_status`](crate::LaoramService::table_status) and in the
+    /// [`ServiceReport`](crate::ServiceReport).
+    pub snapshots: bool,
 }
 
 impl DiskBackendSpec {
-    /// Disk backend rooted at `dir` with a 64-path write-back buffer and
-    /// no fsync.
+    /// Disk backend rooted at `dir` with a 64-path write-back buffer, a
+    /// 256-path readahead budget, no fsync, and snapshots off.
     #[must_use]
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        DiskBackendSpec { dir: dir.into(), write_back_paths: 64, durable_sync: false }
+        DiskBackendSpec {
+            dir: dir.into(),
+            write_back_paths: 64,
+            durable_sync: false,
+            readahead_paths: 256,
+            snapshots: false,
+        }
     }
 
     /// Sets the per-shard write-back buffer budget, in paths.
@@ -66,6 +89,21 @@ impl DiskBackendSpec {
     #[must_use]
     pub fn durable_sync(mut self, durable: bool) -> Self {
         self.durable_sync = durable;
+        self
+    }
+
+    /// Sets the per-shard readahead budget, in paths (`0` disables).
+    #[must_use]
+    pub fn readahead_paths(mut self, paths: usize) -> Self {
+        self.readahead_paths = paths;
+        self
+    }
+
+    /// Enables or disables client-state snapshots (and with them,
+    /// restart recovery of existing shard files).
+    #[must_use]
+    pub fn snapshots(mut self, snapshots: bool) -> Self {
+        self.snapshots = snapshots;
         self
     }
 }
@@ -82,6 +120,34 @@ pub enum ResolvedBackend {
         /// Directory holding the shard store files.
         dir: PathBuf,
     },
+}
+
+/// Whether a table's state at startup came from persisted files or was
+/// built fresh (reported per table by
+/// [`LaoramService::table_status`](crate::LaoramService::table_status)
+/// and [`ServiceReport::table_status`](crate::ServiceReport::table_status)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableRecovery {
+    /// The table was created fresh at startup (no persisted state, or
+    /// persistence disabled).
+    Fresh,
+    /// Every shard was recovered from its store + snapshot pair: the
+    /// table resumed at its last synced durability point.
+    Recovered {
+        /// Number of shards recovered (always the table's shard count —
+        /// partial recovery is refused at startup).
+        shards: u32,
+    },
+}
+
+/// One table's storage backend and recovery status, as resolved at
+/// startup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableStatus {
+    /// The backend the table's shards were placed on.
+    pub backend: ResolvedBackend,
+    /// Whether the table's state was recovered or built fresh.
+    pub recovery: TableRecovery,
 }
 
 /// Configuration of one hosted embedding table.

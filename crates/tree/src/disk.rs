@@ -16,9 +16,11 @@
 //! ```
 //!
 //! * **Header**: magic, format version, payload capacity, generation
-//!   counter, occupancy, and the tree's per-level bucket capacities (so a
-//!   file is self-describing and [`DiskStore::open`] can rebuild the
-//!   geometry and reject mismatched callers).
+//!   counter, occupancy, an **unsynced-spill flag** (set while the file
+//!   holds slot writes not yet covered by a sync point), and the tree's
+//!   per-level bucket capacities (so a file is self-describing and
+//!   [`DiskStore::open`] can rebuild the geometry and reject mismatched
+//!   callers).
 //! * **Slot**: `id + 1` (`u32`, so a zero — and therefore a sparse,
 //!   never-written file region — means *empty*), the assigned leaf
 //!   (`u32`), and, when the store carries payloads, `len + 1` (`u32`,
@@ -28,6 +30,24 @@
 //! flat array (level by level, buckets in node order), so the two
 //! backends visit blocks in identical order — the property the
 //! backend-equivalence tests depend on.
+//!
+//! # Batched I/O
+//!
+//! A bucket's slots are contiguous on disk, so every path operation is
+//! performed as **one read per bucket** (`L + 1` reads per path) rather
+//! than one per slot, and the write-back buffer is flushed as
+//! **run-length-coalesced writes**: dirty slots are sorted and maximal
+//! consecutive runs become single `pwrite`s. Full-tree scans
+//! (`collect_blocks`, `verify_consistency`, `occupancy_by_level`) stream
+//! the file in large chunks. On top of that, callers that know which
+//! paths are coming (the look-ahead preprocessor knows batch `N+1`'s
+//! paths exactly) can [`prefetch_paths`](BucketStore::prefetch_paths)
+//! them into a bounded read cache, after which serving those paths costs
+//! no backing-file reads at all. The prefetch is a pure I/O-scheduling
+//! hint: responses and the protocol-visible access sequence are
+//! unchanged (the cache is consulted only for clean slots and
+//! invalidated on every write), and an OS-level observer merely sees the
+//! same uniformly random paths slightly earlier.
 //!
 //! # Durability model
 //!
@@ -39,7 +59,15 @@
 //! [`DiskStoreConfig::durable_sync`] — fsyncs in that order, so a header
 //! naming generation `g` implies the data of every sync `≤ g` has been
 //! submitted before it. State between sync points is undefined after a
-//! crash. The look-ahead client calls `sync` at superblock boundaries.
+//! crash; the header's unsynced-spill flag records exactly that
+//! condition, and [`DiskStore::open`] refuses such files with the typed
+//! [`TreeError::UnsyncedStore`] instead of serving mid-superblock state.
+//! The look-ahead client calls `sync` at superblock boundaries.
+//!
+//! Client state (position map, stash) is **not** stored here; pair the
+//! store with a [`StateSnapshot`](crate::StateSnapshot) written at the
+//! same sync boundaries to make the whole table restartable (see
+//! `docs/PERSISTENCE.md`).
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -58,6 +86,24 @@ const HEADER_LEN: u64 = 4096;
 const MAGIC: &[u8; 8] = b"LAORAM01";
 /// On-disk format version.
 const VERSION: u32 = 1;
+/// Header offset of the unsynced-spill flag byte (zero in files written
+/// by older sessions, which is exactly the "clean" reading).
+const UNSYNCED_FLAG_AT: usize = 36;
+/// Slots per chunk when streaming full-tree scans.
+const SCAN_CHUNK_SLOTS: u64 = 8192;
+/// Byte gap under which two prefetch runs are merged into one read:
+/// reading a page of don't-care bytes is cheaper than a second syscall,
+/// and the gap slots are cached too (they are clean file data). At the
+/// upper tree levels, where a look-ahead window touches most buckets,
+/// this collapses a whole level into a single read.
+const READAHEAD_MERGE_BYTES: u64 = 4096;
+/// Byte gap under which two *write* runs are merged into one write.
+/// Gap slots are filled from the clean cache when their values are known
+/// (byte-identical re-encodes of file content) and read back from the
+/// file otherwise; either way one syscall replaces many scattered
+/// single-slot writes — ORAM write-backs scatter dirty slots across the
+/// tree, so without bridging most "runs" are a single slot.
+const WRITE_MERGE_BYTES: u64 = 1024;
 
 /// Tuning and layout options for a [`DiskStore`].
 #[derive(Debug, Clone)]
@@ -75,13 +121,25 @@ pub struct DiskStoreConfig {
     /// header). Off by default: tests and benches want sync's ordering
     /// semantics without paying device flushes.
     pub durable_sync: bool,
+    /// Maximum paths honoured per [`prefetch_paths`](BucketStore::prefetch_paths)
+    /// hint. The clean read cache (readahead hints, flush recycling,
+    /// empties memoised on path reads) is bounded to `4 ×
+    /// readahead_paths × path_slots` slots. `0` disables readahead and
+    /// the cache entirely.
+    pub readahead_paths: usize,
 }
 
 impl DiskStoreConfig {
-    /// Metadata-only store with a 64-path write-back buffer and no fsync.
+    /// Metadata-only store with a 64-path write-back buffer, a 256-path
+    /// readahead budget, and no fsync.
     #[must_use]
     pub fn new() -> Self {
-        DiskStoreConfig { payload_capacity: 0, write_back_paths: 64, durable_sync: false }
+        DiskStoreConfig {
+            payload_capacity: 0,
+            write_back_paths: 64,
+            durable_sync: false,
+            readahead_paths: 256,
+        }
     }
 
     /// Sets the per-slot payload capacity in bytes.
@@ -104,6 +162,13 @@ impl DiskStoreConfig {
         self.durable_sync = durable;
         self
     }
+
+    /// Sets the readahead budget in paths (`0` disables prefetching).
+    #[must_use]
+    pub fn readahead_paths(mut self, paths: usize) -> Self {
+        self.readahead_paths = paths;
+        self
+    }
 }
 
 impl Default for DiskStoreConfig {
@@ -111,6 +176,51 @@ impl Default for DiskStoreConfig {
         Self::new()
     }
 }
+
+/// Cumulative backing-file I/O counters of a [`DiskStore`] — the
+/// observability behind the batched-I/O claims: syscalls and bytes, split
+/// by direction ([`DiskStore::io_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskIoStats {
+    /// Positioned reads issued against the backing file.
+    pub reads: u64,
+    /// Bytes read from the backing file.
+    pub read_bytes: u64,
+    /// Positioned writes issued against the backing file (slot runs and
+    /// header updates).
+    pub writes: u64,
+    /// Bytes written to the backing file.
+    pub write_bytes: u64,
+}
+
+/// A trivial multiply-xorshift hasher for `u64` slot indices. The dirty
+/// buffer and clean cache are probed hundreds of times per path
+/// operation, and the default SipHash dominates the disk backend's CPU
+/// profile; slot indices are not attacker-controlled, so a fast
+/// non-cryptographic mix is the right trade.
+#[derive(Default, Clone)]
+struct SlotHasher(u64);
+
+impl std::hash::Hasher for SlotHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        self.0 = h;
+    }
+}
+
+/// Slot-indexed map used for the write-back buffer and the clean cache.
+type SlotMap = HashMap<u64, SlotRecord, std::hash::BuildHasherDefault<SlotHasher>>;
 
 /// One slot's in-memory image while it sits in the write-back buffer.
 #[derive(Clone)]
@@ -136,7 +246,10 @@ impl SlotRecord {
 /// and [`sync`](BucketStore::sync) is the only durability point (data
 /// first, then a generation-bumped header).
 ///
-/// # Example
+/// # Examples
+///
+/// Open → serve → sync → reopen, the disk backend's basic life cycle:
+///
 /// ```
 /// use oram_tree::{Block, BlockId, BucketProfile, BucketStore, DiskStore, DiskStoreConfig,
 ///                 LeafId, TreeGeometry};
@@ -148,10 +261,16 @@ impl SlotRecord {
 /// let mut blocks = vec![Block::metadata_only(BlockId::new(3), LeafId::new(9))];
 /// store.write_path(LeafId::new(9), &mut blocks);
 /// store.sync()?; // durability point: dirty slots reach the file
+/// assert_eq!(store.generation(), 1);
+/// drop(store);
 ///
-/// let fetched = store.read_path(LeafId::new(9));
+/// // A later session reopens the same file; geometry and occupancy come
+/// // from the self-describing header.
+/// let mut reopened = DiskStore::open(&path, DiskStoreConfig::new())?;
+/// assert_eq!(reopened.generation(), 1);
+/// let fetched = reopened.read_path(LeafId::new(9));
 /// assert_eq!(fetched[0].id(), BlockId::new(3));
-/// # drop(store);
+/// # drop(reopened);
 /// # let _ = std::fs::remove_file(&path);
 /// # Ok::<(), oram_tree::TreeError>(())
 /// ```
@@ -162,11 +281,25 @@ pub struct DiskStore {
     payload_capacity: u32,
     durable_sync: bool,
     /// Write-back buffer: flat slot index → pending slot image.
-    dirty: HashMap<u64, SlotRecord>,
+    dirty: SlotMap,
     /// Dirty-slot budget before an automatic (non-durable) spill.
     dirty_limit: usize,
+    /// Clean read cache: filled by [`BucketStore::prefetch_paths`] hints
+    /// and by recycling just-flushed slots (whose values are known
+    /// without re-reading the file). Entries are dropped the moment the
+    /// slot is written, so the cache never holds stale data.
+    prefetch: SlotMap,
+    /// Upper bound on the clean-cache size, in slots.
+    prefetch_cap: usize,
+    /// Readahead budget, in paths (`0` = prefetch disabled).
+    readahead_paths: usize,
     occupied: u64,
     generation: u64,
+    /// Whether the file holds slot writes from after the last sync point
+    /// (mirrored in the header's unsynced-spill flag).
+    unsynced: bool,
+    /// Cumulative backing-file I/O counters.
+    io: std::cell::Cell<DiskIoStats>,
     /// First auto-spill failure, surfaced at the next `sync`.
     pending_error: Option<TreeError>,
 }
@@ -181,6 +314,7 @@ impl std::fmt::Debug for DiskStore {
             .field("occupied", &self.occupied)
             .field("generation", &self.generation)
             .field("dirty_slots", &self.dirty.len())
+            .field("prefetched_slots", &self.prefetch.len())
             .finish()
     }
 }
@@ -248,10 +382,15 @@ impl DiskStore {
             geometry,
             payload_capacity: config.payload_capacity,
             durable_sync: config.durable_sync,
-            dirty: HashMap::new(),
+            dirty: SlotMap::default(),
             dirty_limit: config.write_back_paths.max(1) * path_slots,
+            prefetch: SlotMap::default(),
+            prefetch_cap: config.readahead_paths.saturating_mul(path_slots).saturating_mul(4),
+            readahead_paths: config.readahead_paths,
             occupied: 0,
             generation: 0,
+            unsynced: false,
+            io: std::cell::Cell::new(DiskIoStats::default()),
             pending_error: None,
         };
         store.write_header()?;
@@ -261,14 +400,17 @@ impl DiskStore {
     /// Opens an existing store file, rebuilding the geometry from its
     /// self-describing header.
     ///
-    /// The tuning knobs of `config` (`write_back_paths`, `durable_sync`)
-    /// apply to the reopened store; its `payload_capacity` must match the
-    /// header's.
+    /// The tuning knobs of `config` (`write_back_paths`, `durable_sync`,
+    /// `readahead_paths`) apply to the reopened store; its
+    /// `payload_capacity` must match the header's.
     ///
     /// # Errors
     /// [`TreeError::Io`] on file-system failures;
     /// [`TreeError::CorruptStore`] on bad magic/version or a payload
-    /// capacity mismatch.
+    /// capacity mismatch; [`TreeError::UnsyncedStore`] when the file
+    /// holds slot writes spilled after its last sync point (crashed or
+    /// unsynced session) — such content corresponds to no durability
+    /// point and must not be served.
     pub fn open(path: impl AsRef<Path>, config: DiskStoreConfig) -> Result<Self, TreeError> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new()
@@ -299,6 +441,9 @@ impl DiskStore {
         if leaf_level > crate::geometry::MAX_LEVELS {
             return Err(TreeError::CorruptStore(format!("leaf level {leaf_level} out of range")));
         }
+        if header[UNSYNCED_FLAG_AT] != 0 {
+            return Err(TreeError::UnsyncedStore { generation });
+        }
         let capacities: Vec<u32> =
             (0..=leaf_level).map(|l| read_u32(40 + 4 * l as usize)).collect();
         let geometry = TreeGeometry::with_levels(leaf_level, BucketProfile::Custom(capacities))
@@ -318,10 +463,15 @@ impl DiskStore {
             geometry,
             payload_capacity,
             durable_sync: config.durable_sync,
-            dirty: HashMap::new(),
+            dirty: SlotMap::default(),
             dirty_limit: config.write_back_paths.max(1) * path_slots,
+            prefetch: SlotMap::default(),
+            prefetch_cap: config.readahead_paths.saturating_mul(path_slots).saturating_mul(4),
+            readahead_paths: config.readahead_paths,
             occupied,
             generation,
+            unsynced: false,
+            io: std::cell::Cell::new(DiskIoStats::default()),
             pending_error: None,
         })
     }
@@ -344,55 +494,56 @@ impl DiskStore {
         self.dirty.len()
     }
 
+    /// Slots currently held in the readahead cache.
+    #[must_use]
+    pub fn prefetched_slots(&self) -> usize {
+        self.prefetch.len()
+    }
+
     /// Maximum payload bytes one slot can hold (`0` = metadata-only).
     #[must_use]
     pub fn payload_capacity(&self) -> u32 {
         self.payload_capacity
     }
 
+    /// Cumulative backing-file I/O counters (syscalls and bytes by
+    /// direction) since this store was opened.
+    #[must_use]
+    pub fn io_stats(&self) -> DiskIoStats {
+        self.io.get()
+    }
+
     fn write_header(&mut self) -> Result<(), TreeError> {
-        let mut buf = vec![0u8; HEADER_LEN as usize];
+        // Only the used prefix is written — the header page is 4 KiB,
+        // but rewriting the ~100 meaningful bytes at every sync point is
+        // what the flush path actually needs.
+        let used = 40 + 4 * (self.geometry.leaf_level() as usize + 1);
+        let mut buf = vec![0u8; used];
         buf[0..8].copy_from_slice(MAGIC);
         buf[8..12].copy_from_slice(&VERSION.to_le_bytes());
         buf[12..16].copy_from_slice(&self.payload_capacity.to_le_bytes());
         buf[16..24].copy_from_slice(&self.generation.to_le_bytes());
         buf[24..32].copy_from_slice(&self.occupied.to_le_bytes());
         buf[32..36].copy_from_slice(&self.geometry.leaf_level().to_le_bytes());
+        buf[UNSYNCED_FLAG_AT] = u8::from(self.unsynced);
         for level in 0..=self.geometry.leaf_level() {
             let at = 40 + 4 * level as usize;
             buf[at..at + 4].copy_from_slice(&self.geometry.bucket_capacity(level).to_le_bytes());
         }
-        self.file.write_all_at(&buf, 0).map_err(|e| io_err("write store header", e))
+        self.file.write_all_at(&buf, 0).map_err(|e| io_err("write store header", e))?;
+        let mut io = self.io.get();
+        io.writes += 1;
+        io.write_bytes += buf.len() as u64;
+        self.io.set(io);
+        Ok(())
     }
 
-    /// Reads one slot's `(id + 1, leaf)` metadata, dirty-buffer first.
-    fn load_meta(&self, slot: u64) -> Result<(u32, u32), TreeError> {
-        if let Some(rec) = self.dirty.get(&slot) {
-            return Ok((rec.id_plus1, rec.leaf));
-        }
-        let mut buf = [0u8; 8];
-        self.file
-            .read_exact_at(&mut buf, self.slot_offset(slot))
-            .map_err(|e| io_err("read slot metadata", e))?;
-        Ok((
-            u32::from_le_bytes(buf[0..4].try_into().expect("4")),
-            u32::from_le_bytes(buf[4..8].try_into().expect("4")),
-        ))
-    }
-
-    /// Reads one whole slot, dirty-buffer first.
-    fn load_slot(&self, slot: u64) -> Result<SlotRecord, TreeError> {
-        if let Some(rec) = self.dirty.get(&slot) {
-            return Ok(rec.clone());
-        }
-        let mut buf = vec![0u8; self.slot_bytes() as usize];
-        self.file
-            .read_exact_at(&mut buf, self.slot_offset(slot))
-            .map_err(|e| io_err("read slot", e))?;
-        let id_plus1 = u32::from_le_bytes(buf[0..4].try_into().expect("4"));
-        let leaf = u32::from_le_bytes(buf[4..8].try_into().expect("4"));
+    /// Decodes one slot image from its raw on-disk bytes.
+    fn decode_rec(&self, bytes: &[u8], slot: u64) -> Result<SlotRecord, TreeError> {
+        let id_plus1 = u32::from_le_bytes(bytes[0..4].try_into().expect("4"));
+        let leaf = u32::from_le_bytes(bytes[4..8].try_into().expect("4"));
         let data = if self.payload_capacity > 0 {
-            let len_plus1 = u32::from_le_bytes(buf[8..12].try_into().expect("4"));
+            let len_plus1 = u32::from_le_bytes(bytes[8..12].try_into().expect("4"));
             if len_plus1 == 0 {
                 None
             } else {
@@ -403,7 +554,7 @@ impl DiskStore {
                         self.payload_capacity
                     )));
                 }
-                Some(Box::from(&buf[12..12 + len]))
+                Some(Box::from(&bytes[12..12 + len]))
             }
         } else {
             None
@@ -411,7 +562,81 @@ impl DiskStore {
         Ok(SlotRecord { id_plus1, leaf, data })
     }
 
-    /// Queues one slot image in the write-back buffer.
+    /// Reads the raw bytes of `len` consecutive slots starting at
+    /// `start` with a single positioned read.
+    fn read_run_bytes(&self, start: u64, len: usize) -> Result<Vec<u8>, TreeError> {
+        let mut buf = vec![0u8; len * self.slot_bytes() as usize];
+        self.file
+            .read_exact_at(&mut buf, self.slot_offset(start))
+            .map_err(|e| io_err("read slot run", e))?;
+        let mut io = self.io.get();
+        io.reads += 1;
+        io.read_bytes += buf.len() as u64;
+        self.io.set(io);
+        Ok(buf)
+    }
+
+    /// Loads `len` consecutive slots starting at `start`: write-back
+    /// buffer first, then the prefetch cache, then one batched file read
+    /// for whatever is left (skipped entirely when the caches cover the
+    /// run).
+    fn load_run(&self, start: u64, len: usize) -> Result<Vec<SlotRecord>, TreeError> {
+        let mut out: Vec<Option<SlotRecord>> = Vec::with_capacity(len);
+        let mut missing = false;
+        for i in 0..len as u64 {
+            let slot = start + i;
+            let rec = self.dirty.get(&slot).or_else(|| self.prefetch.get(&slot)).cloned();
+            missing |= rec.is_none();
+            out.push(rec);
+        }
+        if missing {
+            let bytes = self.read_run_bytes(start, len)?;
+            let slot_bytes = self.slot_bytes() as usize;
+            for (i, entry) in out.iter_mut().enumerate() {
+                if entry.is_none() {
+                    *entry = Some(self.decode_rec(
+                        &bytes[i * slot_bytes..(i + 1) * slot_bytes],
+                        start + i as u64,
+                    )?);
+                }
+            }
+        }
+        Ok(out.into_iter().map(|rec| rec.expect("every slot resolved")).collect())
+    }
+
+    /// As [`load_run`](Self::load_run), but decoding only each slot's
+    /// `(id + 1, leaf)` metadata (no payload allocation).
+    fn load_run_meta(&self, start: u64, len: usize) -> Result<Vec<(u32, u32)>, TreeError> {
+        let mut out: Vec<Option<(u32, u32)>> = Vec::with_capacity(len);
+        let mut missing = false;
+        for i in 0..len as u64 {
+            let slot = start + i;
+            let meta = self
+                .dirty
+                .get(&slot)
+                .or_else(|| self.prefetch.get(&slot))
+                .map(|rec| (rec.id_plus1, rec.leaf));
+            missing |= meta.is_none();
+            out.push(meta);
+        }
+        if missing {
+            let bytes = self.read_run_bytes(start, len)?;
+            let slot_bytes = self.slot_bytes() as usize;
+            for (i, entry) in out.iter_mut().enumerate() {
+                if entry.is_none() {
+                    let at = i * slot_bytes;
+                    *entry = Some((
+                        u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4")),
+                        u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4")),
+                    ));
+                }
+            }
+        }
+        Ok(out.into_iter().map(|meta| meta.expect("every slot resolved")).collect())
+    }
+
+    /// Queues one slot image in the write-back buffer, invalidating any
+    /// prefetched copy.
     fn store_slot(&mut self, slot: u64, rec: SlotRecord) {
         if let Some(data) = &rec.data {
             assert!(self.payload_capacity > 0, "payload block written into a metadata-only tree");
@@ -422,6 +647,7 @@ impl DiskStore {
                 self.payload_capacity
             );
         }
+        self.prefetch.remove(&slot);
         self.dirty.insert(slot, rec);
     }
 
@@ -440,7 +666,9 @@ impl DiskStore {
 
     /// Writes every buffered slot (and the current occupancy) to the
     /// file, without a durability barrier and without advancing the
-    /// generation.
+    /// generation. The header's unsynced-spill flag is raised first, so
+    /// the file is marked as holding mid-superblock state until the next
+    /// [`sync`](Self::sync) clears it.
     ///
     /// # Errors
     /// [`TreeError::Io`]; the buffer is preserved on failure.
@@ -448,31 +676,118 @@ impl DiskStore {
         if self.dirty.is_empty() {
             return Ok(());
         }
+        // Mark the file inconsistent before any slot bytes land: a crash
+        // mid-flush must be detectable at the next open.
+        self.unsynced = true;
+        self.write_header()?;
+        self.write_dirty_runs()?;
+        // Recycle the flushed slots into the clean cache: their values
+        // are known without re-reading the file, and the hottest slots
+        // (upper tree levels, rewritten at every write-back) therefore
+        // stay memory-resident across flushes.
+        if self.prefetch_cap > 0 {
+            let flushed: Vec<u64> = self.dirty.keys().copied().collect();
+            for (slot, rec) in self.dirty.drain() {
+                self.prefetch.insert(slot, rec);
+            }
+            self.trim_prefetch(&flushed);
+        } else {
+            self.dirty.clear();
+        }
+        Ok(())
+    }
+
+    /// Evicts clean-cache entries (preferring ones *not* in `keep`)
+    /// until the cache fits its budget.
+    fn trim_prefetch(&mut self, keep: &[u64]) {
+        if self.prefetch.len() <= self.prefetch_cap {
+            return;
+        }
+        let keep: std::collections::HashSet<u64> = keep.iter().copied().collect();
+        let excess = self.prefetch.len() - self.prefetch_cap;
+        let evict: Vec<u64> =
+            self.prefetch.keys().filter(|s| !keep.contains(s)).take(excess).copied().collect();
+        for slot in evict {
+            self.prefetch.remove(&slot);
+        }
+        // Still over budget (keep itself exceeds the cap): drop arbitrary
+        // entries — correctness never depends on the cache.
+        while self.prefetch.len() > self.prefetch_cap {
+            let slot = *self.prefetch.keys().next().expect("nonempty");
+            self.prefetch.remove(&slot);
+        }
+    }
+
+    /// Encodes one slot record into `buf` at `at`.
+    fn encode_rec(&self, buf: &mut [u8], at: usize, rec: &SlotRecord) {
+        buf[at..at + 4].copy_from_slice(&rec.id_plus1.to_le_bytes());
+        buf[at + 4..at + 8].copy_from_slice(&rec.leaf.to_le_bytes());
+        if self.payload_capacity > 0 {
+            match &rec.data {
+                Some(d) => {
+                    buf[at + 8..at + 12].copy_from_slice(&(d.len() as u32 + 1).to_le_bytes());
+                    buf[at + 12..at + 12 + d.len()].copy_from_slice(d);
+                }
+                None => buf[at + 8..at + 12].copy_from_slice(&0u32.to_le_bytes()),
+            }
+        }
+    }
+
+    /// Writes the dirty slots as run-length-coalesced contiguous writes:
+    /// slots are sorted and merged into maximal spans, where a gap of up
+    /// to one I/O quantum between two dirty slots is bridged by
+    /// read-modify-writing the span — rewriting a page of unchanged
+    /// bytes costs far less than a second syscall. ORAM write-backs
+    /// scatter slots across the tree, so without bridging most "runs"
+    /// are a single slot.
+    fn write_dirty_runs(&mut self) -> Result<(), TreeError> {
         let slot_bytes = self.slot_bytes() as usize;
-        // Sorted order: adjacent dirty slots coalesce in the page cache.
+        let gap_slots = (WRITE_MERGE_BYTES / self.slot_bytes()).max(1);
         let mut slots: Vec<u64> = self.dirty.keys().copied().collect();
         slots.sort_unstable();
-        let mut buf = vec![0u8; slot_bytes];
-        for slot in slots {
-            let rec = &self.dirty[&slot];
-            buf.fill(0);
-            buf[0..4].copy_from_slice(&rec.id_plus1.to_le_bytes());
-            buf[4..8].copy_from_slice(&rec.leaf.to_le_bytes());
-            if self.payload_capacity > 0 {
-                match &rec.data {
-                    Some(d) => {
-                        buf[8..12].copy_from_slice(&(d.len() as u32 + 1).to_le_bytes());
-                        buf[12..12 + d.len()].copy_from_slice(d);
-                    }
-                    None => buf[8..12].copy_from_slice(&0u32.to_le_bytes()),
+        // Merge into spans ([start, end), dirty count) by pure index
+        // arithmetic.
+        let mut spans: Vec<(u64, u64, u64)> = Vec::new();
+        for &slot in &slots {
+            match spans.last_mut() {
+                Some((_, end, count)) if slot < *end + gap_slots => {
+                    *end = slot + 1;
+                    *count += 1;
+                }
+                _ => spans.push((slot, slot + 1, 1)),
+            }
+        }
+        for (start, end, _) in spans {
+            let len = (end - start) as usize;
+            let mut buf = vec![0u8; len * slot_bytes];
+            // Fill each span slot from the dirty buffer or the clean
+            // cache (a cached clean record re-encodes to the exact bytes
+            // already in the file); slots known to neither are read back
+            // so they round-trip untouched.
+            let mut unknown: Vec<usize> = Vec::new();
+            for slot in start..end {
+                let i = (slot - start) as usize;
+                match self.dirty.get(&slot).or_else(|| self.prefetch.get(&slot)) {
+                    Some(rec) => self.encode_rec(&mut buf, i * slot_bytes, rec),
+                    None => unknown.push(i),
+                }
+            }
+            if !unknown.is_empty() {
+                let bytes = self.read_run_bytes(start, len)?;
+                for i in unknown {
+                    buf[i * slot_bytes..(i + 1) * slot_bytes]
+                        .copy_from_slice(&bytes[i * slot_bytes..(i + 1) * slot_bytes]);
                 }
             }
             self.file
-                .write_all_at(&buf, self.slot_offset(slot))
-                .map_err(|e| io_err("write slot", e))?;
+                .write_all_at(&buf, self.slot_offset(start))
+                .map_err(|e| io_err("write slot run", e))?;
+            let mut io = self.io.get();
+            io.writes += 1;
+            io.write_bytes += buf.len() as u64;
+            self.io.set(io);
         }
-        self.dirty.clear();
-        self.write_header()
+        Ok(())
     }
 
     fn bucket_slot_bounds(&self, level: u32, node_in_level: u64) -> std::ops::Range<u64> {
@@ -497,6 +812,24 @@ impl DiskStore {
         );
         SlotRecord { id_plus1: block.id().index() + 1, leaf: block.leaf().index(), data }
     }
+
+    /// Streams `(slot, id_plus1, leaf)` for every slot in `range`,
+    /// reading the file in large chunks with cache overlay.
+    fn for_each_meta(
+        &self,
+        range: std::ops::Range<u64>,
+        mut f: impl FnMut(u64, u32, u32),
+    ) -> Result<(), TreeError> {
+        let mut at = range.start;
+        while at < range.end {
+            let len = (range.end - at).min(SCAN_CHUNK_SLOTS) as usize;
+            for (i, (id_plus1, leaf)) in self.load_run_meta(at, len)?.into_iter().enumerate() {
+                f(at + i as u64, id_plus1, leaf);
+            }
+            at += len as u64;
+        }
+        Ok(())
+    }
 }
 
 impl BucketStore for DiskStore {
@@ -517,9 +850,20 @@ impl BucketStore for DiskStore {
         let mut out = Vec::new();
         for level in 0..=self.geometry.leaf_level() {
             let node = self.geometry.path_node_in_level(leaf, level);
-            for slot in self.bucket_slot_bounds(level, node) {
-                let rec = self.load_slot(slot).expect("bucket-store read failed");
+            let bounds = self.bucket_slot_bounds(level, node);
+            let len = (bounds.end - bounds.start) as usize;
+            let recs = self.load_run(bounds.start, len).expect("bucket-store read failed");
+            for (i, rec) in recs.into_iter().enumerate() {
+                let slot = bounds.start + i as u64;
                 if rec.is_empty() {
+                    // Remember the emptiness: the write-back that follows
+                    // a path read probes exactly these slots, and a clean
+                    // cached EMPTY saves it the file round trip. Purely
+                    // opportunistic — never evict real cache content
+                    // (e.g. the current readahead window) for a memo.
+                    if self.prefetch.len() < self.prefetch_cap {
+                        self.prefetch.insert(slot, SlotRecord::EMPTY);
+                    }
                     continue;
                 }
                 self.store_slot(slot, SlotRecord::EMPTY);
@@ -536,15 +880,17 @@ impl BucketStore for DiskStore {
         if candidates.is_empty() {
             return;
         }
-        // Learn which path slots are free (one pass), then run the shared
-        // greedy planner against that snapshot.
+        // Learn which path slots are free (one batched read per bucket),
+        // then run the shared greedy planner against that snapshot.
         let mut empties = std::collections::HashSet::new();
         for level in 0..=self.geometry.leaf_level() {
             let node = self.geometry.path_node_in_level(leaf, level);
-            for slot in self.bucket_slot_bounds(level, node) {
-                let (id_plus1, _) = self.load_meta(slot).expect("bucket-store read failed");
+            let bounds = self.bucket_slot_bounds(level, node);
+            let len = (bounds.end - bounds.start) as usize;
+            let metas = self.load_run_meta(bounds.start, len).expect("bucket-store read failed");
+            for (i, (id_plus1, _)) in metas.into_iter().enumerate() {
                 if id_plus1 == 0 {
-                    empties.insert(slot as usize);
+                    empties.insert(bounds.start as usize + i);
                 }
             }
         }
@@ -562,13 +908,15 @@ impl BucketStore for DiskStore {
     }
 
     fn read_bucket(&mut self, level: u32, node_in_level: u64) -> Vec<Block> {
+        let bounds = self.bucket_slot_bounds(level, node_in_level);
+        let len = (bounds.end - bounds.start) as usize;
+        let recs = self.load_run(bounds.start, len).expect("bucket-store read failed");
         let mut out = Vec::new();
-        for slot in self.bucket_slot_bounds(level, node_in_level) {
-            let rec = self.load_slot(slot).expect("bucket-store read failed");
+        for (i, rec) in recs.into_iter().enumerate() {
             if rec.is_empty() {
                 continue;
             }
-            self.store_slot(slot, SlotRecord::EMPTY);
+            self.store_slot(bounds.start + i as u64, SlotRecord::EMPTY);
             self.occupied -= 1;
             out.push(Self::rec_to_block(rec));
         }
@@ -577,16 +925,18 @@ impl BucketStore for DiskStore {
     }
 
     fn write_bucket(&mut self, level: u32, node_in_level: u64, blocks: Vec<Block>) -> Vec<Block> {
+        let bounds = self.bucket_slot_bounds(level, node_in_level);
+        let len = (bounds.end - bounds.start) as usize;
+        let metas = self.load_run_meta(bounds.start, len).expect("bucket-store read failed");
         let mut blocks = blocks.into_iter();
         let mut leftover = Vec::new();
-        for slot in self.bucket_slot_bounds(level, node_in_level) {
-            let (id_plus1, _) = self.load_meta(slot).expect("bucket-store read failed");
+        for (i, (id_plus1, _)) in metas.into_iter().enumerate() {
             if id_plus1 != 0 {
                 continue;
             }
             let Some(mut block) = blocks.next() else { break };
             let rec = self.block_to_rec(&mut block);
-            self.store_slot(slot, rec);
+            self.store_slot(bounds.start + i as u64, rec);
             self.occupied += 1;
         }
         leftover.extend(blocks);
@@ -596,19 +946,21 @@ impl BucketStore for DiskStore {
 
     fn place_for_init(&mut self, block: Block) -> Result<Option<Block>, TreeError> {
         self.geometry.check_leaf(block.leaf())?;
-        let mut io_failure = None;
-        let slot = plan_place_for_init(&self.geometry, block.leaf(), |slot| {
-            match self.load_meta(slot as u64) {
-                Ok((id_plus1, _)) => id_plus1 == 0,
-                Err(e) => {
-                    io_failure.get_or_insert(e);
-                    false
+        // Batch-load the whole path's occupancy once; the shared planner
+        // then runs against the in-memory snapshot.
+        let mut empty = std::collections::HashSet::new();
+        for level in 0..=self.geometry.leaf_level() {
+            let node = self.geometry.path_node_in_level(block.leaf(), level);
+            let bounds = self.bucket_slot_bounds(level, node);
+            let len = (bounds.end - bounds.start) as usize;
+            for (i, (id_plus1, _)) in self.load_run_meta(bounds.start, len)?.into_iter().enumerate()
+            {
+                if id_plus1 == 0 {
+                    empty.insert(bounds.start as usize + i);
                 }
             }
-        });
-        if let Some(e) = io_failure {
-            return Err(e);
         }
+        let slot = plan_place_for_init(&self.geometry, block.leaf(), |slot| empty.contains(&slot));
         match slot {
             Some(slot) => {
                 let mut block = block;
@@ -627,8 +979,9 @@ impl BucketStore for DiskStore {
         let mut blocks = Vec::new();
         for level in 0..=self.geometry.leaf_level() {
             let node = self.geometry.path_node_in_level(leaf, level);
-            for slot in self.bucket_slot_bounds(level, node) {
-                let (id_plus1, leaf) = self.load_meta(slot)?;
+            let bounds = self.bucket_slot_bounds(level, node);
+            let len = (bounds.end - bounds.start) as usize;
+            for (id_plus1, leaf) in self.load_run_meta(bounds.start, len)? {
                 if id_plus1 != 0 {
                     blocks.push((BlockId::new(id_plus1 - 1), LeafId::new(leaf)));
                 }
@@ -639,12 +992,12 @@ impl BucketStore for DiskStore {
 
     fn collect_blocks(&self) -> Vec<(BlockId, LeafId)> {
         let mut out = Vec::new();
-        for slot in 0..self.geometry.total_slots() {
-            let (id_plus1, leaf) = self.load_meta(slot).expect("bucket-store read failed");
+        self.for_each_meta(0..self.geometry.total_slots(), |_, id_plus1, leaf| {
             if id_plus1 != 0 {
                 out.push((BlockId::new(id_plus1 - 1), LeafId::new(leaf)));
             }
-        }
+        })
+        .expect("bucket-store read failed");
         out
     }
 
@@ -653,15 +1006,15 @@ impl BucketStore for DiskStore {
         for level in 0..=self.geometry.leaf_level() {
             let cap = u64::from(self.geometry.bucket_capacity(level));
             let nodes = 1u64 << level;
+            let start = self.bucket_slot_bounds(level, 0).start;
+            let end = self.bucket_slot_bounds(level, nodes - 1).end;
             let mut used = 0;
-            for node in 0..nodes {
-                for slot in self.bucket_slot_bounds(level, node) {
-                    let (id_plus1, _) = self.load_meta(slot).expect("bucket-store read failed");
-                    if id_plus1 != 0 {
-                        used += 1;
-                    }
+            self.for_each_meta(start..end, |_, id_plus1, _| {
+                if id_plus1 != 0 {
+                    used += 1;
                 }
-            }
+            })
+            .expect("bucket-store read failed");
             out.push((level, used, cap * nodes));
         }
         out
@@ -671,8 +1024,11 @@ impl BucketStore for DiskStore {
         let mut seen = vec![false; num_blocks as usize];
         for level in 0..=self.geometry.leaf_level() {
             for node in 0..(1u64 << level) {
-                for slot in self.bucket_slot_bounds(level, node) {
-                    let (id_plus1, leaf) = self.load_meta(slot).map_err(|e| e.to_string())?;
+                let bounds = self.bucket_slot_bounds(level, node);
+                let len = (bounds.end - bounds.start) as usize;
+                let metas = self.load_run_meta(bounds.start, len).map_err(|e| e.to_string())?;
+                for (i, (id_plus1, leaf)) in metas.into_iter().enumerate() {
+                    let slot = bounds.start + i as u64;
                     if id_plus1 == 0 {
                         continue;
                     }
@@ -701,8 +1057,10 @@ impl BucketStore for DiskStore {
 
     fn clear(&mut self) {
         self.dirty.clear();
+        self.prefetch.clear();
         self.pending_error = None;
         self.occupied = 0;
+        self.unsynced = false;
         // Re-sparsify the slot region: truncate, then restore the length.
         let total = HEADER_LEN + self.geometry.total_slots() * self.slot_bytes();
         self.file.set_len(HEADER_LEN).expect("truncate bucket-store file");
@@ -721,6 +1079,7 @@ impl BucketStore for DiskStore {
             self.file.sync_data().map_err(|e| io_err("fsync slot data", e))?;
         }
         self.generation += 1;
+        self.unsynced = false;
         self.write_header()?;
         if self.durable_sync {
             self.file.sync_data().map_err(|e| io_err("fsync store header", e))?;
@@ -728,12 +1087,72 @@ impl BucketStore for DiskStore {
         let _ = self.file.flush();
         Ok(())
     }
+
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn prefetch_paths(&mut self, leaves: &[LeafId]) {
+        if self.readahead_paths == 0 || leaves.is_empty() {
+            return;
+        }
+        // Dedupe bucket runs across the hinted paths (upper levels are
+        // heavily shared), honouring the configured path budget.
+        let mut runs = std::collections::BTreeSet::new();
+        for leaf in leaves.iter().take(self.readahead_paths) {
+            if self.geometry.check_leaf(*leaf).is_err() {
+                continue;
+            }
+            for level in 0..=self.geometry.leaf_level() {
+                let node = self.geometry.path_node_in_level(*leaf, level);
+                let bounds = self.bucket_slot_bounds(level, node);
+                runs.insert((bounds.start, bounds.end));
+            }
+        }
+        // Merge runs whose byte gap is under one I/O quantum: at the
+        // upper levels a window touches most buckets, so whole levels
+        // collapse into single reads (the gap slots are cached too —
+        // they are clean file data on somebody's path).
+        let gap_slots = (READAHEAD_MERGE_BYTES / self.slot_bytes()).max(1);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for (start, end) in runs {
+            match spans.last_mut() {
+                Some((_, last_end)) if start <= *last_end + gap_slots => {
+                    *last_end = (*last_end).max(end);
+                }
+                _ => spans.push((start, end)),
+            }
+        }
+        let mut hinted = Vec::new();
+        let slot_bytes = self.slot_bytes() as usize;
+        for (start, end) in spans {
+            let len = (end - start) as usize;
+            // Best-effort: a failed prefetch read just means the serving
+            // read hits the file (and reports the error there).
+            let Ok(bytes) = self.read_run_bytes(start, len) else { continue };
+            for i in 0..len {
+                let slot = start + i as u64;
+                if self.dirty.contains_key(&slot) {
+                    continue;
+                }
+                let Ok(rec) = self.decode_rec(&bytes[i * slot_bytes..(i + 1) * slot_bytes], slot)
+                else {
+                    continue;
+                };
+                self.prefetch.insert(slot, rec);
+                hinted.push(slot);
+            }
+        }
+        self.trim_prefetch(&hinted);
+    }
 }
 
 impl Drop for DiskStore {
     fn drop(&mut self) {
         // Best-effort spill so a dropped store loses at most what a crash
-        // would lose anyway; errors are unreportable here.
+        // would lose anyway; errors are unreportable here. Note that an
+        // unsynced drop leaves the unsynced-spill flag raised, so the
+        // file will (correctly) refuse to reopen — sync before dropping.
         let _ = self.flush_dirty();
     }
 }
@@ -857,6 +1276,33 @@ mod tests {
     }
 
     #[test]
+    fn open_refuses_unsynced_spill_state() {
+        let path = tmp("unsynced");
+        // A 1-path write-back budget forces mid-superblock spills.
+        let cfg = DiskStoreConfig::new().write_back_paths(1);
+        let mut s = DiskStore::create(&path, uniform(3, 4), cfg.clone()).unwrap();
+        for leaf in 0..8u32 {
+            let mut blocks = vec![Block::metadata_only(BlockId::new(leaf), LeafId::new(leaf))];
+            s.write_path(LeafId::new(leaf), &mut blocks);
+        }
+        s.flush_dirty().unwrap(); // a mid-superblock spill, not a sync
+                                  // Simulate a crash after the spills: copy the file while the
+                                  // session is still live (no sync has happened).
+        let crashed = tmp("unsynced-crashed");
+        std::fs::copy(&path, &crashed).unwrap();
+        let err = DiskStore::open(&crashed, cfg.clone()).unwrap_err();
+        assert!(matches!(err, TreeError::UnsyncedStore { .. }), "got {err}");
+        // A sync point clears the flag; the live file then reopens fine.
+        s.sync().unwrap();
+        drop(s);
+        let reopened = DiskStore::open(&path, cfg).unwrap();
+        assert_eq!(reopened.occupancy(), 8);
+        drop(reopened);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&crashed);
+    }
+
+    #[test]
     fn write_back_buffer_spills_at_budget() {
         let path = tmp("spill");
         // 1-path budget on a 3-level tree: several write-backs must spill.
@@ -921,6 +1367,73 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    #[test]
+    fn prefetch_serves_planned_paths_without_changing_results() {
+        let path = tmp("prefetch");
+        let cfg = DiskStoreConfig::new().payload_capacity(4);
+        let g = uniform(4, 2);
+        let mut s = DiskStore::create(&path, g.clone(), cfg).unwrap();
+        for i in 0..8u32 {
+            s.place_for_init(Block::with_data(
+                BlockId::new(i),
+                LeafId::new(i * 2),
+                vec![i as u8; 4].into(),
+            ))
+            .unwrap();
+        }
+        s.sync().unwrap();
+        // Prefetch a window of paths, then read them: identical results
+        // to the cold reads of an equivalent store.
+        let hint: Vec<LeafId> = (0..8u32).map(|i| LeafId::new(i * 2)).collect();
+        s.prefetch_paths(&hint);
+        assert!(s.prefetched_slots() > 0, "prefetch cache filled");
+        let mut warm: Vec<_> = Vec::new();
+        for &leaf in &hint {
+            warm.extend(s.read_path(leaf).into_iter().map(|b| (b.id(), b.data().map(Vec::from))));
+        }
+        warm.sort();
+        let expected: Vec<_> =
+            (0..8u32).map(|i| (BlockId::new(i), Some(vec![i as u8; 4]))).collect();
+        assert_eq!(warm, expected, "prefetched reads return the same blocks");
+        drop(s);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn prefetch_never_resurrects_overwritten_slots() {
+        let path = tmp("prefetch-inval");
+        let g = uniform(3, 2);
+        let mut s = DiskStore::create(&path, g, DiskStoreConfig::new()).unwrap();
+        let leaf = LeafId::new(3);
+        let mut blocks = vec![Block::metadata_only(BlockId::new(1), leaf)];
+        s.write_path(leaf, &mut blocks);
+        s.sync().unwrap();
+        // Prefetch the path, then mutate it: the destructive read must
+        // win over the cached copy on the next read.
+        s.prefetch_paths(&[leaf]);
+        let first = s.read_path(leaf);
+        assert_eq!(first.len(), 1);
+        let again = s.read_path(leaf);
+        assert!(again.is_empty(), "stale prefetch entry served a removed block");
+        // And after a flush (dirty buffer emptied), still nothing stale.
+        s.sync().unwrap();
+        assert!(s.read_path(leaf).is_empty());
+        drop(s);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn readahead_zero_disables_prefetch() {
+        let path = tmp("prefetch-off");
+        let mut s =
+            DiskStore::create(&path, uniform(3, 2), DiskStoreConfig::new().readahead_paths(0))
+                .unwrap();
+        s.prefetch_paths(&[LeafId::new(0), LeafId::new(1)]);
+        assert_eq!(s.prefetched_slots(), 0);
+        drop(s);
+        let _ = std::fs::remove_file(&path);
+    }
+
     /// The decisive equivalence check at the storage layer: a random
     /// operation sequence drives both backends into identical states.
     #[test]
@@ -937,6 +1450,13 @@ mod tests {
         let mut next_id = 0u32;
         for round in 0..200 {
             let leaf = LeafId::new(rng.random_range(0..leaves));
+            // Exercise the readahead cache alongside ordinary traffic.
+            if round % 11 == 0 {
+                let hint: Vec<LeafId> =
+                    (0..4).map(|_| LeafId::new(rng.random_range(0..leaves))).collect();
+                disk.prefetch_paths(&hint);
+                mem.prefetch_paths(&hint); // no-op on the memory backend
+            }
             if rng.random_range(0..3u32) == 0 {
                 let a = disk.read_path(leaf);
                 let b = mem.read_path(leaf);

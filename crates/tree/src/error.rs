@@ -42,6 +42,23 @@ pub enum TreeError {
     /// A disk-backed store's on-disk header did not match what the caller
     /// expected (wrong magic, version, geometry, or payload capacity).
     CorruptStore(String),
+    /// A client-state snapshot names a different durability point than
+    /// the store it was paired with: restoring would silently corrupt
+    /// block placement, so reopen refuses instead.
+    StaleSnapshot {
+        /// Generation recorded in the snapshot.
+        snapshot: u64,
+        /// Generation in the store's header.
+        store: u64,
+    },
+    /// The store file contains slot writes spilled *after* its last sync
+    /// point (the session crashed or closed without syncing), so its
+    /// content does not correspond to any durability point and cannot be
+    /// safely reopened.
+    UnsyncedStore {
+        /// Generation of the last completed sync in the store's header.
+        generation: u64,
+    },
 }
 
 impl fmt::Display for TreeError {
@@ -62,6 +79,16 @@ impl fmt::Display for TreeError {
             }
             TreeError::Io(msg) => write!(f, "bucket store i/o failed: {msg}"),
             TreeError::CorruptStore(msg) => write!(f, "bucket store rejected: {msg}"),
+            TreeError::StaleSnapshot { snapshot, store } => write!(
+                f,
+                "snapshot generation {snapshot} does not match store generation {store}: \
+                 refusing to restore from a stale snapshot"
+            ),
+            TreeError::UnsyncedStore { generation } => write!(
+                f,
+                "store holds slot writes spilled after its last sync (generation {generation}): \
+                 refusing to reopen mid-superblock state"
+            ),
         }
     }
 }

@@ -49,14 +49,16 @@ mod disk;
 mod error;
 mod geometry;
 mod sealing;
+mod snapshot;
 mod storage;
 mod store;
 
 pub use block::{Block, BlockId, LeafId};
-pub use disk::{DiskStore, DiskStoreConfig};
+pub use disk::{DiskIoStats, DiskStore, DiskStoreConfig};
 pub use error::TreeError;
 pub use geometry::{BucketProfile, TreeGeometry};
 pub use sealing::{BlockSealer, NONCE_BYTES};
+pub use snapshot::{ClientLevelState, SnapshotBlock, StateSnapshot};
 pub use storage::{PathSnapshot, TreeStorage};
 pub use store::{BucketStore, DynBucketStore};
 

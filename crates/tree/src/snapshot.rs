@@ -1,0 +1,447 @@
+//! Durable client-state snapshots: survive a restart with the position
+//! map and stash intact.
+//!
+//! A [`DiskStore`](crate::DiskStore) persists the *server* half of an
+//! ORAM deployment — the bucket tree — but the protocol is unusable
+//! without the *client* half: the position map (which path each block
+//! lives on), the stash (blocks currently held client-side), and a
+//! resume point for the client's RNG. [`StateSnapshot`] is the versioned,
+//! checksummed container for exactly that state, written **atomically**
+//! (temp file + rename) alongside the store at every
+//! [`sync`](crate::BucketStore::sync) superblock boundary.
+//!
+//! # Wire format
+//!
+//! ```text
+//! ┌─────────┬─────────┬─────────────┬───────────────┬──────────────┐
+//! │ magic 8 │ version │ payload len │ payload bytes │ FNV-1a64 sum │
+//! │"LAOSNAP1"│  u32   │    u64      │     ...       │     u64      │
+//! └─────────┴─────────┴─────────────┴───────────────┴──────────────┘
+//! ```
+//!
+//! The payload is length-prefixed and checksummed so a torn or truncated
+//! write is detected at decode time, and the temp-file + rename protocol
+//! means the snapshot path only ever names a complete snapshot (old or
+//! new) — never a partial one.
+//!
+//! # Crash-consistency contract
+//!
+//! A snapshot records the [`generation`](StateSnapshot::generation) of
+//! the store it describes. On reopen, the restoring client must compare
+//! that generation against the store's: a mismatch means the snapshot
+//! and the tree describe *different* durability points, and restoring
+//! would silently corrupt block placement. The typed
+//! [`TreeError::StaleSnapshot`] refusal exists for exactly this case;
+//! see `docs/PERSISTENCE.md` for the full crash-recovery matrix.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::TreeError;
+
+/// Magic bytes identifying a LAORAM client-state snapshot (format v1).
+const SNAP_MAGIC: &[u8; 8] = b"LAOSNAP1";
+/// Snapshot wire-format version.
+const SNAP_VERSION: u32 = 1;
+
+/// One stash-resident block as captured in a snapshot: the block id, its
+/// assigned leaf, and the payload bytes exactly as the client held them
+/// (sealed clients snapshot ciphertext — the snapshot never widens what
+/// an attacker with file access already sees in the store).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotBlock {
+    /// The block's dense id.
+    pub id: u32,
+    /// The leaf (path) the block is assigned to.
+    pub leaf: u32,
+    /// The payload, if the client stores payloads.
+    pub data: Option<Box<[u8]>>,
+}
+
+/// The captured state of one Path ORAM client: dense position map, stash
+/// contents, the generation of the store it pairs with, and the RNG
+/// reseed point.
+///
+/// The reseed point makes restore *RNG-free*: instead of serialising
+/// opaque RNG internals, the client reseeds itself from a fresh value
+/// drawn at capture time and records that value, so a restored client
+/// and an uninterrupted one draw identical leaves from the snapshot
+/// point onwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientLevelState {
+    /// Generation of the backing store at capture time (0 for in-memory
+    /// stores, which have no durability points).
+    pub generation: u64,
+    /// Seed the client's RNG was re-seeded from at capture time.
+    pub reseed: u64,
+    /// Dense position map: leaf index per block id.
+    pub position_map: Vec<u32>,
+    /// Stash-resident blocks at capture time.
+    pub stash: Vec<SnapshotBlock>,
+}
+
+/// A complete, versioned, checksummed client-state snapshot.
+///
+/// Level 0 is the serving client itself; additional levels (plus
+/// [`root_map`](Self::root_map)) capture the chain of a
+/// recursive position map when one is in use. A dense-map client
+/// snapshots exactly one level and an empty root map.
+///
+/// # Examples
+///
+/// Round trip through the wire format:
+///
+/// ```
+/// use oram_tree::{ClientLevelState, SnapshotBlock, StateSnapshot};
+///
+/// let snapshot = StateSnapshot {
+///     generation: 7,
+///     accesses: 1234,
+///     levels: vec![ClientLevelState {
+///         generation: 7,
+///         reseed: 42,
+///         position_map: vec![3, 1, 0, 2],
+///         stash: vec![SnapshotBlock { id: 1, leaf: 1, data: Some(vec![9, 9].into()) }],
+///     }],
+///     root_map: Vec::new(),
+/// };
+/// let bytes = snapshot.encode();
+/// assert_eq!(StateSnapshot::decode(&bytes)?, snapshot);
+/// # Ok::<(), oram_tree::TreeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSnapshot {
+    /// Generation of the primary store this snapshot pairs with. A
+    /// restoring client must refuse when this disagrees with the
+    /// reopened store's header ([`TreeError::StaleSnapshot`]).
+    pub generation: u64,
+    /// Logical accesses the client had served at capture time (the
+    /// superblock counter a restored client resumes its accounting from).
+    pub accesses: u64,
+    /// Captured client levels: `[0]` is the serving client, `[1..]` are
+    /// the recursion levels of a recursive position map (outermost
+    /// first), when one is snapshotted.
+    pub levels: Vec<ClientLevelState>,
+    /// The plain in-client root map of a recursive position map; empty
+    /// for dense-map clients.
+    pub root_map: Vec<u32>,
+}
+
+/// FNV-1a 64-bit checksum (dependency-free; detects torn/truncated
+/// snapshot payloads, not adversarial tampering — sealing handles that).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounded little-endian reader over the snapshot payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TreeError> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.bytes.len()).ok_or_else(|| {
+            TreeError::CorruptStore("snapshot payload truncated mid-field".into())
+        })?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, TreeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, TreeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+impl StateSnapshot {
+    /// The conventional snapshot path for a store file: the store path
+    /// with `.snap` appended (`table.oram` → `table.oram.snap`), keeping
+    /// the pair adjacent and collision-free.
+    #[must_use]
+    pub fn default_path(store_path: &Path) -> PathBuf {
+        let mut os = store_path.as_os_str().to_os_string();
+        os.push(".snap");
+        PathBuf::from(os)
+    }
+
+    /// Serialises the snapshot into its framed wire format (magic,
+    /// version, length prefix, payload, checksum).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, self.generation);
+        put_u64(&mut payload, self.accesses);
+        put_u32(&mut payload, self.levels.len() as u32);
+        for level in &self.levels {
+            put_u64(&mut payload, level.generation);
+            put_u64(&mut payload, level.reseed);
+            put_u32(&mut payload, level.position_map.len() as u32);
+            for &leaf in &level.position_map {
+                put_u32(&mut payload, leaf);
+            }
+            put_u32(&mut payload, level.stash.len() as u32);
+            for block in &level.stash {
+                put_u32(&mut payload, block.id);
+                put_u32(&mut payload, block.leaf);
+                match &block.data {
+                    Some(data) => {
+                        payload.push(1);
+                        put_u32(&mut payload, data.len() as u32);
+                        payload.extend_from_slice(data);
+                    }
+                    None => payload.push(0),
+                }
+            }
+        }
+        put_u32(&mut payload, self.root_map.len() as u32);
+        for &label in &self.root_map {
+            put_u32(&mut payload, label);
+        }
+
+        let mut out = Vec::with_capacity(payload.len() + 28);
+        out.extend_from_slice(SNAP_MAGIC);
+        out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+        put_u64(&mut out, payload.len() as u64);
+        let sum = fnv1a64(&payload);
+        out.extend_from_slice(&payload);
+        put_u64(&mut out, sum);
+        out
+    }
+
+    /// Decodes a framed snapshot, verifying magic, version, length
+    /// prefix, and checksum.
+    ///
+    /// # Errors
+    /// [`TreeError::CorruptStore`] for bad magic, an unsupported version,
+    /// a truncated payload, or a checksum mismatch.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TreeError> {
+        if bytes.len() < 20 {
+            return Err(TreeError::CorruptStore("snapshot shorter than its header".into()));
+        }
+        if &bytes[0..8] != SNAP_MAGIC {
+            return Err(TreeError::CorruptStore("snapshot has bad magic".into()));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != SNAP_VERSION {
+            return Err(TreeError::CorruptStore(format!("unsupported snapshot version {version}")));
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+        let Some(expected_total) = payload_len.checked_add(28) else {
+            return Err(TreeError::CorruptStore("snapshot length prefix overflows".into()));
+        };
+        if bytes.len() != expected_total {
+            return Err(TreeError::CorruptStore(format!(
+                "snapshot is {} bytes but its length prefix implies {expected_total} \
+                 (torn or truncated write)",
+                bytes.len()
+            )));
+        }
+        let payload = &bytes[20..20 + payload_len];
+        let stored_sum = u64::from_le_bytes(bytes[20 + payload_len..].try_into().expect("8 bytes"));
+        if fnv1a64(payload) != stored_sum {
+            return Err(TreeError::CorruptStore("snapshot checksum mismatch".into()));
+        }
+
+        let mut r = Reader { bytes: payload, at: 0 };
+        let generation = r.u64()?;
+        let accesses = r.u64()?;
+        let num_levels = r.u32()? as usize;
+        let mut levels = Vec::with_capacity(num_levels.min(64));
+        for _ in 0..num_levels {
+            let level_generation = r.u64()?;
+            let reseed = r.u64()?;
+            let map_len = r.u32()? as usize;
+            let mut position_map = Vec::with_capacity(map_len.min(1 << 20));
+            for _ in 0..map_len {
+                position_map.push(r.u32()?);
+            }
+            let stash_len = r.u32()? as usize;
+            let mut stash = Vec::with_capacity(stash_len.min(1 << 16));
+            for _ in 0..stash_len {
+                let id = r.u32()?;
+                let leaf = r.u32()?;
+                let data = match r.take(1)?[0] {
+                    0 => None,
+                    1 => {
+                        let len = r.u32()? as usize;
+                        Some(Box::from(r.take(len)?))
+                    }
+                    other => {
+                        return Err(TreeError::CorruptStore(format!(
+                            "snapshot stash block has invalid payload tag {other}"
+                        )))
+                    }
+                };
+                stash.push(SnapshotBlock { id, leaf, data });
+            }
+            levels.push(ClientLevelState {
+                generation: level_generation,
+                reseed,
+                position_map,
+                stash,
+            });
+        }
+        let root_len = r.u32()? as usize;
+        let mut root_map = Vec::with_capacity(root_len.min(1 << 20));
+        for _ in 0..root_len {
+            root_map.push(r.u32()?);
+        }
+        if r.at != payload.len() {
+            return Err(TreeError::CorruptStore(format!(
+                "snapshot payload has {} trailing bytes",
+                payload.len() - r.at
+            )));
+        }
+        Ok(StateSnapshot { generation, accesses, levels, root_map })
+    }
+
+    /// Writes the snapshot atomically: the framed bytes go to a sibling
+    /// temp file which is then renamed over `path`, so `path` only ever
+    /// names a complete snapshot. With `durable`, the temp file is
+    /// fsynced before the rename.
+    ///
+    /// # Errors
+    /// [`TreeError::Io`] on file-system failures.
+    pub fn write_atomic(&self, path: &Path, durable: bool) -> Result<(), TreeError> {
+        let io_err = |context: &str, e: std::io::Error| {
+            TreeError::Io(format!("{context} {}: {e}", path.display()))
+        };
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let bytes = self.encode();
+        let mut file =
+            std::fs::File::create(&tmp).map_err(|e| io_err("create snapshot temp for", e))?;
+        file.write_all(&bytes).map_err(|e| io_err("write snapshot temp for", e))?;
+        if durable {
+            file.sync_data().map_err(|e| io_err("fsync snapshot temp for", e))?;
+        }
+        drop(file);
+        std::fs::rename(&tmp, path).map_err(|e| io_err("publish snapshot", e))
+    }
+
+    /// Reads and decodes a snapshot from `path`.
+    ///
+    /// # Errors
+    /// [`TreeError::Io`] when the file cannot be read (including a
+    /// missing file); [`TreeError::CorruptStore`] when it decodes badly.
+    pub fn read_from(path: &Path) -> Result<Self, TreeError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| TreeError::Io(format!("read snapshot {}: {e}", path.display())))?;
+        Self::decode(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StateSnapshot {
+        StateSnapshot {
+            generation: 11,
+            accesses: 400,
+            levels: vec![
+                ClientLevelState {
+                    generation: 11,
+                    reseed: 0xDEAD,
+                    position_map: vec![5, 4, 3, 2, 1, 0],
+                    stash: vec![
+                        SnapshotBlock { id: 2, leaf: 3, data: Some(vec![1, 2, 3].into()) },
+                        SnapshotBlock { id: 4, leaf: 1, data: None },
+                        SnapshotBlock { id: 5, leaf: 0, data: Some(Vec::new().into()) },
+                    ],
+                },
+                ClientLevelState {
+                    generation: 0,
+                    reseed: 7,
+                    position_map: vec![1],
+                    stash: Vec::new(),
+                },
+            ],
+            root_map: vec![9, 8, 7],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let snap = sample();
+        assert_eq!(StateSnapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let snap =
+            StateSnapshot { generation: 0, accesses: 0, levels: Vec::new(), root_map: Vec::new() };
+        assert_eq!(StateSnapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = sample().encode();
+        // Flip one payload byte: the checksum must catch it.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(StateSnapshot::decode(&bytes), Err(TreeError::CorruptStore(_))));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample().encode();
+        for cut in [0, 4, 19, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                StateSnapshot::decode(&bytes[..cut]).is_err(),
+                "snapshot truncated to {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'X';
+        assert!(StateSnapshot::decode(&bytes).is_err());
+        let mut bytes = sample().encode();
+        bytes[8] = 99;
+        let err = StateSnapshot::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn atomic_write_read_roundtrip() {
+        let path =
+            std::env::temp_dir().join(format!("laoram-snap-test-{}.oram.snap", std::process::id()));
+        let snap = sample();
+        snap.write_atomic(&path, false).unwrap();
+        assert_eq!(StateSnapshot::read_from(&path).unwrap(), snap);
+        // Overwrite atomically with different content.
+        let mut next = snap.clone();
+        next.generation = 12;
+        next.write_atomic(&path, true).unwrap();
+        assert_eq!(StateSnapshot::read_from(&path).unwrap().generation, 12);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn default_path_appends_snap() {
+        let p = StateSnapshot::default_path(Path::new("/x/t0-emb-shard1.oram"));
+        assert_eq!(p, PathBuf::from("/x/t0-emb-shard1.oram.snap"));
+    }
+}

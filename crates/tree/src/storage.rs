@@ -93,6 +93,7 @@ impl PathSnapshot {
 /// assert_eq!(storage.occupancy(), 0, "path reads are destructive");
 /// # Ok::<(), oram_tree::TreeError>(())
 /// ```
+#[derive(Clone)]
 pub struct TreeStorage {
     geometry: TreeGeometry,
     meta: Vec<SlotMeta>,

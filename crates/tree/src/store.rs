@@ -23,6 +23,36 @@ use crate::{Block, LeafId, PathSnapshot, TreeError, TreeGeometry};
 
 /// Server-side bucket storage for tree-based ORAM protocols.
 ///
+/// # Examples
+///
+/// The same open → serve → sync life cycle works against any backend;
+/// here the file-backed one, whose `sync` is a real durability point
+/// that a reopen can resume from:
+///
+/// ```
+/// use oram_tree::{Block, BlockId, BucketProfile, BucketStore, DiskStore, DiskStoreConfig,
+///                 LeafId, TreeGeometry};
+///
+/// fn serve_one(store: &mut dyn BucketStore) -> Vec<Block> {
+///     let mut incoming = vec![Block::metadata_only(BlockId::new(1), LeafId::new(2))];
+///     store.write_path(LeafId::new(2), &mut incoming);
+///     store.read_path(LeafId::new(2))
+/// }
+///
+/// let path = std::env::temp_dir().join(format!("laoram-store-doc-{}.oram", std::process::id()));
+/// let geometry = TreeGeometry::with_levels(3, BucketProfile::Uniform { capacity: 4 })?;
+/// let mut store = DiskStore::create(&path, geometry, DiskStoreConfig::new())?;
+/// let fetched = serve_one(&mut store);
+/// assert_eq!(fetched[0].id(), BlockId::new(1));
+/// store.sync()?; // durability point: generation 1
+/// drop(store);
+/// let reopened = DiskStore::open(&path, DiskStoreConfig::new())?;
+/// assert_eq!(reopened.generation(), 1);
+/// # drop(reopened);
+/// # let _ = std::fs::remove_file(&path);
+/// # Ok::<(), oram_tree::TreeError>(())
+/// ```
+///
 /// # Contract
 ///
 /// Implementations model a complete binary tree of buckets whose shape is
@@ -162,6 +192,29 @@ pub trait BucketStore {
     fn sync(&mut self) -> Result<(), TreeError> {
         Ok(())
     }
+
+    /// The store's durability generation: the number of completed
+    /// [`sync`](Self::sync) points reflected by the backing medium.
+    /// In-memory stores have no durability points and report `0`.
+    ///
+    /// Client-state snapshots record this value; on reopen it gates
+    /// restore ([`TreeError::StaleSnapshot`] when they disagree).
+    fn generation(&self) -> u64 {
+        0
+    }
+
+    /// Readahead hint: the caller (typically the look-ahead preprocessor,
+    /// which knows exactly which paths the *next* superblock window will
+    /// touch) expects the paths to `leaves` to be read soon. Backends may
+    /// batch-load them into a prefetch cache; the default is a no-op, and
+    /// the hint has **no observable effect on responses or the
+    /// protocol-level access sequence** — it only moves backing-medium
+    /// I/O earlier. See the disk backend's notes on what an OS-level
+    /// observer learns from the earlier I/O (nothing beyond the uniform
+    /// paths it would see anyway, just sooner).
+    fn prefetch_paths(&mut self, leaves: &[LeafId]) {
+        let _ = leaves;
+    }
 }
 
 impl<S: BucketStore + ?Sized> BucketStore for Box<S> {
@@ -206,6 +259,12 @@ impl<S: BucketStore + ?Sized> BucketStore for Box<S> {
     }
     fn sync(&mut self) -> Result<(), TreeError> {
         (**self).sync()
+    }
+    fn generation(&self) -> u64 {
+        (**self).generation()
+    }
+    fn prefetch_paths(&mut self, leaves: &[LeafId]) {
+        (**self).prefetch_paths(leaves);
     }
 }
 
