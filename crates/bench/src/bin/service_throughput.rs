@@ -17,16 +17,27 @@
 //! in-memory and disk-backed (`DiskStore`) bucket stores, quantifying
 //! what serving a larger-than-RAM table costs.
 //!
+//! `--workload zipf` switches to the **hot-shard skew scenario**: a
+//! single table under scattered-rank zipf traffic, swept over
+//! `--exponent` values and the hot-shard `--mitigations`
+//! (`none` = static hash baseline, `hotset` = top-`--hot-k` rows
+//! replicated into every shard, `weighted` = greedy weighted
+//! partitioning from the declared rank frequencies). Each point records
+//! accesses/sec *and* the per-shard skew the engine measured
+//! (cumulative max/mean routed load, per-group mean and worst
+//! imbalance) — the throughput-vs-skew trade the mitigations buy.
+//!
 //! Usage: `service_throughput [--entries 65536] [--batch 8192]
 //! [--batches 24] [--warmup 4] [--s 8] [--seed N] [--shards 1,2,4,8]
-//! [--backends mem,disk] [--json PATH]`
+//! [--backends mem,disk] [--workload mixed|zipf] [--exponent 1.2,1.6]
+//! [--hot-k 64] [--mitigations none,hotset,weighted] [--json PATH]`
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use laoram_bench::runner::Args;
 use laoram_service::{
-    BatchPolicy, DiskBackendSpec, LaoramService, Request, ServiceConfig, ServiceStats,
+    BatchPolicy, DiskBackendSpec, HotSetSpec, LaoramService, Request, ServiceConfig, ServiceStats,
     StorageBackend, TableSpec,
 };
 use oram_workloads::{DlrmTraceConfig, MultiTenantMix, TenantSpec, TraceKind, ZipfTraceConfig};
@@ -173,6 +184,130 @@ fn run_request_path(traffic: &[Vec<Request>], warmup: usize, p: SweepPoint) -> M
     finish(p.shards, p.backend, "request", &stats, elapsed)
 }
 
+/// One point of the zipf-skew scenario.
+struct SkewMeasurement {
+    shards: u32,
+    exponent: f64,
+    mitigation: &'static str,
+    /// Whether `pad_shard_batches` was on (the volume-hiding mode, where
+    /// padding overhead is directly proportional to shard skew).
+    padded: bool,
+    /// Genuine (non-pad) accesses served in the measured window.
+    accesses: u64,
+    /// Genuine accesses per second — pads cost wall-clock but are not
+    /// credited.
+    throughput: f64,
+    /// Padding overhead: pads per genuine access.
+    pad_overhead: f64,
+    /// Cumulative per-shard routed-load imbalance (max/mean).
+    skew_cumulative: f64,
+    /// Ops-weighted mean per-group imbalance (`ServiceStats::skew`).
+    skew_group_mean: f64,
+    /// Worst per-group imbalance observed.
+    skew_group_worst: f64,
+}
+
+/// Runs warm-up + measured batches through one engine configuration and
+/// returns the steady-state stats with the elapsed measurement time.
+fn measure_batches(
+    config: ServiceConfig,
+    traffic: &[Vec<Request>],
+    warmup: usize,
+) -> (ServiceStats, f64) {
+    let mut service = LaoramService::start(config).expect("service start");
+    for batch in &traffic[..warmup] {
+        service.submit(batch.clone()).expect("warmup submit");
+    }
+    service.drain().expect("warmup drain");
+    service.reset_stats().expect("reset");
+    let start = Instant::now();
+    for batch in &traffic[warmup..] {
+        service.submit(batch.clone()).expect("submit");
+    }
+    service.drain().expect("drain");
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = service.stats();
+    service.shutdown().expect("shutdown");
+    (stats, elapsed)
+}
+
+/// The table spec of one zipf-skew mitigation arm. The hot set and the
+/// weights are *declared* from the known rank→index mapping — the
+/// static-config shape the security notes recommend.
+fn mitigated_table(
+    entries: u32,
+    shards: u32,
+    superblock: u32,
+    seed: u64,
+    zipf: &ZipfTraceConfig,
+    hot_k: usize,
+    mitigation: &'static str,
+) -> TableSpec {
+    let spec = TableSpec::new("zipf", entries)
+        .shards(shards)
+        .superblock_size(superblock)
+        .payloads(false)
+        .seed(seed);
+    match mitigation {
+        "none" => spec,
+        "hotset" => {
+            let rows: Vec<u32> =
+                (0..hot_k as u32).map(|rank| zipf.index_of_rank(rank, entries)).collect();
+            spec.hot_set(HotSetSpec::declared(rows))
+        }
+        "weighted" => {
+            // Declared rank frequencies, integer-scaled: weight(rank) ∝
+            // 1/(rank+1)^s with rank 0 pinned to 1e6.
+            let declared = (4096usize).min(entries as usize);
+            let weights: Vec<(u32, u64)> = (0..declared as u32)
+                .map(|rank| {
+                    let weight = 1e6 / f64::from(rank + 1).powf(zipf.exponent);
+                    (zipf.index_of_rank(rank, entries), weight.max(1.0) as u64)
+                })
+                .collect();
+            spec.weighted_partition(weights)
+        }
+        other => panic!("unknown mitigation '{other}' (expected none, hotset or weighted)"),
+    }
+}
+
+fn run_skew_point(
+    traffic: &[Vec<Request>],
+    warmup: usize,
+    table: TableSpec,
+    exponent: f64,
+    mitigation: &'static str,
+    padded: bool,
+    batch_len: usize,
+) -> SkewMeasurement {
+    let shards = table.shards;
+    let config =
+        ServiceConfig::new().table(table).queue_depth(4).pad_shard_batches(padded).batch_policy(
+            BatchPolicy::new().max_batch(batch_len).max_delay(std::time::Duration::from_millis(2)),
+        );
+    let (stats, elapsed) = measure_batches(config, traffic, warmup);
+    let routed: Vec<u64> = stats.shards.iter().map(|s| s.routed).collect();
+    let total: u64 = routed.iter().sum();
+    let skew_cumulative = if total == 0 {
+        0.0
+    } else {
+        *routed.iter().max().unwrap() as f64 * routed.len() as f64 / total as f64
+    };
+    let genuine = stats.merged.real_accesses - stats.pad_accesses;
+    SkewMeasurement {
+        shards,
+        exponent,
+        mitigation,
+        padded,
+        accesses: genuine,
+        throughput: genuine as f64 / elapsed,
+        pad_overhead: stats.pad_accesses as f64 / genuine.max(1) as f64,
+        skew_cumulative,
+        skew_group_mean: stats.skew.mean_imbalance(),
+        skew_group_worst: stats.skew.worst_imbalance,
+    }
+}
+
 fn main() {
     let args = Args::from_env();
     let entries: u32 = args.get_or("entries", 1 << 16);
@@ -182,6 +317,7 @@ fn main() {
     let superblock: u32 = args.get_or("s", 8);
     let seed: u64 = args.get_or("seed", 2024);
     let json_path: Option<String> = args.get("json").map(str::to_owned);
+    let workload = args.get("workload").unwrap_or("mixed").to_owned();
     let shard_counts: Vec<u32> = args
         .get("shards")
         .unwrap_or("1,2,4,8")
@@ -198,6 +334,125 @@ fn main() {
             other => panic!("unknown backend '{other}' (expected mem or disk)"),
         })
         .collect();
+
+    if workload == "zipf" {
+        let exponents: Vec<f64> = args
+            .get("exponent")
+            .unwrap_or("1.2,1.6")
+            .split(',')
+            .map(|e| e.trim().parse().expect("zipf exponent"))
+            .collect();
+        let hot_k: usize = args.get_or("hot-k", 64);
+        let mitigations: Vec<&'static str> = args
+            .get("mitigations")
+            .unwrap_or("none,hotset,weighted")
+            .split(',')
+            .map(|m| match m.trim() {
+                "none" => "none",
+                "hotset" => "hotset",
+                "weighted" => "weighted",
+                other => panic!("unknown mitigation '{other}'"),
+            })
+            .collect();
+        println!(
+            "# laoram-service hot-shard skew scenario ({entries} entries, S={superblock}, \
+             hot-k {hot_k})"
+        );
+        println!("# {batches} measured batches of {batch_len} after {warmup} warm-up batches");
+        println!(
+            "{:>7} {:>9} {:>10} {:>7} {:>14} {:>8} {:>10} {:>10} {:>10}",
+            "shards",
+            "exponent",
+            "mitigation",
+            "padded",
+            "accesses/sec",
+            "pad/acc",
+            "skew-cum",
+            "skew-mean",
+            "skew-max"
+        );
+        let mut points = Vec::new();
+        for &exponent in &exponents {
+            let zipf = ZipfTraceConfig { exponent, ranks_are_indices: false };
+            let trace = oram_workloads::Trace::generate(
+                TraceKind::Zipf(zipf.clone()),
+                entries,
+                batch_len * (warmup + batches),
+                seed,
+            );
+            let traffic: Vec<Vec<Request>> = trace
+                .accesses()
+                .chunks(batch_len)
+                .map(|chunk| chunk.iter().map(|&i| Request::read(0, i)).collect())
+                .collect();
+            for &shards in &shard_counts {
+                for &mitigation in &mitigations {
+                    for padded in [false, true] {
+                        let table = mitigated_table(
+                            entries, shards, superblock, seed, &zipf, hot_k, mitigation,
+                        );
+                        let m = run_skew_point(
+                            &traffic, warmup, table, exponent, mitigation, padded, batch_len,
+                        );
+                        println!(
+                            "{:>7} {:>9.2} {:>10} {:>7} {:>14.0} {:>8.3} {:>10.3} {:>10.3} {:>10.3}",
+                            m.shards,
+                            m.exponent,
+                            m.mitigation,
+                            m.padded,
+                            m.throughput,
+                            m.pad_overhead,
+                            m.skew_cumulative,
+                            m.skew_group_mean,
+                            m.skew_group_worst,
+                        );
+                        points.push(m);
+                    }
+                }
+            }
+        }
+        println!("# accesses/sec counts genuine requests only (pads cost time, earn nothing);");
+        println!("# skew-cum: max/mean cumulative per-shard routed load (1.0 = balanced);");
+        println!("# skew-mean/max: per-group max/mean sub-batch imbalance from ServiceStats;");
+        println!("# padded = pad_shard_batches (volume hiding): pad overhead tracks the skew,");
+        println!("# so mitigation buys back exactly what padding was burning on the imbalance.");
+        println!("# mitigations: hotset replicates the top-{hot_k} ranks into every shard,");
+        println!("# weighted greedy-packs rows by declared rank frequency.");
+        if let Some(path) = json_path {
+            let mut json = String::from("{\n  \"bench\": \"service_throughput\",\n");
+            json.push_str("  \"workload\": \"zipf\",\n");
+            let _ = writeln!(json, "  \"entries\": {entries},");
+            let _ = writeln!(json, "  \"batch_len\": {batch_len},");
+            let _ = writeln!(json, "  \"batches\": {batches},");
+            let _ = writeln!(json, "  \"superblock\": {superblock},");
+            let _ = writeln!(json, "  \"hot_k\": {hot_k},");
+            json.push_str("  \"points\": [\n");
+            for (i, m) in points.iter().enumerate() {
+                let _ = write!(
+                    json,
+                    "    {{\"shards\": {}, \"exponent\": {}, \"mitigation\": \"{}\", \
+                     \"padded\": {}, \"accesses\": {}, \"accesses_per_sec\": {:.0}, \
+                     \"pad_overhead\": {:.4}, \"skew_cumulative\": {:.4}, \
+                     \"skew_group_mean\": {:.4}, \"skew_group_worst\": {:.4}}}",
+                    m.shards,
+                    m.exponent,
+                    m.mitigation,
+                    m.padded,
+                    m.accesses,
+                    m.throughput,
+                    m.pad_overhead,
+                    m.skew_cumulative,
+                    m.skew_group_mean,
+                    m.skew_group_worst,
+                );
+                json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+            }
+            json.push_str("  ]\n}\n");
+            std::fs::write(&path, json).expect("write json");
+            println!("# wrote {path}");
+        }
+        return;
+    }
 
     let mix = MultiTenantMix::new(vec![
         TenantSpec::new(0, TraceKind::Zipf(ZipfTraceConfig::default()), entries).weight(1),

@@ -38,10 +38,10 @@ use oram_tree::{DiskStore, DiskStoreConfig, DynBucketStore, StateSnapshot, TreeS
 use crate::completion::{CompletionShared, GroupDone};
 use crate::ingress::{run_batcher, EngineMsg, GroupMeta, Ingress};
 use crate::{
-    BatchResponse, BatchTicket, BatchTiming, Completion, PipelineStats, Request,
+    BatchResponse, BatchTicket, BatchTiming, Completion, DiskBackendSpec, PipelineStats, Request,
     RequestLatencyStats, RequestOp, RequestTicket, ResolvedBackend, ServiceConfig, ServiceError,
-    ServiceStats, Session, ShardRouter, ShardStats, StorageBackend, TableRecovery, TableSpec,
-    TableStatus,
+    ServiceStats, Session, ShardRouter, ShardStats, SkewStats, StorageBackend, TableRecovery,
+    TableSpec, TableStatus,
 };
 
 /// A shard worker's LAORAM client: backend chosen at runtime, so the
@@ -111,6 +111,13 @@ pub(crate) struct SharedInner {
     worker_serve_ns: Vec<u64>,
     worker_batches: Vec<u64>,
     worker_errors: Vec<Option<String>>,
+    /// Genuine operations routed to each worker (fan-out included, pads
+    /// excluded), counted by the preprocessor.
+    worker_routed: Vec<u64>,
+    /// Padding reads issued to each worker.
+    worker_pads: Vec<u64>,
+    /// Per-group shard-load skew accumulators.
+    skew: SkewStats,
     preprocess_ns: u64,
     batches_preprocessed: u64,
     /// Timing records for groups `timing_base ..`, oldest first.
@@ -232,6 +239,13 @@ impl LaoramService {
                 "BatchPolicy::max_batch must be nonzero".into(),
             ));
         }
+        // Auto-spill tables are scratch-only: their client state is never
+        // persisted and their files die with the service, so a spill
+        // tuning spec asking for snapshots is a typed refusal — silently
+        // starting fresh would let data loss masquerade as recovery.
+        if config.spill_spec.as_ref().is_some_and(|spill| spill.snapshots) {
+            return Err(ServiceError::ScratchOnlySpill);
+        }
         // Shared (not cloned): the per-index partition tables are the
         // engine's largest structure.
         let router = Arc::new(ShardRouter::new(&config.tables)?);
@@ -282,6 +296,41 @@ impl LaoramService {
                 )));
             }
             table_recover[table] = present > 0;
+            // Per-shard geometry checks alone cannot catch a changed
+            // partition layout: different hot sets or row weightings can
+            // produce identical shard sizes while remapping which row
+            // lives in which dense slot. Recovery therefore requires the
+            // layout fingerprint written at table creation to match the
+            // layout this start would route with.
+            if table_recover[table] {
+                let expect = router.partition(table).layout_fingerprint();
+                let layout_path = table_layout_path(dir, spec, table);
+                let found = std::fs::read_to_string(&layout_path)
+                    .ok()
+                    .and_then(|text| u64::from_str_radix(text.trim(), 16).ok());
+                match found {
+                    Some(fingerprint) if fingerprint == expect => {}
+                    Some(_) => {
+                        return Err(ServiceError::InvalidConfig(format!(
+                            "table '{}' persisted state was written under a different \
+                             partition layout (its hot set, row weights, partition strategy, \
+                             or shard count changed since the files were created); recover \
+                             with the original TableSpec, or move the files aside to start \
+                             fresh",
+                            spec.name
+                        )));
+                    }
+                    None => {
+                        return Err(ServiceError::InvalidConfig(format!(
+                            "table '{}' has persisted shard files but no readable layout \
+                             fingerprint ({}); without it a changed partition layout cannot \
+                             be detected — move the files aside to start fresh",
+                            spec.name,
+                            layout_path.display()
+                        )));
+                    }
+                }
+            }
         }
 
         // Build every shard's LAORAM client (over its chosen backend) and
@@ -322,6 +371,26 @@ impl LaoramService {
                         let file = shard_file_path(dir, spec, table, shard);
                         fresh_persistent_cleanup.push(StateSnapshot::default_path(&file));
                         fresh_persistent_cleanup.push(file);
+                        // First shard of a fresh persistent table: record
+                        // the partition layout so a later recovery can
+                        // refuse a changed hot set / weighting / strategy
+                        // instead of silently remapping rows.
+                        if shard == 0 {
+                            let layout = table_layout_path(dir, spec, table);
+                            let io_err = |e: std::io::Error| {
+                                ServiceError::InvalidConfig(format!(
+                                    "write layout fingerprint {}: {e}",
+                                    layout.display()
+                                ))
+                            };
+                            std::fs::create_dir_all(dir).map_err(io_err)?;
+                            std::fs::write(
+                                &layout,
+                                format!("{:016x}\n", router.partition(table).layout_fingerprint()),
+                            )
+                            .map_err(io_err)?;
+                            fresh_persistent_cleanup.push(layout);
+                        }
                     }
                 }
                 let (client, planner_reseed) = build_client(
@@ -331,6 +400,7 @@ impl LaoramService {
                     shard,
                     laoram_config,
                     table_recover[table],
+                    config.spill_spec.as_ref(),
                 )?;
                 // A recovered shard's planner draws from a seed derived
                 // at the last checkpoint, NOT from the config seed: a
@@ -371,6 +441,15 @@ impl LaoramService {
                 backend: backend.clone(),
                 recovery: if recovered {
                     TableRecovery::Recovered { shards: spec.shards }
+                } else if matches!(
+                    (&spec.backend, backend),
+                    (StorageBackend::Auto, ResolvedBackend::Disk { .. })
+                ) {
+                    // An Auto spill is not merely "fresh": its files are
+                    // ephemeral and can never serve a restart. Report it
+                    // distinctly so nobody mistakes the next start's
+                    // empty table for recovery.
+                    TableRecovery::Scratch
                 } else {
                     TableRecovery::Fresh
                 },
@@ -384,6 +463,9 @@ impl LaoramService {
                 worker_serve_ns: vec![0; num_workers],
                 worker_batches: vec![0; num_workers],
                 worker_errors: vec![None; num_workers],
+                worker_routed: vec![0; num_workers],
+                worker_pads: vec![0; num_workers],
+                skew: SkewStats { workers: num_workers as u32, ..SkewStats::default() },
                 ..Default::default()
             }),
             submitted: AtomicU64::new(0),
@@ -873,6 +955,7 @@ fn build_client(
     shard: u32,
     laoram_config: &LaOramConfig,
     recover: bool,
+    spill_spec: Option<&DiskBackendSpec>,
 ) -> Result<(ShardClient, Option<u64>), ServiceError> {
     let geometry = laoram_config.geometry()?;
     match backend {
@@ -899,16 +982,25 @@ fn build_client(
             } else {
                 0
             });
-            // Auto spill keeps DiskStoreConfig's defaults; explicit disk
-            // tables carry their own tuning.
+            // Explicit disk tables carry their own tuning; Auto spill
+            // takes the service-wide spill_spec (its dir and snapshots
+            // fields do not apply — snapshots on the spill path were
+            // refused at start) or DiskStoreConfig's defaults.
             let mut snapshots = false;
             let mut durable = false;
-            if let StorageBackend::Disk(d) = &spec.backend {
+            let tuning = match &spec.backend {
+                StorageBackend::Disk(d) => Some(d),
+                StorageBackend::Auto => spill_spec,
+                _ => None,
+            };
+            if let Some(d) = tuning {
                 disk_config = disk_config
                     .write_back_paths(d.write_back_paths)
                     .durable_sync(d.durable_sync)
                     .readahead_paths(d.readahead_paths);
-                snapshots = d.snapshots;
+                if matches!(&spec.backend, StorageBackend::Disk(_)) {
+                    snapshots = d.snapshots;
+                }
                 durable = d.durable_sync;
             }
             let snap_path = StateSnapshot::default_path(&file);
@@ -952,12 +1044,18 @@ impl Drop for LaoramService {
 /// *index* keys uniqueness — names are display-only, need not be unique,
 /// and are sanitised lossily.
 fn shard_file_path(dir: &Path, spec: &TableSpec, table: usize, shard: u32) -> PathBuf {
-    let sanitized: String = spec
-        .name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
-        .collect();
-    dir.join(format!("t{table}-{sanitized}-shard{shard}.oram"))
+    dir.join(format!("t{table}-{}-shard{shard}.oram", sanitized_name(spec)))
+}
+
+/// The partition-layout fingerprint file of a snapshot-enabled table:
+/// written once at table creation, required to match at recovery (see
+/// [`TablePartition::layout_fingerprint`](crate::TablePartition::layout_fingerprint)).
+fn table_layout_path(dir: &Path, spec: &TableSpec, table: usize) -> PathBuf {
+    dir.join(format!("t{table}-{}.layout", sanitized_name(spec)))
+}
+
+fn sanitized_name(spec: &TableSpec) -> String {
+    spec.name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' }).collect()
 }
 
 /// Independent per-shard seed stream (SplitMix64-style mixing).
@@ -995,6 +1093,12 @@ fn run_preprocessor(
     let mut next_group_hint = 0u64;
     // Rotating per-worker cursor choosing padding rows.
     let mut pad_cursor: Vec<u32> = vec![0; workers.len()];
+    // Load-aware routing state: per-group worker loads (LeastLoaded
+    // replica reads) and per-table round-robin cursors.
+    let mut routing = router.routing();
+    // Scratch buffer for one request's routed targets (a replicated
+    // write fans out to several workers).
+    let mut targets: Vec<(usize, u32, bool)> = Vec::new();
     let flush = |pending: &mut Option<Vec<(usize, WorkerMsg)>>| -> bool {
         if let Some(parts) = pending.take() {
             for (worker, msg) in parts {
@@ -1040,6 +1144,10 @@ fn run_preprocessor(
                     // late worker updates for them are discarded.
                     inner.timing_base = next_group_hint;
                     inner.pad_accesses = 0;
+                    inner.worker_routed.fill(0);
+                    inner.worker_pads.fill(0);
+                    inner.skew =
+                        SkewStats { workers: workers.len() as u32, ..SkewStats::default() };
                 }
                 // The latency histograms are written by the collector, so
                 // their reset is a collector-side barrier: it fires only
@@ -1061,43 +1169,72 @@ fn run_preprocessor(
                 let prep_start_ns = shared.now_ns();
                 // Route: split the group into per-worker index streams and
                 // operation lists, remembering each op's group position.
+                // Replicated rows route load-aware: reads to the
+                // placement-chosen replica, writes fanned out to every
+                // replica (non-primary copies carry PAD_SLOT — their
+                // outputs are discarded, the copies only keep replicas
+                // convergent).
+                routing.begin_group();
                 let mut per_worker: HashMap<usize, RoutedPart> = HashMap::new();
                 for (position, request) in requests.into_iter().enumerate() {
-                    let (worker, local) = router
-                        .route(request.table, request.index)
+                    let Request { table, index, op } = request;
+                    let mut payload = match op {
+                        RequestOp::Read => None,
+                        RequestOp::Write(payload) => Some(payload),
+                    };
+                    targets.clear();
+                    routing
+                        .route(table, index, payload.is_some(), |worker, local, primary| {
+                            targets.push((worker, local, primary));
+                        })
                         .expect("ingress validated every request");
-                    let entry = per_worker.entry(worker).or_default();
-                    entry.0.push(local);
-                    entry.1.push(match request.op {
-                        RequestOp::Read => BatchOp::Read(local),
-                        RequestOp::Write(payload) => BatchOp::Write(local, payload),
-                    });
-                    entry.2.push(position as u32);
-                }
-                // Volume padding: bring every shard of every table touched
-                // by this group up to the table's longest sub-batch, so
-                // per-shard volumes stop being input-dependent.
-                let mut pads = 0u64;
-                if pad_shard_batches {
-                    let mut table_max: HashMap<usize, usize> = HashMap::new();
-                    for (&worker, part) in &per_worker {
-                        let (table, _) = router.worker_home(worker);
-                        let longest = table_max.entry(table).or_default();
-                        *longest = (*longest).max(part.1.len());
-                    }
-                    for (&table, &longest) in &table_max {
-                        for worker in router.table_workers(table) {
-                            let entry = per_worker.entry(worker).or_default();
-                            let (_, shard) = router.worker_home(worker);
-                            let shard_size = router.partition(table).shard_size(shard);
-                            while entry.1.len() < longest {
-                                let local = pad_cursor[worker] % shard_size;
-                                pad_cursor[worker] = pad_cursor[worker].wrapping_add(1);
-                                entry.0.push(local);
-                                entry.1.push(BatchOp::Read(local));
-                                entry.2.push(PAD_SLOT);
-                                pads += 1;
+                    let fan_out = targets.len();
+                    for (copy, &(worker, local, primary)) in targets.iter().enumerate() {
+                        let entry = per_worker.entry(worker).or_default();
+                        entry.0.push(local);
+                        entry.1.push(match &payload {
+                            // The last copy takes the payload; earlier
+                            // fan-out copies clone it.
+                            Some(_) if copy + 1 == fan_out => {
+                                BatchOp::Write(local, payload.take().expect("unconsumed"))
                             }
+                            Some(bytes) => BatchOp::Write(local, bytes.clone()),
+                            None => BatchOp::Read(local),
+                        });
+                        entry.2.push(if primary { position as u32 } else { PAD_SLOT });
+                    }
+                }
+                // Skew telemetry, measured where the imbalance is created
+                // (and before padding masks it): the group's longest
+                // sub-batch against the all-workers mean.
+                let routed_ops: u64 = per_worker.values().map(|p| p.1.len() as u64).sum();
+                let max_subbatch: u64 =
+                    per_worker.values().map(|p| p.1.len() as u64).max().unwrap_or(0);
+                let routed_counts: Vec<(usize, u64)> =
+                    per_worker.iter().map(|(&w, p)| (w, p.1.len() as u64)).collect();
+                // Volume padding: bring every shard of every *hosted*
+                // table up to the group's longest sub-batch, so a group's
+                // shard volumes reveal neither the traffic distribution
+                // nor which tables it touched.
+                let mut pads = 0u64;
+                let mut pad_counts: Vec<(usize, u64)> = Vec::new();
+                if pad_shard_batches && max_subbatch > 0 {
+                    let longest = max_subbatch as usize;
+                    for (worker, cursor) in pad_cursor.iter_mut().enumerate() {
+                        let entry = per_worker.entry(worker).or_default();
+                        let (table, shard) = router.worker_home(worker);
+                        let shard_size = router.partition(table).shard_size(shard);
+                        let short = longest - entry.1.len().min(longest);
+                        for _ in 0..short {
+                            let local = *cursor % shard_size;
+                            *cursor = cursor.wrapping_add(1);
+                            entry.0.push(local);
+                            entry.1.push(BatchOp::Read(local));
+                            entry.2.push(PAD_SLOT);
+                        }
+                        if short > 0 {
+                            pads += short as u64;
+                            pad_counts.push((worker, short as u64));
                         }
                     }
                 }
@@ -1115,6 +1252,22 @@ fn run_preprocessor(
                     inner.preprocess_ns += prep_end_ns - prep_start_ns;
                     inner.batches_preprocessed += 1;
                     inner.pad_accesses += pads;
+                    for &(worker, count) in &routed_counts {
+                        inner.worker_routed[worker] += count;
+                    }
+                    for &(worker, count) in &pad_counts {
+                        inner.worker_pads[worker] += count;
+                    }
+                    if routed_ops > 0 {
+                        inner.skew.groups += 1;
+                        inner.skew.routed_ops += routed_ops;
+                        inner.skew.sum_max_subbatch += max_subbatch;
+                        let imbalance =
+                            max_subbatch as f64 * workers.len() as f64 / routed_ops as f64;
+                        if imbalance > inner.skew.worst_imbalance {
+                            inner.skew.worst_imbalance = imbalance;
+                        }
+                    }
                     if let Some(timing) = inner.timing_slot(group) {
                         timing.prep_start_ns = prep_start_ns;
                         timing.prep_end_ns = prep_end_ns;
@@ -1419,6 +1572,8 @@ fn build_stats(inner: &SharedInner, worker_homes: &[(usize, u32)], wall_ns: u64)
             stats,
             serve_ns: inner.worker_serve_ns[worker],
             batches: inner.worker_batches[worker],
+            routed: inner.worker_routed[worker],
+            pads: inner.worker_pads[worker],
         });
     }
     // Overlap: preprocessing wall-clock hidden behind concurrent serving.
@@ -1472,6 +1627,7 @@ fn build_stats(inner: &SharedInner, worker_homes: &[(usize, u32)], wall_ns: u64)
         batches: inner.batch_timing.clone(),
         request_latency: inner.request_latency.clone(),
         requests_completed: inner.requests_completed,
+        skew: inner.skew.clone(),
         pad_accesses: inner.pad_accesses,
     }
 }

@@ -58,6 +58,18 @@ pub enum ServiceError {
         /// The requested ticket id.
         ticket: u64,
     },
+    /// Snapshots were requested for the [`StorageBackend::Auto`] spill
+    /// path ([`ServiceConfig::spill_spec`]), which is scratch-only by
+    /// design: spill files are service-owned, deleted at shutdown, and
+    /// never carry the client state a restart needs. Refused at startup
+    /// so data loss cannot masquerade as recovery — a restartable table
+    /// needs an explicit [`StorageBackend::Disk`] backend with
+    /// [`DiskBackendSpec::snapshots`](crate::DiskBackendSpec::snapshots).
+    ///
+    /// [`StorageBackend::Auto`]: crate::StorageBackend::Auto
+    /// [`StorageBackend::Disk`]: crate::StorageBackend::Disk
+    /// [`ServiceConfig::spill_spec`]: crate::ServiceConfig::spill_spec
+    ScratchOnlySpill,
     /// The request was submitted after
     /// [`shutdown`](crate::LaoramService::shutdown) began.
     ShuttingDown,
@@ -89,6 +101,12 @@ impl fmt::Display for ServiceError {
             ServiceError::TicketClaimed { ticket } => {
                 write!(f, "request ticket {ticket} already claimed")
             }
+            ServiceError::ScratchOnlySpill => write!(
+                f,
+                "spill_spec requests snapshots, but Auto-spilled tables are scratch-only \
+                 (their files are deleted at shutdown and cannot be recovered); use an \
+                 explicit StorageBackend::Disk backend for restartable tables"
+            ),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Disconnected => write!(f, "pipeline stage terminated unexpectedly"),
             ServiceError::Core(e) => write!(f, "shard construction failed: {e}"),

@@ -32,9 +32,20 @@
 //!   ([`BatchTicket::request_tickets`]).
 //! * **Multi-table** — the engine hosts any number of embedding tables
 //!   ([`TableSpec`]), each with its own LAORAM parameters.
-//! * **Sharded** — each table is hash-partitioned ([`ShardRouter`]) across
+//! * **Sharded** — each table is partitioned ([`ShardRouter`]) across
 //!   shard workers, one `LaOram` instance and thread per shard, so
 //!   independent shards serve in parallel.
+//! * **Hot-shard mitigated** — zipf-skewed traffic makes one shard the
+//!   pipeline's straggler (a group finishes when its *hottest* shard
+//!   does). Three per-table levers counter it: a declared
+//!   [`HotSetSpec`] replicates the hot rows into every shard (reads go
+//!   to the least-loaded or round-robin replica, writes fan out within
+//!   the group so replicas never diverge);
+//!   [`PartitionStrategy::Weighted`] bin-packs rows onto shards by
+//!   declared weight; and [`ServiceStats::skew`] /
+//!   [`ShardStats::routed`] make the imbalance — and what a mitigation
+//!   buys — measurable. Responses are byte-identical across routing
+//!   modes (pinned by the routing-equivalence proptests).
 //! * **Larger than RAM** — every shard's bucket store is chosen per table
 //!   ([`StorageBackend`]): in-memory by default, an explicit disk backend
 //!   ([`DiskBackendSpec`]), or automatic spill when the table's footprint
@@ -71,14 +82,36 @@
 //! backends. The cross-cutting signals a *service* adds are collected
 //! here, in one place:
 //!
-//! * **Per-shard volumes.** Routing is a deterministic hash of the
+//! * **Per-shard volumes.** Routing is a deterministic function of the
 //!   accessed index, so an adversary observing which shard serves each
 //!   request learns the per-shard traffic *volume* distribution — a
 //!   coarse signal that a single-instance deployment does not emit.
 //!   [`ServiceConfig::pad_shard_batches`] closes this channel by padding
-//!   every table's per-shard sub-batches to equal length with dummy
-//!   reads; the bandwidth price is counted in
-//!   [`ServiceStats::pad_accesses`].
+//!   **every hosted table's** shard workers up to the group's longest
+//!   sub-batch with dummy reads. (Earlier versions padded only the
+//!   tables a group touched, which still revealed the group's
+//!   *touched-table set* through each table's total volume; padding all
+//!   tables closes that residual too, at a bandwidth price that grows
+//!   with the table count — counted in
+//!   [`ServiceStats::pad_accesses`].)
+//! * **Hot-set replication & weighted partitioning.** A *declared*
+//!   [`HotSetSpec`] or [`PartitionStrategy::Weighted`] weighting is
+//!   static configuration: replica reads pick a shard from per-group
+//!   operation *counts* (already public as shard volumes) or a
+//!   round-robin cursor, and write fan-out touches all shards of the
+//!   table uniformly — neither depends on which rows the traffic
+//!   touched, so routing adds no leakage beyond the config itself.
+//!   A hot set *derived from observed traffic*
+//!   ([`HotSetSpec::observed_top_k`]) is different: the deployed
+//!   configuration then **encodes the historical access histogram**
+//!   (which rows were hot), and an adversary who reads the config, or
+//!   probes which rows are answered by multiple shards, learns it.
+//!   Treat observed-mode configs as sensitive as the traffic they were
+//!   derived from, and prefer a priori hot sets (vocabulary
+//!   frequencies, feature cardinalities) when available. Padding
+//!   composes with both mitigations: pads are applied after replica
+//!   fan-out, so padded volumes count the replicated traffic
+//!   correctly.
 //! * **Batch timing.** Micro-batch *boundaries* leak arrival timing:
 //!   a group flushed by `max_delay` reveals that fewer than `max_batch`
 //!   requests arrived in that window, and group sizes under deadline
@@ -161,13 +194,14 @@ pub use batch::{BatchResponse, BatchTicket, Request, RequestOp};
 pub use engine::{LaoramService, ServiceReport};
 pub use error::ServiceError;
 pub use request::{Completion, RequestTicket, RequestTiming, Session, SessionId};
-pub use router::{ShardRouter, TablePartition};
+pub use router::{GroupRouting, RowPlacement, ShardRouter, TablePartition};
 pub use spec::{
-    BatchPolicy, DiskBackendSpec, ResolvedBackend, ServiceConfig, StorageBackend, TableRecovery,
-    TableSpec, TableStatus,
+    BatchPolicy, DiskBackendSpec, HotSetSpec, PartitionStrategy, ReplicaPlacement, ResolvedBackend,
+    ServiceConfig, StorageBackend, TableRecovery, TableSpec, TableStatus,
 };
 pub use stats::{
     BatchTiming, LatencyHistogram, PipelineStats, RequestLatencyStats, ServiceStats, ShardStats,
+    SkewStats,
 };
 
 /// Convenience alias for results produced by this crate.

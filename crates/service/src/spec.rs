@@ -127,6 +127,7 @@ pub enum ResolvedBackend {
 /// [`LaoramService::table_status`](crate::LaoramService::table_status)
 /// and [`ServiceReport::table_status`](crate::ServiceReport::table_status)).
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum TableRecovery {
     /// The table was created fresh at startup (no persisted state, or
     /// persistence disabled).
@@ -138,6 +139,18 @@ pub enum TableRecovery {
         /// partial recovery is refused at startup).
         shards: u32,
     },
+    /// The table spilled to disk under [`StorageBackend::Auto`]: its
+    /// shard files are **scratch** — service-owned, deleted at shutdown,
+    /// and never recoverable (no client state is persisted for them).
+    /// Reported distinctly from [`Fresh`](Self::Fresh) so an operator
+    /// reading [`table_status`](crate::LaoramService::table_status)
+    /// cannot mistake an ephemeral spill for a restartable table; a
+    /// table that must survive restarts needs
+    /// [`StorageBackend::Disk`] with
+    /// [`DiskBackendSpec::snapshots`] — asking for snapshots on the
+    /// Auto spill path is refused with the typed
+    /// [`ServiceError::ScratchOnlySpill`](crate::ServiceError::ScratchOnlySpill).
+    Scratch,
 }
 
 /// One table's storage backend and recovery status, as resolved at
@@ -150,11 +163,123 @@ pub struct TableStatus {
     pub recovery: TableRecovery,
 }
 
+/// How replica reads of a [`HotSetSpec`] row are spread over the
+/// table's shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReplicaPlacement {
+    /// Each replica read goes to the shard with the fewest operations in
+    /// the *current pipeline group* (ties broken by lowest shard id).
+    /// The choice depends only on the group's own operation counts —
+    /// public routing state — never on row identity. The default.
+    #[default]
+    LeastLoaded,
+    /// Replica reads rotate over the table's shards with a cursor that
+    /// persists across groups.
+    RoundRobin,
+}
+
+/// A table's *hot set*: rows replicated into **every** shard of the
+/// table so that reads of them can be served by whichever shard is
+/// least loaded, instead of all landing on one hash-designated home.
+///
+/// Writes to a hot row fan out to all replicas **within the same
+/// pipeline group**, so replicas can never diverge across a superblock
+/// boundary; reads are answered by one replica chosen per
+/// [`ReplicaPlacement`]. Responses are byte-identical to the
+/// unreplicated configuration (pinned by the workspace's
+/// routing-equivalence proptests).
+///
+/// # Leakage
+///
+/// A **declared** hot set ([`HotSetSpec::declared`]) is static
+/// configuration: routing decisions depend on it and on per-group
+/// operation *counts*, never on which rows the traffic actually
+/// touched, so it adds no leakage beyond the config itself. A hot set
+/// **derived from observed traffic**
+/// ([`HotSetSpec::observed_top_k`]) is different: the chosen rows — and
+/// therefore the shard-placement the adversary can probe — encode the
+/// historical access frequencies of real rows. Only use the observed
+/// mode on traffic you are willing to reveal at that granularity; see
+/// the crate-level security notes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotSetSpec {
+    /// The replicated rows (deduplicated, validated against the table's
+    /// entry count at startup).
+    pub rows: Vec<u32>,
+    /// How replica reads pick a shard.
+    pub placement: ReplicaPlacement,
+}
+
+impl HotSetSpec {
+    /// A declared (static) hot set with [`ReplicaPlacement::LeastLoaded`].
+    #[must_use]
+    pub fn declared(rows: impl Into<Vec<u32>>) -> Self {
+        HotSetSpec { rows: rows.into(), placement: ReplicaPlacement::default() }
+    }
+
+    /// Derives the hot set from an **observed access stream**: the `k`
+    /// most frequently accessed rows (ties broken by lower index).
+    ///
+    /// **Leakage note:** the resulting configuration encodes the access
+    /// histogram of `accesses` — deploying it reveals which rows were
+    /// historically hot to anyone who can read the config or probe the
+    /// replica layout. Prefer [`declared`](Self::declared) with a hot
+    /// set known a priori (vocabulary frequencies, feature cardinality)
+    /// whenever possible.
+    #[must_use]
+    pub fn observed_top_k(accesses: &[u32], k: usize) -> Self {
+        let mut counts: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for &index in accesses {
+            *counts.entry(index).or_insert(0) += 1;
+        }
+        let mut ranked: Vec<(u32, u64)> = counts.into_iter().collect();
+        ranked.sort_by_key(|&(index, count)| (std::cmp::Reverse(count), index));
+        ranked.truncate(k);
+        HotSetSpec::declared(ranked.into_iter().map(|(index, _)| index).collect::<Vec<_>>())
+    }
+
+    /// Sets the replica-read placement policy.
+    #[must_use]
+    pub fn placement(mut self, placement: ReplicaPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+}
+
+/// How a table's (non-replicated) index space is assigned to shards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionStrategy {
+    /// Fibonacci multiplicative hash — spreads consecutive indices far
+    /// apart (DLRM-style hot bands at low indices land on different
+    /// shards). Oblivious to any traffic knowledge. The default.
+    #[default]
+    Hash,
+    /// Greedy bin-packing by **declared row weight**: rows are assigned
+    /// in descending weight order, each to the shard with the least
+    /// cumulative weight so far (ties to the lowest shard id). Rows
+    /// absent from `weights` count as weight 1; declared weights of 0
+    /// are clamped to 1 so every row stays servable.
+    ///
+    /// Like a declared [`HotSetSpec`], the weights are static
+    /// configuration — routing stays a deterministic function of the
+    /// index — so this leaks nothing beyond the config itself (which,
+    /// if *derived* from observed traffic, encodes that traffic; see
+    /// the crate-level security notes).
+    Weighted {
+        /// Sparse `(row index, weight)` declarations.
+        weights: Vec<(u32, u64)>,
+    },
+}
+
 /// Configuration of one hosted embedding table.
 ///
 /// Each table is partitioned across `shards` independent LAORAM
-/// instances (one worker thread each); requests are routed by an index
-/// hash. All shards of a table share the LAORAM parameters below.
+/// instances (one worker thread each); requests are routed by the
+/// table's [`PartitionStrategy`], with optional hot-row replication
+/// ([`HotSetSpec`]) for skewed traffic. All shards of a table share the
+/// LAORAM parameters below.
 #[derive(Debug, Clone)]
 pub struct TableSpec {
     /// Human-readable table name (diagnostics and spill-file naming).
@@ -182,6 +307,11 @@ pub struct TableSpec {
     pub row_bytes: u32,
     /// Storage backend selection for this table's shards.
     pub backend: StorageBackend,
+    /// How the table's index space is assigned to shards.
+    pub partition: PartitionStrategy,
+    /// Rows replicated into every shard (hot-shard mitigation); `None`
+    /// disables replication.
+    pub hot_set: Option<HotSetSpec>,
 }
 
 impl TableSpec {
@@ -201,6 +331,8 @@ impl TableSpec {
             seed: 0xD15C_07AB,
             row_bytes: 128,
             backend: StorageBackend::Auto,
+            partition: PartitionStrategy::Hash,
+            hot_set: None,
         }
     }
 
@@ -261,11 +393,35 @@ impl TableSpec {
         self
     }
 
+    /// Selects this table's shard-assignment strategy.
+    #[must_use]
+    pub fn partition(mut self, partition: PartitionStrategy) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Declares per-row weights and switches the table to
+    /// [`PartitionStrategy::Weighted`] greedy bin-packing.
+    #[must_use]
+    pub fn weighted_partition(mut self, weights: Vec<(u32, u64)>) -> Self {
+        self.partition = PartitionStrategy::Weighted { weights };
+        self
+    }
+
+    /// Replicates a hot set of rows into every shard of the table.
+    #[must_use]
+    pub fn hot_set(mut self, hot_set: HotSetSpec) -> Self {
+        self.hot_set = Some(hot_set);
+        self
+    }
+
     /// Bytes of server storage this table needs across all its shards,
     /// assuming rows of [`row_bytes`](Self::row_bytes): the figure
     /// [`StorageBackend::Auto`] compares against
     /// [`ServiceConfig::in_memory_cap_bytes`]. Shard sizes come from the
-    /// same hash partition the engine routes with, and slot accounting
+    /// same partition the engine routes with (including any replicated
+    /// [`hot_set`](Self::hot_set) rows, which every shard stores), and
+    /// slot accounting
     /// from [`DiskStore::slot_bytes_for`](oram_tree::DiskStore::slot_bytes_for),
     /// so the figure equals both the engine's spill decision and the
     /// table's on-disk footprint when spilled.
@@ -275,7 +431,7 @@ impl TableSpec {
     /// same builders the engine uses).
     pub fn estimated_store_bytes(&self) -> Result<u64, crate::ServiceError> {
         let slot_bytes = disk_slot_bytes(self);
-        let partition = crate::TablePartition::new(self.num_blocks, self.shards)?;
+        let partition = crate::TablePartition::for_spec(self)?;
         let mut total = 0u64;
         for shard in 0..partition.shards() {
             let config = laoram_core::LaOramConfig::builder(partition.shard_size(shard))
@@ -374,10 +530,16 @@ pub struct ServiceConfig {
     pub queue_depth: usize,
     /// Micro-batching policy for individually submitted requests.
     pub batch_policy: BatchPolicy,
-    /// Pad every table's per-shard sub-batches to equal length with dummy
-    /// reads, hiding the per-shard traffic volume distribution (at the
-    /// bandwidth cost reported in
-    /// [`ServiceStats::pad_accesses`](crate::ServiceStats::pad_accesses)).
+    /// Pad **every hosted table's** per-shard sub-batches up to the
+    /// group's longest sub-batch with dummy reads, so a group's shard
+    /// volumes reveal neither the per-shard traffic distribution *nor
+    /// which tables the group touched* — every worker of every table
+    /// performs the same number of accesses per group. The bandwidth
+    /// cost is reported in
+    /// [`ServiceStats::pad_accesses`](crate::ServiceStats::pad_accesses)
+    /// and grows with the number of hosted tables; padding only the
+    /// touched tables would be cheaper but leaks the touched-table set
+    /// (the residual channel this flag closes).
     pub pad_shard_batches: bool,
     /// In-memory budget for [`StorageBackend::Auto`] tables: a table
     /// whose estimated footprint exceeds this many bytes is served from a
@@ -391,6 +553,19 @@ pub struct ServiceConfig {
     /// removed at shutdown — so services sharing a spill root never
     /// touch each other's files.
     pub spill_dir: Option<PathBuf>,
+    /// Disk tuning applied to tables [`StorageBackend::Auto`] spills
+    /// (`write_back_paths`, `readahead_paths`, `durable_sync`); the
+    /// spec's `dir` is ignored — spill files always live in the
+    /// service-unique directory under [`spill_dir`](Self::spill_dir).
+    /// `None` keeps the `DiskStoreConfig` defaults.
+    ///
+    /// Spill tables are **scratch-only**: their client state is never
+    /// persisted and their files are deleted at shutdown, so a spec with
+    /// [`snapshots`](DiskBackendSpec::snapshots) enabled is refused at
+    /// startup with the typed
+    /// [`ServiceError::ScratchOnlySpill`](crate::ServiceError::ScratchOnlySpill)
+    /// — a restartable table needs an explicit [`StorageBackend::Disk`].
+    pub spill_spec: Option<DiskBackendSpec>,
 }
 
 impl ServiceConfig {
@@ -405,6 +580,7 @@ impl ServiceConfig {
             pad_shard_batches: false,
             in_memory_cap_bytes: None,
             spill_dir: None,
+            spill_spec: None,
         }
     }
 
@@ -447,6 +623,15 @@ impl ServiceConfig {
     #[must_use]
     pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the disk tuning for automatically spilled tables (the
+    /// spec's `dir` is ignored; `snapshots` must stay off — see
+    /// [`spill_spec`](Self::spill_spec)).
+    #[must_use]
+    pub fn spill_spec(mut self, spec: DiskBackendSpec) -> Self {
+        self.spill_spec = Some(spec);
         self
     }
 }

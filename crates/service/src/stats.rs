@@ -131,6 +131,14 @@ pub struct ShardStats {
     pub serve_ns: u64,
     /// Batches this worker served.
     pub batches: u64,
+    /// Cumulative *genuine* operations routed to this shard (replica
+    /// fan-out writes included, padding excluded) — the shard's share of
+    /// offered load. The spread of this figure across a table's shards
+    /// is the hot-shard signal; [`SkewStats`] summarises it per group.
+    pub routed: u64,
+    /// Dummy reads issued to this shard by per-group volume padding
+    /// ([`ServiceConfig::pad_shard_batches`](crate::ServiceConfig::pad_shard_batches)).
+    pub pads: u64,
 }
 
 /// Per-stage timing of the lookahead pipeline.
@@ -179,6 +187,46 @@ impl PipelineStats {
     }
 }
 
+/// Per-group shard-load skew, measured by the preprocessor as it routes
+/// (before padding, which exists to *mask* exactly this signal from the
+/// adversary — the operator still needs to see it).
+///
+/// For each group, the skew is the longest per-worker sub-batch divided
+/// by the mean sub-batch length (`group ops / workers`): 1.0 is a
+/// perfectly balanced group, and the pipeline's group latency tracks the
+/// *max*, so a sustained imbalance of `k` caps throughput at `1/k` of
+/// the balanced configuration. The hot-shard mitigations
+/// ([`HotSetSpec`](crate::HotSetSpec) replication,
+/// [`PartitionStrategy::Weighted`](crate::PartitionStrategy::Weighted))
+/// exist to push this toward 1.0 under skewed traffic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SkewStats {
+    /// Non-empty groups measured.
+    pub groups: u64,
+    /// Total operations routed (replica fan-out included, pads excluded).
+    pub routed_ops: u64,
+    /// Sum over groups of the longest per-worker sub-batch.
+    pub sum_max_subbatch: u64,
+    /// Worst per-group `max / mean` imbalance observed.
+    pub worst_imbalance: f64,
+    /// Shard workers the mean is taken over (all tables').
+    pub workers: u32,
+}
+
+impl SkewStats {
+    /// Ops-weighted mean `max / mean` imbalance across the measured
+    /// groups (0 when nothing was routed). 1.0 means every group split
+    /// evenly over all shard workers.
+    #[must_use]
+    pub fn mean_imbalance(&self) -> f64 {
+        if self.routed_ops == 0 {
+            0.0
+        } else {
+            self.sum_max_subbatch as f64 * f64::from(self.workers) / self.routed_ops as f64
+        }
+    }
+}
+
 /// Timing record of one batch's trip through the pipeline (nanoseconds
 /// since engine start).
 #[derive(Debug, Clone, Default)]
@@ -216,6 +264,9 @@ pub struct ServiceStats {
     /// Requests that completed (their group finished serving), whether or
     /// not the caller has claimed the completions yet.
     pub requests_completed: u64,
+    /// Per-group shard-load skew (max/mean sub-batch length), the
+    /// hot-shard signal the mitigations are tuned against.
+    pub skew: SkewStats,
     /// Dummy accesses emitted to pad per-shard sub-batches to equal
     /// length ([`ServiceConfig::pad_shard_batches`]); each one costs the
     /// same shard bandwidth as a real access. Padded reads are counted
@@ -253,11 +304,28 @@ mod tests {
     }
 
     #[test]
+    fn skew_imbalance_math() {
+        let empty = SkewStats::default();
+        assert_eq!(empty.mean_imbalance(), 0.0);
+        // Two groups over 4 workers: one balanced (100 ops, max 25), one
+        // skewed (100 ops, max 70) -> mean = (25+70)*4/200 = 1.9.
+        let skew = SkewStats {
+            groups: 2,
+            routed_ops: 200,
+            sum_max_subbatch: 95,
+            worst_imbalance: 70.0 * 4.0 / 100.0,
+            workers: 4,
+        };
+        assert!((skew.mean_imbalance() - 1.9).abs() < 1e-12);
+        assert!(skew.worst_imbalance > skew.mean_imbalance());
+    }
+
+    #[test]
     fn table_merge_filters_by_table() {
         let mk = |table, accesses| {
             let mut stats = AccessStats::new();
             stats.real_accesses = accesses;
-            ShardStats { table, shard: 0, stats, serve_ns: 0, batches: 0 }
+            ShardStats { table, shard: 0, stats, serve_ns: 0, batches: 0, routed: 0, pads: 0 }
         };
         let stats = ServiceStats {
             shards: vec![mk(0, 5), mk(1, 7), mk(0, 11)],
@@ -267,6 +335,7 @@ mod tests {
             batches: Vec::new(),
             request_latency: RequestLatencyStats::default(),
             requests_completed: 0,
+            skew: SkewStats::default(),
             pad_accesses: 0,
         };
         assert_eq!(stats.table_merged(0).real_accesses, 16);

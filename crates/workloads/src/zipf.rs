@@ -1,4 +1,5 @@
-//! Plain Zipf trace over the whole table, used by ablation studies.
+//! Plain Zipf trace over the whole table, used by ablation studies and
+//! the serving engine's skew benchmarks.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -10,16 +11,39 @@ use crate::ZipfSampler;
 pub struct ZipfTraceConfig {
     /// Zipf exponent (`s = 0` is uniform; larger is more skewed).
     pub exponent: f64,
-    /// Whether rank 0 maps to index 0 (`false` scatters ranks over the
-    /// table with a fixed stride permutation so hot entries are not
-    /// spatially adjacent — defeating history-based spatial schemes the
-    /// way real embedding tables do).
+    /// Whether rank 0 maps to index 0. `false` (the default) scatters
+    /// ranks over the table with a fixed stride permutation so hot
+    /// entries are not spatially adjacent — the shape real embedding
+    /// tables have, where popularity is uncorrelated with row position.
+    /// `true` keeps the classic rank-ordered layout (hot rows clustered
+    /// at low indices), which flatters any scheme tuned to spread
+    /// *consecutive* indices (hash partitioning, history-based spatial
+    /// caches) and should only be used when that adjacency is the point
+    /// of the experiment.
     pub ranks_are_indices: bool,
 }
 
 impl Default for ZipfTraceConfig {
     fn default() -> Self {
-        ZipfTraceConfig { exponent: 1.1, ranks_are_indices: true }
+        ZipfTraceConfig { exponent: 1.1, ranks_are_indices: false }
+    }
+}
+
+impl ZipfTraceConfig {
+    /// The table index frequency-rank `rank` maps to under this
+    /// configuration, for a table of `num_blocks` entries. Rank 0 is the
+    /// hottest row. This is the mapping a *declared* hot set or row
+    /// weighting should use when the traffic is known to be Zipfian:
+    /// the top-K hottest rows of a trace generated from this config are
+    /// exactly `(0..k).map(|r| cfg.index_of_rank(r, n))`.
+    #[must_use]
+    pub fn index_of_rank(&self, rank: u32, num_blocks: u32) -> u32 {
+        assert!(num_blocks > 0);
+        if self.ranks_are_indices {
+            rank % num_blocks
+        } else {
+            scatter(rank % num_blocks, num_blocks)
+        }
     }
 }
 
@@ -52,9 +76,37 @@ mod tests {
 
     #[test]
     fn skew_concentrates_mass() {
-        let t = generate(&ZipfTraceConfig::default(), 10_000, 20_000, 1);
+        // Rank-ordered mode: the head of the index space is the hot set.
+        let cfg = ZipfTraceConfig { exponent: 1.1, ranks_are_indices: true };
+        let t = generate(&cfg, 10_000, 20_000, 1);
         let head = t.iter().filter(|&&x| x < 100).count();
         assert!(head > t.len() / 4, "top-100 entries got {head} of {} hits", t.len());
+    }
+
+    #[test]
+    fn default_scatters_ranks() {
+        // The default trace is just as skewed, but the hot rows are
+        // scattered: the low-index head holds only its fair share.
+        let t = generate(&ZipfTraceConfig::default(), 10_000, 20_000, 1);
+        let head = t.iter().filter(|&&x| x < 100).count();
+        assert!(head < t.len() / 10, "scattered head got {head} of {} hits", t.len());
+        // Mass still concentrates on the top-100 *ranked* rows.
+        let hot: std::collections::HashSet<u32> =
+            (0..100).map(|r| ZipfTraceConfig::default().index_of_rank(r, 10_000)).collect();
+        let ranked_head = t.iter().filter(|x| hot.contains(x)).count();
+        assert!(ranked_head > t.len() / 4, "top-100 ranks got {ranked_head}");
+    }
+
+    #[test]
+    fn index_of_rank_matches_trace_frequencies() {
+        let cfg = ZipfTraceConfig::default();
+        let t = generate(&cfg, 4096, 40_000, 7);
+        let mut counts = std::collections::HashMap::new();
+        for &x in &t {
+            *counts.entry(x).or_insert(0usize) += 1;
+        }
+        let hottest = counts.iter().max_by_key(|&(_, c)| *c).map(|(&x, _)| x).unwrap();
+        assert_eq!(hottest, cfg.index_of_rank(0, 4096), "rank 0 is the hottest row");
     }
 
     #[test]

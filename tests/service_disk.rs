@@ -3,7 +3,8 @@
 //! disk backend, with read-your-writes intact and a clean shutdown.
 
 use laoram::service::{
-    LaoramService, Request, ResolvedBackend, ServiceConfig, StorageBackend, TableSpec,
+    DiskBackendSpec, LaoramService, Request, ResolvedBackend, ServiceConfig, ServiceError,
+    StorageBackend, TableRecovery, TableSpec,
 };
 
 fn unique_dir(tag: &str) -> std::path::PathBuf {
@@ -79,8 +80,54 @@ fn table_over_memory_cap_is_served_from_disk() {
 }
 
 #[test]
+fn spilled_auto_tables_report_scratch_status() {
+    // An Auto table forced to disk is *scratch*, not merely fresh: its
+    // files die with the service and can never serve a restart. The
+    // status must say so, so an operator reading table_status cannot
+    // mistake the next start's empty table for recovery.
+    let dir = unique_dir("scratch");
+    let spec = TableSpec::new("ephemeral", 2048).shards(2).seed(9);
+    let cap = spec.estimated_store_bytes().unwrap() / 4;
+    let service = LaoramService::start(
+        ServiceConfig::new()
+            .table(spec)
+            .table(TableSpec::new("resident", 64).seed(10))
+            .in_memory_cap_bytes(cap)
+            .spill_dir(&dir)
+            // Spill tuning (sans snapshots) is accepted and applied.
+            .spill_spec(DiskBackendSpec::new("ignored-dir").write_back_paths(8)),
+    )
+    .unwrap();
+    assert_eq!(service.table_status()[0].recovery, TableRecovery::Scratch);
+    assert_eq!(service.table_status()[1].recovery, TableRecovery::Fresh);
+    let report = service.shutdown().unwrap();
+    assert_eq!(report.table_status[0].recovery, TableRecovery::Scratch);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshots_on_the_spill_path_are_refused_with_a_typed_error() {
+    // Asking for snapshots on Auto-spilled tables must fail loudly at
+    // startup — the spill path is scratch-only, and silently starting
+    // fresh on the next boot would look exactly like data loss.
+    let dir = unique_dir("refuse-snap");
+    let spec = TableSpec::new("ephemeral", 2048).shards(2).seed(9);
+    let cap = spec.estimated_store_bytes().unwrap() / 4;
+    let result = LaoramService::start(
+        ServiceConfig::new()
+            .table(spec)
+            .in_memory_cap_bytes(cap)
+            .spill_dir(&dir)
+            .spill_spec(DiskBackendSpec::new("unused").snapshots(true)),
+    );
+    assert!(matches!(result, Err(ServiceError::ScratchOnlySpill)), "got {result:?}");
+    // The refusal happened before any file was created.
+    assert!(!dir.exists() || std::fs::read_dir(&dir).unwrap().next().is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn explicit_disk_and_memory_tables_coexist() {
-    use laoram::service::DiskBackendSpec;
     let dir = unique_dir("mixed");
     let mut service = LaoramService::start(
         ServiceConfig::new()
