@@ -85,6 +85,9 @@ pub struct LaOram<S: BucketStore = TreeStorage> {
     snapshot_path: Option<PathBuf>,
     /// Whether snapshot writes fsync before publishing.
     snapshot_durable: bool,
+    /// Optional flight-recorder hook: records a `core.sync` span around
+    /// each superblock-boundary storage sync + snapshot checkpoint.
+    telemetry: Option<oram_tree::StoreTelemetry>,
 }
 
 impl<S: BucketStore> std::fmt::Debug for LaOram<S> {
@@ -202,6 +205,7 @@ impl<S: BucketStore> LaOram<S> {
             sealer,
             snapshot_path: None,
             snapshot_durable: false,
+            telemetry: None,
         })
     }
 
@@ -258,6 +262,14 @@ impl<S: BucketStore> LaOram<S> {
     pub fn persist_client_state(&mut self, path: impl Into<PathBuf>, durable: bool) {
         self.snapshot_path = Some(path.into());
         self.snapshot_durable = durable;
+    }
+
+    /// Attaches a flight-recorder hook. From now on each
+    /// superblock-boundary storage sync (cache flushes and
+    /// [`finish`](Self::finish)) records a `core.sync` span on the
+    /// hook's timeline, annotated with the stash depth it left behind.
+    pub fn set_telemetry(&mut self, telemetry: oram_tree::StoreTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Where client-state snapshots are being written, if enabled.
@@ -671,8 +683,12 @@ impl<S: BucketStore> LaOram<S> {
         // store's write-back buffer (no-op for in-memory trees), then
         // checkpoint the client state against the new generation when
         // persistence is enabled.
+        let sync_start = self.telemetry.as_ref().map(|t| t.now_ns());
         self.inner.sync_storage()?;
         self.write_snapshot()?;
+        if let (Some(start_ns), Some(telemetry)) = (sync_start, self.telemetry.as_ref()) {
+            telemetry.span("core.sync", start_ns, Some(format!("stash={}", self.stash_len())));
+        }
         Ok(())
     }
 
@@ -691,8 +707,12 @@ impl<S: BucketStore> LaOram<S> {
         // flush_cache early-returns on an empty cache, so sync (and
         // snapshot) here unconditionally: a finished client must leave
         // its store at a durability point for reopen to accept it.
+        let sync_start = self.telemetry.as_ref().map(|t| t.now_ns());
         self.inner.sync_storage()?;
         self.write_snapshot()?;
+        if let (Some(start_ns), Some(telemetry)) = (sync_start, self.telemetry.as_ref()) {
+            telemetry.span("core.sync", start_ns, Some(format!("stash={}", self.stash_len())));
+        }
         Ok(())
     }
 

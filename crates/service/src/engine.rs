@@ -32,11 +32,16 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use laoram_core::{BatchOp, LaOram, LaOramConfig, SuperblockPlan, SuperblockPlanner};
+use laoram_telemetry::{FlightDump, Sampler, SpanRecord, TelemetrySnapshot};
 use oram_protocol::AccessStats;
-use oram_tree::{DiskStore, DiskStoreConfig, DynBucketStore, StateSnapshot, TreeStorage};
+use oram_tree::{
+    BucketStore, DiskIoStats, DiskStore, DiskStoreConfig, DynBucketStore, StateSnapshot,
+    StoreTelemetry, TreeStorage,
+};
 
 use crate::completion::{CompletionShared, GroupDone};
 use crate::ingress::{run_batcher, EngineMsg, GroupMeta, Ingress};
+use crate::telemetry::{EngineTelemetry, TelemetryReport};
 use crate::{
     BatchResponse, BatchTicket, BatchTiming, Completion, DiskBackendSpec, PipelineStats, Request,
     RequestLatencyStats, RequestOp, RequestTicket, ResolvedBackend, ServiceConfig, ServiceError,
@@ -98,6 +103,9 @@ pub(crate) struct Shared {
     pub(crate) inner: Mutex<SharedInner>,
     /// Requests accepted so far (diagnostics).
     pub(crate) submitted: AtomicU64,
+    /// Unified telemetry instruments; `None` when telemetry is disabled,
+    /// in which case no pipeline stage records anything.
+    pub(crate) telemetry: Option<Arc<EngineTelemetry>>,
 }
 
 /// Per-group timing records kept live (a rolling window, so an unbounded
@@ -129,6 +137,11 @@ pub(crate) struct SharedInner {
     requests_completed: u64,
     /// Dummy accesses emitted to equalise per-shard sub-batch lengths.
     pad_accesses: u64,
+    /// Each worker's cumulative backend I/O counters, published after
+    /// every served batch; `None` for in-memory shards. Kept regardless
+    /// of whether telemetry is enabled — `table_status()` surfaces the
+    /// per-table sums.
+    worker_disk_io: Vec<Option<DiskIoStats>>,
 }
 
 impl SharedInner {
@@ -181,6 +194,8 @@ pub struct LaoramService {
     generated_spill_dir: Option<PathBuf>,
     batcher: Option<JoinHandle<()>>,
     handles: Vec<JoinHandle<()>>,
+    /// The periodic telemetry sampler, when one was configured.
+    sampler: Option<Sampler>,
     next_batch: u64,
     pending_batches: VecDeque<BatchTicket>,
     next_session: AtomicU64,
@@ -220,8 +235,15 @@ pub struct ServiceReport {
     pub worker_errors: Vec<(usize, String)>,
     /// Each table's storage backend and recovered-vs-fresh status, in
     /// table order — not just the backend chosen at startup, but whether
-    /// the table's state came from persisted files.
+    /// the table's state came from persisted files. Disk-backed tables
+    /// carry their final summed backend I/O counters
+    /// ([`TableStatus::disk_io`]), including each shard's shutdown
+    /// flush.
     pub table_status: Vec<TableStatus>,
+    /// Telemetry artifacts (final snapshot, Prometheus exposition,
+    /// sampler window, flight-dump paths); `None` when telemetry was
+    /// disabled.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl LaoramService {
@@ -251,6 +273,17 @@ impl LaoramService {
         let router = Arc::new(ShardRouter::new(&config.tables)?);
         let num_workers = router.num_workers();
 
+        // The engine epoch: every pipeline timestamp (stats *and*
+        // telemetry spans, including backend-level disk spans) is
+        // nanoseconds since this instant. Telemetry is built before any
+        // construction work so a startup refusal can still dump the
+        // spans recorded up to the refusal point.
+        let start = Instant::now();
+        let telemetry = config
+            .telemetry
+            .as_ref()
+            .map(|spec| Arc::new(EngineTelemetry::new(spec, start, num_workers)));
+
         // Per-worker LAORAM configurations, built first so the footprint
         // estimate behind Auto backend selection uses the exact per-shard
         // geometries.
@@ -273,6 +306,16 @@ impl LaoramService {
         }
         let table_backends = resolve_backends(&config, &worker_homes, &worker_configs)?;
 
+        // A refused start still dumps the flight recorder (the spans
+        // recorded up to the refusal point), so the refusal is
+        // diagnosable from the same artifact as a runtime failure.
+        let refuse = |e: ServiceError| -> ServiceError {
+            if let Some(t) = &telemetry {
+                t.dump_on_failure(&format!("startup refusal: {e}"));
+            }
+            e
+        };
+
         // Decide recovery per table BEFORE building anything: a refused
         // partial state must leave the directory exactly as it found it
         // (no fresh generation-0 store created in a missing shard's
@@ -280,6 +323,7 @@ impl LaoramService {
         // a mix of restored and empty shards would answer inconsistently.
         let mut table_recover = vec![false; config.tables.len()];
         for (table, spec) in config.tables.iter().enumerate() {
+            let check_start_ns = telemetry.as_ref().map(|t| t.now_ns());
             let StorageBackend::Disk(disk) = &spec.backend else { continue };
             if !disk.snapshots {
                 continue;
@@ -289,11 +333,11 @@ impl LaoramService {
                 .filter(|&shard| shard_file_path(dir, spec, table, shard).exists())
                 .count() as u32;
             if present != 0 && present != spec.shards {
-                return Err(ServiceError::InvalidConfig(format!(
+                return Err(refuse(ServiceError::InvalidConfig(format!(
                     "table '{}' has persisted state for {present} of {} shards; recover the \
                      missing shard files (or move the stale ones aside) before starting",
                     spec.name, spec.shards
-                )));
+                ))));
             }
             table_recover[table] = present > 0;
             // Per-shard geometry checks alone cannot catch a changed
@@ -311,24 +355,36 @@ impl LaoramService {
                 match found {
                     Some(fingerprint) if fingerprint == expect => {}
                     Some(_) => {
-                        return Err(ServiceError::InvalidConfig(format!(
+                        return Err(refuse(ServiceError::InvalidConfig(format!(
                             "table '{}' persisted state was written under a different \
                              partition layout (its hot set, row weights, partition strategy, \
                              or shard count changed since the files were created); recover \
                              with the original TableSpec, or move the files aside to start \
                              fresh",
                             spec.name
-                        )));
+                        ))));
                     }
                     None => {
-                        return Err(ServiceError::InvalidConfig(format!(
+                        return Err(refuse(ServiceError::InvalidConfig(format!(
                             "table '{}' has persisted shard files but no readable layout \
                              fingerprint ({}); without it a changed partition layout cannot \
                              be detected — move the files aside to start fresh",
                             spec.name,
                             layout_path.display()
-                        )));
+                        ))));
                     }
+                }
+            }
+            if table_recover[table] {
+                if let (Some(t), Some(start_ns)) = (&telemetry, check_start_ns) {
+                    t.recorder.record(SpanRecord {
+                        start_ns,
+                        end_ns: t.now_ns(),
+                        stage: "recover.table",
+                        group: None,
+                        worker: None,
+                        detail: Some(format!("table={table} shards={}", spec.shards)),
+                    });
                 }
             }
         }
@@ -401,6 +457,8 @@ impl LaoramService {
                     laoram_config,
                     table_recover[table],
                     config.spill_spec.as_ref(),
+                    telemetry.as_deref(),
+                    worker as u32,
                 )?;
                 // A recovered shard's planner draws from a seed derived
                 // at the last checkpoint, NOT from the config seed: a
@@ -432,13 +490,14 @@ impl LaoramService {
             if let Some(dir) = &generated_spill_dir {
                 let _ = std::fs::remove_dir(dir);
             }
-            return Err(e);
+            return Err(refuse(e));
         }
         let table_status: Vec<TableStatus> = table_backends
             .iter()
             .zip(config.tables.iter().zip(&table_recover))
             .map(|(backend, (spec, &recovered))| TableStatus {
                 backend: backend.clone(),
+                disk_io: None,
                 recovery: if recovered {
                     TableRecovery::Recovered { shards: spec.shards }
                 } else if matches!(
@@ -457,7 +516,7 @@ impl LaoramService {
             .collect();
 
         let shared = Arc::new(Shared {
-            start: Instant::now(),
+            start,
             inner: Mutex::new(SharedInner {
                 worker_stats: vec![AccessStats::new(); num_workers],
                 worker_serve_ns: vec![0; num_workers],
@@ -465,11 +524,23 @@ impl LaoramService {
                 worker_errors: vec![None; num_workers],
                 worker_routed: vec![0; num_workers],
                 worker_pads: vec![0; num_workers],
+                worker_disk_io: vec![None; num_workers],
                 skew: SkewStats { workers: num_workers as u32, ..SkewStats::default() },
                 ..Default::default()
             }),
             submitted: AtomicU64::new(0),
+            telemetry: telemetry.clone(),
         });
+
+        // The periodic sampler, when a cadence was configured: a fixed
+        // interval by design — never load-adaptive — so the sampling
+        // schedule leaks nothing about traffic.
+        let sampler = match (&telemetry, &config.telemetry) {
+            (Some(t), Some(spec)) => spec
+                .sample_interval
+                .map(|interval| Sampler::start(t.registry.clone(), interval, spec.sample_window)),
+            _ => None,
+        };
 
         let (ingress_tx, ingress_rx) = sync_channel::<EngineMsg>(config.queue_depth);
         let (collector_tx, collector_rx) = mpsc::channel::<CollectorMsg>();
@@ -554,6 +625,7 @@ impl LaoramService {
             generated_spill_dir,
             batcher: Some(batcher),
             handles,
+            sampler,
             next_batch: 0,
             pending_batches: VecDeque::new(),
             next_session: AtomicU64::new(1),
@@ -775,11 +847,58 @@ impl LaoramService {
     /// order: a snapshot-enabled disk table whose store + snapshot files
     /// already existed at startup reports
     /// [`TableRecovery::Recovered`], everything else
-    /// [`TableRecovery::Fresh`]. Also included in the final
+    /// [`TableRecovery::Fresh`]. Disk-backed tables additionally carry
+    /// their live backend I/O counters
+    /// ([`TableStatus::disk_io`], summed over the table's shards and
+    /// refreshed after every served batch). Also included in the final
     /// [`ServiceReport`].
     #[must_use]
-    pub fn table_status(&self) -> &[TableStatus] {
-        &self.table_status
+    pub fn table_status(&self) -> Vec<TableStatus> {
+        let inner = self.shared.inner.lock().expect("status lock");
+        self.table_status_with_io(&inner)
+    }
+
+    /// The startup statuses with each disk-backed table's current summed
+    /// backend I/O counters folded in.
+    fn table_status_with_io(&self, inner: &SharedInner) -> Vec<TableStatus> {
+        let mut status = self.table_status.clone();
+        for (worker, &(table, _)) in self.worker_homes.iter().enumerate() {
+            if let Some(io) = inner.worker_disk_io[worker] {
+                let entry = status[table].disk_io.get_or_insert_with(DiskIoStats::default);
+                entry.reads += io.reads;
+                entry.read_bytes += io.read_bytes;
+                entry.writes += io.writes;
+                entry.write_bytes += io.write_bytes;
+            }
+        }
+        status
+    }
+
+    /// A point-in-time snapshot of the telemetry registry, or `None`
+    /// when telemetry is disabled. One snapshot covers ingress, batcher,
+    /// per-shard, and disk metrics; serialise it with
+    /// [`TelemetrySnapshot::to_json`] or
+    /// [`TelemetrySnapshot::to_prometheus`].
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.shared.telemetry.as_ref().map(|t| t.registry.snapshot())
+    }
+
+    /// The current registry state in Prometheus text exposition format,
+    /// or `None` when telemetry is disabled.
+    #[must_use]
+    pub fn telemetry_prometheus(&self) -> Option<String> {
+        self.telemetry_snapshot().map(|s| s.to_prometheus())
+    }
+
+    /// Dumps the pipeline flight recorder now (without clearing it),
+    /// returning the bounded span history, or `None` when telemetry is
+    /// disabled. The engine also dumps automatically — to a JSON file
+    /// under [`TelemetrySpec::flight_dump_dir`](crate::TelemetrySpec) —
+    /// on the first worker error or a startup refusal.
+    #[must_use]
+    pub fn dump_flight_recorder(&self, reason: &str) -> Option<FlightDump> {
+        self.shared.telemetry.as_ref().map(|t| t.dump(reason))
     }
 
     /// Removes auto-spill shard files (and the spill directory, when this
@@ -860,7 +979,21 @@ impl LaoramService {
 
         let inner = self.shared.inner.lock().expect("shutdown lock");
         let mut stats = build_stats(&inner, &self.worker_homes, self.shared.now_ns());
+        let table_status = self.table_status_with_io(&inner);
         drop(inner);
+        // Telemetry epilogue: stop the sampler (collecting its window),
+        // then snapshot the registry after the pipeline drained so the
+        // final snapshot covers every completed request.
+        let telemetry = self.shared.telemetry.as_ref().map(|t| {
+            let samples = self.sampler.take().map(Sampler::stop).unwrap_or_default();
+            let snapshot = t.registry.snapshot();
+            TelemetryReport {
+                prometheus: snapshot.to_prometheus(),
+                samples,
+                flight_dumps: t.dumps_written(),
+                snapshot,
+            }
+        });
         if truncated_requests > 0 || truncated_batches > 0 {
             stats.worker_errors.push((
                 self.worker_homes.len(),
@@ -878,7 +1011,8 @@ impl LaoramService {
             requests_served: self.shared.submitted.load(Ordering::Relaxed),
             truncated_requests,
             worker_errors,
-            table_status: self.table_status.clone(),
+            table_status,
+            telemetry,
         })
     }
 }
@@ -948,6 +1082,7 @@ fn resolve_backends(
 /// snapshot pair; the returned seed, derived from the snapshot's RNG
 /// reseed point, is what the shard's planner must draw from so a
 /// restart never replays the previous session's path sequence.
+#[allow(clippy::too_many_arguments)] // one call site; a params struct would only rename the noise
 fn build_client(
     backend: &ResolvedBackend,
     spec: &TableSpec,
@@ -956,7 +1091,15 @@ fn build_client(
     laoram_config: &LaOramConfig,
     recover: bool,
     spill_spec: Option<&DiskBackendSpec>,
+    telemetry: Option<&EngineTelemetry>,
+    worker: u32,
 ) -> Result<(ShardClient, Option<u64>), ServiceError> {
+    // One span hook per shard, tagged with the worker id, recording into
+    // the engine's flight recorder on the engine epoch: backend-level
+    // spans (disk.read/flush/prefetch, core.sync) land on the same
+    // timeline as the pipeline spans.
+    let store_telemetry =
+        telemetry.map(|t| StoreTelemetry::new(Arc::clone(&t.recorder), t.epoch(), Some(worker)));
     let geometry = laoram_config.geometry()?;
     match backend {
         ResolvedBackend::InMemory => {
@@ -965,6 +1108,10 @@ fn build_client(
             } else {
                 Box::new(TreeStorage::metadata_only(geometry))
             };
+            // No core.sync span hook here: an in-memory store's sync is a
+            // no-op, so the span would record nothing but its own cost
+            // (one allocation + recorder lock per superblock boundary,
+            // across every worker).
             Ok((LaOram::with_store(laoram_config.clone(), store)?, None))
         }
         ResolvedBackend::Disk { dir } => {
@@ -1003,6 +1150,9 @@ fn build_client(
                 }
                 durable = d.durable_sync;
             }
+            if let Some(hook) = &store_telemetry {
+                disk_config = disk_config.telemetry(hook.clone());
+            }
             let snap_path = StateSnapshot::default_path(&file);
             let (mut client, planner_reseed) = if recover && snapshots {
                 let snapshot = StateSnapshot::read_from(&snap_path).map_err(|e| {
@@ -1023,6 +1173,9 @@ fn build_client(
                     Box::new(DiskStore::create(&file, geometry, disk_config).map_err(tree_err)?);
                 (LaOram::with_store(laoram_config.clone(), store)?, None)
             };
+            if let Some(hook) = store_telemetry {
+                client.set_telemetry(hook);
+            }
             if snapshots {
                 client.persist_client_state(snap_path, durable);
             }
@@ -1273,6 +1426,26 @@ fn run_preprocessor(
                         timing.prep_end_ns = prep_end_ns;
                     }
                 }
+                if let Some(t) = shared.telemetry.as_deref() {
+                    t.pad_accesses.add(pads);
+                    for &(worker, count) in &routed_counts {
+                        t.workers[worker].routed.add(count);
+                    }
+                    for &(worker, count) in &pad_counts {
+                        t.workers[worker].pads.add(count);
+                    }
+                    t.recorder.record(SpanRecord {
+                        start_ns: prep_start_ns,
+                        end_ns: prep_end_ns,
+                        stage: "prep.plan",
+                        group: Some(group),
+                        worker: None,
+                        detail: Some(format!(
+                            "ops={routed_ops} pads={pads} parts={}",
+                            dispatch.len()
+                        )),
+                    });
+                }
                 if collector
                     .send(CollectorMsg::Manifest {
                         group,
@@ -1321,12 +1494,25 @@ fn run_worker(
     // which removes the *first* Plan in the queue — plans are staged
     // strictly in arrival order.
     let mut queue: VecDeque<WorkerMsg> = VecDeque::new();
+    let telemetry = shared.telemetry.clone();
+    let shard_telemetry = telemetry.as_ref().map(|t| &t.workers[worker]);
+    // Counter deltas published per batch: the client's stats are
+    // cumulative (and resettable), telemetry counters are monotonic.
+    let mut last_real_accesses = 0u64;
+    let mut last_io = DiskIoStats::default();
     // Keep the *first* failure: later PlanIncomplete/PlanBacklog errors
     // are cascades of the root cause and would otherwise mask it.
+    // A failure also triggers the one-shot flight-recorder dump, so the
+    // spans leading up to the first error are preserved.
     let fail = |shared: &Shared, e: &dyn std::fmt::Display| {
-        let slot = &mut shared.inner.lock().expect("worker lock").worker_errors[worker];
-        if slot.is_none() {
-            *slot = Some(e.to_string());
+        {
+            let slot = &mut shared.inner.lock().expect("worker lock").worker_errors[worker];
+            if slot.is_none() {
+                *slot = Some(e.to_string());
+            }
+        }
+        if let Some(t) = &shared.telemetry {
+            t.dump_on_failure(&format!("worker {worker} error: {e}"));
         }
     };
     /// Pumps every already-delivered message into the local queue.
@@ -1363,6 +1549,9 @@ fn run_worker(
         match msg {
             WorkerMsg::ResetStats => {
                 client.reset_stats();
+                // Telemetry counters stay monotonic across stats resets;
+                // only the delta baseline restarts.
+                last_real_accesses = 0;
                 let mut inner = shared.inner.lock().expect("worker lock");
                 inner.worker_stats[worker] = AccessStats::new();
                 inner.worker_serve_ns[worker] = 0;
@@ -1409,11 +1598,13 @@ fn run_worker(
                     }
                 };
                 let serve_end_ns = shared.now_ns();
+                let disk_io = client.storage().io_stats();
                 {
                     let mut inner = shared.inner.lock().expect("worker lock");
                     inner.worker_stats[worker] = client.stats().clone();
                     inner.worker_serve_ns[worker] += serve_end_ns - serve_start_ns;
                     inner.worker_batches[worker] += 1;
+                    inner.worker_disk_io[worker] = disk_io;
                     if let Some(timing) = inner.timing_slot(group) {
                         if timing.serve_start_ns == 0 || serve_start_ns < timing.serve_start_ns {
                             timing.serve_start_ns = serve_start_ns;
@@ -1422,6 +1613,31 @@ fn run_worker(
                             timing.serve_end_ns = serve_end_ns;
                         }
                     }
+                }
+                if let Some(t) = shard_telemetry {
+                    let real = client.stats().real_accesses;
+                    t.batches.inc();
+                    t.serve_ns.add(serve_end_ns - serve_start_ns);
+                    t.stash_occupancy.set(client.stash_len() as u64);
+                    t.real_accesses.add(real.saturating_sub(last_real_accesses));
+                    last_real_accesses = real;
+                }
+                if let Some(t) = telemetry.as_deref() {
+                    if let Some(io) = disk_io {
+                        t.disk_reads.add(io.reads.saturating_sub(last_io.reads));
+                        t.disk_read_bytes.add(io.read_bytes.saturating_sub(last_io.read_bytes));
+                        t.disk_flushes.add(io.writes.saturating_sub(last_io.writes));
+                        t.disk_flush_bytes.add(io.write_bytes.saturating_sub(last_io.write_bytes));
+                        last_io = io;
+                    }
+                    t.recorder.record(SpanRecord {
+                        start_ns: serve_start_ns,
+                        end_ns: serve_end_ns,
+                        stage: "shard.serve",
+                        group: Some(group),
+                        worker: Some(worker as u32),
+                        detail: None,
+                    });
                 }
                 if collector
                     .send(CollectorMsg::Part {
@@ -1438,11 +1654,23 @@ fn run_worker(
             }
         }
     }
-    // Channel closed: flush the shard and record final statistics.
+    // Channel closed: flush the shard and record final statistics
+    // (including the final flush's disk I/O).
     if let Err(e) = client.finish() {
         fail(&shared, &e);
     }
-    shared.inner.lock().expect("worker lock").worker_stats[worker] = client.stats().clone();
+    let disk_io = client.storage().io_stats();
+    if let Some(t) = telemetry.as_deref() {
+        if let Some(io) = disk_io {
+            t.disk_reads.add(io.reads.saturating_sub(last_io.reads));
+            t.disk_read_bytes.add(io.read_bytes.saturating_sub(last_io.read_bytes));
+            t.disk_flushes.add(io.writes.saturating_sub(last_io.writes));
+            t.disk_flush_bytes.add(io.write_bytes.saturating_sub(last_io.write_bytes));
+        }
+    }
+    let mut inner = shared.inner.lock().expect("worker lock");
+    inner.worker_stats[worker] = client.stats().clone();
+    inner.worker_disk_io[worker] = disk_io;
 }
 
 /// One group being reassembled by the collector.
@@ -1468,8 +1696,41 @@ impl PendingGroup {
     }
 }
 
-/// Records one emitted group's per-request latencies.
-fn record_latency(shared: &Shared, group: &GroupDone) {
+/// Records one emitted group's per-request latencies (and, with
+/// telemetry on, the group's completion span and latency histograms).
+fn record_latency(shared: &Shared, group_id: u64, group: &GroupDone) {
+    if let Some(t) = shared.telemetry.as_deref() {
+        t.recorder.record(SpanRecord {
+            start_ns: group.coalesce_ns,
+            end_ns: group.done_ns,
+            stage: "group.complete",
+            group: Some(group_id),
+            worker: None,
+            detail: Some(format!("requests={}", group.requests.len())),
+        });
+        t.requests_completed.add(group.requests.len() as u64);
+        let len = group.requests.len() as u64;
+        // Service latency is a group-level quantity: one bulk record
+        // instead of `len` identical ones. Total and queue-wait vary per
+        // request through `enqueue_ns`, but batch submissions stamp every
+        // request in the batch with one enqueue time, so runs of equal
+        // values collapse the same way; per-request traffic degrades
+        // gracefully to one record each.
+        t.latency_service.record_n(group.serve_end_ns.saturating_sub(group.coalesce_ns), len);
+        let mut run_start = 0;
+        while run_start < group.requests.len() {
+            let enqueue_ns = group.requests[run_start].enqueue_ns;
+            let mut run_end = run_start + 1;
+            while run_end < group.requests.len() && group.requests[run_end].enqueue_ns == enqueue_ns
+            {
+                run_end += 1;
+            }
+            let n = (run_end - run_start) as u64;
+            t.latency_total.record_n(group.done_ns.saturating_sub(enqueue_ns), n);
+            t.latency_queue_wait.record_n(group.coalesce_ns.saturating_sub(enqueue_ns), n);
+            run_start = run_end;
+        }
+    }
     if group.requests.is_empty() {
         return;
     }
@@ -1509,7 +1770,7 @@ fn run_collector(
         |done: &mut BTreeMap<u64, GroupDone>, next_emit: &mut u64, reset_at: &mut Option<u64>| {
             while let Some(group) = done.remove(next_emit) {
                 apply_reset(reset_at, *next_emit, &shared);
-                record_latency(&shared, &group);
+                record_latency(&shared, *next_emit, &group);
                 if completions.send(group).is_err() {
                     return;
                 }

@@ -16,6 +16,8 @@ use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use laoram_telemetry::SpanRecord;
+
 use crate::completion::CompletionShared;
 use crate::engine::Shared;
 use crate::{BatchPolicy, Request, RequestTicket, ServiceError, ShardRouter};
@@ -147,6 +149,9 @@ impl Ingress {
         let ticket = pending.next_ticket;
         pending.next_ticket += 1;
         pending.entries.push((request, RequestMeta { ticket, session, enqueue_ns }));
+        if let Some(t) = self.shared.telemetry.as_deref() {
+            t.ingress_queued.set(pending.entries.len() as u64);
+        }
         // Wake the batcher when the first entry arms a deadline or the
         // queue crosses the flush threshold; in between it is already
         // sleeping on the right timeout.
@@ -155,6 +160,9 @@ impl Ingress {
         }
         drop(pending);
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.shared.telemetry.as_deref() {
+            t.ingress_submitted.inc();
+        }
         Ok(RequestTicket(ticket))
     }
 
@@ -203,6 +211,9 @@ impl Ingress {
             return Err(ServiceError::Disconnected);
         }
         self.shared.submitted.fetch_add(len, Ordering::Relaxed);
+        if let Some(t) = self.shared.telemetry.as_deref() {
+            t.ingress_submitted.add(len);
+        }
         Ok((first, len))
     }
 
@@ -254,6 +265,18 @@ impl Ingress {
         };
         match tx.try_send(msg) {
             Ok(()) => {
+                if let Some(t) = self.shared.telemetry.as_deref() {
+                    t.groups.inc();
+                    t.ingress_submitted.add(len);
+                    t.recorder.record(SpanRecord {
+                        start_ns: now,
+                        end_ns: now,
+                        stage: "ingress.coalesce",
+                        group: Some(sender.next_group),
+                        worker: None,
+                        detail: Some(format!("requests={len} pre-coalesced")),
+                    });
+                }
                 sender.next_group += 1;
                 pending.next_ticket += len;
                 drop(sender);
@@ -301,18 +324,33 @@ impl Ingress {
             requests.push(request);
             metas.push(meta);
         }
+        // Coalesce span: oldest queued request → group formation.
+        let len = metas.len();
+        let oldest_ns = metas.iter().map(|m| m.enqueue_ns).min().unwrap_or(coalesce_ns);
         let mut sender = self.sender.lock().expect("sender lock");
         let Some(tx) = sender.tx.as_ref() else {
             self.completions.void(&metas);
             return false;
         };
+        let group = sender.next_group;
         let msg = EngineMsg::Group {
-            group: sender.next_group,
+            group,
             requests,
             meta: GroupMeta { batch, coalesce_ns, requests: metas },
         };
         match tx.send(msg) {
             Ok(()) => {
+                if let Some(t) = self.shared.telemetry.as_deref() {
+                    t.groups.inc();
+                    t.recorder.record(SpanRecord {
+                        start_ns: oldest_ns,
+                        end_ns: coalesce_ns,
+                        stage: "ingress.coalesce",
+                        group: Some(group),
+                        worker: None,
+                        detail: Some(format!("requests={len}")),
+                    });
+                }
                 sender.next_group += 1;
                 true
             }
@@ -335,7 +373,7 @@ pub(crate) fn run_batcher(ingress: Arc<Ingress>) {
     loop {
         let chunk: Option<Vec<(Request, RequestMeta)>> = {
             let mut pending = ingress.pending.lock().expect("batcher lock");
-            loop {
+            let chunk = loop {
                 let flush_len = ingress.flush_len();
                 if pending.entries.len() >= flush_len {
                     break Some(pending.entries.drain(..flush_len).collect());
@@ -367,7 +405,11 @@ pub(crate) fn run_batcher(ingress: Arc<Ingress>) {
                 let (guard, _) =
                     ingress.batcher_wake.wait_timeout(pending, timeout).expect("batcher wait");
                 pending = guard;
+            };
+            if let Some(t) = ingress.shared.telemetry.as_deref() {
+                t.ingress_queued.set(pending.entries.len() as u64);
             }
+            chunk
         };
         match chunk {
             None => return,

@@ -130,6 +130,15 @@
 //!   timing) would depend on the private access history. Any future cache
 //!   of that shape must document its leakage budget before it ships; the
 //!   ROADMAP tracks this as an explicit trade-off study.
+//! * **Telemetry output.** Enabling [`TelemetrySpec`] creates a new
+//!   observer surface: metric snapshots expose per-shard volumes and
+//!   stage timings (signals the sections above already concede), and
+//!   flight-recorder dumps contain real per-group span timestamps.
+//!   Anyone who can read an exported snapshot, the Prometheus endpoint
+//!   text, or a dump file learns the traffic *shape* — never row
+//!   identities. The sampler's cadence is fixed by configuration, so the
+//!   sampling schedule itself carries no load signal. The full catalog
+//!   and per-metric leakage notes live in `docs/OBSERVABILITY.md`.
 //! * **Disk-backed tables.** A [`StorageBackend::Disk`] table turns
 //!   bucket accesses into file I/O, so the *operating system, hypervisor,
 //!   and storage device* join the set of observers. Since the protocol
@@ -189,6 +198,7 @@ mod request;
 mod router;
 mod spec;
 mod stats;
+mod telemetry;
 
 pub use batch::{BatchResponse, BatchTicket, Request, RequestOp};
 pub use engine::{LaoramService, ServiceReport};
@@ -197,11 +207,19 @@ pub use request::{Completion, RequestTicket, RequestTiming, Session, SessionId};
 pub use router::{GroupRouting, RowPlacement, ShardRouter, TablePartition};
 pub use spec::{
     BatchPolicy, DiskBackendSpec, HotSetSpec, PartitionStrategy, ReplicaPlacement, ResolvedBackend,
-    ServiceConfig, StorageBackend, TableRecovery, TableSpec, TableStatus,
+    ServiceConfig, StorageBackend, TableRecovery, TableSpec, TableStatus, TelemetrySpec,
 };
 pub use stats::{
     BatchTiming, LatencyHistogram, PipelineStats, RequestLatencyStats, ServiceStats, ShardStats,
     SkewStats,
+};
+pub use telemetry::TelemetryReport;
+
+// The telemetry vocabulary a ServiceReport / snapshot is expressed in,
+// re-exported so downstream crates need no direct `laoram-telemetry`
+// dependency.
+pub use laoram_telemetry::{
+    FlightDump, HistogramSummary, MetricSample, MetricValue, SpanRecord, TelemetrySnapshot,
 };
 
 /// Convenience alias for results produced by this crate.

@@ -154,13 +154,18 @@ pub enum TableRecovery {
 }
 
 /// One table's storage backend and recovery status, as resolved at
-/// startup.
+/// startup, plus its cumulative backend I/O.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableStatus {
     /// The backend the table's shards were placed on.
     pub backend: ResolvedBackend,
     /// Whether the table's state was recovered or built fresh.
     pub recovery: TableRecovery,
+    /// Cumulative backing-file I/O summed over the table's shards:
+    /// `None` for in-memory tables, `Some` (updated after every served
+    /// batch) for disk-backed ones. Previously this was only reachable
+    /// by holding the `DiskStore` directly.
+    pub disk_io: Option<oram_tree::DiskIoStats>,
 }
 
 /// How replica reads of a [`HotSetSpec`] row are spread over the
@@ -518,6 +523,83 @@ impl Default for BatchPolicy {
     }
 }
 
+/// Telemetry configuration: enables the unified metrics registry,
+/// pipeline flight recorder, and (optionally) the periodic sampler.
+///
+/// Telemetry is **off by default** (`ServiceConfig::telemetry` is
+/// `None`): a service without a spec registers nothing, records nothing,
+/// and pays nothing on its hot paths. With a spec attached, recording is
+/// lock-free (relaxed atomics) plus one short mutex per flight-recorder
+/// span; the CI gate holds the measured throughput cost on the in-memory
+/// backend to ≤ 3%.
+///
+/// The sampler cadence is **fixed** at [`sample_interval`](Self::sample_interval)
+/// — it never adapts to load, so the sampling schedule itself carries no
+/// traffic signal (see `docs/OBSERVABILITY.md` for what exported
+/// telemetry *does* reveal and to whom).
+#[derive(Debug, Clone)]
+pub struct TelemetrySpec {
+    /// Cadence of the background snapshot sampler; `None` (default)
+    /// starts no sampler thread — snapshots are still available on
+    /// demand via [`telemetry_snapshot`](crate::LaoramService::telemetry_snapshot).
+    pub sample_interval: Option<Duration>,
+    /// Snapshots retained by the sampler (oldest evicted first).
+    pub sample_window: usize,
+    /// Flight-recorder ring capacity, in spans.
+    pub flight_spans: usize,
+    /// Directory receiving flight-recorder JSON dumps on worker error or
+    /// startup refusal; `None` (default) uses the system temp dir.
+    pub flight_dump_dir: Option<PathBuf>,
+}
+
+impl TelemetrySpec {
+    /// Telemetry enabled with no sampler, a 256-snapshot window, and a
+    /// 4096-span flight recorder dumping to the system temp dir.
+    #[must_use]
+    pub fn new() -> Self {
+        TelemetrySpec {
+            sample_interval: None,
+            sample_window: 256,
+            flight_spans: 4096,
+            flight_dump_dir: None,
+        }
+    }
+
+    /// Starts the background sampler at a fixed `interval`.
+    #[must_use]
+    pub fn sample_interval(mut self, interval: Duration) -> Self {
+        self.sample_interval = Some(interval);
+        self
+    }
+
+    /// Sets the number of sampler snapshots retained.
+    #[must_use]
+    pub fn sample_window(mut self, window: usize) -> Self {
+        self.sample_window = window;
+        self
+    }
+
+    /// Sets the flight-recorder ring capacity (in spans).
+    #[must_use]
+    pub fn flight_spans(mut self, spans: usize) -> Self {
+        self.flight_spans = spans;
+        self
+    }
+
+    /// Sets the directory for flight-recorder dumps.
+    #[must_use]
+    pub fn flight_dump_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.flight_dump_dir = Some(dir.into());
+        self
+    }
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Configuration of the whole serving engine.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -566,6 +648,9 @@ pub struct ServiceConfig {
     /// [`ServiceError::ScratchOnlySpill`](crate::ServiceError::ScratchOnlySpill)
     /// — a restartable table needs an explicit [`StorageBackend::Disk`].
     pub spill_spec: Option<DiskBackendSpec>,
+    /// Telemetry: `None` (the default) disables the registry, flight
+    /// recorder, and sampler entirely; `Some` enables them per the spec.
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl ServiceConfig {
@@ -581,6 +666,7 @@ impl ServiceConfig {
             in_memory_cap_bytes: None,
             spill_dir: None,
             spill_spec: None,
+            telemetry: None,
         }
     }
 
@@ -632,6 +718,14 @@ impl ServiceConfig {
     #[must_use]
     pub fn spill_spec(mut self, spec: DiskBackendSpec) -> Self {
         self.spill_spec = Some(spec);
+        self
+    }
+
+    /// Enables telemetry (metrics registry + flight recorder, and the
+    /// sampler when the spec asks for one).
+    #[must_use]
+    pub fn telemetry(mut self, spec: TelemetrySpec) -> Self {
+        self.telemetry = Some(spec);
         self
     }
 }

@@ -3,105 +3,15 @@
 
 use oram_protocol::AccessStats;
 
-/// A log₂-bucketed latency histogram (nanoseconds).
+/// The service's latency histogram: the log-linear
+/// [`Histogram`](laoram_telemetry::Histogram) from `laoram-telemetry`.
 ///
-/// Values are counted in power-of-two buckets, so quantiles carry
-/// relative (not absolute) precision: [`quantile`](Self::quantile)
-/// interpolates linearly inside the chosen bucket, giving estimates
-/// within a factor of two of the true value at any scale from 1 ns to
-/// ~584 years. This is the fixed-footprint shape a long-running service
-/// needs — recording is O(1) and the histogram never grows.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    buckets: [u64; 64],
-    count: u64,
-    sum: u64,
-    max: u64,
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    #[must_use]
-    pub fn new() -> Self {
-        LatencyHistogram { buckets: [0; 64], count: 0, sum: 0, max: 0 }
-    }
-
-    /// Records one latency observation.
-    pub fn record(&mut self, ns: u64) {
-        let bucket = 63 - ns.max(1).leading_zeros() as usize;
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(ns);
-        self.max = self.max.max(ns);
-    }
-
-    /// Number of recorded observations.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency in nanoseconds (0 when empty).
-    #[must_use]
-    pub fn mean_ns(&self) -> u64 {
-        self.sum.checked_div(self.count).unwrap_or(0)
-    }
-
-    /// Largest recorded latency in nanoseconds.
-    #[must_use]
-    pub fn max_ns(&self) -> u64 {
-        self.max
-    }
-
-    /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds, interpolated
-    /// within the matching log₂ bucket; 0 when empty.
-    #[must_use]
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (bucket, &n) in self.buckets.iter().enumerate() {
-            if n == 0 {
-                continue;
-            }
-            if seen + n >= rank {
-                let lo = 1u64 << bucket;
-                let width = lo; // bucket spans [lo, 2*lo)
-                let into = (rank - seen) as f64 / n as f64;
-                let est = lo as f64 + width as f64 * into;
-                return (est as u64).min(self.max);
-            }
-            seen += n;
-        }
-        self.max
-    }
-
-    /// Median latency (ns).
-    #[must_use]
-    pub fn p50(&self) -> u64 {
-        self.quantile(0.50)
-    }
-
-    /// 95th-percentile latency (ns).
-    #[must_use]
-    pub fn p95(&self) -> u64 {
-        self.quantile(0.95)
-    }
-
-    /// 99th-percentile latency (ns).
-    #[must_use]
-    pub fn p99(&self) -> u64 {
-        self.quantile(0.99)
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+/// Earlier revisions used pure power-of-two buckets, which rounded p99
+/// to within a factor of two; the shared implementation splits each
+/// octave into 16 linear sub-buckets and interpolates within them, so
+/// quantile estimates stay within a few percent at any scale while
+/// recording remains O(1) with a fixed footprint.
+pub use laoram_telemetry::Histogram as LatencyHistogram;
 
 /// Per-request latency statistics, one histogram per pipeline stage
 /// boundary (all in nanoseconds). Recorded when a request's group
@@ -351,8 +261,11 @@ mod tests {
         }
         assert_eq!(h.count(), 8);
         assert_eq!(h.max_ns(), 100_000);
+        // p50 (rank 4 of 8) lands on the 400 ns sample; log-linear
+        // sub-buckets keep the estimate within one sub-bucket width
+        // (the old log₂ buckets allowed anything in 256..512).
         let p50 = h.p50();
-        assert!((64..=512).contains(&p50), "p50 ≈ 256-bucket: {p50}");
+        assert!((400..=416).contains(&p50), "p50 should bracket 400 tightly: {p50}");
         assert!(h.p99() > h.p50());
         assert!(h.p99() <= h.max_ns());
         assert!(h.mean_ns() > 0);
@@ -361,9 +274,36 @@ mod tests {
     }
 
     #[test]
+    fn histogram_pins_known_distributions() {
+        // Constant distribution: every quantile must sit within one
+        // sub-bucket (6.25%) of the true value — the old buckets put
+        // p99 of constant-777 at ~1019 ns (31% off).
+        let mut constant = LatencyHistogram::new();
+        for _ in 0..1000 {
+            constant.record(777);
+        }
+        for q in [0.5, 0.95, 0.99] {
+            let est = constant.quantile(q);
+            assert!(
+                (est as f64 - 777.0).abs() / 777.0 <= 0.0625,
+                "constant-777 q={q} estimate {est} too coarse"
+            );
+        }
+        // Uniform 1..=1000: true q-quantile is 1000q.
+        let mut uniform = LatencyHistogram::new();
+        for ns in 1..=1000u64 {
+            uniform.record(ns);
+        }
+        for (q, truth) in [(0.5, 500.0), (0.99, 990.0)] {
+            let est = uniform.quantile(q) as f64;
+            assert!((est - truth).abs() / truth <= 0.07, "uniform q={q} estimate {est} vs {truth}");
+        }
+    }
+
+    #[test]
     fn histogram_handles_extremes() {
         let mut h = LatencyHistogram::new();
-        h.record(0); // clamped into the 1-ns bucket
+        h.record(0);
         h.record(u64::MAX);
         assert_eq!(h.count(), 2);
         assert!(h.quantile(1.0) <= h.max_ns());

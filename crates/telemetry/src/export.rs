@@ -1,0 +1,235 @@
+//! Machine-readable export: JSON snapshots and Prometheus text exposition.
+//!
+//! Both formats are hand-rolled (`core::fmt` only) because the build
+//! environment vendors no serialization crates; the JSON emitted here is
+//! the same dialect the bench binaries already produce.
+
+use crate::metrics::HistogramSummary;
+
+/// Point-in-time capture of every metric in a registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Wall-clock capture time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Nanoseconds since the registry was created.
+    pub uptime_ns: u64,
+    /// Samples in registration order (stable across snapshots).
+    pub metrics: Vec<MetricSample>,
+}
+
+/// One metric inside a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSample {
+    /// Dot-separated metric name, e.g. `service.ingress.queued`.
+    pub name: String,
+    /// Sampled value.
+    pub value: MetricValue,
+}
+
+/// Sampled value of a single instrument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic total.
+    Counter(u64),
+    /// Instantaneous value.
+    Gauge(u64),
+    /// Histogram digest.
+    Histogram(HistogramSummary),
+}
+
+impl TelemetrySnapshot {
+    /// Looks up a metric by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|m| m.name == name).map(|m| &m.value)
+    }
+
+    /// Convenience: the value of a counter metric, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the value of a gauge metric, if present.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the digest of a histogram metric, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Renders the snapshot as a JSON object.
+    ///
+    /// Shape: `{"unix_ms":N,"uptime_ns":N,"metrics":{"name":value,...}}`
+    /// where counters and gauges are bare numbers and histograms are
+    /// `{"count":N,"sum":N,"max":N,"p50":N,"p95":N,"p99":N}`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(64 + self.metrics.len() * 48);
+        let _ = write!(
+            out,
+            "{{\"unix_ms\":{},\"uptime_ns\":{},\"metrics\":{{",
+            self.unix_ms, self.uptime_ns
+        );
+        for (i, sample) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", json_escape(&sample.name));
+            match &sample.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                MetricValue::Histogram(s) => {
+                    let _ = write!(
+                        out,
+                        "{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                        s.count, s.sum, s.max, s.p50, s.p95, s.p99
+                    );
+                }
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format.
+    ///
+    /// Dots in metric names become underscores; histograms are exposed as
+    /// summaries (`name{quantile="0.5"}`, plus `_sum`, `_count`, `_max`).
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(64 + self.metrics.len() * 64);
+        for sample in &self.metrics {
+            // Prometheus convention: one namespace prefix for the whole
+            // engine, then the dotted name mapped onto the legal charset.
+            let name = format!("laoram_{}", prometheus_name(&sample.name));
+            match &sample.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Histogram(s) => {
+                    let _ = writeln!(out, "# TYPE {name} summary");
+                    let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", s.p50);
+                    let _ = writeln!(out, "{name}{{quantile=\"0.95\"}} {}", s.p95);
+                    let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", s.p99);
+                    let _ = writeln!(out, "{name}_sum {}", s.sum);
+                    let _ = writeln!(out, "{name}_count {}", s.count);
+                    let _ = writeln!(out, "{name}_max {}", s.max);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus charset
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`).
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphanumeric() || ch == '_';
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { ch } else { '_' });
+    }
+    out
+}
+
+/// Escapes a string for inclusion inside JSON double quotes.
+pub fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            unix_ms: 1_000,
+            uptime_ns: 2_000,
+            metrics: vec![
+                MetricSample {
+                    name: "service.ingress.queued".into(),
+                    value: MetricValue::Gauge(4),
+                },
+                MetricSample { name: "disk.flush_bytes".into(), value: MetricValue::Counter(4096) },
+                MetricSample {
+                    name: "service.request.total_ns".into(),
+                    value: MetricValue::Histogram(HistogramSummary {
+                        count: 10,
+                        sum: 1000,
+                        max: 200,
+                        p50: 90,
+                        p95: 180,
+                        p99: 198,
+                    }),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let json = sample_snapshot().to_json();
+        assert!(json.starts_with("{\"unix_ms\":1000,\"uptime_ns\":2000,\"metrics\":{"));
+        assert!(json.contains("\"service.ingress.queued\":4"));
+        assert!(json.contains("\"disk.flush_bytes\":4096"));
+        assert!(json.contains(
+            "\"service.request.total_ns\":{\"count\":10,\"sum\":1000,\"max\":200,\"p50\":90,\"p95\":180,\"p99\":198}"
+        ));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_all_kinds() {
+        let text = sample_snapshot().to_prometheus();
+        assert!(text.contains("# TYPE laoram_service_ingress_queued gauge"));
+        assert!(text.contains("laoram_service_ingress_queued 4"));
+        assert!(text.contains("# TYPE laoram_disk_flush_bytes counter"));
+        assert!(text.contains("laoram_service_request_total_ns{quantile=\"0.99\"} 198"));
+        assert!(text.contains("laoram_service_request_total_ns_count 10"));
+    }
+
+    #[test]
+    fn name_sanitization() {
+        assert_eq!(prometheus_name("shard.3.serve_ns"), "shard_3_serve_ns");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+}

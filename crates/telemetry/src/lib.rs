@@ -1,0 +1,70 @@
+//! Unified telemetry for the LAORAM serving stack.
+//!
+//! Three pieces, deliberately dependency-free so every layer of the
+//! workspace (core client, tree backends, serving engine, benches) can
+//! publish into one schema:
+//!
+//! * **Metrics registry** ([`Registry`]) — a name → instrument table
+//!   handing out lock-free [`Counter`]/[`Gauge`]/[`HistogramHandle`]
+//!   handles. Histograms are log-linear (powers of two split into 16
+//!   linear sub-buckets) with within-bucket interpolation, so p99 is no
+//!   longer rounded to a power of two.
+//! * **Flight recorder** ([`FlightRecorder`]) — a bounded ring of
+//!   pipeline [`SpanRecord`]s (enqueue → coalesce → plan → serve →
+//!   complete, plus disk read/flush/prefetch and core sync), dumped as
+//!   JSON on worker error, startup refusal, or explicit request.
+//! * **Export** ([`TelemetrySnapshot`], [`Sampler`]) — point-in-time
+//!   snapshots rendered as JSON or Prometheus text exposition, captured
+//!   on demand or by a fixed-cadence background sampler.
+//!
+//! # Leakage
+//!
+//! Telemetry observes exactly the quantities an ORAM hides from the
+//! *server*: per-shard request volumes, batch timing, disk I/O sizes.
+//! Exporting them is a deliberate operator-trust decision, documented in
+//! `docs/OBSERVABILITY.md`. Two properties keep the instrumentation
+//! itself from widening the channel: the sampler cadence is fixed (never
+//! load-adaptive), and recording costs the same whether or not anyone is
+//! reading (relaxed atomics, no allocation on the hot path).
+//!
+//! # Example
+//!
+//! ```
+//! use laoram_telemetry::{FlightRecorder, Registry, SpanRecord};
+//!
+//! let registry = Registry::new();
+//! let served = registry.counter("shard.0.routed");
+//! let latency = registry.histogram("service.request.total_ns");
+//! served.inc();
+//! latency.record(1_250);
+//!
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counter("shard.0.routed"), Some(1));
+//! assert!(snapshot.to_prometheus().contains("laoram_shard_0_routed 1"));
+//!
+//! let recorder = FlightRecorder::new(1024);
+//! recorder.record(SpanRecord {
+//!     start_ns: 10,
+//!     end_ns: 42,
+//!     stage: "shard.serve",
+//!     group: Some(0),
+//!     worker: Some(0),
+//!     detail: None,
+//! });
+//! assert_eq!(recorder.dump("explicit").spans.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod metrics;
+mod registry;
+mod sampler;
+mod trace;
+
+pub use export::{json_escape, prometheus_name, MetricSample, MetricValue, TelemetrySnapshot};
+pub use metrics::{AtomicHistogram, Counter, Gauge, Histogram, HistogramHandle, HistogramSummary};
+pub use registry::Registry;
+pub use sampler::Sampler;
+pub use trace::{FlightDump, FlightRecorder, SpanRecord};

@@ -127,6 +127,11 @@ pub struct DiskStoreConfig {
     /// readahead_paths × path_slots` slots. `0` disables readahead and
     /// the cache entirely.
     pub readahead_paths: usize,
+    /// Optional flight-recorder hook: when set, the store records
+    /// `disk.read` / `disk.flush` / `disk.prefetch` spans on the owning
+    /// engine's timeline. `None` (the default) records nothing and adds
+    /// no per-operation cost.
+    pub telemetry: Option<crate::StoreTelemetry>,
 }
 
 impl DiskStoreConfig {
@@ -139,6 +144,7 @@ impl DiskStoreConfig {
             write_back_paths: 64,
             durable_sync: false,
             readahead_paths: 256,
+            telemetry: None,
         }
     }
 
@@ -167,6 +173,13 @@ impl DiskStoreConfig {
     #[must_use]
     pub fn readahead_paths(mut self, paths: usize) -> Self {
         self.readahead_paths = paths;
+        self
+    }
+
+    /// Attaches a flight-recorder hook for backend spans.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: crate::StoreTelemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -302,6 +315,8 @@ pub struct DiskStore {
     io: std::cell::Cell<DiskIoStats>,
     /// First auto-spill failure, surfaced at the next `sync`.
     pending_error: Option<TreeError>,
+    /// Optional flight-recorder hook for backend spans.
+    telemetry: Option<crate::StoreTelemetry>,
 }
 
 impl std::fmt::Debug for DiskStore {
@@ -392,6 +407,7 @@ impl DiskStore {
             unsynced: false,
             io: std::cell::Cell::new(DiskIoStats::default()),
             pending_error: None,
+            telemetry: config.telemetry,
         };
         store.write_header()?;
         Ok(store)
@@ -473,6 +489,7 @@ impl DiskStore {
             unsynced: false,
             io: std::cell::Cell::new(DiskIoStats::default()),
             pending_error: None,
+            telemetry: config.telemetry,
         })
     }
 
@@ -676,6 +693,7 @@ impl DiskStore {
         if self.dirty.is_empty() {
             return Ok(());
         }
+        let trace = self.telemetry.as_ref().map(|t| (t.now_ns(), self.io.get(), self.dirty.len()));
         // Mark the file inconsistent before any slot bytes land: a crash
         // mid-flush must be detectable at the next open.
         self.unsynced = true;
@@ -693,6 +711,19 @@ impl DiskStore {
             self.trim_prefetch(&flushed);
         } else {
             self.dirty.clear();
+        }
+        if let (Some((start_ns, before, slots)), Some(telemetry)) = (trace, self.telemetry.as_ref())
+        {
+            let after = self.io.get();
+            telemetry.span(
+                "disk.flush",
+                start_ns,
+                Some(format!(
+                    "slots={slots} writes={} bytes={}",
+                    after.writes - before.writes,
+                    after.write_bytes - before.write_bytes
+                )),
+            );
         }
         Ok(())
     }
@@ -847,6 +878,7 @@ impl BucketStore for DiskStore {
 
     fn read_path(&mut self, leaf: LeafId) -> Vec<Block> {
         debug_assert!(self.geometry.check_leaf(leaf).is_ok(), "leaf {leaf} out of range");
+        let trace = self.telemetry.as_ref().map(|t| (t.now_ns(), self.io.get()));
         let mut out = Vec::new();
         for level in 0..=self.geometry.leaf_level() {
             let node = self.geometry.path_node_in_level(leaf, level);
@@ -872,6 +904,18 @@ impl BucketStore for DiskStore {
             }
         }
         self.maybe_spill();
+        if let (Some((start_ns, before)), Some(telemetry)) = (trace, self.telemetry.as_ref()) {
+            let after = self.io.get();
+            telemetry.span(
+                "disk.read",
+                start_ns,
+                Some(format!(
+                    "leaf={leaf} reads={} bytes={}",
+                    after.reads - before.reads,
+                    after.read_bytes - before.read_bytes
+                )),
+            );
+        }
         out
     }
 
@@ -1096,6 +1140,7 @@ impl BucketStore for DiskStore {
         if self.readahead_paths == 0 || leaves.is_empty() {
             return;
         }
+        let trace = self.telemetry.as_ref().map(|t| (t.now_ns(), self.io.get()));
         // Dedupe bucket runs across the hinted paths (upper levels are
         // heavily shared), honouring the configured path budget.
         let mut runs = std::collections::BTreeSet::new();
@@ -1144,6 +1189,24 @@ impl BucketStore for DiskStore {
             }
         }
         self.trim_prefetch(&hinted);
+        if let (Some((start_ns, before)), Some(telemetry)) = (trace, self.telemetry.as_ref()) {
+            let after = self.io.get();
+            telemetry.span(
+                "disk.prefetch",
+                start_ns,
+                Some(format!(
+                    "paths={} slots={} reads={} bytes={}",
+                    leaves.len().min(self.readahead_paths),
+                    hinted.len(),
+                    after.reads - before.reads,
+                    after.read_bytes - before.read_bytes
+                )),
+            );
+        }
+    }
+
+    fn io_stats(&self) -> Option<DiskIoStats> {
+        Some(self.io.get())
     }
 }
 

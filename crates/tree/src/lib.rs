@@ -52,6 +52,7 @@ mod sealing;
 mod snapshot;
 mod storage;
 mod store;
+mod telemetry;
 
 pub use block::{Block, BlockId, LeafId};
 pub use disk::{DiskIoStats, DiskStore, DiskStoreConfig};
@@ -61,6 +62,7 @@ pub use sealing::{BlockSealer, NONCE_BYTES};
 pub use snapshot::{ClientLevelState, SnapshotBlock, StateSnapshot};
 pub use storage::{PathSnapshot, TreeStorage};
 pub use store::{BucketStore, DynBucketStore};
+pub use telemetry::StoreTelemetry;
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, TreeError>;

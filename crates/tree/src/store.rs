@@ -215,6 +215,14 @@ pub trait BucketStore {
     fn prefetch_paths(&mut self, leaves: &[LeafId]) {
         let _ = leaves;
     }
+
+    /// Cumulative backing-medium I/O counters, when the backend has a
+    /// backing medium. In-memory stores report `None`; the serving
+    /// engine surfaces `Some` values per table through its
+    /// `table_status()` view.
+    fn io_stats(&self) -> Option<crate::DiskIoStats> {
+        None
+    }
 }
 
 impl<S: BucketStore + ?Sized> BucketStore for Box<S> {
@@ -265,6 +273,9 @@ impl<S: BucketStore + ?Sized> BucketStore for Box<S> {
     }
     fn prefetch_paths(&mut self, leaves: &[LeafId]) {
         (**self).prefetch_paths(leaves);
+    }
+    fn io_stats(&self) -> Option<crate::DiskIoStats> {
+        (**self).io_stats()
     }
 }
 

@@ -1,0 +1,51 @@
+//! Backend-side tracing hooks.
+//!
+//! A [`StoreTelemetry`] handle carries a shared flight recorder plus the
+//! owning engine's monotonic epoch into a [`DiskStore`](crate::DiskStore),
+//! so backend spans (`disk.read`, `disk.flush`, `disk.prefetch`) land on
+//! the same timeline as the engine's pipeline spans. Backends without a
+//! handle record nothing and pay nothing.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use laoram_telemetry::{FlightRecorder, SpanRecord};
+
+/// Flight-recorder hook handed to a storage backend by its owner.
+#[derive(Clone)]
+pub struct StoreTelemetry {
+    recorder: Arc<FlightRecorder>,
+    epoch: Instant,
+    worker: Option<u32>,
+}
+
+impl std::fmt::Debug for StoreTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreTelemetry").field("worker", &self.worker).finish()
+    }
+}
+
+impl StoreTelemetry {
+    /// Creates a hook recording into `recorder` with timestamps measured
+    /// from `epoch` (the engine's start instant), attributed to `worker`.
+    pub fn new(recorder: Arc<FlightRecorder>, epoch: Instant, worker: Option<u32>) -> Self {
+        Self { recorder, epoch, worker }
+    }
+
+    /// Nanoseconds since the owning engine's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records a span that started at `start_ns` and ends now.
+    pub fn span(&self, stage: &'static str, start_ns: u64, detail: Option<String>) {
+        self.recorder.record(SpanRecord {
+            start_ns,
+            end_ns: self.now_ns(),
+            stage,
+            group: None,
+            worker: self.worker,
+            detail,
+        });
+    }
+}

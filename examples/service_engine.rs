@@ -15,10 +15,13 @@
 //!
 //! Afterwards the merged statistics show the LAORAM effect (far fewer
 //! path reads than accesses), the pipeline timing shows preprocessing
-//! hidden behind serving, and the latency histograms show what each
-//! request paid end to end.
+//! hidden behind serving, the latency histograms show what each request
+//! paid end to end, and the telemetry registry (see
+//! `docs/OBSERVABILITY.md`) exports the same run as Prometheus text.
 
-use laoram::service::{BatchPolicy, LaoramService, Request, ServiceConfig, TableSpec};
+use laoram::service::{
+    BatchPolicy, LaoramService, Request, ServiceConfig, TableSpec, TelemetrySpec,
+};
 use laoram::workloads::{MultiTenantMix, TenantSpec, TraceKind, ZipfTraceConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,7 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .max_batch(4096)
                     .max_delay(std::time::Duration::from_millis(1))
                     .align_to_superblock(true),
-            ),
+            )
+            .telemetry(TelemetrySpec::new()),
     )?;
 
     // Multi-tenant traffic: two zipf streams of different weights, the
@@ -112,6 +116,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         latency.p99() as f64 / 1e3,
         latency.count(),
     );
+
+    // The telemetry registry saw the same run: print a few Prometheus
+    // lines (the JSON snapshot is `snapshot.to_json()`).
+    let snapshot = service.telemetry_snapshot().expect("telemetry enabled above");
+    println!(
+        "telemetry: {} completed, {} pads, shard 0 stash {}",
+        snapshot.counter("service.requests.completed").unwrap_or(0),
+        snapshot.counter("service.pad_accesses").unwrap_or(0),
+        snapshot.gauge("shard.0.stash_occupancy").unwrap_or(0),
+    );
+    let exposition = snapshot.to_prometheus();
+    for line in exposition.lines().filter(|l| l.starts_with("laoram_service_request_total_ns")) {
+        println!("  {line}");
+    }
 
     let report = service.shutdown()?;
     println!(

@@ -1,0 +1,229 @@
+//! Integration tests of the unified telemetry layer through the serving
+//! engine: registry counters agreeing with `ServiceStats` on a fixed
+//! trace, pipeline spans landing in the flight recorder, the automatic
+//! dump on a refused start, sampler snapshot monotonicity, per-table disk
+//! I/O surfacing, and the whole layer being absent when not configured.
+
+use std::time::Duration;
+
+use laoram::service::{
+    DiskBackendSpec, LaoramService, Request, ServiceConfig, StorageBackend, TableSpec,
+    TelemetrySpec,
+};
+
+const ENTRIES: u32 = 512;
+const BATCH_LEN: usize = 512;
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("laoram-telemetry-{}-{tag}", std::process::id()))
+}
+
+fn mem_config(shards: u32) -> ServiceConfig {
+    ServiceConfig::new()
+        .table(TableSpec::new("emb", ENTRIES).shards(shards).superblock_size(4).seed(11))
+        .queue_depth(4)
+}
+
+fn batches(count: usize) -> Vec<Vec<Request>> {
+    (0..count)
+        .map(|b| {
+            (0..BATCH_LEN as u32)
+                .map(|i| Request::read(0, (i * 7 + b as u32 * 13) % ENTRIES))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn snapshot_counters_match_service_stats_on_a_fixed_trace() {
+    let mut service = LaoramService::start(mem_config(2).telemetry(TelemetrySpec::new())).unwrap();
+    for batch in batches(4) {
+        service.submit(batch).unwrap();
+    }
+    service.drain().unwrap();
+
+    let stats = service.stats();
+    let snapshot = service.telemetry_snapshot().expect("telemetry is on");
+
+    // The registry and ServiceStats observe the same completed traffic.
+    let submitted = (4 * BATCH_LEN) as u64;
+    assert_eq!(snapshot.counter("service.ingress.submitted"), Some(submitted));
+    assert_eq!(snapshot.counter("service.requests.completed"), Some(submitted));
+    assert_eq!(snapshot.counter("service.pad_accesses"), Some(stats.pad_accesses));
+    let shard_real: u64 =
+        (0..2).map(|w| snapshot.counter(&format!("shard.{w}.real_accesses")).unwrap()).sum();
+    assert_eq!(shard_real, stats.merged.real_accesses);
+    for w in 0..2 {
+        assert!(
+            snapshot.counter(&format!("shard.{w}.batches")).unwrap() > 0,
+            "shard {w} served no batches"
+        );
+    }
+
+    // Latency histograms saw one observation per completed request.
+    for name in
+        ["service.request.total_ns", "service.request.queue_wait_ns", "service.request.service_ns"]
+    {
+        let h = snapshot.histogram(name).unwrap_or_else(|| panic!("{name} missing"));
+        assert_eq!(h.count, submitted, "{name} count");
+    }
+
+    // Both exposition formats carry the same completed-request total.
+    let json = snapshot.to_json();
+    assert!(json.contains("\"service.requests.completed\""), "json: {json}");
+    let text = service.telemetry_prometheus().expect("telemetry is on");
+    assert!(
+        text.contains(&format!("laoram_service_requests_completed {submitted}")),
+        "prometheus exposition:\n{text}"
+    );
+
+    service.shutdown().unwrap();
+}
+
+#[test]
+fn pipeline_spans_reach_the_flight_recorder() {
+    let mut service = LaoramService::start(mem_config(2).telemetry(TelemetrySpec::new())).unwrap();
+    for batch in batches(3) {
+        service.submit(batch).unwrap();
+    }
+    service.drain().unwrap();
+
+    let dump = service.dump_flight_recorder("test probe").expect("telemetry is on");
+    assert_eq!(dump.reason, "test probe");
+    for stage in ["ingress.coalesce", "prep.plan", "shard.serve", "group.complete"] {
+        assert!(
+            dump.spans.iter().any(|s| s.stage == stage),
+            "no {stage} span in {:?}",
+            dump.spans.iter().map(|s| s.stage).collect::<std::collections::BTreeSet<_>>()
+        );
+    }
+    // Spans are well-formed: monotone within a record, grouped spans
+    // carry their group id.
+    for span in &dump.spans {
+        assert!(span.end_ns >= span.start_ns, "span {span:?} runs backwards");
+    }
+    assert!(dump.spans.iter().any(|s| s.group.is_some()), "no span carries a group id");
+    service.shutdown().unwrap();
+}
+
+#[test]
+fn refused_start_dumps_the_flight_recorder() {
+    let store_dir = unique_dir("refusal-store");
+    let dump_dir = unique_dir("refusal-dumps");
+    std::fs::create_dir_all(&dump_dir).unwrap();
+    let spec = || {
+        TableSpec::new("persistent", ENTRIES)
+            .shards(2)
+            .superblock_size(4)
+            .seed(7)
+            .row_bytes(8)
+            .backend(StorageBackend::Disk(
+                DiskBackendSpec::new(&store_dir).snapshots(true).write_back_paths(4),
+            ))
+    };
+    let mut first = LaoramService::start(ServiceConfig::new().table(spec())).unwrap();
+    first.submit(batches(1).remove(0)).unwrap();
+    first.drain().unwrap();
+    first.shutdown().unwrap();
+
+    // Lose one shard's store: the restart must refuse — and, with
+    // telemetry on, leave a flight-recorder dump explaining itself.
+    std::fs::remove_file(store_dir.join("t0-persistent-shard0.oram")).unwrap();
+    let refused = LaoramService::start(
+        ServiceConfig::new()
+            .table(spec())
+            .telemetry(TelemetrySpec::new().flight_dump_dir(&dump_dir)),
+    );
+    assert!(refused.is_err(), "partial shard state must refuse the start");
+
+    let dumps: Vec<_> = std::fs::read_dir(&dump_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("laoram-flight-"))
+        .collect();
+    assert_eq!(dumps.len(), 1, "exactly one automatic dump per run");
+    let body = std::fs::read_to_string(dumps[0].path()).unwrap();
+    assert!(body.contains("startup refusal"), "dump lacks the refusal reason: {body}");
+    assert!(body.contains("\"spans\""), "dump is not a spans document: {body}");
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let _ = std::fs::remove_dir_all(&dump_dir);
+}
+
+#[test]
+fn sampler_snapshots_are_monotone() {
+    let mut service = LaoramService::start(mem_config(2).telemetry(
+        TelemetrySpec::new().sample_interval(Duration::from_millis(2)).sample_window(64),
+    ))
+    .unwrap();
+    for batch in batches(4) {
+        service.submit(batch).unwrap();
+        service.drain().unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let report = service.shutdown().unwrap().telemetry.expect("telemetry is on");
+    assert!(report.samples.len() >= 2, "sampler took {} snapshots", report.samples.len());
+    let completed: Vec<u64> = report
+        .samples
+        .iter()
+        .map(|s| s.counter("service.requests.completed").unwrap_or(0))
+        .collect();
+    for pair in completed.windows(2) {
+        assert!(pair[1] >= pair[0], "counter went backwards: {completed:?}");
+    }
+    for pair in report.samples.windows(2) {
+        assert!(pair[1].uptime_ns > pair[0].uptime_ns, "sampler time went backwards");
+    }
+    // The final report snapshot is at least as far along as every sample.
+    let last = report.snapshot.counter("service.requests.completed").unwrap();
+    assert!(last >= *completed.last().unwrap());
+    assert_eq!(last, (4 * BATCH_LEN) as u64);
+}
+
+#[test]
+fn disabled_telemetry_leaves_no_trace() {
+    let mut service = LaoramService::start(mem_config(2)).unwrap();
+    for batch in batches(2) {
+        service.submit(batch).unwrap();
+    }
+    service.drain().unwrap();
+    assert!(service.telemetry_snapshot().is_none());
+    assert!(service.telemetry_prometheus().is_none());
+    assert!(service.dump_flight_recorder("noop").is_none());
+    let report = service.shutdown().unwrap();
+    assert!(report.telemetry.is_none(), "report must not carry telemetry when disabled");
+}
+
+#[test]
+fn table_status_surfaces_disk_io_for_disk_tables_only() {
+    let dir = unique_dir("diskio");
+    let mut service = LaoramService::start(
+        ServiceConfig::new()
+            .table(TableSpec::new("hot", ENTRIES).shards(2).superblock_size(4).seed(3))
+            .table(
+                TableSpec::new("cold", ENTRIES)
+                    .shards(1)
+                    .superblock_size(4)
+                    .seed(4)
+                    .row_bytes(8)
+                    .backend(StorageBackend::Disk(DiskBackendSpec::new(&dir).write_back_paths(2))),
+            )
+            .queue_depth(4),
+    )
+    .unwrap();
+    let reads: Vec<Request> = (0..256u32)
+        .flat_map(|i| [Request::read(0, i % ENTRIES), Request::read(1, i % ENTRIES)])
+        .collect();
+    service.submit(reads).unwrap();
+    service.drain().unwrap();
+
+    let status = service.table_status();
+    assert!(status[0].disk_io.is_none(), "mem table must not report disk io");
+    let io = status[1].disk_io.expect("disk table must report io");
+    assert!(io.reads > 0 && io.read_bytes > 0, "disk table saw no reads: {io:?}");
+
+    let report = service.shutdown().unwrap();
+    let final_io = report.table_status[1].disk_io.expect("shutdown report keeps disk io");
+    assert!(final_io.reads >= io.reads, "io went backwards across shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
