@@ -106,6 +106,10 @@ pub(crate) struct Shared {
     /// Unified telemetry instruments; `None` when telemetry is disabled,
     /// in which case no pipeline stage records anything.
     pub(crate) telemetry: Option<Arc<EngineTelemetry>>,
+    /// Whether an adaptive controller is running
+    /// ([`BatchPolicy::p99_target`](crate::BatchPolicy::p99_target)):
+    /// gates the collector's extra window recording.
+    pub(crate) adaptive: bool,
 }
 
 /// Per-group timing records kept live (a rolling window, so an unbounded
@@ -142,6 +146,10 @@ pub(crate) struct SharedInner {
     /// of whether telemetry is enabled — `table_status()` surfaces the
     /// per-table sums.
     worker_disk_io: Vec<Option<DiskIoStats>>,
+    /// Rolling window of total request latencies for the adaptive
+    /// batching controller; the micro-batcher drains it once per
+    /// adaptation epoch. Only written when [`Shared::adaptive`] is set.
+    pub(crate) adaptive_window: crate::stats::LatencyHistogram,
 }
 
 impl SharedInner {
@@ -226,7 +234,11 @@ pub struct ServiceReport {
     pub requests_served: u64,
     /// Requests that never completed because the pipeline died mid-drain
     /// (also reported as a synthetic [`worker_errors`](Self::worker_errors)
-    /// entry). 0 on a healthy run.
+    /// entry). A network serving tier in front of the engine
+    /// (`laoram-net`) additionally folds in its **network-side
+    /// truncations** — requests that completed but whose owning
+    /// connection had dropped, so the response was claimed and
+    /// discarded instead of delivered. 0 on a healthy run.
     pub truncated_requests: u64,
     /// `(worker id, failure)` for every shard that degraded (see
     /// [`ServiceStats::worker_errors`]); an entry with id equal to the
@@ -259,6 +271,24 @@ impl LaoramService {
         if config.batch_policy.max_batch == 0 {
             return Err(ServiceError::InvalidConfig(
                 "BatchPolicy::max_batch must be nonzero".into(),
+            ));
+        }
+        if config.batch_policy.fixed_cadence && config.batch_policy.max_delay.is_zero() {
+            return Err(ServiceError::InvalidConfig(
+                "BatchPolicy::fixed_cadence needs a nonzero max_delay (the cadence period)".into(),
+            ));
+        }
+        if config.batch_policy.p99_target.is_some_and(|t| t.is_zero()) {
+            return Err(ServiceError::InvalidConfig(
+                "BatchPolicy::p99_target must be nonzero".into(),
+            ));
+        }
+        if config.batch_policy.fixed_cadence && config.batch_policy.p99_target.is_some() {
+            return Err(ServiceError::InvalidConfig(
+                "BatchPolicy::fixed_cadence cannot combine with p99_target: adapting the \
+                 cadence to observed latency would make the flush schedule load-dependent \
+                 again, which is the channel fixed cadence exists to close"
+                    .into(),
             ));
         }
         // Auto-spill tables are scratch-only: their client state is never
@@ -530,6 +560,7 @@ impl LaoramService {
             }),
             submitted: AtomicU64::new(0),
             telemetry: telemetry.clone(),
+            adaptive: config.batch_policy.p99_target.is_some(),
         });
 
         // The periodic sampler, when a cadence was configured: a fixed
@@ -713,6 +744,21 @@ impl LaoramService {
     #[must_use]
     pub fn outstanding_requests(&self) -> u64 {
         self.completions.unclaimed(self.ingress.issued())
+    }
+
+    /// The batching policy the micro-batcher is *currently* running
+    /// with: the configured [`BatchPolicy`](crate::BatchPolicy), with
+    /// `max_batch`/`max_delay` replaced by the adaptive controller's
+    /// effective values when
+    /// [`p99_target`](crate::BatchPolicy::p99_target) is set (they equal
+    /// the configured values otherwise).
+    #[must_use]
+    pub fn effective_batch_policy(&self) -> crate::BatchPolicy {
+        let (max_batch, delay_ns) = self.ingress.effective_policy();
+        let mut policy = self.ingress.policy().clone();
+        policy.max_batch = max_batch;
+        policy.max_delay = std::time::Duration::from_nanos(delay_ns);
+        policy
     }
 
     // ------------------------------------------------------------------
@@ -1328,9 +1374,16 @@ fn run_preprocessor(
                 // outputs are discarded, the copies only keep replicas
                 // convergent).
                 routing.begin_group();
+                // Positions past the metadata are the group's cadence-pad
+                // tail (fixed-cadence batching): dummy reads whose
+                // outputs are discarded and which count as pads, not
+                // routed traffic.
+                let real_len = meta.requests.len();
                 let mut per_worker: HashMap<usize, RoutedPart> = HashMap::new();
+                let mut cadence_pads: HashMap<usize, u64> = HashMap::new();
                 for (position, request) in requests.into_iter().enumerate() {
                     let Request { table, index, op } = request;
+                    let is_pad = position >= real_len;
                     let mut payload = match op {
                         RequestOp::Read => None,
                         RequestOp::Write(payload) => Some(payload),
@@ -1354,25 +1407,35 @@ fn run_preprocessor(
                             Some(bytes) => BatchOp::Write(local, bytes.clone()),
                             None => BatchOp::Read(local),
                         });
-                        entry.2.push(if primary { position as u32 } else { PAD_SLOT });
+                        entry.2.push(if primary && !is_pad { position as u32 } else { PAD_SLOT });
+                        if is_pad {
+                            *cadence_pads.entry(worker).or_insert(0) += 1;
+                        }
                     }
                 }
                 // Skew telemetry, measured where the imbalance is created
                 // (and before padding masks it): the group's longest
-                // sub-batch against the all-workers mean.
-                let routed_ops: u64 = per_worker.values().map(|p| p.1.len() as u64).sum();
+                // *genuine* sub-batch against the all-workers mean —
+                // cadence pads are excluded like every other pad.
+                let genuine = |w: usize, p: &RoutedPart| {
+                    p.1.len() as u64 - cadence_pads.get(&w).copied().unwrap_or(0)
+                };
+                let routed_ops: u64 = per_worker.iter().map(|(&w, p)| genuine(w, p)).sum();
                 let max_subbatch: u64 =
-                    per_worker.values().map(|p| p.1.len() as u64).max().unwrap_or(0);
+                    per_worker.iter().map(|(&w, p)| genuine(w, p)).max().unwrap_or(0);
                 let routed_counts: Vec<(usize, u64)> =
-                    per_worker.iter().map(|(&w, p)| (w, p.1.len() as u64)).collect();
+                    per_worker.iter().map(|(&w, p)| (w, genuine(w, p))).collect();
+                let mut pads: u64 = cadence_pads.values().sum();
+                let mut pad_counts: Vec<(usize, u64)> = cadence_pads.into_iter().collect();
                 // Volume padding: bring every shard of every *hosted*
-                // table up to the group's longest sub-batch, so a group's
-                // shard volumes reveal neither the traffic distribution
-                // nor which tables it touched.
-                let mut pads = 0u64;
-                let mut pad_counts: Vec<(usize, u64)> = Vec::new();
-                if pad_shard_batches && max_subbatch > 0 {
-                    let longest = max_subbatch as usize;
+                // table up to the group's longest sub-batch (cadence pads
+                // included — they are real work the shard performs), so a
+                // group's shard volumes reveal neither the traffic
+                // distribution nor which tables it touched.
+                let max_total: u64 =
+                    per_worker.values().map(|p| p.1.len() as u64).max().unwrap_or(0);
+                if pad_shard_batches && max_total > 0 {
+                    let longest = max_total as usize;
                     for (worker, cursor) in pad_cursor.iter_mut().enumerate() {
                         let entry = per_worker.entry(worker).or_default();
                         let (table, shard) = router.worker_home(worker);
@@ -1737,9 +1800,13 @@ fn record_latency(shared: &Shared, group_id: u64, group: &GroupDone) {
     let mut inner = shared.inner.lock().expect("collector lock");
     inner.requests_completed += group.requests.len() as u64;
     for meta in &group.requests {
-        inner.request_latency.total.record(group.done_ns.saturating_sub(meta.enqueue_ns));
+        let total = group.done_ns.saturating_sub(meta.enqueue_ns);
+        inner.request_latency.total.record(total);
         inner.request_latency.queue_wait.record(group.coalesce_ns.saturating_sub(meta.enqueue_ns));
         inner.request_latency.service.record(group.serve_end_ns.saturating_sub(group.coalesce_ns));
+        if shared.adaptive {
+            inner.adaptive_window.record(total);
+        }
     }
 }
 

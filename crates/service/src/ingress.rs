@@ -11,7 +11,7 @@
 //! a group enters the bounded pipeline channel, so the collector —
 //! which emits completions in group-id order — never sees a gap.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -20,6 +20,7 @@ use laoram_telemetry::SpanRecord;
 
 use crate::completion::CompletionShared;
 use crate::engine::Shared;
+use crate::spec::AdaptiveController;
 use crate::{BatchPolicy, Request, RequestTicket, ServiceError, ShardRouter};
 
 /// Submission metadata of one request, carried through the pipeline so
@@ -35,12 +36,17 @@ pub(crate) struct RequestMeta {
 }
 
 /// Per-group metadata travelling alongside the requests.
+///
+/// A fixed-cadence group may carry more requests than it has metadata
+/// entries: the tail past `requests.len()` is cadence padding — dummy
+/// reads whose outputs the preprocessor discards (they route with
+/// `PAD_SLOT` positions and issue no tickets).
 pub(crate) struct GroupMeta {
     /// The batch ticket id for pre-coalesced (batch API) groups.
     pub batch: Option<u64>,
     /// When the group was coalesced (ns since engine start).
     pub coalesce_ns: u64,
-    /// One entry per request, in group order.
+    /// One entry per *genuine* request, in group order.
     pub requests: Vec<RequestMeta>,
 }
 
@@ -89,6 +95,12 @@ pub(crate) struct Ingress {
     pending: Mutex<PendingQueue>,
     batcher_wake: Condvar,
     sender: Mutex<GroupSender>,
+    /// Effective size trigger: equals `policy.max_batch` unless an
+    /// adaptive controller ([`BatchPolicy::p99_target`]) is tuning it.
+    effective_batch: AtomicUsize,
+    /// Effective deadline, in ns: equals `policy.max_delay` unless
+    /// adaptively tuned.
+    effective_delay_ns: AtomicU64,
 }
 
 impl Ingress {
@@ -100,6 +112,9 @@ impl Ingress {
         quantum: usize,
         tx: SyncSender<EngineMsg>,
     ) -> Self {
+        let effective_batch = AtomicUsize::new(policy.max_batch.max(1));
+        let effective_delay_ns =
+            AtomicU64::new(policy.max_delay.as_nanos().min(u128::from(u64::MAX)) as u64);
         Ingress {
             router,
             shared,
@@ -114,13 +129,31 @@ impl Ingress {
             }),
             batcher_wake: Condvar::new(),
             sender: Mutex::new(GroupSender { tx: Some(tx), next_group: 0 }),
+            effective_batch,
+            effective_delay_ns,
         }
     }
 
-    /// The size a size-triggered flush takes: `max_batch`, rounded down
-    /// to the superblock quantum when alignment is on and fits.
+    /// The configured batching policy.
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
+    /// The effective `(max_batch, max_delay_ns)` the batcher is running
+    /// with right now — the configured values, unless an adaptive
+    /// controller has tuned them down.
+    pub fn effective_policy(&self) -> (usize, u64) {
+        (
+            self.effective_batch.load(Ordering::Relaxed),
+            self.effective_delay_ns.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The size a size-triggered flush takes: the effective `max_batch`,
+    /// rounded down to the superblock quantum when alignment is on and
+    /// fits.
     fn flush_len(&self) -> usize {
-        let max_batch = self.policy.max_batch.max(1);
+        let max_batch = self.effective_batch.load(Ordering::Relaxed).max(1);
         if self.policy.align_to_superblock && max_batch >= self.quantum {
             max_batch - max_batch % self.quantum
         } else {
@@ -207,7 +240,7 @@ impl Ingress {
                 (request, RequestMeta { ticket: first + i as u64, session: 0, enqueue_ns: now })
             })
             .collect();
-        if !self.send_group(entries, Some(batch)) {
+        if !self.send_group(entries, Some(batch), Vec::new()) {
             return Err(ServiceError::Disconnected);
         }
         self.shared.submitted.fetch_add(len, Ordering::Relaxed);
@@ -315,15 +348,25 @@ impl Ingress {
 
     /// Assigns the next group id and sends, blocking on backpressure.
     /// On failure the group's tickets are voided so they stop counting
-    /// as outstanding. Returns whether the pipeline accepted the group.
-    fn send_group(&self, entries: Vec<(Request, RequestMeta)>, batch: Option<u64>) -> bool {
+    /// as outstanding. `pads` are cadence-padding reads appended after
+    /// the genuine requests: they carry no metadata (no tickets) and the
+    /// preprocessor discards their outputs. Returns whether the pipeline
+    /// accepted the group.
+    fn send_group(
+        &self,
+        entries: Vec<(Request, RequestMeta)>,
+        batch: Option<u64>,
+        pads: Vec<Request>,
+    ) -> bool {
         let coalesce_ns = self.shared.now_ns();
-        let mut requests = Vec::with_capacity(entries.len());
+        let mut requests = Vec::with_capacity(entries.len() + pads.len());
         let mut metas = Vec::with_capacity(entries.len());
         for (request, meta) in entries {
             requests.push(request);
             metas.push(meta);
         }
+        let pad_tail = pads.len();
+        requests.extend(pads);
         // Coalesce span: oldest queued request → group formation.
         let len = metas.len();
         let oldest_ns = metas.iter().map(|m| m.enqueue_ns).min().unwrap_or(coalesce_ns);
@@ -348,7 +391,11 @@ impl Ingress {
                         stage: "ingress.coalesce",
                         group: Some(group),
                         worker: None,
-                        detail: Some(format!("requests={len}")),
+                        detail: Some(if pad_tail > 0 {
+                            format!("requests={len} cadence_pads={pad_tail}")
+                        } else {
+                            format!("requests={len}")
+                        }),
                     });
                 }
                 sender.next_group += 1;
@@ -363,18 +410,65 @@ impl Ingress {
     }
 }
 
-/// The micro-batcher thread: sleeps until the pending queue crosses the
-/// size threshold or its oldest request hits the deadline, then flushes
-/// one group and goes around again. Shutdown flushes the remainder
+/// Completed-request samples required before the adaptive controller
+/// takes one observation (one adaptation epoch).
+const ADAPT_EPOCH_SAMPLES: u64 = 64;
+
+impl Ingress {
+    /// One adaptation step: when the collector has accumulated an
+    /// epoch's worth of completed-request latencies, feed their p99 to
+    /// the controller and publish the new effective policy.
+    fn maybe_adapt(&self, controller: &mut AdaptiveController) {
+        let window = {
+            let mut inner = self.shared.inner.lock().expect("adapt lock");
+            if inner.adaptive_window.count() < ADAPT_EPOCH_SAMPLES {
+                return;
+            }
+            std::mem::take(&mut inner.adaptive_window)
+        };
+        let (batch, delay_ns) = controller.observe(window.p99());
+        self.effective_batch.store(batch.max(1), Ordering::Relaxed);
+        self.effective_delay_ns.store(delay_ns.max(1), Ordering::Relaxed);
+    }
+
+    /// `count` cadence-padding reads: rotating row picks over the hosted
+    /// tables, driven by a cursor — a fixed schedule independent of the
+    /// traffic, so pad identities leak nothing.
+    fn cadence_pads(&self, count: usize, cursor: &mut u64) -> Vec<Request> {
+        let tables = self.router.num_tables() as u64;
+        (0..count)
+            .map(|_| {
+                let table = (*cursor % tables) as usize;
+                let rows = u64::from(self.router.partition(table).num_blocks().max(1));
+                let index = ((*cursor / tables) % rows) as u32;
+                *cursor = cursor.wrapping_add(1);
+                Request::read(table, index)
+            })
+            .collect()
+    }
+}
+
+/// The micro-batcher thread. In the default (coalescing) mode it sleeps
+/// until the pending queue crosses the size threshold or its oldest
+/// request hits the deadline, then flushes one group and goes around
+/// again; with [`BatchPolicy::p99_target`] set it additionally runs the
+/// [`AdaptiveController`] between groups. With
+/// [`BatchPolicy::fixed_cadence`] it instead ticks on an absolute
+/// schedule ([`run_cadence_batcher`]). Shutdown flushes the remainder
 /// (deadline-style, unaligned) and exits.
 pub(crate) fn run_batcher(ingress: Arc<Ingress>) {
-    let max_batch = ingress.policy.max_batch.max(1);
-    let delay_ns = ingress.policy.max_delay.as_nanos().min(u128::from(u64::MAX)) as u64;
+    if ingress.policy.fixed_cadence {
+        run_cadence_batcher(&ingress);
+        return;
+    }
+    let mut controller = AdaptiveController::new(&ingress.policy);
     loop {
         let chunk: Option<Vec<(Request, RequestMeta)>> = {
             let mut pending = ingress.pending.lock().expect("batcher lock");
             let chunk = loop {
                 let flush_len = ingress.flush_len();
+                let (max_batch, delay_ns) = ingress.effective_policy();
+                let max_batch = max_batch.max(1);
                 if pending.entries.len() >= flush_len {
                     break Some(pending.entries.drain(..flush_len).collect());
                 }
@@ -414,9 +508,86 @@ pub(crate) fn run_batcher(ingress: Arc<Ingress>) {
         match chunk {
             None => return,
             Some(chunk) => {
-                if !ingress.send_group(chunk, None) {
+                if !ingress.send_group(chunk, None, Vec::new()) {
                     return;
                 }
+                if let Some(c) = controller.as_mut() {
+                    ingress.maybe_adapt(c);
+                }
+            }
+        }
+    }
+}
+
+/// The fixed-cadence micro-batcher: emits one group every `max_delay`
+/// on an **absolute** tick schedule anchored at engine start, padding
+/// each group up to the flush length with rotating dummy reads — the
+/// flush times and group sizes are therefore independent of the offered
+/// load (the batch-timing channel the coalescing mode concedes). A tick
+/// that would fire while the previous group is still blocking on
+/// pipeline backpressure is skipped, never queued, so a saturated
+/// pipeline degrades to "every k-th tick" rather than drifting the
+/// schedule. Shutdown flushes the remainder unpadded and exits.
+fn run_cadence_batcher(ingress: &Arc<Ingress>) {
+    let period_ns = (ingress.policy.max_delay.as_nanos().min(u128::from(u64::MAX)) as u64).max(1);
+    let flush_len = ingress.flush_len();
+    let mut pad_cursor = 0u64;
+    let mut tick = 1u64;
+    loop {
+        let chunk: Option<Vec<(Request, RequestMeta)>> = {
+            let mut pending = ingress.pending.lock().expect("batcher lock");
+            loop {
+                if pending.shutdown {
+                    break;
+                }
+                let deadline = tick.saturating_mul(period_ns);
+                let now = ingress.shared.now_ns();
+                if now >= deadline {
+                    break;
+                }
+                let timeout = Duration::from_nanos(deadline - now);
+                let (guard, _) =
+                    ingress.batcher_wake.wait_timeout(pending, timeout).expect("batcher wait");
+                pending = guard;
+            }
+            if pending.shutdown {
+                if pending.entries.is_empty() {
+                    None
+                } else {
+                    let take = pending.entries.len().min(flush_len);
+                    Some(pending.entries.drain(..take).collect())
+                }
+            } else {
+                let take = pending.entries.len().min(flush_len);
+                let chunk = Some(pending.entries.drain(..take).collect());
+                if let Some(t) = ingress.shared.telemetry.as_deref() {
+                    t.ingress_queued.set(pending.entries.len() as u64);
+                }
+                chunk
+            }
+        };
+        match chunk {
+            None => return,
+            Some(chunk) => {
+                let shutting_down = ingress.pending.lock().expect("batcher lock").shutdown;
+                // Shutdown drains unpadded: the schedule is over, and
+                // burning a padded group per remaining tick would stall
+                // teardown for no leakage benefit.
+                let pads = if shutting_down {
+                    Vec::new()
+                } else {
+                    ingress.cadence_pads(flush_len - chunk.len(), &mut pad_cursor)
+                };
+                if !ingress.send_group(chunk, None, pads) {
+                    return;
+                }
+                if shutting_down {
+                    // Keep draining the backlog tick-free.
+                    continue;
+                }
+                // Next tick strictly in the future: missed ticks are
+                // skipped, not bursted.
+                tick = (ingress.shared.now_ns() / period_ns) + 1;
             }
         }
     }

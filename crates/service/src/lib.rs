@@ -118,9 +118,15 @@
 //!   coalescing track the offered load. This is the same class of
 //!   leakage as per-shard volumes — metadata about *how much* traffic
 //!   arrived *when*, never about which rows it touched. Deployments that
-//!   cannot accept it should drive the engine at fixed cadence with
-//!   fixed-size batches (the training shape) or pad the request stream
-//!   upstream.
+//!   cannot accept it should enable
+//!   [`BatchPolicy::fixed_cadence`]: the batcher then flushes a
+//!   constant-size group every `max_delay` on an absolute schedule,
+//!   padding short (or empty) groups with dummy reads, so group
+//!   boundaries and sizes stop tracking offered load entirely — at the
+//!   cost of a constant background workload while idle. (The adaptive
+//!   mode, [`BatchPolicy::p99_target`], moves the other way — batch
+//!   boundaries then track tail latency, i.e. load — and is refused in
+//!   combination with fixed cadence.)
 //! * **Cache trade-offs.** Each shard's client cache models the paper's
 //!   trainer VRAM: accesses to it are invisible to the adversary, and its
 //!   contents are *planned* (the current superblock's members), so hits
@@ -206,8 +212,9 @@ pub use error::ServiceError;
 pub use request::{Completion, RequestTicket, RequestTiming, Session, SessionId};
 pub use router::{GroupRouting, RowPlacement, ShardRouter, TablePartition};
 pub use spec::{
-    BatchPolicy, DiskBackendSpec, HotSetSpec, PartitionStrategy, ReplicaPlacement, ResolvedBackend,
-    ServiceConfig, StorageBackend, TableRecovery, TableSpec, TableStatus, TelemetrySpec,
+    AdaptiveController, BatchPolicy, DiskBackendSpec, HotSetSpec, PartitionStrategy,
+    ReplicaPlacement, ResolvedBackend, ServiceConfig, StorageBackend, TableRecovery, TableSpec,
+    TableStatus, TelemetrySpec,
 };
 pub use stats::{
     BatchTiming, LatencyHistogram, PipelineStats, RequestLatencyStats, ServiceStats, ShardStats,

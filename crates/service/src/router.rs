@@ -335,6 +335,12 @@ impl ShardRouter {
         self.num_workers
     }
 
+    /// Number of hosted tables.
+    #[must_use]
+    pub fn num_tables(&self) -> usize {
+        self.partitions.len()
+    }
+
     /// The partition of `table`.
     ///
     /// # Panics

@@ -468,10 +468,32 @@ pub(crate) fn disk_slot_bytes(spec: &TableSpec) -> u64 {
 /// deadline flushes always take everything pending — bounding latency
 /// wins over alignment.
 ///
-/// Note the timing side channel this creates: *when* a deadline flush
-/// fires depends on when requests arrived, so group boundaries under
-/// `max_delay` coalescing are input-dependent (the same class of leakage
-/// as per-shard volumes — see the crate-level security model).
+/// Note the timing side channel coalescing creates: *when* a deadline
+/// flush fires depends on when requests arrived, so group boundaries
+/// under `max_delay` coalescing are input-dependent (the same class of
+/// leakage as per-shard volumes — see the crate-level security model).
+/// [`fixed_cadence`](Self::fixed_cadence) closes exactly this channel:
+/// the batcher then flushes a group every `max_delay` **regardless of
+/// offered load**, padding short (or empty) groups up to `max_batch`
+/// with dummy reads of rotating rows, so both the flush schedule and the
+/// group size are load-independent. The cost is a constant background
+/// workload of `max_batch / max_delay` accesses per second even when the
+/// service is idle; size `max_delay` so one group's service time fits in
+/// a period (a tick that finds the pipeline still busy is skipped, not
+/// queued). [`flush`](crate::LaoramService::flush) is a no-op under
+/// fixed cadence — an on-demand flush would be a load-dependent boundary
+/// again.
+///
+/// [`p99_target`](Self::p99_target) instead makes the policy
+/// **adaptive**: the batcher continuously tunes its effective
+/// `max_batch`/`max_delay` (downward from the configured values, which
+/// act as ceilings) against the tail latency measured in
+/// [`ServiceStats::request_latency`](crate::ServiceStats::request_latency),
+/// shrinking both when the observed p99 overshoots the target and
+/// growing them back while there is headroom (see
+/// [`AdaptiveController`] for the exact schedule). Adaptive mode makes
+/// batch boundaries *more* load-dependent, so it cannot be combined
+/// with `fixed_cadence` (refused at startup).
 ///
 /// [`Session`]: crate::Session
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -482,16 +504,29 @@ pub struct BatchPolicy {
     pub max_delay: Duration,
     /// Round size-triggered flushes down to the superblock quantum.
     pub align_to_superblock: bool,
+    /// Flush every `max_delay` on an absolute schedule, padding each
+    /// group up to `max_batch` with dummy reads, so group boundaries and
+    /// sizes stop tracking offered load (the batch-timing side channel).
+    /// Off by default.
+    pub fixed_cadence: bool,
+    /// Tail-latency target for adaptive batching: when set, the batcher
+    /// tunes its effective `max_batch`/`max_delay` against the measured
+    /// request-latency p99 ([`AdaptiveController`]). `None` (default)
+    /// keeps the configured values fixed.
+    pub p99_target: Option<Duration>,
 }
 
 impl BatchPolicy {
-    /// The default policy: up to 1024 requests or 2 ms, aligned.
+    /// The default policy: up to 1024 requests or 2 ms, aligned, with
+    /// load-dependent flushes and no adaptation.
     #[must_use]
     pub fn new() -> Self {
         BatchPolicy {
             max_batch: 1024,
             max_delay: Duration::from_millis(2),
             align_to_superblock: true,
+            fixed_cadence: false,
+            p99_target: None,
         }
     }
 
@@ -514,6 +549,101 @@ impl BatchPolicy {
     pub fn align_to_superblock(mut self, align: bool) -> Self {
         self.align_to_superblock = align;
         self
+    }
+
+    /// Enables or disables fixed-cadence flushing (see the type docs).
+    /// `max_delay` becomes the cadence period and must be nonzero.
+    #[must_use]
+    pub fn fixed_cadence(mut self, fixed: bool) -> Self {
+        self.fixed_cadence = fixed;
+        self
+    }
+
+    /// Sets the adaptive tail-latency target (see the type docs). The
+    /// target must be nonzero.
+    #[must_use]
+    pub fn p99_target(mut self, target: Duration) -> Self {
+        self.p99_target = Some(target);
+        self
+    }
+}
+
+/// The adaptive-batching control loop behind
+/// [`BatchPolicy::p99_target`]: a deterministic multiplicative-decrease
+/// / geometric-increase schedule over the effective
+/// (`max_batch`, `max_delay`) pair.
+///
+/// The micro-batcher feeds it one observation per adaptation epoch — the
+/// p99 of the request latencies completed since the previous epoch — and
+/// applies whatever effective values [`observe`](Self::observe) returns:
+///
+/// * **Overshoot** (`p99 > target`): halve both knobs. Smaller groups
+///   coalesce and serve faster; a shorter deadline stops sparse traffic
+///   from sitting in the queue.
+/// * **Headroom** (`p99 < 0.7 × target`): grow both by 25%, back toward
+///   the configured ceilings. Bigger groups recover per-access
+///   throughput when the tail allows it.
+/// * **In band** (between the two): hold.
+///
+/// Both knobs are clamped to `[floor, configured value]`, where the
+/// floors are 16 requests and 50 µs — far enough down to matter, high
+/// enough that the pipeline never degenerates to single-request groups.
+/// The controller is pure (no clock, no I/O), so its convergence is
+/// pinned by deterministic unit tests.
+#[derive(Debug, Clone)]
+pub struct AdaptiveController {
+    target_ns: u64,
+    batch_ceiling: usize,
+    delay_ceiling_ns: u64,
+    batch_floor: usize,
+    delay_floor_ns: u64,
+    batch: usize,
+    delay_ns: u64,
+}
+
+/// Lower clamp of the adaptive effective `max_batch`.
+const ADAPT_BATCH_FLOOR: usize = 16;
+/// Lower clamp of the adaptive effective `max_delay`, in nanoseconds.
+const ADAPT_DELAY_FLOOR_NS: u64 = 50_000;
+
+impl AdaptiveController {
+    /// A controller for `policy`, or `None` when the policy has no
+    /// [`p99_target`](BatchPolicy::p99_target). Starts at the configured
+    /// (ceiling) values.
+    #[must_use]
+    pub fn new(policy: &BatchPolicy) -> Option<Self> {
+        let target = policy.p99_target?;
+        let target_ns = target.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let batch_ceiling = policy.max_batch.max(1);
+        let delay_ceiling_ns = policy.max_delay.as_nanos().min(u128::from(u64::MAX)) as u64;
+        Some(AdaptiveController {
+            target_ns,
+            batch_ceiling,
+            delay_ceiling_ns,
+            batch_floor: ADAPT_BATCH_FLOOR.min(batch_ceiling),
+            delay_floor_ns: ADAPT_DELAY_FLOOR_NS.min(delay_ceiling_ns.max(1)),
+            batch: batch_ceiling,
+            delay_ns: delay_ceiling_ns,
+        })
+    }
+
+    /// Feeds one epoch's observed p99 and returns the new effective
+    /// `(max_batch, max_delay_ns)`.
+    pub fn observe(&mut self, p99_ns: u64) -> (usize, u64) {
+        if p99_ns > self.target_ns {
+            self.batch = (self.batch / 2).max(self.batch_floor);
+            self.delay_ns = (self.delay_ns / 2).max(self.delay_floor_ns);
+        } else if u128::from(p99_ns) * 10 < u128::from(self.target_ns) * 7 {
+            self.batch = (self.batch + (self.batch / 4).max(1)).min(self.batch_ceiling);
+            self.delay_ns = (self.delay_ns + (self.delay_ns / 4).max(1)).min(self.delay_ceiling_ns);
+        }
+        (self.batch, self.delay_ns)
+    }
+
+    /// The current effective `(max_batch, max_delay_ns)`.
+    #[must_use]
+    pub fn current(&self) -> (usize, u64) {
+        (self.batch, self.delay_ns)
     }
 }
 
@@ -767,5 +897,61 @@ mod tests {
         assert_eq!(p.max_batch, 64);
         assert_eq!(p.max_delay, Duration::from_micros(500));
         assert!(!p.align_to_superblock);
+        assert!(!p.fixed_cadence);
+        assert_eq!(p.p99_target, None);
+        let p = p.fixed_cadence(true);
+        assert!(p.fixed_cadence);
+        let p = BatchPolicy::new().p99_target(Duration::from_millis(1));
+        assert_eq!(p.p99_target, Some(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn adaptive_controller_needs_target() {
+        assert!(AdaptiveController::new(&BatchPolicy::new()).is_none());
+    }
+
+    /// Pinned convergence schedule of the adaptive controller: sustained
+    /// overshoot walks both knobs down to their floors in a fixed number
+    /// of halvings, sustained headroom walks them back to the configured
+    /// ceilings, and an in-band p99 holds exactly.
+    #[test]
+    fn adaptive_controller_convergence() {
+        let policy = BatchPolicy::new()
+            .max_batch(1024)
+            .max_delay(Duration::from_millis(2))
+            .p99_target(Duration::from_micros(500));
+        let mut c = AdaptiveController::new(&policy).expect("target set");
+        assert_eq!(c.current(), (1024, 2_000_000));
+
+        // Overshoot (p99 = 2 ms > 500 µs): exact halving sequence.
+        let overshoot = 2_000_000;
+        let expect_batch = [512, 256, 128, 64, 32, 16, 16];
+        let mut batches = Vec::new();
+        let mut last = (0, 0);
+        for _ in 0..7 {
+            last = c.observe(overshoot);
+            batches.push(last.0);
+        }
+        assert_eq!(batches, expect_batch, "halves to the floor, then holds");
+        assert_eq!(last, (16, 50_000), "floors: 16 requests / 50 µs");
+
+        // Headroom (p99 = 100 µs < 0.7 × 500 µs): geometric recovery that
+        // reaches — and then holds at — the configured ceilings.
+        let mut prev = c.current();
+        for step in 0..64 {
+            let next = c.observe(100_000);
+            assert!(next.0 >= prev.0 && next.1 >= prev.1, "monotone recovery");
+            prev = next;
+            if next == (1024, 2_000_000) {
+                assert!(step < 40, "recovers within a bounded number of epochs");
+                break;
+            }
+        }
+        assert_eq!(c.current(), (1024, 2_000_000), "recovers to the ceilings");
+        assert_eq!(c.observe(100_000), (1024, 2_000_000), "ceilings clamp");
+
+        // In band (350 µs ≤ p99 ≤ 500 µs): hold exactly.
+        assert_eq!(c.observe(400_000), (1024, 2_000_000));
+        assert_eq!(c.observe(500_000), (1024, 2_000_000));
     }
 }

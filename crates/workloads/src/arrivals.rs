@@ -1,0 +1,105 @@
+//! Open-loop arrival schedules for load generation.
+//!
+//! A closed-loop driver submits its next request only after the
+//! previous one completes, so a slow server silently slows the offered
+//! load and latency percentiles look flattering (coordinated omission).
+//! An **open-loop** driver instead commits to a schedule of arrival
+//! times up front and measures each request's latency from its
+//! *scheduled* arrival — server-side queueing shows up in the numbers
+//! instead of hiding in the generator.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How inter-arrival gaps are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Evenly spaced arrivals (deterministic, period `1/rate`).
+    Uniform,
+    /// Poisson arrivals (exponential inter-arrival gaps), the classic
+    /// open-system model; burstier than uniform at the same rate.
+    Poisson,
+}
+
+/// A precomputed schedule of arrival offsets, in nanoseconds from the
+/// start of the run, sorted ascending.
+#[derive(Debug, Clone)]
+pub struct ArrivalSchedule {
+    offsets_ns: Vec<u64>,
+}
+
+impl ArrivalSchedule {
+    /// Builds a schedule of `count` arrivals at `rate_per_sec` using the
+    /// given process. Deterministic for a given seed; `Uniform` ignores
+    /// the seed. A non-positive rate collapses to back-to-back arrivals.
+    #[must_use]
+    pub fn generate(process: ArrivalProcess, rate_per_sec: f64, count: usize, seed: u64) -> Self {
+        let mean_gap_ns = if rate_per_sec > 0.0 { 1e9 / rate_per_sec } else { 0.0 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut at = 0.0f64;
+        let offsets_ns = (0..count)
+            .map(|_| {
+                let here = at;
+                at += match process {
+                    ArrivalProcess::Uniform => mean_gap_ns,
+                    ArrivalProcess::Poisson => {
+                        // Inverse-CDF exponential; 1-u keeps ln finite.
+                        let u: f64 = 1.0 - rng.random::<f64>();
+                        -mean_gap_ns * u.ln()
+                    }
+                };
+                here as u64
+            })
+            .collect();
+        ArrivalSchedule { offsets_ns }
+    }
+
+    /// The arrival offsets in nanoseconds, sorted ascending.
+    #[must_use]
+    pub fn offsets_ns(&self) -> &[u64] {
+        &self.offsets_ns
+    }
+
+    /// Number of scheduled arrivals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets_ns.len()
+    }
+
+    /// Whether the schedule is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.offsets_ns.is_empty()
+    }
+
+    /// Total schedule span in nanoseconds (last arrival offset).
+    #[must_use]
+    pub fn span_ns(&self) -> u64 {
+        self.offsets_ns.last().copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_evenly_spaced() {
+        let s = ArrivalSchedule::generate(ArrivalProcess::Uniform, 1000.0, 5, 0);
+        assert_eq!(s.offsets_ns(), &[0, 1_000_000, 2_000_000, 3_000_000, 4_000_000]);
+        assert_eq!(s.span_ns(), 4_000_000);
+    }
+
+    #[test]
+    fn poisson_matches_rate_on_average() {
+        let s = ArrivalSchedule::generate(ArrivalProcess::Poisson, 10_000.0, 20_000, 7);
+        assert_eq!(s.len(), 20_000);
+        let mean_gap = s.span_ns() as f64 / (s.len() - 1) as f64;
+        // Mean inter-arrival should be ~100µs; allow 5% sampling noise.
+        assert!((mean_gap - 100_000.0).abs() < 5_000.0, "mean gap {mean_gap}");
+        // Deterministic per seed.
+        let again = ArrivalSchedule::generate(ArrivalProcess::Poisson, 10_000.0, 20_000, 7);
+        assert_eq!(s.offsets_ns(), again.offsets_ns());
+        assert!(s.offsets_ns().windows(2).all(|w| w[0] <= w[1]), "sorted");
+    }
+}

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrivals;
 mod dlrm;
 mod gaussian;
 mod io;
@@ -40,6 +41,7 @@ mod trace;
 mod xnli;
 mod zipf;
 
+pub use arrivals::{ArrivalProcess, ArrivalSchedule};
 pub use dlrm::{DlrmMultiTable, DlrmTraceConfig};
 pub use gaussian::GaussianTraceConfig;
 pub use io::{read_trace_csv, write_trace_csv};

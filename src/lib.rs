@@ -10,6 +10,10 @@
 //!   on top of the core client: request-level admission (sessions, a
 //!   deadline-driven micro-batcher, a poll-based completion queue) with
 //!   preprocessing of group `N+1` overlapped with serving of group `N`.
+//! * [`net`] — the network serving tier over the engine: a length-prefixed
+//!   binary protocol on a std-only non-blocking TCP event loop, with
+//!   admission control and deficit-round-robin tenant fairness (see
+//!   `docs/NETWORKING.md`).
 //! * [`tree`] — the server-side binary tree storage, including the fat tree.
 //! * [`protocol`] — Path ORAM and Ring ORAM protocol clients.
 //! * [`baselines`] — PrORAM (static/dynamic superblocks) and an insecure RAM.
@@ -41,6 +45,7 @@
 //! ```
 
 pub use laoram_core as core;
+pub use laoram_net as net;
 pub use laoram_service as service;
 pub use memsim;
 pub use oram_analysis as analysis;

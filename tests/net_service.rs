@@ -1,0 +1,424 @@
+//! End-to-end tests of the network serving tier: the TCP request path
+//! must be semantically identical to the in-process session path
+//! (byte-for-byte responses, property-tested), and the tier's own
+//! machinery — frame validation, admission control, deficit-round-robin
+//! fairness, disconnect handling, durable restart — must hold up under
+//! the same conditions the unit tests pin in isolation.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use laoram::net::frame::{self, ErrorCode, CONNECTION_ERROR_ID};
+use laoram::net::{NetClient, NetEvent, NetServer, NetServerConfig};
+use laoram::service::{
+    BatchPolicy, DiskBackendSpec, LaoramService, ServiceConfig, StorageBackend, TableSpec,
+    TelemetrySpec,
+};
+
+/// A small two-shard engine with deterministic contents.
+fn small_config(seed: u64, max_batch: usize, max_delay: Duration) -> ServiceConfig {
+    ServiceConfig::new()
+        .table(TableSpec::new("t", 64).shards(2).superblock_size(4).seed(seed))
+        .batch_policy(
+            BatchPolicy::new().max_batch(max_batch).max_delay(max_delay).align_to_superblock(true),
+        )
+        .queue_depth(4)
+}
+
+fn start_server(config: ServiceConfig, net: NetServerConfig) -> NetServer {
+    let service = LaoramService::start(config).expect("service start");
+    NetServer::start(service, net).expect("server start")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole equivalence claim: an arbitrary read/write stream
+    /// submitted over TCP produces byte-identical responses to the same
+    /// stream submitted through an in-process engine session.
+    #[test]
+    fn tcp_responses_match_inprocess_byte_for_byte(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u32..64, any::<bool>()), 1..48),
+    ) {
+        let policy = Duration::from_millis(1);
+
+        // In-process reference: one session, submission order = op order.
+        let service = LaoramService::start(small_config(seed, 16, policy)).expect("start");
+        let session = service.session();
+        let mut by_ticket = std::collections::HashMap::new();
+        for (i, &(index, is_write)) in ops.iter().enumerate() {
+            let ticket = if is_write {
+                session.write(0, index, vec![i as u8, index as u8].into()).expect("write")
+            } else {
+                session.read(0, index).expect("read")
+            };
+            by_ticket.insert(ticket.id(), i);
+        }
+        service.flush().expect("flush");
+        let mut reference: Vec<Option<Vec<u8>>> = vec![None; ops.len()];
+        let mut reference_some: Vec<bool> = vec![false; ops.len()];
+        for _ in 0..ops.len() {
+            let completion = service.complete_blocking().expect("complete");
+            let op = by_ticket[&completion.ticket.id()];
+            reference_some[op] = completion.output.is_some();
+            reference[op] = completion.output.map(Vec::from);
+        }
+        service.shutdown().expect("shutdown");
+
+        // Same stream over TCP, same engine shape and seed.
+        let server = start_server(small_config(seed, 16, policy), NetServerConfig::default());
+        let mut client = NetClient::connect(server.local_addr(), 9).expect("connect");
+        for (i, &(index, is_write)) in ops.iter().enumerate() {
+            if is_write {
+                client.write(i as u64, 0, index, vec![i as u8, index as u8]).expect("write");
+            } else {
+                client.read(i as u64, 0, index).expect("read");
+            }
+        }
+        let mut over_tcp: Vec<Option<Vec<u8>>> = vec![None; ops.len()];
+        for _ in 0..ops.len() {
+            match client.recv().expect("recv") {
+                NetEvent::Response { id, output } => over_tcp[id as usize] = output,
+                other => prop_assert!(false, "unexpected event: {other:?}"),
+            }
+        }
+        client.goodbye().expect("goodbye");
+        server.shutdown().expect("server shutdown");
+
+        for (op, (tcp, (reference, had_some))) in
+            over_tcp.iter().zip(reference.iter().zip(&reference_some)).enumerate()
+        {
+            prop_assert_eq!(tcp.is_some(), *had_some, "op {} presence diverged", op);
+            prop_assert_eq!(tcp, reference, "op {} payload diverged", op);
+        }
+    }
+}
+
+/// Sends raw bytes and returns every frame the server answers before
+/// closing the connection.
+fn raw_exchange(addr: std::net::SocketAddr, bytes: &[u8]) -> Vec<frame::Frame> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(bytes).expect("write");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read to close");
+    let mut frames = Vec::new();
+    while let Ok(Some((frame, consumed))) = frame::decode(&buf, frame::DEFAULT_MAX_FRAME_BYTES) {
+        frames.push(frame);
+        buf.drain(..consumed);
+        if buf.is_empty() {
+            break;
+        }
+    }
+    frames
+}
+
+/// A malformed frame (unknown kind byte) is answered with a typed
+/// `Malformed` error and a closed connection — not a hang or a panic.
+#[test]
+fn malformed_frame_is_rejected_with_typed_error() {
+    let server =
+        start_server(small_config(11, 16, Duration::from_millis(1)), NetServerConfig::default());
+    let frames = raw_exchange(server.local_addr(), &[1, 0, 0, 0, 0xEE, 0]);
+    assert_eq!(frames.len(), 1, "exactly one error frame, got {frames:?}");
+    match &frames[0] {
+        frame::Frame::Error { id, code, .. } => {
+            assert_eq!(*id, CONNECTION_ERROR_ID);
+            assert_eq!(*code, ErrorCode::Malformed);
+        }
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+    server.shutdown().expect("shutdown");
+}
+
+/// An oversized length prefix is refused from the header alone — the
+/// server never buffers the announced body.
+#[test]
+fn oversized_frame_is_rejected_from_length_prefix() {
+    let server =
+        start_server(small_config(12, 16, Duration::from_millis(1)), NetServerConfig::default());
+    // Announce a 2 MiB body (limit is 1 MiB) and send nothing more.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(2u32 << 20).to_le_bytes());
+    bytes.push(0x03);
+    let frames = raw_exchange(server.local_addr(), &bytes);
+    assert_eq!(frames.len(), 1, "exactly one error frame, got {frames:?}");
+    match &frames[0] {
+        frame::Frame::Error { id, code, .. } => {
+            assert_eq!(*id, CONNECTION_ERROR_ID);
+            assert_eq!(*code, ErrorCode::Oversized);
+        }
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+    server.shutdown().expect("shutdown");
+}
+
+/// Per-tenant admission: with a one-request in-flight cap and a slow
+/// batch policy holding that slot, a 50-request burst yields exactly one
+/// admission and 49 `TenantThrottled` refusals — and the slot is usable
+/// again once the response lands.
+#[test]
+fn tenant_cap_refuses_burst_with_typed_errors() {
+    let server = start_server(
+        // A policy that cannot flush mid-burst: the admitted request
+        // pins its slot until the 300 ms timer fires.
+        small_config(13, 64, Duration::from_millis(300)),
+        NetServerConfig::default().max_inflight(100).max_inflight_per_tenant(1),
+    );
+    let mut client = NetClient::connect(server.local_addr(), 1).expect("connect");
+    for i in 0..50u64 {
+        client.read(i, 0, (i % 64) as u32).expect("send");
+    }
+    let (mut responses, mut throttled) = (0u32, 0u32);
+    for _ in 0..50 {
+        match client.recv().expect("recv") {
+            NetEvent::Response { .. } => responses += 1,
+            NetEvent::Error { code: ErrorCode::TenantThrottled, .. } => throttled += 1,
+            other => panic!("unexpected event: {other:?}"),
+        }
+    }
+    assert_eq!((responses, throttled), (1, 49));
+    // The released slot admits the next request.
+    client.read(99, 0, 5).expect("send");
+    assert!(
+        matches!(client.recv().expect("recv"), NetEvent::Response { id: 99, .. }),
+        "slot not reusable after release"
+    );
+    client.goodbye().expect("goodbye");
+    let report = server.shutdown().expect("shutdown");
+    assert_eq!(report.throttled_refusals, 49);
+    assert_eq!(report.overloaded_refusals, 0);
+}
+
+/// Global admission: when the whole server has one in-flight slot and
+/// tenant A holds it, tenant B's request is refused `Overloaded` (the
+/// global verdict, not the per-tenant one).
+#[test]
+fn global_cap_refuses_second_tenant_as_overloaded() {
+    let server = start_server(
+        small_config(14, 64, Duration::from_millis(300)),
+        NetServerConfig::default().max_inflight(1).max_inflight_per_tenant(10),
+    );
+    let mut a = NetClient::connect(server.local_addr(), 1).expect("connect a");
+    let mut b = NetClient::connect(server.local_addr(), 2).expect("connect b");
+    a.read(0, 0, 3).expect("send a");
+    // Give the reactor a beat to admit A's request before B competes.
+    std::thread::sleep(Duration::from_millis(50));
+    b.read(0, 0, 4).expect("send b");
+    match b.recv().expect("recv b") {
+        NetEvent::Error { code: ErrorCode::Overloaded, .. } => {}
+        other => panic!("expected Overloaded for tenant B, got {other:?}"),
+    }
+    assert!(
+        matches!(a.recv().expect("recv a"), NetEvent::Response { id: 0, .. }),
+        "tenant A's admitted request must still complete"
+    );
+    let _ = a.goodbye();
+    let _ = b.goodbye();
+    let report = server.shutdown().expect("shutdown");
+    assert_eq!(report.overloaded_refusals, 1);
+}
+
+/// DRR fairness end to end: a light tenant's 50 requests complete while
+/// a saturating tenant's 4000-deep backlog is still mostly unserved —
+/// FIFO scheduling would have parked the light tenant behind all of it.
+#[test]
+fn saturating_tenant_does_not_starve_light_tenant() {
+    let server = start_server(
+        small_config(15, 8, Duration::from_millis(2)),
+        NetServerConfig::default()
+            .max_inflight(16_384)
+            .max_inflight_per_tenant(8_192)
+            .drr_quantum(8),
+    );
+    let addr = server.local_addr();
+    let mut heavy = NetClient::connect(addr, 1).expect("connect heavy");
+    for i in 0..4000u64 {
+        heavy.queue_frame(&frame::Frame::Request {
+            id: i,
+            table: 0,
+            index: (i % 64) as u32,
+            op: frame::WireOp::Read,
+        });
+    }
+    heavy.flush().expect("flush heavy");
+    let mut light = NetClient::connect(addr, 2).expect("connect light");
+    for i in 0..50u64 {
+        light.read(i, 0, (i % 64) as u32).expect("send light");
+    }
+    for _ in 0..50 {
+        match light.recv().expect("recv light") {
+            NetEvent::Response { .. } => {}
+            other => panic!("light tenant refused: {other:?}"),
+        }
+    }
+    // The instant the light tenant is done, count what the heavy tenant
+    // has been handed so far. Responses can only lag the DRR schedule,
+    // never run ahead of it, so under FIFO this would be ~4000.
+    let mut heavy_done = 0u32;
+    while let Some(event) = heavy.recv_timeout(Duration::from_millis(1)).expect("drain heavy") {
+        match event {
+            NetEvent::Response { .. } => heavy_done += 1,
+            other => panic!("heavy tenant refused: {other:?}"),
+        }
+    }
+    assert!(
+        heavy_done < 2000,
+        "light tenant finished only after {heavy_done}/4000 heavy responses — \
+         that is FIFO, not fair queueing"
+    );
+    // Drain the heavy tenant fully: every admitted request completes.
+    for _ in heavy_done..4000 {
+        match heavy.recv().expect("recv heavy") {
+            NetEvent::Response { .. } => {}
+            other => panic!("heavy tenant refused: {other:?}"),
+        }
+    }
+    let _ = heavy.goodbye();
+    let _ = light.goodbye();
+    let report = server.shutdown().expect("shutdown");
+    assert_eq!(report.tenants_seen, 2);
+    assert_eq!(report.discarded_responses, 0);
+}
+
+/// A client that vanishes mid-flight must not leak tickets: the pump
+/// claims and discards its completions, the count surfaces in
+/// `ServiceReport::truncated_requests`, and the server keeps serving
+/// other connections.
+#[test]
+fn mid_flight_disconnect_claims_and_discards() {
+    let server = start_server(
+        small_config(16, 8, Duration::from_millis(2)),
+        NetServerConfig::default().max_inflight(4096).max_inflight_per_tenant(4096),
+    );
+    let addr = server.local_addr();
+    let mut doomed = NetClient::connect(addr, 1).expect("connect");
+    for i in 0..500u64 {
+        doomed.queue_frame(&frame::Frame::Request {
+            id: i,
+            table: 0,
+            index: (i % 64) as u32,
+            op: frame::WireOp::Read,
+        });
+    }
+    doomed.flush().expect("flush");
+    drop(doomed); // No Goodbye: the socket just dies.
+
+    // A healthy connection is unaffected.
+    let mut survivor = NetClient::connect(addr, 2).expect("connect survivor");
+    survivor.read(0, 0, 7).expect("send");
+    assert!(
+        matches!(survivor.recv().expect("recv"), NetEvent::Response { id: 0, .. }),
+        "survivor starved by the dead connection"
+    );
+    let _ = survivor.goodbye();
+
+    // Shutdown completes (a leaked ticket would hang the drain) and the
+    // truncations are visible in both the net and service reports.
+    let report = server.shutdown().expect("shutdown");
+    let truncated = report.discarded_responses + report.dropped_requests;
+    assert!(
+        truncated > 0,
+        "expected some of the 500 in-flight requests to be truncated by the disconnect"
+    );
+    assert!(
+        report.service.truncated_requests >= report.discarded_responses,
+        "net-side discards must surface in ServiceReport::truncated_requests: {} < {}",
+        report.service.truncated_requests,
+        report.discarded_responses,
+    );
+}
+
+/// Durable restart over the socket: rows written through one server
+/// instance are served back, byte-identical, by a fresh server over the
+/// same disk-backed table.
+#[test]
+fn restart_recovery_over_socket() {
+    let dir = std::env::temp_dir().join(format!("laoram-net-restart-{}", std::process::id()));
+    let config = || {
+        ServiceConfig::new()
+            .table(
+                TableSpec::new("durable", 128)
+                    .shards(2)
+                    .superblock_size(4)
+                    .seed(21)
+                    .row_bytes(8)
+                    .backend(StorageBackend::Disk(
+                        DiskBackendSpec::new(&dir).snapshots(true).write_back_paths(4),
+                    )),
+            )
+            .queue_depth(4)
+            .batch_policy(BatchPolicy::new().max_batch(16).max_delay(Duration::from_millis(1)))
+    };
+
+    // First life: write 64 rows, read them back, remember the payloads.
+    let server = start_server(config(), NetServerConfig::default());
+    let mut client = NetClient::connect(server.local_addr(), 1).expect("connect");
+    for i in 0..64u64 {
+        let row = vec![i as u8, 0xCD, (i * 3) as u8, 7];
+        client.write(i, 0, (i * 2 % 128) as u32, row).expect("write");
+    }
+    for _ in 0..64 {
+        match client.recv().expect("recv") {
+            NetEvent::Response { .. } => {}
+            other => panic!("write refused: {other:?}"),
+        }
+    }
+    let mut before = vec![None; 64];
+    for i in 0..64u64 {
+        client.read(i, 0, (i * 2 % 128) as u32).expect("read");
+    }
+    for _ in 0..64 {
+        match client.recv().expect("recv") {
+            NetEvent::Response { id, output } => before[id as usize] = output,
+            other => panic!("read refused: {other:?}"),
+        }
+    }
+    client.goodbye().expect("goodbye");
+    server.shutdown().expect("first shutdown");
+
+    // Second life: a fresh server over the same files must serve the
+    // same bytes.
+    let server = start_server(config(), NetServerConfig::default());
+    let mut client = NetClient::connect(server.local_addr(), 1).expect("reconnect");
+    let mut after = vec![None; 64];
+    for i in 0..64u64 {
+        client.read(i, 0, (i * 2 % 128) as u32).expect("read");
+    }
+    for _ in 0..64 {
+        match client.recv().expect("recv") {
+            NetEvent::Response { id, output } => after[id as usize] = output,
+            other => panic!("read refused: {other:?}"),
+        }
+    }
+    client.goodbye().expect("goodbye");
+    server.shutdown().expect("second shutdown");
+    assert_eq!(after, before, "responses diverged across the restart");
+    assert!(before.iter().any(|row| row.is_some()), "reads returned no payloads at all");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The metrics frame serves the Prometheus exposition over the same
+/// socket as the data path, interleaved with in-flight requests.
+#[test]
+fn metrics_frame_serves_prometheus_exposition() {
+    let server = start_server(
+        small_config(17, 16, Duration::from_millis(1)).telemetry(TelemetrySpec::new()),
+        NetServerConfig::default(),
+    );
+    let mut client = NetClient::connect(server.local_addr(), 3).expect("connect");
+    client.read(1, 0, 9).expect("send");
+    let text = client.metrics().expect("metrics");
+    assert!(text.contains("laoram_"), "exposition carries no laoram_* series:\n{text}");
+    // The response submitted before the metrics request still arrives.
+    assert!(
+        matches!(client.recv().expect("recv"), NetEvent::Response { id: 1, .. }),
+        "request lost around the metrics exchange"
+    );
+    client.goodbye().expect("goodbye");
+    server.shutdown().expect("shutdown");
+}
