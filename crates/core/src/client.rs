@@ -6,7 +6,7 @@ use std::path::{Path, PathBuf};
 use oram_protocol::{AccessKind, AccessObserver, AccessStats, PathOramClient, PathOramConfig};
 use oram_tree::{Block, BlockId, BucketStore, LeafId, StateSnapshot, TreeGeometry, TreeStorage};
 
-use crate::{LaOramConfig, LaOramError, Result, SuperblockPlan};
+use crate::{LaOramConfig, LaOramError, OptimizerLayout, Result, RowUpdate, SuperblockPlan};
 
 /// One operation of a planned batch served through
 /// [`LaOram::serve_batch`].
@@ -16,6 +16,11 @@ pub enum BatchOp {
     Read(u32),
     /// Replace the entry's payload, returning the previous one.
     Write(u32, Box<[u8]>),
+    /// Fused training step: apply the [`RowUpdate`] against the entry's
+    /// payload (embedding row + co-located optimizer state, laid out by
+    /// the [`OptimizerLayout`]) between path read and write-back — one
+    /// ORAM access, returning the pre-update payload.
+    FetchUpdate(u32, RowUpdate, OptimizerLayout),
 }
 
 impl BatchOp {
@@ -23,7 +28,7 @@ impl BatchOp {
     #[must_use]
     pub fn index(&self) -> u32 {
         match self {
-            BatchOp::Read(idx) | BatchOp::Write(idx, _) => *idx,
+            BatchOp::Read(idx) | BatchOp::Write(idx, _) | BatchOp::FetchUpdate(idx, _, _) => *idx,
         }
     }
 }
@@ -440,6 +445,9 @@ impl<S: BucketStore> LaOram<S> {
             outputs.push(match op {
                 BatchOp::Read(idx) => self.read(idx)?,
                 BatchOp::Write(idx, data) => self.write(idx, data)?,
+                BatchOp::FetchUpdate(idx, update, layout) => {
+                    self.fetch_update(idx, &update, layout)?
+                }
             });
         }
         Ok(outputs)
@@ -582,6 +590,58 @@ impl<S: BucketStore> LaOram<S> {
         let block = self.cache.get_mut(&BlockId::new(idx)).expect("serve keeps the block cached");
         block.replace_data(Some(sealed));
         Ok(())
+    }
+
+    /// Fused training step following the plan: applies `update` to the
+    /// row's payload (embedding + co-located optimizer state per
+    /// `layout`) in the client cache, between the path read and the
+    /// write-back — **one** ORAM access per trained row, where a
+    /// read-then-write pass costs two. Returns the pre-update payload.
+    ///
+    /// The update is applied after the block is checked out, so the
+    /// server-visible access sequence is byte-identical to a plain
+    /// [`write`](Self::write) of the same row: gradient *values* cannot
+    /// perturb path draws.
+    ///
+    /// # Errors
+    /// [`LaOramError::UpdateMismatch`] when the update's optimizer family
+    /// or gradient width disagrees with `layout`; otherwise as
+    /// [`write`](Self::write).
+    pub fn fetch_update(
+        &mut self,
+        idx: u32,
+        update: &RowUpdate,
+        layout: OptimizerLayout,
+    ) -> Result<Option<Box<[u8]>>> {
+        if !self.config.payloads {
+            return Err(LaOramError::Protocol(oram_protocol::ProtocolError::PayloadsDisabled));
+        }
+        if !update.matches(layout) {
+            return Err(LaOramError::UpdateMismatch {
+                detail: format!(
+                    "update is {} over {} elements, layout is {} over {}",
+                    update.kind(),
+                    update.dim(),
+                    layout.kind(),
+                    layout.dim()
+                ),
+            });
+        }
+        let block = self.serve(idx)?;
+        let stored = block.replace_data(None);
+        let plain_old = match (&self.sealer, stored) {
+            (Some(s), Some(c)) => s.open(&c),
+            (_, stored) => stored,
+        };
+        let new = update.apply(layout, plain_old.as_deref());
+        let sealed = match &mut self.sealer {
+            Some(s) => s.seal(&new),
+            None => new,
+        };
+        // Re-borrow the cached block (sealer borrow above ends here).
+        let block = self.cache.get_mut(&BlockId::new(idx)).expect("serve keeps the block cached");
+        block.replace_data(Some(sealed));
+        Ok(plain_old)
     }
 
     /// Advances the plan by one access and returns the cached block
@@ -973,6 +1033,50 @@ mod tests {
     #[test]
     fn sealing_requires_payloads_at_build() {
         assert!(cfg(8).sealing_key(1).build().is_err());
+    }
+
+    #[test]
+    fn fetch_update_is_one_access_and_returns_pre_update_payload() {
+        use crate::{OptimizerLayout, RowUpdate};
+        let stream = vec![5u32, 5, 5];
+        let config = cfg(16).payloads(true).sealing_key(9).build().unwrap();
+        let mut oram = LaOram::with_lookahead(config, &stream).unwrap();
+        let layout = OptimizerLayout::sgd(2);
+        let step = RowUpdate::sgd(1.0, vec![1.0f32, -1.0]);
+        let before = oram.fetch_update(5, &step, layout).unwrap();
+        assert!(before.is_none(), "first touch sees an unwritten row");
+        let mid = oram.fetch_update(5, &step, layout).unwrap();
+        assert_eq!(mid.as_deref(), Some(&layout.encode(&[-1.0, 1.0], 0.0)[..]));
+        let end = oram.read(5).unwrap();
+        assert_eq!(end.as_deref(), Some(&layout.encode(&[-2.0, 2.0], 0.0)[..]));
+        oram.finish().unwrap();
+        // Three planned accesses consumed exactly three real accesses:
+        // each fused step is one access, never a read + write pair.
+        assert_eq!(oram.stats().real_accesses, 3);
+        oram.verify_invariants().unwrap();
+    }
+
+    #[test]
+    fn fetch_update_refuses_mismatched_shape() {
+        use crate::{LaOramError, OptimizerLayout, RowUpdate};
+        let config = cfg(16).payloads(true).build().unwrap();
+        let mut oram = LaOram::with_lookahead(config, &[5]).unwrap();
+        let layout = OptimizerLayout::row_wise_adagrad(2);
+        let wrong_kind = RowUpdate::sgd(1.0, vec![0.0f32, 0.0]);
+        assert!(matches!(
+            oram.fetch_update(5, &wrong_kind, layout),
+            Err(LaOramError::UpdateMismatch { .. })
+        ));
+        let wrong_width = RowUpdate::row_wise_adagrad(1.0, 0.1, vec![0.0f32]);
+        assert!(matches!(
+            oram.fetch_update(5, &wrong_width, layout),
+            Err(LaOramError::UpdateMismatch { .. })
+        ));
+        // Shape checks happen before the plan advances: the access is
+        // still servable afterwards.
+        let ok = RowUpdate::row_wise_adagrad(1.0, 0.1, vec![1.0f32, 2.0]);
+        oram.fetch_update(5, &ok, layout).unwrap();
+        oram.finish().unwrap();
     }
 
     #[test]

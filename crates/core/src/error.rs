@@ -41,6 +41,12 @@ pub enum LaOramError {
     NoStagedPlan,
     /// Configuration rejected at construction time.
     InvalidConfig(String),
+    /// A fused update's optimizer family or gradient width disagrees
+    /// with the declared [`OptimizerLayout`](crate::OptimizerLayout).
+    UpdateMismatch {
+        /// What disagreed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for LaOramError {
@@ -64,6 +70,9 @@ impl fmt::Display for LaOramError {
                 write!(f, "no staged plan window to advance to")
             }
             LaOramError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            LaOramError::UpdateMismatch { detail } => {
+                write!(f, "fused update does not match the optimizer layout: {detail}")
+            }
         }
     }
 }

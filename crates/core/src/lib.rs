@@ -53,6 +53,7 @@ mod error;
 mod plan;
 mod planner;
 mod ring_client;
+mod train;
 
 pub use binning::{Bin, SuperblockBinning};
 pub use client::{BatchOp, LaOram};
@@ -61,6 +62,7 @@ pub use error::LaOramError;
 pub use plan::SuperblockPlan;
 pub use planner::SuperblockPlanner;
 pub use ring_client::{LaRing, LaRingConfig};
+pub use train::{OptimizerKind, OptimizerLayout, RowUpdate};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, LaOramError>;

@@ -1,0 +1,457 @@
+//! Fused training updates: gradient application against optimizer state
+//! co-located with the embedding row.
+//!
+//! LAORAM's headline scenario is *training* embedding tables, where every
+//! touched row is read, updated with a gradient, and written back. Done
+//! naively that costs two ORAM accesses per trained row (a read pass and
+//! a write pass); the fused path
+//! ([`LaOram::fetch_update`](crate::LaOram::fetch_update)) applies the
+//! update in-stash between the path read and the write-back, so one
+//! access does both — and the per-row optimizer state (the row-wise
+//! Adagrad accumulator) lives *inside the block payload*, so it rides
+//! the same access.
+//!
+//! # Payload layout
+//!
+//! A trained table's block payload is laid out by an [`OptimizerLayout`]:
+//!
+//! ```text
+//! [ f32 × dim  embedding row, little-endian ][ optimizer state ]
+//! ```
+//!
+//! * [`OptimizerKind::Sgd`] — no state; the payload is exactly
+//!   `dim × 4` bytes.
+//! * [`OptimizerKind::RowWiseAdagrad`] — one `f32` accumulator (the
+//!   running mean-of-squares sum) appended after the embedding:
+//!   `dim × 4 + 4` bytes.
+//!
+//! A row that has never been written decodes as an all-zero embedding
+//! with zero accumulated state, so training can start cold without an
+//! initialisation pass.
+//!
+//! # Update semantics
+//!
+//! Both optimizers are pure functions of `(old payload, gradient,
+//! hyper-parameters)` — deterministic, so replicated copies of a row
+//! that apply the same [`RowUpdate`] stay byte-identical:
+//!
+//! * **SGD**: `row[i] -= lr · g[i]`.
+//! * **Row-wise Adagrad** (the `TableBatchedEmbeddingBags` shape):
+//!   `acc += mean(g²)` first (saturating at [`f32::MAX`] instead of
+//!   overflowing to infinity), then `row[i] -= lr · g[i] / (√acc + eps)`.
+//!   A zero divisor (`acc == 0` and `eps == 0`) yields a zero step
+//!   rather than a NaN row.
+//!
+//! The update *values* never influence which paths are read or written —
+//! the access sequence is byte-identical to a plain write of the same
+//! row (pinned by `tests/training_equivalence.rs`).
+
+/// The optimizer family a trained table declares (the layout
+/// discriminant: it fixes how many state bytes follow the embedding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptimizerKind {
+    /// Stateless stochastic gradient descent.
+    Sgd,
+    /// Row-wise Adagrad: one shared accumulator per row.
+    RowWiseAdagrad,
+}
+
+impl std::fmt::Display for OptimizerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizerKind::Sgd => write!(f, "sgd"),
+            OptimizerKind::RowWiseAdagrad => write!(f, "row-wise-adagrad"),
+        }
+    }
+}
+
+/// How a trained table lays out its block payload: a `dim`-wide `f32`
+/// embedding row (little-endian) followed by the optimizer state of
+/// [`kind`](Self::kind). Declared per table; a [`RowUpdate`] must match
+/// it in both family and gradient width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OptimizerLayout {
+    dim: u32,
+    kind: OptimizerKind,
+}
+
+impl OptimizerLayout {
+    /// SGD layout for a `dim`-wide embedding row.
+    ///
+    /// # Panics
+    /// Panics on a zero-width row.
+    #[must_use]
+    pub fn sgd(dim: u32) -> Self {
+        assert!(dim > 0, "embedding dimension must be nonzero");
+        OptimizerLayout { dim, kind: OptimizerKind::Sgd }
+    }
+
+    /// Row-wise Adagrad layout for a `dim`-wide embedding row.
+    ///
+    /// # Panics
+    /// Panics on a zero-width row.
+    #[must_use]
+    pub fn row_wise_adagrad(dim: u32) -> Self {
+        assert!(dim > 0, "embedding dimension must be nonzero");
+        OptimizerLayout { dim, kind: OptimizerKind::RowWiseAdagrad }
+    }
+
+    /// The embedding width in `f32` elements.
+    #[must_use]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// The optimizer family.
+    #[must_use]
+    pub fn kind(&self) -> OptimizerKind {
+        self.kind
+    }
+
+    /// Bytes of the embedding row (`dim × 4`).
+    #[must_use]
+    pub fn embedding_bytes(&self) -> usize {
+        self.dim as usize * 4
+    }
+
+    /// Bytes of co-located optimizer state after the embedding.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        match self.kind {
+            OptimizerKind::Sgd => 0,
+            OptimizerKind::RowWiseAdagrad => 4,
+        }
+    }
+
+    /// Total payload bytes a trained row occupies. A table's `row_bytes`
+    /// must be at least this.
+    #[must_use]
+    pub fn payload_bytes(&self) -> usize {
+        self.embedding_bytes() + self.state_bytes()
+    }
+
+    /// Decodes the embedding row from a stored payload. Missing bytes
+    /// (an unwritten or short row) decode as zeros.
+    #[must_use]
+    pub fn decode_embedding(&self, payload: Option<&[u8]>) -> Vec<f32> {
+        let bytes = payload.unwrap_or(&[]);
+        (0..self.dim as usize)
+            .map(|i| match bytes.get(i * 4..i * 4 + 4) {
+                Some(b) => f32::from_le_bytes(b.try_into().expect("4-byte slice")),
+                None => 0.0,
+            })
+            .collect()
+    }
+
+    /// Decodes the Adagrad accumulator from a stored payload (`None` for
+    /// SGD layouts; missing bytes decode as zero).
+    #[must_use]
+    pub fn decode_accumulator(&self, payload: Option<&[u8]>) -> Option<f32> {
+        match self.kind {
+            OptimizerKind::Sgd => None,
+            OptimizerKind::RowWiseAdagrad => {
+                let off = self.embedding_bytes();
+                Some(match payload.and_then(|b| b.get(off..off + 4)) {
+                    Some(b) => f32::from_le_bytes(b.try_into().expect("4-byte slice")),
+                    None => 0.0,
+                })
+            }
+        }
+    }
+
+    /// Encodes an embedding row + accumulator into the payload bytes this
+    /// layout stores (`acc` is ignored for SGD layouts).
+    ///
+    /// # Panics
+    /// Panics when `row` is not exactly `dim` elements.
+    #[must_use]
+    pub fn encode(&self, row: &[f32], acc: f32) -> Box<[u8]> {
+        assert_eq!(row.len(), self.dim as usize, "row width disagrees with the layout");
+        let mut out = Vec::with_capacity(self.payload_bytes());
+        for v in row {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        if self.kind == OptimizerKind::RowWiseAdagrad {
+            out.extend_from_slice(&acc.to_le_bytes());
+        }
+        out.into_boxed_slice()
+    }
+}
+
+/// One trained row's gradient plus the hyper-parameters to apply it
+/// with — the caller-supplied half of a fused
+/// [`fetch_update`](crate::LaOram::fetch_update).
+///
+/// Equality compares `f32` fields bit-for-bit (so the type is [`Eq`] and
+/// request de-duplication is exact); two updates with distinct NaN
+/// payloads are therefore *not* equal even though `==` on the floats
+/// would say neither is equal to itself.
+#[derive(Debug, Clone)]
+pub enum RowUpdate {
+    /// Stateless SGD: `row -= lr · gradient`.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// The row's gradient, one element per embedding dimension.
+        gradient: Box<[f32]>,
+    },
+    /// Row-wise Adagrad: accumulate `mean(gradient²)`, then
+    /// `row -= lr · gradient / (√acc + eps)`.
+    RowWiseAdagrad {
+        /// Learning rate.
+        lr: f32,
+        /// Divisor floor guarding the first steps of a cold row.
+        eps: f32,
+        /// The row's gradient, one element per embedding dimension.
+        gradient: Box<[f32]>,
+    },
+}
+
+impl RowUpdate {
+    /// An SGD update.
+    #[must_use]
+    pub fn sgd(lr: f32, gradient: impl Into<Box<[f32]>>) -> Self {
+        RowUpdate::Sgd { lr, gradient: gradient.into() }
+    }
+
+    /// A row-wise Adagrad update.
+    #[must_use]
+    pub fn row_wise_adagrad(lr: f32, eps: f32, gradient: impl Into<Box<[f32]>>) -> Self {
+        RowUpdate::RowWiseAdagrad { lr, eps, gradient: gradient.into() }
+    }
+
+    /// The optimizer family this update belongs to.
+    #[must_use]
+    pub fn kind(&self) -> OptimizerKind {
+        match self {
+            RowUpdate::Sgd { .. } => OptimizerKind::Sgd,
+            RowUpdate::RowWiseAdagrad { .. } => OptimizerKind::RowWiseAdagrad,
+        }
+    }
+
+    /// The gradient width.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.gradient().len()
+    }
+
+    /// The gradient values.
+    #[must_use]
+    pub fn gradient(&self) -> &[f32] {
+        match self {
+            RowUpdate::Sgd { gradient, .. } | RowUpdate::RowWiseAdagrad { gradient, .. } => {
+                gradient
+            }
+        }
+    }
+
+    /// Whether this update matches `layout` in family and gradient width.
+    #[must_use]
+    pub fn matches(&self, layout: OptimizerLayout) -> bool {
+        self.kind() == layout.kind() && self.dim() == layout.dim() as usize
+    }
+
+    /// Applies this update to a stored payload, returning the replacement
+    /// payload (always exactly [`OptimizerLayout::payload_bytes`] long).
+    ///
+    /// Pure and deterministic: the same `(old, update)` pair always
+    /// produces the same bytes, which is what keeps replicated copies of
+    /// a row byte-identical under write fan-out.
+    ///
+    /// # Panics
+    /// Panics when the update does not [`match`](Self::matches) the
+    /// layout — callers validate shape before dispatch.
+    #[must_use]
+    pub fn apply(&self, layout: OptimizerLayout, old: Option<&[u8]>) -> Box<[u8]> {
+        assert!(self.matches(layout), "update shape disagrees with the layout");
+        let mut row = layout.decode_embedding(old);
+        match self {
+            RowUpdate::Sgd { lr, gradient } => {
+                for (r, g) in row.iter_mut().zip(gradient.iter()) {
+                    *r -= lr * g;
+                }
+                layout.encode(&row, 0.0)
+            }
+            RowUpdate::RowWiseAdagrad { lr, eps, gradient } => {
+                let old_acc = layout.decode_accumulator(old).unwrap_or(0.0);
+                let mean_sq = gradient.iter().map(|g| g * g).sum::<f32>() / gradient.len() as f32;
+                let mut acc = old_acc + mean_sq;
+                if !acc.is_finite() {
+                    // Overflow saturates: the accumulator pins at f32::MAX
+                    // so the step size floors instead of collapsing to NaN.
+                    acc = f32::MAX;
+                }
+                let denom = acc.sqrt() + eps;
+                // acc == 0 and eps == 0: define the step as zero rather
+                // than poisoning the row with 0/0 NaNs.
+                let scale = if denom > 0.0 { lr / denom } else { 0.0 };
+                for (r, g) in row.iter_mut().zip(gradient.iter()) {
+                    *r -= scale * g;
+                }
+                layout.encode(&row, acc)
+            }
+        }
+    }
+}
+
+/// Bit-exact float comparison so [`RowUpdate`] can be [`Eq`].
+fn bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+impl PartialEq for RowUpdate {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (RowUpdate::Sgd { lr: a, gradient: g }, RowUpdate::Sgd { lr: b, gradient: h }) => {
+                a.to_bits() == b.to_bits() && bits_eq(g, h)
+            }
+            (
+                RowUpdate::RowWiseAdagrad { lr: a, eps: ea, gradient: g },
+                RowUpdate::RowWiseAdagrad { lr: b, eps: eb, gradient: h },
+            ) => a.to_bits() == b.to_bits() && ea.to_bits() == eb.to_bits() && bits_eq(g, h),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for RowUpdate {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f32s(bytes: &[u8]) -> Vec<f32> {
+        bytes.chunks(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+
+    #[test]
+    fn layout_accounting() {
+        let sgd = OptimizerLayout::sgd(16);
+        assert_eq!(sgd.embedding_bytes(), 64);
+        assert_eq!(sgd.state_bytes(), 0);
+        assert_eq!(sgd.payload_bytes(), 64);
+        let ada = OptimizerLayout::row_wise_adagrad(16);
+        assert_eq!(ada.payload_bytes(), 68);
+    }
+
+    #[test]
+    fn sgd_pinned_bytes() {
+        // row = [1.0, 2.0], lr = 0.5, g = [0.5, -1.0] → [0.75, 2.5].
+        let layout = OptimizerLayout::sgd(2);
+        let old = layout.encode(&[1.0, 2.0], 0.0);
+        let update = RowUpdate::sgd(0.5, vec![0.5, -1.0]);
+        let new = update.apply(layout, Some(&old));
+        let mut expect = Vec::new();
+        expect.extend_from_slice(&0.75f32.to_le_bytes());
+        expect.extend_from_slice(&2.5f32.to_le_bytes());
+        assert_eq!(&new[..], &expect[..], "SGD step bytes diverged from the pinned value");
+    }
+
+    #[test]
+    fn sgd_trains_unwritten_row_from_zero() {
+        let layout = OptimizerLayout::sgd(3);
+        let update = RowUpdate::sgd(2.0, vec![1.0, -0.5, 0.0]);
+        let new = update.apply(layout, None);
+        assert_eq!(f32s(&new), vec![-2.0, 1.0, 0.0]);
+        assert_eq!(new.len(), layout.payload_bytes());
+    }
+
+    #[test]
+    fn adagrad_pinned_bytes() {
+        // dim 2, lr 1.0, eps 0.1, g = [3.0, 4.0] on a zero row:
+        // mean_sq = (9+16)/2 = 12.5, acc = 12.5,
+        // scale = 1 / (sqrt(12.5) + 0.1), row = -scale·g.
+        let layout = OptimizerLayout::row_wise_adagrad(2);
+        let update = RowUpdate::row_wise_adagrad(1.0, 0.1, vec![3.0f32, 4.0]);
+        let new = update.apply(layout, None);
+        let acc = 12.5f32;
+        let scale = 1.0f32 / (acc.sqrt() + 0.1f32);
+        let mut expect = Vec::new();
+        expect.extend_from_slice(&(-scale * 3.0f32).to_le_bytes());
+        expect.extend_from_slice(&(-scale * 4.0f32).to_le_bytes());
+        expect.extend_from_slice(&acc.to_le_bytes());
+        assert_eq!(&new[..], &expect[..], "Adagrad step bytes diverged from the pinned value");
+        assert_eq!(layout.decode_accumulator(Some(&new)), Some(12.5));
+    }
+
+    #[test]
+    fn adagrad_accumulator_compounds_across_steps() {
+        let layout = OptimizerLayout::row_wise_adagrad(1);
+        let step = RowUpdate::row_wise_adagrad(0.1, 0.01, vec![2.0f32]);
+        let first = step.apply(layout, None);
+        assert_eq!(layout.decode_accumulator(Some(&first)), Some(4.0));
+        let second = step.apply(layout, Some(&first));
+        assert_eq!(layout.decode_accumulator(Some(&second)), Some(8.0));
+        // The second step is smaller: the accumulator grew.
+        let r1 = layout.decode_embedding(Some(&first))[0];
+        let r2 = layout.decode_embedding(Some(&second))[0];
+        assert!((r2 - r1).abs() < r1.abs(), "step size must shrink as acc grows");
+    }
+
+    #[test]
+    fn adagrad_zero_gradient_zero_eps_is_a_zero_step() {
+        // acc = 0 and eps = 0 makes the divisor zero; the step must be
+        // exactly zero, not NaN.
+        let layout = OptimizerLayout::row_wise_adagrad(2);
+        let old = layout.encode(&[1.5, -2.5], 0.0);
+        let update = RowUpdate::row_wise_adagrad(1.0, 0.0, vec![0.0f32, 0.0]);
+        let new = update.apply(layout, Some(&old));
+        assert_eq!(f32s(&new[..8]), vec![1.5, -2.5], "zero divisor must not poison the row");
+        assert_eq!(layout.decode_accumulator(Some(&new)), Some(0.0));
+    }
+
+    #[test]
+    fn adagrad_zero_accumulator_divides_by_eps_exactly() {
+        // Fresh row, zero gradient, eps 0.25: divisor is exactly eps and
+        // the step is zero; the row and state bytes are pinned.
+        let layout = OptimizerLayout::row_wise_adagrad(1);
+        let old = layout.encode(&[4.0], 0.0);
+        let update = RowUpdate::row_wise_adagrad(8.0, 0.25, vec![0.0f32]);
+        let new = update.apply(layout, Some(&old));
+        assert_eq!(f32s(&new[..4]), vec![4.0]);
+        assert_eq!(layout.decode_accumulator(Some(&new)), Some(0.0));
+    }
+
+    #[test]
+    fn adagrad_accumulator_saturates_instead_of_overflowing() {
+        // g² overflows f32 to infinity; the accumulator must pin at
+        // f32::MAX and keep the row finite.
+        let layout = OptimizerLayout::row_wise_adagrad(1);
+        let update = RowUpdate::row_wise_adagrad(1.0, 0.0, vec![f32::MAX]);
+        let new = update.apply(layout, None);
+        assert_eq!(layout.decode_accumulator(Some(&new)), Some(f32::MAX));
+        let row = layout.decode_embedding(Some(&new));
+        assert!(row[0].is_finite(), "saturation must keep the row finite, got {}", row[0]);
+        // And it stays pinned on the next step.
+        let again = update.apply(layout, Some(&new));
+        assert_eq!(layout.decode_accumulator(Some(&again)), Some(f32::MAX));
+    }
+
+    #[test]
+    fn short_or_missing_payloads_decode_as_zero() {
+        let layout = OptimizerLayout::row_wise_adagrad(2);
+        assert_eq!(layout.decode_embedding(None), vec![0.0, 0.0]);
+        assert_eq!(layout.decode_accumulator(None), Some(0.0));
+        let short = [0u8; 3];
+        assert_eq!(layout.decode_embedding(Some(&short)), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn update_equality_is_bitwise() {
+        let a = RowUpdate::sgd(0.5, vec![1.0f32]);
+        let b = RowUpdate::sgd(0.5, vec![1.0f32]);
+        assert_eq!(a, b);
+        assert_ne!(a, RowUpdate::sgd(0.5, vec![-1.0f32]));
+        assert_ne!(a, RowUpdate::row_wise_adagrad(0.5, 0.0, vec![1.0f32]));
+        // 0.0 and -0.0 compare equal as floats but differ bitwise.
+        assert_ne!(RowUpdate::sgd(0.0, vec![]), RowUpdate::sgd(-0.0, vec![]));
+    }
+
+    #[test]
+    fn mismatched_shapes_are_refused() {
+        let layout = OptimizerLayout::sgd(2);
+        assert!(!RowUpdate::sgd(1.0, vec![0.0f32]).matches(layout));
+        assert!(!RowUpdate::row_wise_adagrad(1.0, 0.0, vec![0.0f32, 0.0]).matches(layout));
+        assert!(RowUpdate::sgd(1.0, vec![0.0f32, 0.0]).matches(layout));
+    }
+}

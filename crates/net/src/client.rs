@@ -141,6 +141,25 @@ impl NetClient {
         self.send_frame(&Frame::Request { id, table, index, op: WireOp::Write(payload) })
     }
 
+    /// Submits a fused training step on `table[index]` under `id`: the
+    /// gradient is applied against the row and its co-located optimizer
+    /// state in one ORAM access. The server answers with the pre-update
+    /// payload, or a typed [`ErrorCode::NoOptimizer`] error when the
+    /// table declares no optimizer layout (or the update's shape
+    /// disagrees with it). Requires protocol version 2.
+    ///
+    /// # Errors
+    /// [`NetError::Io`] on socket failure.
+    pub fn fetch_update(
+        &mut self,
+        id: u64,
+        table: u32,
+        index: u32,
+        update: laoram_service::RowUpdate,
+    ) -> Result<()> {
+        self.send_frame(&Frame::Request { id, table, index, op: WireOp::FetchUpdate(update) })
+    }
+
     /// Blocks for the next server event.
     ///
     /// # Errors
@@ -174,6 +193,29 @@ impl NetClient {
                 Ok(None)
             }
             Err(e) => Err(e),
+        }
+    }
+
+    /// Non-blocking variant of [`recv`](Self::recv): hands back the
+    /// next event already buffered locally or sitting in the socket's
+    /// receive buffer, returning `Ok(None)` the moment nothing more is
+    /// immediately available. Unlike [`recv_timeout`](Self::recv_timeout)
+    /// it never waits — the kernel rounds sub-millisecond socket
+    /// timeouts up, so a "short" timeout cannot express "only what has
+    /// already arrived".
+    ///
+    /// # Errors
+    /// As [`recv`](Self::recv).
+    pub fn try_recv(&mut self) -> Result<Option<NetEvent>> {
+        if let Some(event) = self.pending.pop_front() {
+            return Ok(Some(event));
+        }
+        self.stream.set_nonblocking(true)?;
+        let got = self.try_recv_frame();
+        self.stream.set_nonblocking(false)?;
+        match got? {
+            Some(frame) => Self::event_of(frame).map(Some),
+            None => Ok(None),
         }
     }
 
@@ -216,6 +258,27 @@ impl NetClient {
             Frame::MetricsResponse { text } => Ok(NetEvent::Metrics { text }),
             other => {
                 Err(NetError::Handshake(format!("server sent a client-only frame: {other:?}")))
+            }
+        }
+    }
+
+    /// Like [`recv_frame`](Self::recv_frame) but stops at `WouldBlock`
+    /// instead of waiting, leaving any partial frame buffered for the
+    /// next receive. Assumes the stream is in non-blocking mode.
+    fn try_recv_frame(&mut self) -> Result<Option<Frame>> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match frame::decode(&self.rbuf, self.max_frame_bytes)? {
+                Some((frame, consumed)) => {
+                    self.rbuf.drain(..consumed);
+                    return Ok(Some(frame));
+                }
+                None => match self.stream.read(&mut chunk) {
+                    Ok(0) => return Err(NetError::Closed),
+                    Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                    Err(e) => return Err(e.into()),
+                },
             }
         }
     }

@@ -13,8 +13,16 @@
 //! malicious length prefix cannot balloon a connection's read buffer.
 //! The full format table lives in `docs/NETWORKING.md`.
 
-/// Protocol version spoken by this build. Version 1.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Protocol version spoken by this build. Version 2 added the
+/// [`WireOp::FetchUpdate`] fused-training operation and the
+/// [`ErrorCode::NoOptimizer`] refusal.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest protocol version this build still serves. A version-1 client
+/// is accepted (the server echoes version 1 in its
+/// [`HelloAck`](Frame::HelloAck)) but may not send version-2 frames
+/// such as [`WireOp::FetchUpdate`].
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Handshake magic leading every [`Frame::Hello`] body: `b"LAOR"`.
 pub const HELLO_MAGIC: [u8; 4] = *b"LAOR";
@@ -62,6 +70,9 @@ pub enum ErrorCode {
     Oversized,
     /// An internal serving error; details in the message.
     Internal,
+    /// A fused-update request named a table with no declared optimizer
+    /// layout, or its update's shape disagrees with the layout.
+    NoOptimizer,
 }
 
 impl ErrorCode {
@@ -78,6 +89,7 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => 7,
             ErrorCode::Oversized => 8,
             ErrorCode::Internal => 9,
+            ErrorCode::NoOptimizer => 10,
         }
     }
 
@@ -95,6 +107,7 @@ impl ErrorCode {
             6 => ErrorCode::IndexOutOfRange,
             7 => ErrorCode::ShuttingDown,
             8 => ErrorCode::Oversized,
+            10 => ErrorCode::NoOptimizer,
             _ => ErrorCode::Internal,
         }
     }
@@ -112,6 +125,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::Oversized => "oversized",
             ErrorCode::Internal => "internal",
+            ErrorCode::NoOptimizer => "no-optimizer",
         };
         f.write_str(name)
     }
@@ -124,6 +138,9 @@ pub enum WireOp {
     Read,
     /// Overwrite the row's payload.
     Write(Vec<u8>),
+    /// Apply a gradient against the row and its co-located optimizer
+    /// state in one fused ORAM access (protocol version 2).
+    FetchUpdate(laoram_service::RowUpdate),
 }
 
 /// One decoded protocol frame.
@@ -243,6 +260,28 @@ impl Frame {
                         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
                         out.extend_from_slice(payload);
                     }
+                    WireOp::FetchUpdate(update) => {
+                        out.push(2);
+                        match update {
+                            laoram_service::RowUpdate::Sgd { lr, gradient } => {
+                                out.push(0);
+                                out.extend_from_slice(&lr.to_le_bytes());
+                                out.extend_from_slice(&(gradient.len() as u32).to_le_bytes());
+                                for g in gradient.iter() {
+                                    out.extend_from_slice(&g.to_le_bytes());
+                                }
+                            }
+                            laoram_service::RowUpdate::RowWiseAdagrad { lr, eps, gradient } => {
+                                out.push(1);
+                                out.extend_from_slice(&lr.to_le_bytes());
+                                out.extend_from_slice(&eps.to_le_bytes());
+                                out.extend_from_slice(&(gradient.len() as u32).to_le_bytes());
+                                for g in gradient.iter() {
+                                    out.extend_from_slice(&g.to_le_bytes());
+                                }
+                            }
+                        }
+                    }
                 }
             }
             Frame::Response { id, output } => {
@@ -318,6 +357,10 @@ impl<'b> Reader<'b> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
+    fn f32(&mut self) -> Result<f32, FrameError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
     fn u64(&mut self) -> Result<u64, FrameError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
@@ -382,6 +425,26 @@ pub fn decode(buf: &[u8], max_body: usize) -> Result<Option<(Frame, usize)>, Fra
                     let len = r.u32()? as usize;
                     WireOp::Write(r.take(len)?.to_vec())
                 }
+                2 => {
+                    let kind = r.u8()?;
+                    let lr = r.f32()?;
+                    let eps = if kind == 1 { Some(r.f32()?) } else { None };
+                    let n = r.u32()? as usize;
+                    let mut gradient = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        gradient.push(r.f32()?);
+                    }
+                    let update = match kind {
+                        0 => laoram_service::RowUpdate::sgd(lr, gradient),
+                        1 => laoram_service::RowUpdate::row_wise_adagrad(
+                            lr,
+                            eps.expect("read above for kind 1"),
+                            gradient,
+                        ),
+                        _ => return Err(FrameError::Malformed("unknown optimizer kind")),
+                    };
+                    WireOp::FetchUpdate(update)
+                }
                 _ => return Err(FrameError::Malformed("unknown request op")),
             };
             Frame::Request { id, table, index, op }
@@ -441,12 +504,33 @@ mod tests {
             index: 0,
             op: WireOp::Write(vec![1, 2, 3, 4]),
         });
+        round_trip(Frame::Request {
+            id: 3,
+            table: 1,
+            index: 77,
+            op: WireOp::FetchUpdate(laoram_service::RowUpdate::sgd(0.05, vec![1.5, -2.25, 0.0])),
+        });
+        round_trip(Frame::Request {
+            id: 4,
+            table: 2,
+            index: 5,
+            op: WireOp::FetchUpdate(laoram_service::RowUpdate::row_wise_adagrad(
+                0.1,
+                1e-8,
+                vec![f32::MIN_POSITIVE, -0.0, 4.0e9],
+            )),
+        });
         round_trip(Frame::Response { id: 1, output: None });
         round_trip(Frame::Response { id: 2, output: Some(vec![9; 128]) });
         round_trip(Frame::Error {
             id: CONNECTION_ERROR_ID,
             code: ErrorCode::Overloaded,
             message: "come back later".into(),
+        });
+        round_trip(Frame::Error {
+            id: 9,
+            code: ErrorCode::NoOptimizer,
+            message: "table 0 declares no optimizer layout".into(),
         });
         round_trip(Frame::MetricsRequest);
         round_trip(Frame::MetricsResponse { text: "# HELP x\n".into() });
@@ -488,6 +572,17 @@ mod tests {
         padded[..4].copy_from_slice(&3u32.to_le_bytes());
         padded.extend_from_slice(&[0, 0]);
         assert!(matches!(decode(&padded, 1024), Err(FrameError::Malformed(_))));
+        // Unknown optimizer kind inside a fetch_update op: the byte
+        // after [len][kind][id][table][index][op-tag].
+        let mut fused = Frame::Request {
+            id: 1,
+            table: 0,
+            index: 0,
+            op: WireOp::FetchUpdate(laoram_service::RowUpdate::sgd(0.1, vec![1.0])),
+        }
+        .encode();
+        fused[22] = 9;
+        assert!(matches!(decode(&fused, 1024), Err(FrameError::Malformed(_))));
         // Bad hello magic.
         let mut hello = Frame::Hello { version: 1, tenant: 0 }.encode();
         hello[5] = b'X';

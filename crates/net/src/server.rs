@@ -28,7 +28,7 @@ use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -38,7 +38,7 @@ use crate::admission::{AdmissionController, AdmissionVerdict};
 use crate::fairness::FairQueue;
 use crate::frame::{
     self, ErrorCode, Frame, FrameError, WireOp, CONNECTION_ERROR_ID, DEFAULT_MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::{NetError, Result};
 
@@ -68,6 +68,16 @@ pub struct NetServerConfig {
     pub max_inflight_per_tenant: u64,
     /// DRR quantum: requests one tenant may submit per fair-queue visit.
     pub drr_quantum: u64,
+    /// Requests the dispatcher may keep inside the engine at once
+    /// (clamped to ≥ 1). The engine's micro-batcher accepts submissions
+    /// without blocking, so this window is what keeps a backlog *in the
+    /// fair queue* where DRR can arbitrate it — unbounded forwarding
+    /// would drain one saturating tenant's entire backlog into the
+    /// engine's FIFO before a light tenant's first request arrived,
+    /// making the quantum decorative. Smaller is fairer (a late tenant
+    /// waits behind at most a window of already-forwarded requests);
+    /// larger keeps deep micro-batches fed.
+    pub dispatch_window: u64,
 }
 
 impl Default for NetServerConfig {
@@ -79,6 +89,7 @@ impl Default for NetServerConfig {
             max_inflight: 4096,
             max_inflight_per_tenant: 1024,
             drr_quantum: 32,
+            dispatch_window: 256,
         }
     }
 }
@@ -123,6 +134,13 @@ impl NetServerConfig {
     #[must_use]
     pub fn drr_quantum(mut self, quantum: u64) -> Self {
         self.drr_quantum = quantum;
+        self
+    }
+
+    /// Sets the dispatcher's in-engine window.
+    #[must_use]
+    pub fn dispatch_window(mut self, window: u64) -> Self {
+        self.dispatch_window = window;
         self
     }
 }
@@ -173,6 +191,10 @@ struct ConnShared {
     session: Session,
     tenant: AtomicU64,
     hello_done: AtomicBool,
+    /// Protocol version negotiated at Hello (0 until the handshake):
+    /// version-2 frames such as fused updates are refused on a
+    /// version-1 connection.
+    version: AtomicU64,
     open: AtomicBool,
     outbound: Mutex<Vec<u8>>,
 }
@@ -192,11 +214,50 @@ impl ConnShared {
 /// One reactor's handoff slot for freshly accepted connections.
 type IntakeSlot = Mutex<Vec<(TcpStream, Arc<ConnShared>)>>;
 
+/// The dispatcher's bounded in-engine window: the engine's
+/// micro-batcher accepts submissions without blocking, so the
+/// dispatcher throttles itself — it parks here once `cap` of its
+/// submissions are still uncompleted, and the pump frees slots as it
+/// claims completions. This is what keeps a saturating tenant's backlog
+/// sitting in the [`FairQueue`] (where DRR arbitrates it) instead of
+/// draining wholesale into the engine's FIFO.
+struct DispatchWindow {
+    cap: u64,
+    in_engine: Mutex<u64>,
+    freed: Condvar,
+}
+
+impl DispatchWindow {
+    /// Blocks until a slot is free (or the server is stopping, so the
+    /// drain can finish) and takes it.
+    fn acquire(&self, state: &NetState) {
+        let mut in_engine = self.in_engine.lock().expect("dispatch window lock");
+        while *in_engine >= self.cap && !state.stop.load(Ordering::Acquire) {
+            let (guard, _) =
+                self.freed.wait_timeout(in_engine, DISPATCH_WAIT).expect("dispatch window wait");
+            in_engine = guard;
+        }
+        *in_engine += 1;
+    }
+
+    /// Returns `n` slots and wakes the dispatcher.
+    fn release(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut in_engine = self.in_engine.lock().expect("dispatch window lock");
+        *in_engine = in_engine.saturating_sub(n);
+        drop(in_engine);
+        self.freed.notify_one();
+    }
+}
+
 /// State shared by every serving-tier thread.
 struct NetState {
     service: LaoramService,
     admission: AdmissionController,
     queue: FairQueue<QueuedRequest>,
+    window: DispatchWindow,
     /// Engine ticket id → response route.
     pending: Mutex<HashMap<u64, PendingRoute>>,
     /// Shutdown has begun: stop accepting connections and new requests.
@@ -243,6 +304,11 @@ impl NetServer {
                 config.max_inflight_per_tenant,
             ),
             queue: FairQueue::new(config.drr_quantum),
+            window: DispatchWindow {
+                cap: config.dispatch_window.max(1),
+                in_engine: Mutex::new(0),
+                freed: Condvar::new(),
+            },
             pending: Mutex::new(HashMap::new()),
             draining: AtomicBool::new(false),
             stop: AtomicBool::new(false),
@@ -386,6 +452,7 @@ fn run_listener(listener: &TcpListener, state: &Arc<NetState>) {
                     session: state.service.session(),
                     tenant: AtomicU64::new(0),
                     hello_done: AtomicBool::new(false),
+                    version: AtomicU64::new(0),
                     open: AtomicBool::new(true),
                     outbound: Mutex::new(Vec::new()),
                 });
@@ -572,21 +639,25 @@ fn handle_frame(conn: &mut ConnIo, state: &Arc<NetState>, parsed: Frame) -> bool
                 refuse_conn(conn, state, ErrorCode::Malformed, "duplicate Hello");
                 return false;
             }
-            if version != PROTOCOL_VERSION {
+            if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
                 refuse_conn(
                     conn,
                     state,
                     ErrorCode::UnsupportedVersion,
-                    &format!("server speaks version {PROTOCOL_VERSION}, client sent {version}"),
+                    &format!(
+                        "server speaks versions {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}, \
+                         client sent {version}"
+                    ),
                 );
                 return false;
             }
             conn.shared.tenant.store(tenant, Ordering::Release);
+            conn.shared.version.store(u64::from(version), Ordering::Release);
             conn.shared.hello_done.store(true, Ordering::Release);
-            conn.shared.enqueue(
-                &Frame::HelloAck { version: PROTOCOL_VERSION, session: conn.shared.session.id() },
-                state,
-            );
+            // The negotiated version is the client's: a version-1 client
+            // gets a version-1 conversation from a version-2 server.
+            conn.shared
+                .enqueue(&Frame::HelloAck { version, session: conn.shared.session.id() }, state);
             true
         }
         Frame::Request { id, table, index, op } => {
@@ -635,6 +706,21 @@ fn handle_frame(conn: &mut ConnIo, state: &Arc<NetState>, parsed: Frame) -> bool
                 WireOp::Read => Request::read(table as usize, index),
                 WireOp::Write(payload) => {
                     Request::write(table as usize, index, payload.into_boxed_slice())
+                }
+                WireOp::FetchUpdate(update) => {
+                    if conn.shared.version.load(Ordering::Acquire) < 2 {
+                        state.admission.release(tenant);
+                        conn.shared.enqueue(
+                            &Frame::Error {
+                                id,
+                                code: ErrorCode::UnsupportedVersion,
+                                message: "fetch_update requires protocol version 2".to_owned(),
+                            },
+                            state,
+                        );
+                        return true;
+                    }
+                    Request::fetch_update(table as usize, index, update)
                 }
             };
             let queued = QueuedRequest { conn: Arc::clone(&conn.shared), req_id: id, request };
@@ -717,6 +803,7 @@ fn run_dispatcher(state: &Arc<NetState>) {
                 state.dropped_requests.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
+            state.window.acquire(state);
             match item.conn.session.submit(item.request) {
                 Ok(ticket) => {
                     routes.push((
@@ -725,6 +812,7 @@ fn run_dispatcher(state: &Arc<NetState>) {
                     ));
                 }
                 Err(err) => {
+                    state.window.release(1);
                     state.admission.release(tenant);
                     item.conn.enqueue(
                         &Frame::Error {
@@ -752,6 +840,9 @@ fn error_code_of(err: &ServiceError) -> ErrorCode {
         ServiceError::UnknownTable { .. } => ErrorCode::UnknownTable,
         ServiceError::IndexOutOfRange { .. } => ErrorCode::IndexOutOfRange,
         ServiceError::ShuttingDown => ErrorCode::ShuttingDown,
+        ServiceError::NoOptimizerLayout { .. } | ServiceError::OptimizerMismatch { .. } => {
+            ErrorCode::NoOptimizer
+        }
         _ => ErrorCode::Internal,
     }
 }
@@ -773,6 +864,10 @@ fn run_pump(state: &Arc<NetState>) {
                 None => break,
             }
         }
+        // Every claimed completion is one dispatcher submission done
+        // with the engine: free its window slot before routing, so the
+        // dispatcher can overlap its next submit with the frame I/O.
+        state.window.release(claimed.len() as u64);
         if claimed.is_empty() {
             if state.stop.load(Ordering::Acquire) {
                 // The dispatcher joined before `stop` was set, so a

@@ -314,6 +314,22 @@ impl<S: BucketStore> PathOramClient<S> {
     where
         F: FnOnce(Option<&[u8]>) -> Box<[u8]>,
     {
+        self.fetch_update(id, f).map(|_| ())
+    }
+
+    /// Fused read-modify-write returning the *pre-update* payload — the
+    /// one-access training primitive: `f` (e.g. a gradient application)
+    /// runs client-side between the path read and the write-back, so the
+    /// server-visible access is byte-identical to a plain
+    /// [`write`](Self::write) and costs one access instead of a
+    /// read-then-write pair.
+    ///
+    /// # Errors
+    /// As [`write`](Self::write).
+    pub fn fetch_update<F>(&mut self, id: BlockId, f: F) -> Result<Option<Box<[u8]>>>
+    where
+        F: FnOnce(Option<&[u8]>) -> Box<[u8]>,
+    {
         if !self.payloads {
             return Err(ProtocolError::PayloadsDisabled);
         }
@@ -332,7 +348,8 @@ impl<S: BucketStore> PathOramClient<S> {
         block.replace_data(Some(sealed));
         self.stash.insert(block);
         self.writeback_path(path);
-        self.maybe_background_evict()
+        self.maybe_background_evict()?;
+        Ok(plain_old)
     }
 
     /// Full access with an optional payload update and an optional new-leaf
@@ -988,6 +1005,21 @@ mod tests {
         let mut c = PathOramClient::new(PathOramConfig::new(8).with_seed(22)).unwrap();
         let err = c.update(BlockId::new(0), |_| Box::new([0u8]));
         assert!(matches!(err, Err(ProtocolError::PayloadsDisabled)));
+        let err = c.fetch_update(BlockId::new(0), |_| Box::new([0u8]));
+        assert!(matches!(err, Err(ProtocolError::PayloadsDisabled)));
+    }
+
+    #[test]
+    fn fetch_update_returns_pre_update_payload_in_one_access() {
+        let mut c = small_client(32, 27);
+        let before = c.fetch_update(BlockId::new(3), |_| Box::new([1u8])).unwrap();
+        assert!(before.is_none(), "first touch sees an unwritten block");
+        let before = c.fetch_update(BlockId::new(3), |_| Box::new([2u8])).unwrap();
+        assert_eq!(before.as_deref(), Some(&[1u8][..]));
+        assert_eq!(c.read(BlockId::new(3)).unwrap().as_deref(), Some(&[2u8][..]));
+        assert_eq!(c.stats().real_accesses, 3);
+        assert_eq!(c.stats().path_reads, 3, "each fused step is one path read");
+        c.verify_invariants().unwrap();
     }
 
     #[test]

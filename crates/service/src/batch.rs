@@ -1,5 +1,7 @@
 //! Request/response types for batched serving.
 
+use laoram_core::RowUpdate;
+
 /// One embedding access inside a submitted batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -19,6 +21,11 @@ pub enum RequestOp {
     Read,
     /// Replace the row's payload; the batch output holds the previous one.
     Write(Box<[u8]>),
+    /// Fused training step: apply the gradient against the row and its
+    /// co-located optimizer state in one ORAM access; the batch output
+    /// holds the pre-update payload. Requires the table to declare a
+    /// [`TableSpec::optimizer`](crate::TableSpec::optimizer) layout.
+    FetchUpdate(RowUpdate),
 }
 
 impl Request {
@@ -32,6 +39,12 @@ impl Request {
     #[must_use]
     pub fn write(table: usize, index: u32, payload: Box<[u8]>) -> Self {
         Request { table, index, op: RequestOp::Write(payload) }
+    }
+
+    /// A fused training step on `table[index]`.
+    #[must_use]
+    pub fn fetch_update(table: usize, index: u32, update: RowUpdate) -> Self {
+        Request { table, index, op: RequestOp::FetchUpdate(update) }
     }
 }
 

@@ -298,6 +298,30 @@ impl LaoramService {
         if config.spill_spec.as_ref().is_some_and(|spill| spill.snapshots) {
             return Err(ServiceError::ScratchOnlySpill);
         }
+        // Optimizer layouts are validated up front: a fused update applies
+        // gradients in-stash, which needs payloads enabled and rows wide
+        // enough to hold the embedding plus its co-located state.
+        for (table, spec) in config.tables.iter().enumerate() {
+            let Some(layout) = spec.optimizer else { continue };
+            if !spec.payloads {
+                return Err(ServiceError::InvalidConfig(format!(
+                    "table '{}' (index {table}) declares an optimizer layout but disables \
+                     payloads; fused updates need the row payloads they train",
+                    spec.name
+                )));
+            }
+            if (spec.row_bytes as usize) < layout.payload_bytes() {
+                return Err(ServiceError::InvalidConfig(format!(
+                    "table '{}' (index {table}): row_bytes = {} cannot hold the optimizer \
+                     layout's {} payload bytes ({} embedding + {} state)",
+                    spec.name,
+                    spec.row_bytes,
+                    layout.payload_bytes(),
+                    layout.embedding_bytes(),
+                    layout.state_bytes()
+                )));
+            }
+        }
         // Shared (not cloned): the per-index partition tables are the
         // engine's largest structure.
         let router = Arc::new(ShardRouter::new(&config.tables)?);
@@ -1384,13 +1408,15 @@ fn run_preprocessor(
                 for (position, request) in requests.into_iter().enumerate() {
                     let Request { table, index, op } = request;
                     let is_pad = position >= real_len;
-                    let mut payload = match op {
-                        RequestOp::Read => None,
-                        RequestOp::Write(payload) => Some(payload),
-                    };
+                    // Fused updates are write-like for routing: every
+                    // replica applies the same deterministic gradient
+                    // math, which is what keeps replicated copies
+                    // byte-convergent under write fan-out.
+                    let is_write = !matches!(op, RequestOp::Read);
+                    let mut op = Some(op);
                     targets.clear();
                     routing
-                        .route(table, index, payload.is_some(), |worker, local, primary| {
+                        .route(table, index, is_write, |worker, local, primary| {
                             targets.push((worker, local, primary));
                         })
                         .expect("ingress validated every request");
@@ -1398,14 +1424,22 @@ fn run_preprocessor(
                     for (copy, &(worker, local, primary)) in targets.iter().enumerate() {
                         let entry = per_worker.entry(worker).or_default();
                         entry.0.push(local);
-                        entry.1.push(match &payload {
-                            // The last copy takes the payload; earlier
-                            // fan-out copies clone it.
-                            Some(_) if copy + 1 == fan_out => {
-                                BatchOp::Write(local, payload.take().expect("unconsumed"))
+                        // The last copy takes the operation; earlier
+                        // fan-out copies clone it.
+                        let this_op = if copy + 1 == fan_out {
+                            op.take().expect("unconsumed")
+                        } else {
+                            op.clone().expect("cloned before the last copy")
+                        };
+                        entry.1.push(match this_op {
+                            RequestOp::Read => BatchOp::Read(local),
+                            RequestOp::Write(payload) => BatchOp::Write(local, payload),
+                            RequestOp::FetchUpdate(update) => {
+                                let layout = router
+                                    .optimizer(table)
+                                    .expect("ingress validated the optimizer layout");
+                                BatchOp::FetchUpdate(local, update, layout)
                             }
-                            Some(bytes) => BatchOp::Write(local, bytes.clone()),
-                            None => BatchOp::Read(local),
                         });
                         entry.2.push(if primary && !is_pad { position as u32 } else { PAD_SLOT });
                         if is_pad {

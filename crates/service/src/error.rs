@@ -70,6 +70,22 @@ pub enum ServiceError {
     /// [`StorageBackend::Disk`]: crate::StorageBackend::Disk
     /// [`ServiceConfig::spill_spec`]: crate::ServiceConfig::spill_spec
     ScratchOnlySpill,
+    /// A fused-update request named a table that declares no
+    /// [`TableSpec::optimizer`](crate::TableSpec::optimizer) layout —
+    /// the service cannot apply gradients without knowing the row's
+    /// embedding/state layout.
+    NoOptimizerLayout {
+        /// The requested table id.
+        table: usize,
+    },
+    /// A fused-update request's optimizer family or gradient width
+    /// disagrees with the table's declared layout.
+    OptimizerMismatch {
+        /// The requested table id.
+        table: usize,
+        /// What disagreed.
+        detail: String,
+    },
     /// The request was submitted after
     /// [`shutdown`](crate::LaoramService::shutdown) began.
     ShuttingDown,
@@ -107,6 +123,12 @@ impl fmt::Display for ServiceError {
                  (their files are deleted at shutdown and cannot be recovered); use an \
                  explicit StorageBackend::Disk backend for restartable tables"
             ),
+            ServiceError::NoOptimizerLayout { table } => {
+                write!(f, "table {table} declares no optimizer layout; fetch_update refused")
+            }
+            ServiceError::OptimizerMismatch { table, detail } => {
+                write!(f, "update does not match table {table}'s optimizer layout: {detail}")
+            }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Disconnected => write!(f, "pipeline stage terminated unexpectedly"),
             ServiceError::Core(e) => write!(f, "shard construction failed: {e}"),

@@ -172,7 +172,7 @@ impl Ingress {
         session: u64,
         request: Request,
     ) -> Result<RequestTicket, ServiceError> {
-        self.router.route(request.table, request.index)?;
+        self.router.validate(&request)?;
         let enqueue_ns = self.shared.now_ns();
         let flush_len = self.flush_len();
         let mut pending = self.pending.lock().expect("ingress lock");
@@ -220,7 +220,7 @@ impl Ingress {
         batch: u64,
     ) -> Result<(u64, u64), ServiceError> {
         for request in &requests {
-            self.router.route(request.table, request.index)?;
+            self.router.validate(request)?;
         }
         let now = self.shared.now_ns();
         let len = requests.len() as u64;
@@ -260,7 +260,7 @@ impl Ingress {
         batch: u64,
     ) -> Result<(u64, u64), ServiceError> {
         for request in &requests {
-            self.router.route(request.table, request.index)?;
+            self.router.validate(request)?;
         }
         let now = self.shared.now_ns();
         let len = requests.len() as u64;

@@ -46,6 +46,14 @@
 //!   [`ShardStats::routed`] make the imbalance — and what a mitigation
 //!   buys — measurable. Responses are byte-identical across routing
 //!   modes (pinned by the routing-equivalence proptests).
+//! * **Trainable** — a table declaring a
+//!   [`TableSpec::optimizer`] layout accepts fused training steps
+//!   ([`Request::fetch_update`] / [`Session::fetch_update`]): the
+//!   gradient is applied against the row *and* its co-located optimizer
+//!   state inside the shard's stash, so one trained row costs **one**
+//!   ORAM access instead of a read pass plus a write pass. See
+//!   `docs/TRAINING.md` for the payload layout and the equivalence
+//!   guarantees.
 //! * **Larger than RAM** — every shard's bucket store is chosen per table
 //!   ([`StorageBackend`]): in-memory by default, an explicit disk backend
 //!   ([`DiskBackendSpec`]), or automatic spill when the table's footprint
@@ -112,6 +120,17 @@
 //!   composes with both mitigations: pads are applied after replica
 //!   fan-out, so padded volumes count the replicated traffic
 //!   correctly.
+//! * **Fused training updates.** A [`Request::fetch_update`] applies
+//!   its gradient *in-stash*, between the path read and the write-back
+//!   of a single ORAM access, so its access sequence is byte-identical
+//!   to a plain write of the same row — gradient *values* never
+//!   influence which paths are touched (pinned by the
+//!   training-equivalence proptests). What a fused update cannot hide
+//!   is its *presence*: like any write, the adversary learns that an
+//!   access occurred (though not whether it was a read, write, or
+//!   update — all three are the same path-read + path-write on the
+//!   wire). Update payloads and optimizer state are encrypted at rest
+//!   like every other payload byte. See `docs/TRAINING.md`.
 //! * **Batch timing.** Micro-batch *boundaries* leak arrival timing:
 //!   a group flushed by `max_delay` reveals that fewer than `max_batch`
 //!   requests arrived in that window, and group sizes under deadline
@@ -221,6 +240,11 @@ pub use stats::{
     SkewStats,
 };
 pub use telemetry::TelemetryReport;
+
+// The training vocabulary fused updates are expressed in, re-exported so
+// downstream crates (the net tier, benches, tests) need no direct
+// `laoram-core` dependency to build a `RowUpdate`.
+pub use laoram_core::{OptimizerKind, OptimizerLayout, RowUpdate};
 
 // The telemetry vocabulary a ServiceReport / snapshot is expressed in,
 // re-exported so downstream crates need no direct `laoram-telemetry`
@@ -555,6 +579,105 @@ mod tests {
         assert_eq!(stats.requests_completed, 32, "only the post-reset batch counted");
         assert_eq!(stats.request_latency.total.count(), 32);
         service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn fetch_update_trains_in_one_access_per_row() {
+        let layout = OptimizerLayout::sgd(2);
+        let mut service = LaoramService::start(
+            ServiceConfig::new().table(
+                TableSpec::new("emb", 256)
+                    .shards(2)
+                    .superblock_size(4)
+                    .seed(11)
+                    .row_bytes(layout.payload_bytes() as u32)
+                    .optimizer(layout),
+            ),
+        )
+        .unwrap();
+        // Train 32 distinct rows from zero with one fused step each, then
+        // read them back.
+        let rows: Vec<u32> = (0..32).map(|i| i * 7 % 256).collect();
+        let batch: Vec<Request> = rows
+            .iter()
+            .map(|&i| Request::fetch_update(0, i, RowUpdate::sgd(0.5, vec![i as f32, -1.0])))
+            .collect();
+        service.submit(batch).unwrap();
+        service.drain().unwrap();
+        let stats = service.stats();
+        assert_eq!(
+            stats.merged.real_accesses,
+            rows.len() as u64,
+            "a fused update costs exactly one ORAM access per trained row"
+        );
+        service.submit(rows.iter().map(|&i| Request::read(0, i)).collect()).unwrap();
+        let responses = service.drain().unwrap();
+        for (pos, &i) in rows.iter().enumerate() {
+            let expect = RowUpdate::sgd(0.5, vec![i as f32, -1.0]).apply(layout, None);
+            assert_eq!(
+                responses[0].outputs[pos].as_deref(),
+                Some(&expect[..]),
+                "row {i} trained from zero"
+            );
+        }
+        let report = service.shutdown().unwrap();
+        assert!(report.worker_errors.is_empty());
+    }
+
+    #[test]
+    fn fetch_update_validation_is_synchronous_and_typed() {
+        let layout = OptimizerLayout::row_wise_adagrad(2);
+        let mut service = LaoramService::start(
+            ServiceConfig::new().table(TableSpec::new("plain", 64).seed(1)).table(
+                TableSpec::new("emb", 64)
+                    .seed(2)
+                    .row_bytes(layout.payload_bytes() as u32)
+                    .optimizer(layout),
+            ),
+        )
+        .unwrap();
+        let update = || RowUpdate::row_wise_adagrad(0.1, 1e-8, vec![1.0, 2.0]);
+        assert!(matches!(
+            service.submit(vec![Request::fetch_update(0, 3, update())]),
+            Err(ServiceError::NoOptimizerLayout { table: 0 })
+        ));
+        assert!(matches!(
+            service.submit(vec![Request::fetch_update(1, 3, RowUpdate::sgd(0.1, vec![1.0, 2.0]))]),
+            Err(ServiceError::OptimizerMismatch { table: 1, .. })
+        ));
+        assert!(matches!(
+            service.submit(vec![Request::fetch_update(
+                1,
+                3,
+                RowUpdate::row_wise_adagrad(0.1, 1e-8, vec![1.0])
+            )]),
+            Err(ServiceError::OptimizerMismatch { table: 1, .. })
+        ));
+        service.submit(vec![Request::fetch_update(1, 3, update())]).unwrap();
+        service.drain().unwrap();
+        let report = service.shutdown().unwrap();
+        assert!(report.worker_errors.is_empty());
+    }
+
+    #[test]
+    fn optimizer_layout_validated_at_startup() {
+        let layout = OptimizerLayout::row_wise_adagrad(8);
+        // Rows too narrow for the embedding + state payload.
+        assert!(matches!(
+            LaoramService::start(
+                ServiceConfig::new()
+                    .table(TableSpec::new("emb", 64).row_bytes(8).optimizer(layout)),
+            ),
+            Err(ServiceError::InvalidConfig(msg)) if msg.contains("row_bytes")
+        ));
+        // Optimizer on a metadata-only table.
+        assert!(matches!(
+            LaoramService::start(
+                ServiceConfig::new()
+                    .table(TableSpec::new("emb", 64).payloads(false).optimizer(layout)),
+            ),
+            Err(ServiceError::InvalidConfig(msg)) if msg.contains("payloads")
+        ));
     }
 
     #[test]

@@ -145,4 +145,23 @@ impl Session {
     ) -> Result<RequestTicket, ServiceError> {
         self.submit(Request::write(table, index, payload))
     }
+
+    /// Submits a fused training step on `table[index]`: the gradient is
+    /// applied against the row and its co-located optimizer state in one
+    /// ORAM access; the completion's output is the pre-update payload.
+    ///
+    /// # Errors
+    /// As [`submit`](Self::submit); additionally
+    /// [`ServiceError::NoOptimizerLayout`] when the table declares no
+    /// [`TableSpec::optimizer`](crate::TableSpec::optimizer), and
+    /// [`ServiceError::OptimizerMismatch`] when the update's family or
+    /// gradient width disagrees with it.
+    pub fn fetch_update(
+        &self,
+        table: usize,
+        index: u32,
+        update: laoram_core::RowUpdate,
+    ) -> Result<RequestTicket, ServiceError> {
+        self.submit(Request::fetch_update(table, index, update))
+    }
 }

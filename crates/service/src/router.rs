@@ -18,7 +18,9 @@
 //! the mitigation machinery adds no leakage beyond the config (see the
 //! crate-level security notes).
 
-use crate::{HotSetSpec, PartitionStrategy, ReplicaPlacement, ServiceError, TableSpec};
+use laoram_core::OptimizerLayout;
+
+use crate::{HotSetSpec, PartitionStrategy, ReplicaPlacement, RequestOp, ServiceError, TableSpec};
 
 /// Sentinel in `shard_of` marking a row replicated into every shard.
 const REPLICA_SHARD: u16 = u16::MAX;
@@ -305,6 +307,8 @@ pub struct ShardRouter {
     partitions: Vec<TablePartition>,
     worker_base: Vec<usize>,
     num_workers: usize,
+    /// Per-table training layout, for fused-update validation.
+    optimizers: Vec<Option<OptimizerLayout>>,
 }
 
 impl ShardRouter {
@@ -319,14 +323,16 @@ impl ShardRouter {
         }
         let mut partitions = Vec::with_capacity(tables.len());
         let mut worker_base = Vec::with_capacity(tables.len());
+        let mut optimizers = Vec::with_capacity(tables.len());
         let mut next = 0usize;
         for spec in tables {
             worker_base.push(next);
             let partition = TablePartition::for_spec(spec)?;
             next += partition.shards() as usize;
             partitions.push(partition);
+            optimizers.push(spec.optimizer);
         }
-        Ok(ShardRouter { partitions, worker_base, num_workers: next })
+        Ok(ShardRouter { partitions, worker_base, num_workers: next, optimizers })
     }
 
     /// Total worker count across all tables.
@@ -393,6 +399,46 @@ impl ShardRouter {
             num_blocks: partition.num_blocks(),
         })?;
         Ok((self.worker_base[table] + shard as usize, local))
+    }
+
+    /// The training layout `table` declared, if any.
+    ///
+    /// # Panics
+    /// Panics if `table` is out of range.
+    #[must_use]
+    pub fn optimizer(&self, table: usize) -> Option<OptimizerLayout> {
+        self.optimizers[table]
+    }
+
+    /// Full admission validation of one request: the routing checks of
+    /// [`route`](Self::route), plus — for fused updates — that the table
+    /// declares an optimizer layout the update matches. Every submission
+    /// path runs this, so malformed training traffic is refused with a
+    /// typed error at submit time instead of degrading a shard worker.
+    ///
+    /// # Errors
+    /// As [`route`](Self::route), plus
+    /// [`ServiceError::NoOptimizerLayout`] /
+    /// [`ServiceError::OptimizerMismatch`] for fused updates.
+    pub fn validate(&self, request: &crate::Request) -> Result<(), ServiceError> {
+        self.route(request.table, request.index)?;
+        if let RequestOp::FetchUpdate(update) = &request.op {
+            let table = request.table;
+            let layout = self.optimizers[table].ok_or(ServiceError::NoOptimizerLayout { table })?;
+            if !update.matches(layout) {
+                return Err(ServiceError::OptimizerMismatch {
+                    table,
+                    detail: format!(
+                        "update is {} over {} elements, layout is {} over {}",
+                        update.kind(),
+                        update.dim(),
+                        layout.kind(),
+                        layout.dim()
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// A stateful routing context for a stream of pipeline groups:

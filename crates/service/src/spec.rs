@@ -317,6 +317,16 @@ pub struct TableSpec {
     /// Rows replicated into every shard (hot-shard mitigation); `None`
     /// disables replication.
     pub hot_set: Option<HotSetSpec>,
+    /// Training layout of the table's rows: embedding width plus the
+    /// optimizer state co-located in each block payload. Required for
+    /// [`Request::fetch_update`](crate::Request::fetch_update) traffic
+    /// (refused with
+    /// [`ServiceError::NoOptimizerLayout`](crate::ServiceError::NoOptimizerLayout)
+    /// otherwise); `None` (the default) hosts a pure lookup table. The
+    /// layout's [`payload_bytes`](laoram_core::OptimizerLayout::payload_bytes)
+    /// must fit in [`row_bytes`](Self::row_bytes), and the table must
+    /// keep payloads enabled — both validated at startup.
+    pub optimizer: Option<laoram_core::OptimizerLayout>,
 }
 
 impl TableSpec {
@@ -338,6 +348,7 @@ impl TableSpec {
             backend: StorageBackend::Auto,
             partition: PartitionStrategy::Hash,
             hot_set: None,
+            optimizer: None,
         }
     }
 
@@ -417,6 +428,15 @@ impl TableSpec {
     #[must_use]
     pub fn hot_set(mut self, hot_set: HotSetSpec) -> Self {
         self.hot_set = Some(hot_set);
+        self
+    }
+
+    /// Declares the table's training layout (embedding width + co-located
+    /// optimizer state), enabling
+    /// [`Request::fetch_update`](crate::Request::fetch_update) traffic.
+    #[must_use]
+    pub fn optimizer(mut self, layout: laoram_core::OptimizerLayout) -> Self {
+        self.optimizer = Some(layout);
         self
     }
 

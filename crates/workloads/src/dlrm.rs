@@ -165,6 +165,28 @@ impl DlrmMultiTable {
     }
 }
 
+/// Deterministic synthetic gradient for training benches and tests: a
+/// hash-scattered pure function of `(row, step, dim)`, so every arm of
+/// an equivalence comparison (fused vs read-then-write, TCP vs
+/// in-process) derives the identical gradient without sharing RNG
+/// state. Elements land in `[-1, 1)`, keeping multi-step training
+/// finite.
+#[must_use]
+pub fn synthetic_gradient(row: u32, step: u64, dim: usize) -> Vec<f32> {
+    (0..dim)
+        .map(|d| {
+            let mut z = u64::from(row)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(step.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                .wrapping_add((d as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+            z ^= z >> 30;
+            z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 27;
+            ((z >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,5 +286,22 @@ mod tests {
     #[should_panic(expected = "nonempty")]
     fn multi_table_rejects_empty_table() {
         let _ = DlrmMultiTable::new(&[10, 0], 1.0);
+    }
+
+    #[test]
+    fn synthetic_gradients_are_deterministic_bounded_and_varied() {
+        let a = synthetic_gradient(17, 3, 8);
+        let b = synthetic_gradient(17, 3, 8);
+        assert_eq!(
+            a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "same (row, step, dim) is bit-identical"
+        );
+        assert!(a.iter().all(|x| (-1.0..1.0).contains(x)), "bounded: {a:?}");
+        assert_ne!(a, synthetic_gradient(18, 3, 8), "row varies the gradient");
+        assert_ne!(a, synthetic_gradient(17, 4, 8), "step varies the gradient");
+        let unique: std::collections::HashSet<u32> =
+            synthetic_gradient(5, 0, 64).iter().map(|x| x.to_bits()).collect();
+        assert!(unique.len() > 48, "elements vary within one gradient");
     }
 }

@@ -42,7 +42,7 @@ mod xnli;
 mod zipf;
 
 pub use arrivals::{ArrivalProcess, ArrivalSchedule};
-pub use dlrm::{DlrmMultiTable, DlrmTraceConfig};
+pub use dlrm::{synthetic_gradient, DlrmMultiTable, DlrmTraceConfig};
 pub use gaussian::GaussianTraceConfig;
 pub use io::{read_trace_csv, write_trace_csv};
 pub use sampling::{BoxMuller, ZipfSampler};

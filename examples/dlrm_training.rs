@@ -11,13 +11,18 @@
 //! 2. flattens it into the embedding access stream the preprocessor scans
 //!    (training phase), appending a checkpoint read-back scan (audit
 //!    phase) — both known in advance, as the paper assumes,
-//! 3. trains embedding rows through LAORAM with SGD-style updates,
+//! 3. trains embedding rows through LAORAM's fused `fetch_update` path —
+//!    the typed [`RowUpdate`] applied in-stash, **one** ORAM access per
+//!    trained row instead of a read pass plus a write pass,
 //! 4. reads the checkpoint back through the ORAM and verifies it against
 //!    an insecure plaintext replica: obliviousness must not corrupt
 //!    training.
+//!
+//! See docs/TRAINING.md for the full training guide (optimizer state
+//! co-location, access accounting, leakage notes).
 
 use laoram::baselines::InsecureRam;
-use laoram::core::{LaOram, LaOramConfig};
+use laoram::core::{LaOram, LaOramConfig, OptimizerLayout, RowUpdate};
 use laoram::memsim::CostModel;
 use laoram::workloads::{DlrmTraceConfig, Trace, TraceKind};
 
@@ -30,10 +35,6 @@ const FEATURES_PER_SAMPLE: usize = 4;
 /// Training samples.
 const SAMPLES: usize = 2048;
 
-fn row_to_bytes(row: &[f32]) -> Box<[u8]> {
-    row.iter().flat_map(|f| f.to_le_bytes()).collect()
-}
-
 fn bytes_to_row(bytes: Option<&[u8]>) -> Vec<f32> {
     match bytes {
         None => vec![0.0; DIM],
@@ -43,14 +44,10 @@ fn bytes_to_row(bytes: Option<&[u8]>) -> Vec<f32> {
     }
 }
 
-/// One SGD-ish update: pull the row toward a pseudo-gradient derived from
-/// the sample id (deterministic, so the replica check is exact).
-fn apply_gradient(row: &mut [f32], sample: usize) {
-    let lr = 0.01f32;
-    for (d, v) in row.iter_mut().enumerate() {
-        let g = ((sample * 31 + d * 7) % 13) as f32 - 6.0;
-        *v -= lr * g;
-    }
+/// A pseudo-gradient derived from the sample id (deterministic, so the
+/// replica check is exact).
+fn gradient(sample: usize) -> Vec<f32> {
+    (0..DIM).map(|d| ((sample * 31 + d * 7) % 13) as f32 - 6.0).collect()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -92,18 +89,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         oram.geometry().num_levels()
     );
 
-    // 3. Oblivious training, mirrored on an insecure replica.
-    let mut replica = InsecureRam::new(TABLE_ROWS, (DIM * 4) as u64);
+    // 3. Oblivious training via the fused path, mirrored on an insecure
+    //    replica: one `RowUpdate` per lookup, applied by `fetch_update`
+    //    in a single ORAM access (a read-then-write pass would cost two).
+    //    `RowUpdate::apply` is the same pure function on both sides, so
+    //    the replica check is byte-exact.
+    let layout = OptimizerLayout::sgd(DIM as u32);
+    let mut replica = InsecureRam::new(TABLE_ROWS, layout.payload_bytes() as u64);
     for (pos, &row_id) in train_stream.iter().enumerate() {
-        let sample = pos / FEATURES_PER_SAMPLE;
-        oram.update(row_id, |bytes| {
-            let mut row = bytes_to_row(bytes);
-            apply_gradient(&mut row, sample);
-            row_to_bytes(&row)
-        })?;
-        let mut row = bytes_to_row(replica.read(row_id));
-        apply_gradient(&mut row, sample);
-        replica.write(row_id, row_to_bytes(&row));
+        let update = RowUpdate::sgd(0.01, gradient(pos / FEATURES_PER_SAMPLE));
+        oram.fetch_update(row_id, &update, layout)?;
+        let trained = update.apply(layout, replica.read(row_id));
+        replica.write(row_id, trained);
     }
 
     // 4. Checkpoint read-back through the ORAM, verified against the

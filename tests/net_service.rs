@@ -14,8 +14,8 @@ use proptest::prelude::*;
 use laoram::net::frame::{self, ErrorCode, CONNECTION_ERROR_ID};
 use laoram::net::{NetClient, NetEvent, NetServer, NetServerConfig};
 use laoram::service::{
-    BatchPolicy, DiskBackendSpec, LaoramService, ServiceConfig, StorageBackend, TableSpec,
-    TelemetrySpec,
+    BatchPolicy, DiskBackendSpec, LaoramService, OptimizerLayout, RowUpdate, ServiceConfig,
+    StorageBackend, TableSpec, TelemetrySpec,
 };
 
 /// A small two-shard engine with deterministic contents.
@@ -96,6 +96,157 @@ proptest! {
             prop_assert_eq!(tcp, reference, "op {} payload diverged", op);
         }
     }
+}
+
+/// A trainable variant of the small engine: same shape, but the table
+/// declares a co-located row-wise Adagrad layout so `fetch_update` is
+/// accepted.
+fn trained_config(seed: u64, max_batch: usize, max_delay: Duration) -> ServiceConfig {
+    let layout = OptimizerLayout::row_wise_adagrad(2);
+    ServiceConfig::new()
+        .table(
+            TableSpec::new("emb", 64)
+                .shards(2)
+                .superblock_size(4)
+                .seed(seed)
+                .row_bytes(layout.payload_bytes() as u32)
+                .optimizer(layout),
+        )
+        .batch_policy(
+            BatchPolicy::new().max_batch(max_batch).max_delay(max_delay).align_to_superblock(true),
+        )
+        .queue_depth(4)
+}
+
+/// One training-mix op: a read, a full-row write, or a fused update.
+fn mix_update(a: u8, b: u8) -> RowUpdate {
+    RowUpdate::row_wise_adagrad(0.1, 1e-8, vec![f32::from(a) / 8.0 - 8.0, f32::from(b) / 8.0])
+}
+
+fn mix_write_payload(v: u8) -> Box<[u8]> {
+    RowUpdate::row_wise_adagrad(0.5, 1e-6, vec![f32::from(v), -1.0])
+        .apply(OptimizerLayout::row_wise_adagrad(2), None)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The equivalence claim extended to the training path: a mixed
+    /// read / write / fetch_update stream over TCP produces
+    /// byte-identical responses (including each fused op's pre-update
+    /// payload) to the same stream through an in-process session.
+    #[test]
+    fn training_mix_over_tcp_matches_inprocess(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u32..64, 0u8..3, any::<u8>(), any::<u8>()), 1..48),
+    ) {
+        let policy = Duration::from_millis(1);
+
+        // In-process reference: one session, submission order = op order.
+        let service = LaoramService::start(trained_config(seed, 16, policy)).expect("start");
+        let session = service.session();
+        let mut by_ticket = std::collections::HashMap::new();
+        for (i, &(index, kind, a, b)) in ops.iter().enumerate() {
+            let ticket = match kind {
+                0 => session.read(0, index).expect("read"),
+                1 => session.write(0, index, mix_write_payload(a)).expect("write"),
+                _ => session.fetch_update(0, index, mix_update(a, b)).expect("fetch_update"),
+            };
+            by_ticket.insert(ticket.id(), i);
+        }
+        service.flush().expect("flush");
+        let mut reference: Vec<Option<Vec<u8>>> = vec![None; ops.len()];
+        for _ in 0..ops.len() {
+            let completion = service.complete_blocking().expect("complete");
+            let op = by_ticket[&completion.ticket.id()];
+            reference[op] = completion.output.map(Vec::from);
+        }
+        service.shutdown().expect("shutdown");
+
+        // Same stream over TCP, same engine shape and seed.
+        let server = start_server(trained_config(seed, 16, policy), NetServerConfig::default());
+        let mut client = NetClient::connect(server.local_addr(), 9).expect("connect");
+        for (i, &(index, kind, a, b)) in ops.iter().enumerate() {
+            match kind {
+                0 => client.read(i as u64, 0, index).expect("read"),
+                1 => client
+                    .write(i as u64, 0, index, mix_write_payload(a).into_vec())
+                    .expect("write"),
+                _ => client
+                    .fetch_update(i as u64, 0, index, mix_update(a, b))
+                    .expect("fetch_update"),
+            }
+        }
+        let mut over_tcp: Vec<Option<Vec<u8>>> = vec![None; ops.len()];
+        for _ in 0..ops.len() {
+            match client.recv().expect("recv") {
+                NetEvent::Response { id, output } => over_tcp[id as usize] = output,
+                other => prop_assert!(false, "unexpected event: {other:?}"),
+            }
+        }
+        client.goodbye().expect("goodbye");
+        server.shutdown().expect("server shutdown");
+        prop_assert_eq!(&over_tcp, &reference, "training mix diverged across the wire");
+    }
+}
+
+/// A `fetch_update` against a table with no declared optimizer layout is
+/// refused with the typed `NoOptimizer` error frame — per request, not
+/// per connection: the same connection keeps serving reads afterwards.
+#[test]
+fn fetch_update_without_optimizer_is_refused_with_typed_error() {
+    let server =
+        start_server(small_config(18, 16, Duration::from_millis(1)), NetServerConfig::default());
+    let mut client = NetClient::connect(server.local_addr(), 4).expect("connect");
+    client.fetch_update(7, 0, 3, mix_update(1, 2)).expect("send");
+    match client.recv().expect("recv") {
+        NetEvent::Error { id, code, .. } => {
+            assert_eq!((id, code), (7, ErrorCode::NoOptimizer));
+        }
+        other => panic!("expected NoOptimizer error, got {other:?}"),
+    }
+    client.read(8, 0, 3).expect("send read");
+    assert!(
+        matches!(client.recv().expect("recv"), NetEvent::Response { id: 8, .. }),
+        "connection must survive a refused fetch_update"
+    );
+    client.goodbye().expect("goodbye");
+    server.shutdown().expect("shutdown");
+}
+
+/// A connection that negotiated protocol version 1 may not use the v2
+/// `FetchUpdate` op: the server acknowledges the v1 handshake, then
+/// answers the fused request with a per-request `UnsupportedVersion`
+/// error instead of killing the connection.
+#[test]
+fn fetch_update_on_v1_connection_is_refused() {
+    let server =
+        start_server(trained_config(19, 16, Duration::from_millis(1)), NetServerConfig::default());
+    let mut bytes = Vec::new();
+    frame::Frame::Hello { version: 1, tenant: 5 }.encode_into(&mut bytes);
+    frame::Frame::Request {
+        id: 1,
+        table: 0,
+        index: 3,
+        op: frame::WireOp::FetchUpdate(mix_update(1, 2)),
+    }
+    .encode_into(&mut bytes);
+    frame::Frame::Goodbye.encode_into(&mut bytes);
+    let frames = raw_exchange(server.local_addr(), &bytes);
+    assert_eq!(frames.len(), 2, "expected HelloAck + Error, got {frames:?}");
+    match &frames[0] {
+        frame::Frame::HelloAck { version, .. } => {
+            assert_eq!(*version, 1, "the server must echo the negotiated (older) version");
+        }
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+    match &frames[1] {
+        frame::Frame::Error { id, code, .. } => {
+            assert_eq!((*id, *code), (1, ErrorCode::UnsupportedVersion));
+        }
+        other => panic!("expected UnsupportedVersion error, got {other:?}"),
+    }
+    server.shutdown().expect("shutdown");
 }
 
 /// Sends raw bytes and returns every frame the server answers before
@@ -232,10 +383,20 @@ fn saturating_tenant_does_not_starve_light_tenant() {
         NetServerConfig::default()
             .max_inflight(16_384)
             .max_inflight_per_tenant(8_192)
-            .drr_quantum(8),
+            .drr_quantum(8)
+            // The fairness lever: the backlog must wait in the DRR queue,
+            // not inside the engine. A late-arriving tenant then waits
+            // behind at most a window of already-forwarded requests.
+            .dispatch_window(64),
     );
     let addr = server.local_addr();
+    // Complete both handshakes up front: the light tenant's requests must
+    // hit the scheduler while the heavy backlog is still queued, and a
+    // Hello round trip taken *after* the flush would hand a fast server
+    // that long to drain the backlog before the light tenant even shows
+    // up — a test race, not a fairness result.
     let mut heavy = NetClient::connect(addr, 1).expect("connect heavy");
+    let mut light = NetClient::connect(addr, 2).expect("connect light");
     for i in 0..4000u64 {
         heavy.queue_frame(&frame::Frame::Request {
             id: i,
@@ -245,7 +406,6 @@ fn saturating_tenant_does_not_starve_light_tenant() {
         });
     }
     heavy.flush().expect("flush heavy");
-    let mut light = NetClient::connect(addr, 2).expect("connect light");
     for i in 0..50u64 {
         light.read(i, 0, (i % 64) as u32).expect("send light");
     }
@@ -256,10 +416,15 @@ fn saturating_tenant_does_not_starve_light_tenant() {
         }
     }
     // The instant the light tenant is done, count what the heavy tenant
-    // has been handed so far. Responses can only lag the DRR schedule,
-    // never run ahead of it, so under FIFO this would be ~4000.
+    // has already been handed — `try_recv` drains only delivered
+    // responses, never waiting for more. (A `recv_timeout` drain here
+    // would race: the server pumps heavy responses with sub-timeout
+    // gaps, so even a 1ms timeout rides the stream to 4000 and
+    // miscounts a fair schedule as FIFO.) Responses can only lag the
+    // DRR schedule, never run ahead of it, so under FIFO this would be
+    // ~4000.
     let mut heavy_done = 0u32;
-    while let Some(event) = heavy.recv_timeout(Duration::from_millis(1)).expect("drain heavy") {
+    while let Some(event) = heavy.try_recv().expect("drain heavy") {
         match event {
             NetEvent::Response { .. } => heavy_done += 1,
             other => panic!("heavy tenant refused: {other:?}"),

@@ -4,8 +4,8 @@
 //! recovered-vs-fresh status per table.
 
 use laoram::service::{
-    DiskBackendSpec, LaoramService, Request, ServiceConfig, StorageBackend, TableRecovery,
-    TableSpec,
+    DiskBackendSpec, LaoramService, OptimizerLayout, Request, RowUpdate, ServiceConfig,
+    StorageBackend, TableRecovery, TableSpec,
 };
 
 fn unique_dir(tag: &str) -> std::path::PathBuf {
@@ -79,6 +79,92 @@ fn disk_table_shutdown_and_reopen_matches_uninterrupted_run() {
     let report = second.shutdown().unwrap();
     assert!(report.worker_errors.is_empty(), "{:?}", report.worker_errors);
     assert_eq!(report.table_status[0].recovery, TableRecovery::Recovered { shards: 2 });
+
+    let _ = std::fs::remove_dir_all(&dir_restart);
+    let _ = std::fs::remove_dir_all(&dir_straight);
+}
+
+/// Mid-training restart: a snapshot taken between fused training epochs
+/// recovers the embedding rows *and* the co-located optimizer state
+/// exactly — the resumed run lands byte-identical to a run that never
+/// stopped. Row-wise Adagrad makes the state check real: if the
+/// accumulator were lost or zeroed across the restart, the post-restart
+/// epochs would scale their steps differently and the bytes would
+/// diverge.
+#[test]
+fn training_resumes_exactly_across_restart() {
+    let dir_restart = unique_dir("train-roundtrip");
+    let dir_straight = unique_dir("train-straight");
+    let layout = OptimizerLayout::row_wise_adagrad(2);
+    let trained_spec = |dir: &std::path::Path| {
+        TableSpec::new("trained", 512)
+            .shards(2)
+            .superblock_size(4)
+            .seed(7)
+            .row_bytes(layout.payload_bytes() as u32)
+            .optimizer(layout)
+            .backend(StorageBackend::Disk(
+                DiskBackendSpec::new(dir).snapshots(true).write_back_paths(4),
+            ))
+    };
+    let epoch_batch = |epoch: u32| -> Vec<Request> {
+        (0..256u32)
+            .map(|i| {
+                let row = i * 3 % 512;
+                let grad = vec![f32::from(i as u16) / 32.0 - 4.0, f32::from(epoch as u16) - 1.5];
+                Request::fetch_update(0, row, RowUpdate::row_wise_adagrad(0.1, 1e-8, grad))
+            })
+            .collect()
+    };
+    let read_back = |service: &mut LaoramService| -> Vec<Option<Box<[u8]>>> {
+        service.submit(read_batch()).unwrap();
+        service.drain().unwrap().remove(0).outputs
+    };
+
+    // Uninterrupted reference: four training epochs in one service life.
+    let mut reference = LaoramService::start(
+        ServiceConfig::new().table(trained_spec(&dir_straight)).queue_depth(4),
+    )
+    .unwrap();
+    for epoch in 0..4 {
+        reference.submit(epoch_batch(epoch)).unwrap();
+    }
+    reference.drain().unwrap();
+    let reference_outputs = read_back(&mut reference);
+    let report = reference.shutdown().unwrap();
+    assert!(report.worker_errors.is_empty(), "{:?}", report.worker_errors);
+
+    // Interrupted run: two epochs, clean shutdown (snapshot), recover,
+    // two more epochs.
+    let mut first =
+        LaoramService::start(ServiceConfig::new().table(trained_spec(&dir_restart)).queue_depth(4))
+            .unwrap();
+    for epoch in 0..2 {
+        first.submit(epoch_batch(epoch)).unwrap();
+    }
+    first.drain().unwrap();
+    let report = first.shutdown().unwrap();
+    assert!(report.worker_errors.is_empty(), "{:?}", report.worker_errors);
+
+    let mut second =
+        LaoramService::start(ServiceConfig::new().table(trained_spec(&dir_restart)).queue_depth(4))
+            .unwrap();
+    assert_eq!(
+        second.table_status()[0].recovery,
+        TableRecovery::Recovered { shards: 2 },
+        "the resumed trainer must recover both shards"
+    );
+    for epoch in 2..4 {
+        second.submit(epoch_batch(epoch)).unwrap();
+    }
+    second.drain().unwrap();
+    let outputs = read_back(&mut second);
+    assert_eq!(
+        outputs, reference_outputs,
+        "resumed training diverged: optimizer state was not recovered exactly"
+    );
+    let report = second.shutdown().unwrap();
+    assert!(report.worker_errors.is_empty(), "{:?}", report.worker_errors);
 
     let _ = std::fs::remove_dir_all(&dir_restart);
     let _ = std::fs::remove_dir_all(&dir_straight);
