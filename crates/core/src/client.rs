@@ -4,7 +4,9 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 use oram_protocol::{AccessKind, AccessObserver, AccessStats, PathOramClient, PathOramConfig};
-use oram_tree::{Block, BlockId, BucketStore, LeafId, StateSnapshot, TreeGeometry, TreeStorage};
+use oram_tree::{
+    Block, BlockId, BucketStore, IdHashBuilder, LeafId, StateSnapshot, TreeGeometry, TreeStorage,
+};
 
 use crate::{LaOramConfig, LaOramError, OptimizerLayout, Result, RowUpdate, SuperblockPlan};
 
@@ -80,7 +82,7 @@ pub struct LaOram<S: BucketStore = TreeStorage> {
     /// placement can follow that window's bins.
     populated: bool,
     /// The VRAM cache: bin members checked out of the protocol layer.
-    cache: HashMap<BlockId, Block>,
+    cache: HashMap<BlockId, Block, IdHashBuilder>,
     /// Simulated encryption-at-rest: rows are sealed before leaving the
     /// cache, so the server only ever holds ciphertext.
     sealer: Option<oram_tree::BlockSealer>,
@@ -93,6 +95,10 @@ pub struct LaOram<S: BucketStore = TreeStorage> {
     /// Optional flight-recorder hook: records a `core.sync` span around
     /// each superblock-boundary storage sync + snapshot checkpoint.
     telemetry: Option<oram_tree::StoreTelemetry>,
+    /// Reusable id buffer for the per-bin fetch and flush loops, so the
+    /// steady-state serving path stops allocating a fresh `Vec` per
+    /// superblock boundary.
+    scratch_ids: Vec<BlockId>,
 }
 
 impl<S: BucketStore> std::fmt::Debug for LaOram<S> {
@@ -206,11 +212,12 @@ impl<S: BucketStore> LaOram<S> {
             cursor: 0,
             active_bin: None,
             populated,
-            cache: HashMap::new(),
+            cache: HashMap::default(),
             sealer,
             snapshot_path: None,
             snapshot_durable: false,
             telemetry: None,
+            scratch_ids: Vec::new(),
         })
     }
 
@@ -683,15 +690,23 @@ impl<S: BucketStore> LaOram<S> {
         let first_fetch_of_bin =
             !self.plan.bin_members(bin).iter().any(|m| self.cache.contains_key(m));
         let path = self.inner.position_of(accessed)?;
-        self.inner.fetch_path(path, AccessKind::Real);
+        // Fused serve: in scratch mode the fetched path stays pending in
+        // the protocol client's scratch — the takes below resolve against
+        // it directly and the write-back plans over the combined holdings,
+        // so path passengers never materialise as stash blocks.
+        self.inner.fetch_path_pending(path, AccessKind::Real);
         if !first_fetch_of_bin {
             // A previous fetch for this bin missed this member: the member
             // was cold (not on the shared path).
             self.inner.note_cold_miss();
         }
-        // Check out every bin member the client now holds.
-        let members: Vec<BlockId> = self.plan.bin_members(bin).to_vec();
-        for m in members {
+        // Check out every bin member the client now holds (the id list is
+        // staged through the reusable scratch buffer so the per-bin fetch
+        // does not allocate).
+        let mut members = std::mem::take(&mut self.scratch_ids);
+        members.clear();
+        members.extend_from_slice(self.plan.bin_members(bin));
+        for &m in &members {
             if self.cache.contains_key(&m) {
                 continue;
             }
@@ -700,6 +715,8 @@ impl<S: BucketStore> LaOram<S> {
                 self.cache.insert(m, b);
             }
         }
+        members.clear();
+        self.scratch_ids = members;
         self.inner.note_served_access();
         self.inner.writeback_path(path);
         self.inner.maybe_background_evict()?;
@@ -722,8 +739,10 @@ impl<S: BucketStore> LaOram<S> {
             return Ok(());
         }
         let bin = self.active_bin.expect("cache non-empty implies an active bin");
-        let blocks: Vec<BlockId> = self.cache.keys().copied().collect();
-        for id in blocks {
+        let mut blocks = std::mem::take(&mut self.scratch_ids);
+        blocks.clear();
+        blocks.extend(self.cache.keys().copied());
+        for &id in &blocks {
             let mut block = self.cache.remove(&id).expect("key enumerated above");
             let planned = self.plan.exit_leaf(id, bin).or_else(|| {
                 self.staged
@@ -738,6 +757,8 @@ impl<S: BucketStore> LaOram<S> {
             self.inner.assign_leaf(id, leaf)?;
             self.inner.return_to_stash(block)?;
         }
+        blocks.clear();
+        self.scratch_ids = blocks;
         self.inner.maybe_background_evict()?;
         // Superblock boundary = storage durability point: flush the
         // store's write-back buffer (no-op for in-memory trees), then

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use oram_tree::{BlockId, LeafId};
+use oram_tree::{BlockId, IdHashBuilder, LeafId};
 
 use crate::{Bin, SuperblockBinning};
 
@@ -22,7 +22,7 @@ pub struct SuperblockPlan {
     bin_leaves: Vec<LeafId>,
     /// For each block touched by the stream: the ordered list of bins it
     /// belongs to.
-    block_bins: HashMap<BlockId, Vec<u32>>,
+    block_bins: HashMap<BlockId, Vec<u32>, IdHashBuilder>,
     stream: Vec<u32>,
 }
 
@@ -66,7 +66,7 @@ impl SuperblockPlan {
         SuperblockPlan {
             binning: SuperblockBinning::from_parts(superblock_size, Vec::new(), Vec::new()),
             bin_leaves: Vec::new(),
-            block_bins: HashMap::new(),
+            block_bins: HashMap::default(),
             stream: Vec::new(),
         }
     }
@@ -89,29 +89,29 @@ impl SuperblockPlan {
     ) -> Self {
         assert!(num_leaves > 0, "tree must have at least one leaf");
         assert!(window_len > 0, "window length must be nonzero");
-        // Scan each window independently, then concatenate.
+        // Windows are independent by construction (bins never span a
+        // boundary), so scan them in parallel and concatenate in window
+        // order — byte-identical to the sequential scan. Leaves are
+        // drawn afterwards, sequentially in bin order, so the RNG stream
+        // is untouched by the parallelism.
+        let bounds = window_bounds(stream.len(), window_len);
+        let workers = std::thread::available_parallelism().map_or(1, usize::from).min(bounds.len());
+        let windows = scan_windows(stream, superblock_size, &bounds, workers);
         let mut bins: Vec<Bin> = Vec::new();
         let mut bin_of_position: Vec<u32> = Vec::with_capacity(stream.len());
-        let mut start = 0usize;
-        while start < stream.len() {
-            let end = stream.len().min(start.saturating_add(window_len));
-            let window = SuperblockBinning::scan(&stream[start..end], superblock_size);
+        for window in &windows {
             let base = bins.len() as u32;
             for pos in 0..window.stream_len() {
                 bin_of_position.push(base + window.bin_of_position(pos));
             }
             bins.extend(window.bins().iter().cloned());
-            start = end;
-            if window_len == usize::MAX {
-                break;
-            }
         }
         let binning = SuperblockBinning::from_parts(superblock_size, bins, bin_of_position);
 
         let bin_leaves: Vec<LeafId> = (0..binning.num_bins())
             .map(|_| LeafId::new(rng.random_range(0..num_leaves as u32)))
             .collect();
-        let mut block_bins: HashMap<BlockId, Vec<u32>> = HashMap::new();
+        let mut block_bins: HashMap<BlockId, Vec<u32>, IdHashBuilder> = HashMap::default();
         for (i, bin) in binning.bins().iter().enumerate() {
             for &m in bin.members() {
                 block_bins.entry(m).or_default().push(i as u32);
@@ -197,6 +197,53 @@ impl SuperblockPlan {
     }
 }
 
+/// `[start, end)` stream ranges of each look-ahead window.
+fn window_bounds(stream_len: usize, window_len: usize) -> Vec<(usize, usize)> {
+    let mut bounds = Vec::new();
+    let mut start = 0usize;
+    while start < stream_len {
+        let end = stream_len.min(start.saturating_add(window_len));
+        bounds.push((start, end));
+        start = end;
+        if window_len == usize::MAX {
+            break;
+        }
+    }
+    bounds
+}
+
+/// Scans every window of `stream` into its own [`SuperblockBinning`],
+/// fanning contiguous runs of windows out over `workers` threads.
+/// Results come back in window order regardless of scheduling, so the
+/// output is identical for any worker count (pinned by a test below).
+fn scan_windows(
+    stream: &[u32],
+    superblock_size: u32,
+    bounds: &[(usize, usize)],
+    workers: usize,
+) -> Vec<SuperblockBinning> {
+    if workers <= 1 || bounds.len() <= 1 {
+        return bounds
+            .iter()
+            .map(|&(start, end)| SuperblockBinning::scan(&stream[start..end], superblock_size))
+            .collect();
+    }
+    let mut results: Vec<Option<SuperblockBinning>> = Vec::new();
+    results.resize_with(bounds.len(), || None);
+    let per_worker = bounds.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (bound_run, result_run) in bounds.chunks(per_worker).zip(results.chunks_mut(per_worker))
+        {
+            scope.spawn(move || {
+                for (&(start, end), slot) in bound_run.iter().zip(result_run.iter_mut()) {
+                    *slot = Some(SuperblockBinning::scan(&stream[start..end], superblock_size));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|window| window.expect("every window scanned")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +317,34 @@ mod tests {
         for (leaf, &c) in counts.iter().enumerate() {
             assert!((150..400).contains(&c), "leaf {leaf} got {c} bins");
         }
+    }
+
+    #[test]
+    fn parallel_window_scan_matches_sequential() {
+        // Repeating stream with cross-window reuse; windows of 17 give a
+        // ragged tail. Force several workers (the machine may report 1).
+        let stream: Vec<u32> = (0..600u32).map(|i| i % 37).collect();
+        let bounds = window_bounds(stream.len(), 17);
+        assert!(bounds.len() > 4);
+        let sequential = scan_windows(&stream, 3, &bounds, 1);
+        for workers in [2usize, 4, 16] {
+            let parallel = scan_windows(&stream, 3, &bounds, workers);
+            assert_eq!(parallel.len(), sequential.len());
+            for (par, seq) in parallel.iter().zip(&sequential) {
+                assert_eq!(par.bins(), seq.bins(), "{workers} workers");
+                assert_eq!(par.stream_len(), seq.stream_len());
+                for pos in 0..seq.stream_len() {
+                    assert_eq!(par.bin_of_position(pos), seq.bin_of_position(pos));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_bounds_cover_the_stream() {
+        assert_eq!(window_bounds(10, usize::MAX), vec![(0, 10)]);
+        assert_eq!(window_bounds(0, 4), Vec::<(usize, usize)>::new());
+        assert_eq!(window_bounds(10, 4), vec![(0, 4), (4, 8), (8, 10)]);
     }
 
     proptest! {

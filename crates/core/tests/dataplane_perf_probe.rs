@@ -1,0 +1,83 @@
+//! Data-plane diagnostic probe (ignored by default; run with
+//! `cargo test --release -p laoram-core --test dataplane_perf_probe -- --ignored --nocapture`).
+//!
+//! Times an eviction-heavy planned stream (three sequential epochs over
+//! the whole table) through the same `LaOram` on the legacy boxed-slot
+//! layout and on the arena layout, printing per-arm wall clock and the
+//! full `AccessStats`. Besides the timing, it asserts the two arms'
+//! statistics are identical — the at-scale counterpart of the
+//! per-access equivalence proptests in `tests/backend_equivalence.rs`.
+//!
+//! Timing on shared CI runners is noisy; the gated measurement lives in
+//! the `service_throughput` bench's data-plane probe. This probe exists
+//! for local before/after comparisons when touching the serving path.
+
+use laoram_core::{LaOram, LaOramConfig, SuperblockPlan};
+use oram_protocol::AccessStats;
+use oram_tree::{ArenaStore, ArenaStoreConfig, BucketStore, TreeStorage};
+
+const SUPERBLOCK: u32 = 8;
+const SEED: u64 = 7;
+
+fn run<S: BucketStore>(
+    store: S,
+    stream: &[u32],
+    n: u32,
+    label: &str,
+) -> (std::time::Duration, AccessStats) {
+    let config = LaOramConfig::builder(n)
+        .superblock_size(SUPERBLOCK)
+        .seed(SEED)
+        .payloads(false)
+        .build()
+        .unwrap();
+    let leaves = config.geometry().unwrap().num_leaves();
+    let mut oram = LaOram::with_store(config, store).unwrap();
+    oram.install_plan(SuperblockPlan::build(stream, SUPERBLOCK, leaves, 99)).unwrap();
+    let start = std::time::Instant::now();
+    for &i in stream {
+        oram.read(i).unwrap();
+    }
+    oram.finish().unwrap();
+    let elapsed = start.elapsed();
+    let s = oram.stats().clone();
+    eprintln!(
+        "  {label}: real={} path_reads={} dummy_reads={} path_writes={} fetched={} \
+         cache_hits={} cold={} stash_peak={} slots_read={}",
+        s.real_accesses,
+        s.path_reads,
+        s.dummy_reads,
+        s.path_writes,
+        s.blocks_fetched,
+        s.cache_hits,
+        s.cold_misses,
+        s.stash_peak,
+        s.slots_read
+    );
+    (elapsed, s)
+}
+
+#[test]
+#[ignore = "timing diagnostic; the gated measurement is the bench's data-plane probe"]
+fn perf_probe() {
+    let n = 1u32 << 16;
+    let stream: Vec<u32> = (0..n).chain(0..n).chain(0..n).collect();
+    let config = LaOramConfig::builder(n)
+        .superblock_size(SUPERBLOCK)
+        .seed(SEED)
+        .payloads(false)
+        .build()
+        .unwrap();
+    let geometry = config.geometry().unwrap();
+    for round in 0..2 {
+        let (legacy, legacy_stats) =
+            run(TreeStorage::metadata_only(geometry.clone()), &stream, n, "legacy");
+        let (arena, arena_stats) =
+            run(ArenaStore::new(geometry.clone(), ArenaStoreConfig::new()), &stream, n, "arena");
+        assert_eq!(legacy_stats, arena_stats, "data planes diverged at scale");
+        eprintln!(
+            "round {round}: legacy {legacy:?}  arena {arena:?}  ratio {:.3}",
+            legacy.as_secs_f64() / arena.as_secs_f64()
+        );
+    }
+}

@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use oram_tree::{Block, BlockId, BucketStore, LeafId, TreeGeometry, TreeStorage};
+use oram_tree::{Block, BlockId, BucketStore, LeafId, PathScratch, TreeGeometry, TreeStorage};
 
 use crate::{
     AccessKind, AccessObserver, AccessStats, DensePositionMap, EvictionConfig, NullObserver,
@@ -54,11 +54,161 @@ pub struct PathOramClient<S: BucketStore = TreeStorage> {
     num_blocks: u32,
     payloads: bool,
     sealer: Option<oram_tree::BlockSealer>,
-    checked_out: std::collections::HashSet<BlockId>,
+    checked_out: std::collections::HashSet<BlockId, oram_tree::IdHashBuilder>,
+    scratch: AccessScratch,
 }
 
 // Internal alias so the public `Stash` name stays available for reuse.
 use crate::Stash as Stash2;
+
+/// Recycles payload boxes between fetches and write-backs so the
+/// scratch-mode serving path stops allocating once every in-flight
+/// payload length has a pooled box. Keyed by exact length: the serving
+/// tier stores fixed-width rows, so in practice this is one bucket.
+#[derive(Debug, Default)]
+struct PayloadPool {
+    by_len: std::collections::HashMap<usize, Vec<Box<[u8]>>>,
+    held: usize,
+}
+
+impl PayloadPool {
+    /// Upper bound on pooled boxes; beyond it, returned boxes are freed.
+    const MAX_HELD: usize = 4096;
+
+    /// A box holding a copy of `bytes`, recycled when one of the right
+    /// length is pooled.
+    fn take(&mut self, bytes: &[u8]) -> Box<[u8]> {
+        if let Some(pool) = self.by_len.get_mut(&bytes.len()) {
+            if let Some(mut boxed) = pool.pop() {
+                self.held -= 1;
+                boxed.copy_from_slice(bytes);
+                return boxed;
+            }
+        }
+        Box::from(bytes)
+    }
+
+    /// Returns a box to the pool (zero-length boxes carry no heap
+    /// allocation and are simply dropped).
+    fn put(&mut self, boxed: Box<[u8]>) {
+        if boxed.is_empty() || self.held >= Self::MAX_HELD {
+            return;
+        }
+        self.held += 1;
+        self.by_len.entry(boxed.len()).or_default().push(boxed);
+    }
+}
+
+/// Per-client reusable buffers for the zero-copy serving path: one
+/// scratch for path fetches, one for write-back candidates, and a
+/// payload-box pool bridging the two.
+///
+/// The `pending` group carries a *fused serve* between
+/// [`PathOramClient::fetch_path_pending`] and the closing
+/// [`PathOramClient::writeback_path`]: the fetched path stays in `fetch`
+/// instead of materialising into the stash, and `order` tracks the
+/// virtual candidate sequence `[stash..., fetched...]` through any
+/// checkouts so the write-back plans over exactly the order the classic
+/// fetch-insert-take-drain route would have produced.
+#[derive(Debug, Default)]
+struct AccessScratch {
+    fetch: PathScratch,
+    out: PathScratch,
+    pool: PayloadPool,
+    placed: Vec<bool>,
+    /// A fused serve is open: `fetch` holds live path slots and `order` /
+    /// `fetch_taken` are authoritative.
+    pending: bool,
+    /// Handles into the virtual candidate vec: `h < stash.len()` is stash
+    /// position `h`; otherwise fetch-scratch slot `h - stash.len()`.
+    /// Checkouts `swap_remove` from this vec exactly as [`Stash::take`]
+    /// would from the materialised stash.
+    order: Vec<u32>,
+    /// Fetch-scratch slots already checked out (their slot bytes are
+    /// stale; `order` no longer references them).
+    fetch_taken: Vec<bool>,
+    /// Reusable vector the post-write-back stash is rebuilt into.
+    rebuilt: Vec<Block>,
+}
+
+/// The borrowed candidate view the in-place write-back hands to
+/// [`BucketStore::write_path_with`]: the live stash (in stash order)
+/// followed by a just-fetched path still sitting in the fetch scratch.
+/// This is exactly the candidate order `take_all` would yield after the
+/// unbatched fetch inserted the path's blocks, so the shared planner makes
+/// identical placement decisions.
+struct WriteBackView<'a> {
+    stash: &'a [Block],
+    fetched: &'a PathScratch,
+}
+
+impl oram_tree::PathCandidates for WriteBackView<'_> {
+    fn len(&self) -> usize {
+        self.stash.len() + self.fetched.len()
+    }
+
+    fn leaf_of(&self, i: usize) -> LeafId {
+        match i.checked_sub(self.stash.len()) {
+            Some(j) => self.fetched.leaf(j),
+            None => self.stash[i].leaf(),
+        }
+    }
+
+    fn encode_into(&self, i: usize, dst: &mut [u8]) {
+        match i.checked_sub(self.stash.len()) {
+            Some(j) => self.fetched.copy_slot_into(j, dst),
+            None => {
+                let b = &self.stash[i];
+                oram_tree::encode_slot(dst, b.id(), b.leaf(), b.data());
+            }
+        }
+    }
+}
+
+/// The fused-serve counterpart of [`WriteBackView`]: candidate `v` is
+/// whatever `order[v]` resolves to, so checkouts that `swap_remove`d
+/// handles from `order` are invisible to the planner — exactly as blocks
+/// taken out of a materialised stash would be. Handles below `stash_len`
+/// index the stash vector (tombstoned positions are never referenced);
+/// the rest index the fetch scratch.
+struct OrderedView<'a> {
+    stash: &'a [Block],
+    fetched: &'a PathScratch,
+    order: &'a [u32],
+}
+
+impl OrderedView<'_> {
+    fn resolve(&self, v: usize) -> (usize, bool) {
+        let h = self.order[v] as usize;
+        match h.checked_sub(self.stash.len()) {
+            Some(j) => (j, true),
+            None => (h, false),
+        }
+    }
+}
+
+impl oram_tree::PathCandidates for OrderedView<'_> {
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn leaf_of(&self, v: usize) -> LeafId {
+        match self.resolve(v) {
+            (j, true) => self.fetched.leaf(j),
+            (p, false) => self.stash[p].leaf(),
+        }
+    }
+
+    fn encode_into(&self, v: usize, dst: &mut [u8]) {
+        match self.resolve(v) {
+            (j, true) => self.fetched.copy_slot_into(j, dst),
+            (p, false) => {
+                let b = &self.stash[p];
+                oram_tree::encode_slot(dst, b.id(), b.leaf(), b.data());
+            }
+        }
+    }
+}
 
 impl<S: BucketStore> std::fmt::Debug for PathOramClient<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -144,7 +294,8 @@ impl<S: BucketStore> PathOramClient<S> {
             num_blocks: config.num_blocks,
             payloads: config.payloads,
             sealer: config.sealing_key.map(oram_tree::BlockSealer::new),
-            checked_out: std::collections::HashSet::new(),
+            checked_out: std::collections::HashSet::default(),
+            scratch: AccessScratch::default(),
         };
         if config.populate {
             client.populate_uniform()?;
@@ -405,22 +556,109 @@ impl<S: BucketStore> PathOramClient<S> {
     // Advanced primitives (used by LAORAM / PrORAM layers)
     // ------------------------------------------------------------------
 
+    /// Whether the serving path can run over reusable scratch buffers:
+    /// the store must speak the stride format natively
+    /// ([`BucketStore::path_scratch_spec`]), and sealing must be off —
+    /// sealed clients re-encrypt on every write-back and stay on the
+    /// allocating `Vec<Block>` path. Returns the stride's payload
+    /// capacity.
+    fn scratch_capacity(&self) -> Option<usize> {
+        if self.sealer.is_some() {
+            return None;
+        }
+        self.storage.path_scratch_spec()
+    }
+
     /// Reads the whole path to `leaf` into the stash, recording stats and
     /// notifying the observer. Does **not** write back; pair with
     /// [`writeback_path`](Self::writeback_path).
     pub fn fetch_path(&mut self, leaf: LeafId, kind: AccessKind) {
+        debug_assert!(!self.scratch.pending, "fetch_path during a fused serve");
         match kind {
             AccessKind::Real => self.stats.path_reads += 1,
             AccessKind::Dummy => self.stats.dummy_reads += 1,
         }
         self.stats.slots_read += self.geometry().path_slots();
         self.observer.observe(ServerOp::ReadPath(leaf, kind));
-        let fetched = self.storage.read_path(leaf);
-        self.stats.blocks_fetched += fetched.len() as u64;
-        for b in fetched {
-            self.stash.insert(b);
+        if self.scratch_capacity().is_some() {
+            let mut fetch = std::mem::take(&mut self.scratch.fetch);
+            self.storage.read_path_into(leaf, &mut fetch);
+            self.stats.blocks_fetched += fetch.len() as u64;
+            for i in 0..fetch.len() {
+                let block = match fetch.payload(i) {
+                    Some(bytes) => {
+                        Block::with_data(fetch.id(i), fetch.leaf(i), self.scratch.pool.take(bytes))
+                    }
+                    None => Block::metadata_only(fetch.id(i), fetch.leaf(i)),
+                };
+                self.stash.insert(block);
+            }
+            fetch.clear();
+            self.scratch.fetch = fetch;
+        } else {
+            let fetched = self.storage.read_path(leaf);
+            self.stats.blocks_fetched += fetched.len() as u64;
+            for b in fetched {
+                self.stash.insert(b);
+            }
         }
         self.stats.observe_stash(self.stash.len() + self.checked_out.len());
+    }
+
+    /// Like [`fetch_path`](Self::fetch_path), but in scratch mode the
+    /// fetched path is held *pending* in the fetch scratch instead of
+    /// materialising into the stash: between this call and the closing
+    /// [`writeback_path`](Self::writeback_path), the checkout primitives
+    /// ([`stash_contains`](Self::stash_contains),
+    /// [`take_from_stash`](Self::take_from_stash)) transparently resolve
+    /// against the combined `[stash..., fetched...]` holdings, and the
+    /// write-back plans over that same virtual candidate order. Blocks the
+    /// path merely carries through therefore never touch the stash at all —
+    /// the dominant cost of a cache-line fill in the look-ahead layer.
+    ///
+    /// Stats, stash high-water marks, server traffic and checkout
+    /// semantics are byte-identical to the classic
+    /// fetch → take → write-back sequence. Outside scratch mode this *is*
+    /// [`fetch_path`](Self::fetch_path).
+    ///
+    /// The serve must be closed by
+    /// [`writeback_path`](Self::writeback_path) on the same path before
+    /// any other path operation.
+    pub fn fetch_path_pending(&mut self, leaf: LeafId, kind: AccessKind) {
+        if self.scratch_capacity().is_none() {
+            self.fetch_path(leaf, kind);
+            return;
+        }
+        debug_assert!(!self.scratch.pending, "fetch_path_pending during a fused serve");
+        match kind {
+            AccessKind::Real => self.stats.path_reads += 1,
+            AccessKind::Dummy => self.stats.dummy_reads += 1,
+        }
+        self.stats.slots_read += self.geometry().path_slots();
+        self.observer.observe(ServerOp::ReadPath(leaf, kind));
+        let mut fetch = std::mem::take(&mut self.scratch.fetch);
+        self.storage.read_path_into(leaf, &mut fetch);
+        self.stats.blocks_fetched += fetch.len() as u64;
+        self.stats.observe_stash(self.stash.len() + fetch.len() + self.checked_out.len());
+        // O(1) id lookups for the checkout primitives below; extraction
+        // keeps the index clean, so it holds for the whole serve.
+        self.stash.prepare_lookups();
+        let m = self.stash.len();
+        self.scratch.order.clear();
+        self.scratch.order.extend(0..(m + fetch.len()) as u32);
+        self.scratch.fetch_taken.clear();
+        self.scratch.fetch_taken.resize(fetch.len(), false);
+        self.scratch.fetch = fetch;
+        self.scratch.pending = true;
+    }
+
+    /// Materialises fetch-scratch slot `j` as a stash-style block, pulling
+    /// the payload box from the pool.
+    fn materialize_fetched(fetch: &PathScratch, j: usize, pool: &mut PayloadPool) -> Block {
+        match fetch.payload(j) {
+            Some(bytes) => Block::with_data(fetch.id(j), fetch.leaf(j), pool.take(bytes)),
+            None => Block::metadata_only(fetch.id(j), fetch.leaf(j)),
+        }
     }
 
     /// Greedily evicts the stash along the path to `leaf`, recording stats
@@ -431,19 +669,169 @@ impl<S: BucketStore> PathOramClient<S> {
         self.stats.path_writes += 1;
         self.stats.slots_written += self.geometry().path_slots();
         self.observer.observe(ServerOp::WritePath(leaf));
-        let mut candidates = self.stash.take_all();
-        if let Some(sealer) = &mut self.sealer {
-            for block in &mut candidates {
-                if let Some(cipher) = block.replace_data(None) {
-                    let plain = sealer.open(&cipher).unwrap_or(cipher);
-                    let resealed = sealer.seal(&plain);
-                    block.replace_data(Some(resealed));
+        if let Some(capacity) = self.scratch_capacity() {
+            self.writeback_in_place(leaf, capacity);
+        } else {
+            let mut candidates = self.stash.take_all();
+            if let Some(sealer) = &mut self.sealer {
+                for block in &mut candidates {
+                    if let Some(cipher) = block.replace_data(None) {
+                        let plain = sealer.open(&cipher).unwrap_or(cipher);
+                        let resealed = sealer.seal(&plain);
+                        block.replace_data(Some(resealed));
+                    }
                 }
             }
+            self.storage.write_path(leaf, &mut candidates);
+            self.stash.absorb(candidates);
         }
-        self.storage.write_path(leaf, &mut candidates);
-        self.stash.absorb(candidates);
         self.stats.observe_stash(self.stash.len() + self.checked_out.len());
+    }
+
+    /// The scratch-mode write-back core, shared by
+    /// [`writeback_path`](Self::writeback_path) and the batched
+    /// [`dummy_access`](Self::dummy_access): plans over the **borrowed**
+    /// candidate sequence `[stash..., fetch scratch...]` (identical to the
+    /// order the drained routes feed the shared planner) and lets the
+    /// store copy the winners straight out of it. The stash is never
+    /// drained — placed residents are dropped in place with their order
+    /// preserved and the id index rebuild deferred, and only unplaced
+    /// fetched entries materialise as stash blocks. Stats and observer
+    /// calls are the caller's responsibility.
+    fn writeback_in_place(&mut self, leaf: LeafId, capacity: usize) {
+        if self.scratch.pending {
+            self.writeback_pending(leaf, capacity);
+            return;
+        }
+        let mut fetch = std::mem::take(&mut self.scratch.fetch);
+        let mut placed = std::mem::take(&mut self.scratch.placed);
+        let view = WriteBackView { stash: self.stash.blocks(), fetched: &fetch };
+        if self.storage.write_path_with(leaf, &view, &mut placed) {
+            let stash_n = self.stash.len();
+            let pool = &mut self.scratch.pool;
+            self.stash.retain_unplaced_with(&placed[..stash_n], |boxed| pool.put(boxed));
+            for j in 0..fetch.len() {
+                if !placed[stash_n + j] {
+                    let block = match fetch.payload(j) {
+                        Some(bytes) => {
+                            Block::with_data(fetch.id(j), fetch.leaf(j), pool.take(bytes))
+                        }
+                        None => Block::metadata_only(fetch.id(j), fetch.leaf(j)),
+                    };
+                    self.stash.push_deferred(block);
+                }
+            }
+        } else {
+            // Store speaks the stride format but has no borrowed-candidate
+            // route: fall back to draining through the out scratch.
+            let mut out = std::mem::take(&mut self.scratch.out);
+            out.ensure_shape(capacity);
+            out.clear();
+            let pool = &mut self.scratch.pool;
+            self.stash.drain_with(|mut block| {
+                out.push(block.id(), block.leaf(), block.data());
+                if let Some(boxed) = block.replace_data(None) {
+                    pool.put(boxed);
+                }
+            });
+            if !fetch.is_empty() {
+                out.append_from(&fetch);
+            }
+            self.storage.write_path_from(leaf, &mut out);
+            for i in 0..out.len() {
+                let block = match out.payload(i) {
+                    Some(bytes) => Block::with_data(out.id(i), out.leaf(i), pool.take(bytes)),
+                    None => Block::metadata_only(out.id(i), out.leaf(i)),
+                };
+                self.stash.insert(block);
+            }
+            out.clear();
+            self.scratch.out = out;
+        }
+        fetch.clear();
+        self.scratch.fetch = fetch;
+        self.scratch.placed = placed;
+    }
+
+    /// Closes a fused serve (see
+    /// [`fetch_path_pending`](Self::fetch_path_pending)): plans over the
+    /// order-indirected candidate view — the virtual stash the classic
+    /// route would hold at this point — writes winners straight out of it,
+    /// and rebuilds the stash from the unplaced survivors in virtual
+    /// order. The resulting stash contents and order, and every placement
+    /// decision, are identical to the classic route's. Stats and observer
+    /// calls are the caller's responsibility.
+    fn writeback_pending(&mut self, leaf: LeafId, capacity: usize) {
+        let mut fetch = std::mem::take(&mut self.scratch.fetch);
+        let mut placed = std::mem::take(&mut self.scratch.placed);
+        let mut order = std::mem::take(&mut self.scratch.order);
+        let m = self.stash.len();
+        let view = OrderedView { stash: self.stash.blocks(), fetched: &fetch, order: &order };
+        if self.storage.write_path_with(leaf, &view, &mut placed) {
+            let mut rebuilt = std::mem::take(&mut self.scratch.rebuilt);
+            rebuilt.clear();
+            for (v, &h) in order.iter().enumerate() {
+                let h = h as usize;
+                if placed[v] {
+                    if h < m {
+                        if let Some(boxed) = self.stash.reclaim_payload_at(h) {
+                            self.scratch.pool.put(boxed);
+                        }
+                    }
+                    continue;
+                }
+                let block = if h < m {
+                    self.stash.extract_for_rebuild(h)
+                } else {
+                    Self::materialize_fetched(&fetch, h - m, &mut self.scratch.pool)
+                };
+                rebuilt.push(block);
+            }
+            self.scratch.rebuilt = self.stash.rebuild_from(rebuilt);
+        } else {
+            // Store speaks the stride format but has no borrowed-candidate
+            // route: materialise the virtual candidates into the out
+            // scratch (in virtual order) and drain through it.
+            let mut out = std::mem::take(&mut self.scratch.out);
+            out.ensure_shape(capacity);
+            out.clear();
+            for &h in &order {
+                let h = h as usize;
+                if h < m {
+                    {
+                        let b = &self.stash.blocks()[h];
+                        out.push(b.id(), b.leaf(), b.data());
+                    }
+                    if let Some(boxed) = self.stash.reclaim_payload_at(h) {
+                        self.scratch.pool.put(boxed);
+                    }
+                } else {
+                    let j = h - m;
+                    out.push(fetch.id(j), fetch.leaf(j), fetch.payload(j));
+                }
+            }
+            self.storage.write_path_from(leaf, &mut out);
+            let mut rebuilt = std::mem::take(&mut self.scratch.rebuilt);
+            rebuilt.clear();
+            for i in 0..out.len() {
+                let block = match out.payload(i) {
+                    Some(bytes) => {
+                        Block::with_data(out.id(i), out.leaf(i), self.scratch.pool.take(bytes))
+                    }
+                    None => Block::metadata_only(out.id(i), out.leaf(i)),
+                };
+                rebuilt.push(block);
+            }
+            self.scratch.rebuilt = self.stash.rebuild_from(rebuilt);
+            out.clear();
+            self.scratch.out = out;
+        }
+        fetch.clear();
+        self.scratch.fetch = fetch;
+        self.scratch.placed = placed;
+        order.clear();
+        self.scratch.order = order;
+        self.scratch.pending = false;
     }
 
     /// Flushes the server store's write-back buffer to its backing
@@ -593,15 +981,64 @@ impl<S: BucketStore> PathOramClient<S> {
     /// [`ProtocolError::CheckoutViolation`] if the block is not in the
     /// stash (e.g. still in the tree) or already checked out.
     pub fn take_from_stash(&mut self, id: BlockId) -> Result<Block> {
+        if self.scratch.pending {
+            return self.take_pending(id);
+        }
         let block = self.stash.take(id).ok_or(ProtocolError::CheckoutViolation { block: id })?;
         let inserted = self.checked_out.insert(id);
         debug_assert!(inserted);
         Ok(block)
     }
 
+    /// Locates `id` in the virtual holdings of a fused serve: the stash
+    /// index first (clean for the whole serve, and tombstoned checkouts
+    /// are already removed from it), then a linear scan of the not-yet-
+    /// taken fetch-scratch slots.
+    fn pending_find(&self, id: BlockId) -> Option<usize> {
+        if let Some(pos) = self.stash.position(id) {
+            return Some(pos);
+        }
+        let m = self.stash.len();
+        let fetch = &self.scratch.fetch;
+        (0..fetch.len()).find(|&j| !self.scratch.fetch_taken[j] && fetch.id(j) == id).map(|j| m + j)
+    }
+
+    /// [`take_from_stash`](Self::take_from_stash) during a fused serve:
+    /// `swap_remove`s the block's handle from the virtual candidate order
+    /// — the exact structural effect [`Stash::take`] has on the
+    /// materialised stash — and moves the block out (stash residents leave
+    /// an unreferenced tombstone; fetched residents materialise from the
+    /// scratch).
+    fn take_pending(&mut self, id: BlockId) -> Result<Block> {
+        let handle = self.pending_find(id).ok_or(ProtocolError::CheckoutViolation { block: id })?;
+        let v = self
+            .scratch
+            .order
+            .iter()
+            .position(|&h| h as usize == handle)
+            .expect("handle of a live block must be in the candidate order");
+        self.scratch.order.swap_remove(v);
+        let m = self.stash.len();
+        let block = if handle < m {
+            self.stash.extract_at(handle)
+        } else {
+            let j = handle - m;
+            self.scratch.fetch_taken[j] = true;
+            Self::materialize_fetched(&self.scratch.fetch, j, &mut self.scratch.pool)
+        };
+        let inserted = self.checked_out.insert(id);
+        debug_assert!(inserted);
+        Ok(block)
+    }
+
     /// Whether `id` is currently in the stash (and not checked out).
+    /// During a fused serve the pending fetched path counts as stash
+    /// holdings, matching what the classic route would have materialised.
     #[must_use]
     pub fn stash_contains(&self, id: BlockId) -> bool {
+        if self.scratch.pending {
+            return self.pending_find(id).is_some();
+        }
         self.stash.contains(id)
     }
 
@@ -611,6 +1048,7 @@ impl<S: BucketStore> PathOramClient<S> {
     /// [`ProtocolError::CheckoutViolation`] if the block was not checked
     /// out.
     pub fn return_to_stash(&mut self, block: Block) -> Result<()> {
+        debug_assert!(!self.scratch.pending, "return_to_stash during a fused serve");
         if !self.checked_out.remove(&block.id()) {
             return Err(ProtocolError::CheckoutViolation { block: block.id() });
         }
@@ -676,10 +1114,42 @@ impl<S: BucketStore> PathOramClient<S> {
 
     /// One dummy read/write pair on a uniformly random path. Public so
     /// higher layers can drain their own pressure.
+    ///
+    /// In scratch mode the whole path is processed in one batched pass:
+    /// the fetched slots never materialise as stash-resident [`Block`]s —
+    /// they are spliced after the stash's candidates in the write-back
+    /// scratch, exactly where the unbatched fetch-then-drain pair would
+    /// have placed them, so stats, stash high-water marks and the
+    /// observable access sequence are identical to the classic pair.
     pub fn dummy_access(&mut self) {
+        debug_assert!(!self.scratch.pending, "dummy_access during a fused serve");
         let leaf = self.random_leaf();
-        self.fetch_path(leaf, AccessKind::Dummy);
-        self.writeback_path(leaf);
+        let Some(capacity) = self.scratch_capacity() else {
+            self.fetch_path(leaf, AccessKind::Dummy);
+            self.writeback_path(leaf);
+            return;
+        };
+
+        // Fetch half (stats/observer mirror `fetch_path` exactly; the
+        // stash high-water mark still counts the fetched blocks even
+        // though they bypass the stash).
+        self.stats.dummy_reads += 1;
+        self.stats.slots_read += self.geometry().path_slots();
+        self.observer.observe(ServerOp::ReadPath(leaf, AccessKind::Dummy));
+        let mut fetch = std::mem::take(&mut self.scratch.fetch);
+        self.storage.read_path_into(leaf, &mut fetch);
+        self.stats.blocks_fetched += fetch.len() as u64;
+        self.stats.observe_stash(self.stash.len() + fetch.len() + self.checked_out.len());
+
+        // Write-back half: candidates are [stash..., fetched in path
+        // order...] — the exact order `take_all` would yield after the
+        // unbatched fetch inserted the path's blocks.
+        self.stats.path_writes += 1;
+        self.stats.slots_written += self.geometry().path_slots();
+        self.observer.observe(ServerOp::WritePath(leaf));
+        self.scratch.fetch = fetch;
+        self.writeback_in_place(leaf, capacity);
+        self.stats.observe_stash(self.stash.len() + self.checked_out.len());
     }
 
     /// Runs the background-eviction loop if the stash exceeds the

@@ -25,6 +25,13 @@
 //! boundary — and the workspace's backend-equivalence tests assert that
 //! responses and observer sequences are identical across backends.
 //!
+//! Over stride-format stores (the arena backend), the serving
+//! primitives run allocation-free on reusable scratch buffers, with
+//! write-backs planned over borrowed candidate views and path
+//! passengers bypassing the stash entirely on fused serves — see
+//! ARCHITECTURE.md's "Data layout" section for the slot encoding,
+//! scratch ownership and the leakage argument.
+//!
 //! # Example
 //!
 //! ```
@@ -48,6 +55,7 @@ mod client;
 mod config;
 mod error;
 mod eviction;
+mod oblivious;
 mod observer;
 mod position;
 mod recursive;
@@ -59,6 +67,7 @@ pub use client::PathOramClient;
 pub use config::PathOramConfig;
 pub use error::ProtocolError;
 pub use eviction::EvictionConfig;
+pub use oblivious::{ct_eq_u32, ct_find_by, ct_select_u32};
 pub use observer::{AccessKind, AccessObserver, NullObserver, RecordingObserver, ServerOp};
 pub use position::DensePositionMap;
 pub use recursive::RecursivePositionMap;

@@ -1,0 +1,105 @@
+//! Branchless constant-shape selection primitives.
+//!
+//! The scalar way to pick a wanted block out of a fetched bucket is a
+//! short-circuiting scan (`iter().position(..)`), whose instruction trace
+//! depends on *where* the match sits — a classic micro-architectural side
+//! channel when the client runs inside an enclave or next to a
+//! co-tenant. The helpers here do the same job with a fixed shape: every
+//! candidate is examined, every iteration executes the same instruction
+//! sequence, and the answer is accumulated with arithmetic selects
+//! instead of data-dependent branches.
+//!
+//! These helpers harden the *client-side* scan only. The protocol's
+//! server-visible access sequence was never affected either way — paths
+//! and buckets are read in full regardless of where the wanted block
+//! sits — which the `RecordingObserver` equivalence tests pin down. See
+//! ARCHITECTURE.md's "Data layout" section for the leakage discussion.
+
+/// Constant-time `u32` equality: returns all-ones (`u32::MAX`) when
+/// `a == b`, all-zeros otherwise, without a data-dependent branch.
+#[must_use]
+pub fn ct_eq_u32(a: u32, b: u32) -> u32 {
+    // `x == 0` iff `x | x.wrapping_neg()` has its top bit clear.
+    let x = a ^ b;
+    let nonzero_mask = ((x | x.wrapping_neg()) >> 31).wrapping_neg(); // MAX when a != b
+    !nonzero_mask
+}
+
+/// Constant-time select: `a` when `mask` is all-ones, `b` when all-zeros.
+/// Any other mask value is a caller bug.
+#[must_use]
+pub fn ct_select_u32(mask: u32, a: u32, b: u32) -> u32 {
+    (mask & a) | (!mask & b)
+}
+
+/// Branchless position scan: the index of the first of `len` candidates
+/// whose key (produced by `key_of`) equals `needle`, or `None`.
+///
+/// Every candidate is visited and the accumulator update has the same
+/// shape on every iteration — matching or not — so the scan's trace is
+/// independent of the match position. Later matches never overwrite an
+/// earlier one (the `found` mask latches), mirroring
+/// `iter().position(..)` exactly.
+#[must_use]
+pub fn ct_find_by(len: usize, needle: u32, mut key_of: impl FnMut(usize) -> u32) -> Option<usize> {
+    let mut found: u32 = 0; // latches to MAX on the first match
+    let mut index: u32 = 0;
+    for i in 0..len {
+        let here = ct_eq_u32(key_of(i), needle);
+        let take = here & !found; // first match only
+        index = ct_select_u32(take, i as u32, index);
+        found |= here;
+    }
+    if found == u32::MAX {
+        Some(index as usize)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eq_mask_is_all_or_nothing() {
+        assert_eq!(ct_eq_u32(0, 0), u32::MAX);
+        assert_eq!(ct_eq_u32(u32::MAX, u32::MAX), u32::MAX);
+        assert_eq!(ct_eq_u32(1, 2), 0);
+        assert_eq!(ct_eq_u32(0, u32::MAX), 0);
+        assert_eq!(ct_eq_u32(1 << 31, 0), 0);
+    }
+
+    #[test]
+    fn select_picks_by_mask() {
+        assert_eq!(ct_select_u32(u32::MAX, 7, 9), 7);
+        assert_eq!(ct_select_u32(0, 7, 9), 9);
+    }
+
+    #[test]
+    fn find_matches_first_occurrence() {
+        let keys = [5u32, 3, 9, 3];
+        assert_eq!(ct_find_by(keys.len(), 3, |i| keys[i]), Some(1));
+        assert_eq!(ct_find_by(keys.len(), 9, |i| keys[i]), Some(2));
+        assert_eq!(ct_find_by(keys.len(), 4, |i| keys[i]), None);
+        assert_eq!(ct_find_by(0, 4, |_| unreachable!()), None);
+    }
+
+    proptest! {
+        #[test]
+        fn ct_find_agrees_with_position(
+            keys in proptest::collection::vec(0u32..16, 0..12),
+            needle in 0u32..16,
+        ) {
+            let expected = keys.iter().position(|k| *k == needle);
+            let got = ct_find_by(keys.len(), needle, |i| keys[i]);
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn ct_eq_agrees_with_eq(a in proptest::any::<u32>(), b in proptest::any::<u32>()) {
+            prop_assert_eq!(ct_eq_u32(a, b), if a == b { u32::MAX } else { 0 });
+        }
+    }
+}

@@ -275,11 +275,14 @@ impl<S: BucketStore> RingOramClient<S> {
         let mut found = Vec::new();
         let mut rest = Vec::new();
         for block in self.storage.read_bucket(level, node) {
-            if let Some(pos) = wanted.iter().position(|w| *w == block.id()) {
-                wanted.swap_remove(pos);
-                found.push(block);
-            } else {
-                rest.push(block);
+            // Branchless constant-shape scan: the wanted-list walk has
+            // the same trace whether (and where) the block matches.
+            match crate::ct_find_by(wanted.len(), block.id().index(), |i| wanted[i].index()) {
+                Some(pos) => {
+                    wanted.swap_remove(pos);
+                    found.push(block);
+                }
+                None => rest.push(block),
             }
         }
         let leftover = self.storage.write_bucket(level, node, rest);

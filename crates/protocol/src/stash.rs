@@ -3,17 +3,29 @@
 
 use std::collections::HashMap;
 
-use oram_tree::{Block, BlockId, LeafId};
+use oram_tree::{Block, BlockId, IdHashBuilder, LeafId};
+
+type IdIndex = HashMap<BlockId, usize, IdHashBuilder>;
 
 /// The Path ORAM stash.
 ///
 /// Holds real blocks that are currently not stored in the server tree.
 /// Lookups are O(1); the write-back path drains the stash wholesale through
-/// [`Stash::take_all`] / [`Stash::absorb`].
+/// [`Stash::take_all`] / [`Stash::absorb`] (or, on the zero-copy route,
+/// [`Stash::drain_with`]), with both the block vector and the id index
+/// retaining their reservations across cycles — steady-state write-backs
+/// do not allocate.
 #[derive(Debug, Default)]
 pub struct Stash {
     blocks: Vec<Block>,
-    index: HashMap<BlockId, usize>,
+    index: IdIndex,
+    /// When set, `index` is stale: an in-place write-back compacted or
+    /// appended to `blocks` without paying the per-entry re-index. The
+    /// index is rebuilt lazily by the next positional lookup — background
+    /// eviction runs long bursts of write-backs with no lookups in
+    /// between, so deferring turns hundreds of hash-map updates per pass
+    /// into one rebuild per real access.
+    dirty: bool,
 }
 
 impl Stash {
@@ -21,6 +33,32 @@ impl Stash {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuilds the id index from `blocks` if an in-place write-back left
+    /// it stale. Every `&mut self` entry point that reads or writes the
+    /// index calls this first.
+    fn ensure_index(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.index.clear();
+        for (i, b) in self.blocks.iter().enumerate() {
+            self.index.insert(b.id(), i);
+        }
+        assert_eq!(self.index.len(), self.blocks.len(), "duplicate block ids in stash");
+        self.dirty = false;
+    }
+
+    /// Position of `id` without requiring `&mut self`: consults the index
+    /// when clean, falls back to a linear scan while a deferred rebuild
+    /// is pending (shared-reference lookups are off the hot path).
+    fn position_of(&self, id: BlockId) -> Option<usize> {
+        if self.dirty {
+            self.blocks.iter().position(|b| b.id() == id)
+        } else {
+            self.index.get(&id).copied()
+        }
     }
 
     /// Number of blocks currently stashed.
@@ -38,7 +76,7 @@ impl Stash {
     /// Whether the stash holds `id`.
     #[must_use]
     pub fn contains(&self, id: BlockId) -> bool {
-        self.index.contains_key(&id)
+        self.position_of(id).is_some()
     }
 
     /// Inserts a block.
@@ -47,6 +85,7 @@ impl Stash {
     /// Panics if a block with the same id is already stashed — the protocol
     /// invariant is one copy per block, anywhere.
     pub fn insert(&mut self, block: Block) {
+        self.ensure_index();
         let prev = self.index.insert(block.id(), self.blocks.len());
         assert!(prev.is_none(), "duplicate block {} inserted into stash", block.id());
         self.blocks.push(block);
@@ -54,6 +93,7 @@ impl Stash {
 
     /// Removes and returns the block with `id`, if present.
     pub fn take(&mut self, id: BlockId) -> Option<Block> {
+        self.ensure_index();
         let pos = self.index.remove(&id)?;
         let block = self.blocks.swap_remove(pos);
         if pos < self.blocks.len() {
@@ -66,12 +106,12 @@ impl Stash {
     /// Borrows the block with `id`, if present.
     #[must_use]
     pub fn get(&self, id: BlockId) -> Option<&Block> {
-        self.index.get(&id).map(|&pos| &self.blocks[pos])
+        self.position_of(id).map(|pos| &self.blocks[pos])
     }
 
     /// Mutably borrows the block with `id`, if present.
     pub fn get_mut(&mut self, id: BlockId) -> Option<&mut Block> {
-        self.index.get(&id).map(|&pos| &mut self.blocks[pos])
+        self.position_of(id).map(|pos| &mut self.blocks[pos])
     }
 
     /// Reassigns the stashed block `id` to a new leaf. Returns `false` if
@@ -91,18 +131,32 @@ impl Stash {
     #[must_use]
     pub fn take_all(&mut self) -> Vec<Block> {
         self.index.clear();
+        self.dirty = false;
         std::mem::take(&mut self.blocks)
     }
 
     /// Re-inserts blocks (typically the leftovers of a write-back).
     ///
+    /// The vector handed back is adopted wholesale on the fast path and
+    /// the id index is rebuilt **in place** — its table reservation
+    /// survives the cycle, so a `take_all` → `absorb` round trip touches
+    /// the allocator only while the stash is still growing toward its
+    /// high-water mark.
+    ///
     /// # Panics
     /// Panics on duplicate ids, as [`Stash::insert`] does.
     pub fn absorb(&mut self, blocks: Vec<Block>) {
+        if self.blocks.is_empty() {
+            self.index.clear();
+            self.dirty = false;
+        }
         if self.blocks.is_empty() && self.index.is_empty() {
-            // Fast path: adopt the vector wholesale.
+            // Fast path: adopt the vector wholesale, reusing the index's
+            // existing table instead of collecting a fresh one.
             self.blocks = blocks;
-            self.index = self.blocks.iter().enumerate().map(|(i, b)| (b.id(), i)).collect();
+            for (i, b) in self.blocks.iter().enumerate() {
+                self.index.insert(b.id(), i);
+            }
             assert_eq!(self.index.len(), self.blocks.len(), "duplicate block ids absorbed");
         } else {
             for b in blocks {
@@ -111,9 +165,138 @@ impl Stash {
         }
     }
 
+    /// Drains every block through `f` in stash order (the order
+    /// [`Stash::take_all`] would return), clearing the stash while keeping
+    /// both backing reservations. The zero-copy write-back path uses this
+    /// to export candidates straight into a path scratch without an
+    /// intermediate `Vec<Block>` hand-off.
+    pub fn drain_with(&mut self, mut f: impl FnMut(Block)) {
+        self.index.clear();
+        self.dirty = false;
+        for block in self.blocks.drain(..) {
+            f(block);
+        }
+    }
+
+    /// Borrows the stashed blocks in stash order (the order
+    /// [`Stash::take_all`] would yield) — the candidate view for in-place
+    /// write-backs.
+    pub(crate) fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// In-place leftover compaction for a planned write-back: drops every
+    /// block whose `placed` flag is set, preserving the relative order of
+    /// the survivors (the order `take_all` → plan → `absorb` of the
+    /// leftovers would produce). Payloads of placed blocks are handed to
+    /// `reclaim` so the caller can recycle their allocations. Defers the
+    /// index rebuild — see [`Stash::ensure_index`].
+    ///
+    /// # Panics
+    /// Panics if `placed` is shorter than the stash.
+    // The index walks `placed` and `self.blocks` in lockstep while
+    // swapping inside `self.blocks`, which rules out an iterator.
+    #[allow(clippy::needless_range_loop)]
+    pub(crate) fn retain_unplaced_with(
+        &mut self,
+        placed: &[bool],
+        mut reclaim: impl FnMut(Box<[u8]>),
+    ) {
+        assert!(placed.len() >= self.blocks.len(), "placed flags shorter than the stash");
+        let mut keep = 0;
+        for i in 0..self.blocks.len() {
+            if placed[i] {
+                if let Some(boxed) = self.blocks[i].replace_data(None) {
+                    reclaim(boxed);
+                }
+            } else {
+                if keep != i {
+                    self.blocks.swap(keep, i);
+                }
+                keep += 1;
+            }
+        }
+        self.blocks.truncate(keep);
+        self.dirty = true;
+    }
+
+    /// Appends a block without updating the id index (deferred rebuild —
+    /// see [`Stash::ensure_index`]). Only the in-place write-back path
+    /// uses this, immediately after
+    /// [`retain_unplaced_with`](Stash::retain_unplaced_with) has already
+    /// marked the index stale; the duplicate-id invariant is re-checked at
+    /// rebuild time.
+    pub(crate) fn push_deferred(&mut self, block: Block) {
+        self.blocks.push(block);
+        self.dirty = true;
+    }
+
+    /// Forces the deferred index rebuild now, so the `&self` position
+    /// lookups below run O(1) for the rest of a fused serve.
+    pub(crate) fn prepare_lookups(&mut self) {
+        self.ensure_index();
+    }
+
+    /// Position of `id` in stash order, if present (see
+    /// [`Stash::blocks`]). O(1) once
+    /// [`prepare_lookups`](Stash::prepare_lookups) has run.
+    pub(crate) fn position(&self, id: BlockId) -> Option<usize> {
+        self.position_of(id)
+    }
+
+    /// Moves the block at `pos` out, leaving a tombstone (the reserved
+    /// `u32::MAX` id, which no lookup can name) so every other position —
+    /// and therefore the id index — stays valid. The fused serving path
+    /// uses this mid-serve; the tombstones are swept when the serve's
+    /// write-back calls [`rebuild_from`](Stash::rebuild_from).
+    ///
+    /// # Panics
+    /// Panics if `pos` is out of range; debug-asserts the index is clean
+    /// (callers run [`prepare_lookups`](Stash::prepare_lookups) first).
+    pub(crate) fn extract_at(&mut self, pos: usize) -> Block {
+        debug_assert!(!self.dirty, "extract_at needs a clean index");
+        let tombstone = Block::tombstone();
+        let block = std::mem::replace(&mut self.blocks[pos], tombstone);
+        self.index.remove(&block.id());
+        block
+    }
+
+    /// Moves the block at `pos` out for a stash rebuild, leaving a
+    /// tombstone and **not** touching the index — only valid inside a
+    /// [`rebuild_from`](Stash::rebuild_from) cycle that replaces the whole
+    /// vector immediately after.
+    pub(crate) fn extract_for_rebuild(&mut self, pos: usize) -> Block {
+        let tombstone = Block::tombstone();
+        std::mem::replace(&mut self.blocks[pos], tombstone)
+    }
+
+    /// Detaches and returns the payload of the block at `pos` (placed-
+    /// entry reclamation during a fused write-back).
+    pub(crate) fn reclaim_payload_at(&mut self, pos: usize) -> Option<Box<[u8]>> {
+        self.blocks[pos].replace_data(None)
+    }
+
+    /// Swaps in `blocks` as the new stash contents and hands back the old
+    /// vector, cleared but with its reservation intact (the caller keeps
+    /// it as the next rebuild's scratch). Defers the index rebuild.
+    pub(crate) fn rebuild_from(&mut self, mut blocks: Vec<Block>) -> Vec<Block> {
+        std::mem::swap(&mut self.blocks, &mut blocks);
+        blocks.clear();
+        self.dirty = true;
+        blocks
+    }
+
     /// Iterates over stashed blocks in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = &Block> {
         self.blocks.iter()
+    }
+
+    /// Current backing reservations `(block vector capacity, index
+    /// capacity)` — the allocation-churn regression tests pin these as
+    /// stable across write-back cycles.
+    #[must_use]
+    pub fn reserved(&self) -> (usize, usize) {
+        (self.blocks.capacity(), self.index.capacity())
     }
 }
 
@@ -177,6 +360,63 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert!(s.contains(BlockId::new(0)));
         assert!(!s.contains(BlockId::new(1)));
+    }
+
+    #[test]
+    fn write_back_cycles_keep_backing_reservations_stable() {
+        // A fixed trace of take_all/absorb cycles (with churn inside each
+        // cycle, as write-backs produce) must not move either backing
+        // reservation once the stash has seen its high-water mark.
+        let mut s = Stash::new();
+        for i in 0..48 {
+            s.insert(blk(i, i));
+        }
+        let all = s.take_all();
+        s.absorb(all);
+        let steady = s.reserved();
+        for round in 0..64u32 {
+            let mut all = s.take_all();
+            assert!(s.is_empty());
+            // Pretend the tree placed a deterministic subset, then the
+            // next access re-inserted the same ids.
+            let removed: Vec<Block> =
+                all.iter().filter(|b| (b.id().index() + round) % 3 == 0).cloned().collect();
+            all.retain(|b| (b.id().index() + round) % 3 != 0);
+            s.absorb(all);
+            for b in removed {
+                s.insert(b);
+            }
+            assert_eq!(s.len(), 48);
+            assert_eq!(
+                s.reserved(),
+                steady,
+                "cycle {round} moved the stash's backing reservations"
+            );
+        }
+    }
+
+    #[test]
+    fn drain_with_yields_take_all_order_and_keeps_reservations() {
+        let mut s = Stash::new();
+        for i in 0..12 {
+            s.insert(blk(i, i));
+        }
+        let mut clone_order: Vec<u32> = Vec::new();
+        let mut other = Stash::new();
+        for i in 0..12 {
+            other.insert(blk(i, i));
+        }
+        for b in other.take_all() {
+            clone_order.push(b.id().index());
+        }
+        let reserved = s.reserved();
+        let mut drained: Vec<u32> = Vec::new();
+        s.drain_with(|b| drained.push(b.id().index()));
+        assert_eq!(drained, clone_order);
+        assert!(s.is_empty());
+        assert_eq!(s.reserved(), reserved, "drain must keep the reservations");
+        s.insert(blk(99, 0));
+        assert!(s.contains(BlockId::new(99)));
     }
 
     #[test]

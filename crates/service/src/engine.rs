@@ -1173,7 +1173,19 @@ fn build_client(
     let geometry = laoram_config.geometry()?;
     match backend {
         ResolvedBackend::InMemory => {
-            let store: DynBucketStore = if spec.payloads {
+            // Arena shards carry a fixed per-slot payload capacity
+            // (row_bytes); a payload table declaring row_bytes = 0 has
+            // no usable capacity, so it falls back to the boxed-slot
+            // layout (which sizes slots per write).
+            let arena = spec.data_plane == crate::DataPlane::Arena
+                && !(spec.payloads && spec.row_bytes == 0);
+            let store: DynBucketStore = if arena {
+                let capacity = if spec.payloads { spec.row_bytes } else { 0 };
+                Box::new(oram_tree::ArenaStore::new(
+                    geometry,
+                    oram_tree::ArenaStoreConfig::new().payload_capacity(capacity),
+                ))
+            } else if spec.payloads {
                 Box::new(TreeStorage::new(geometry))
             } else {
                 Box::new(TreeStorage::metadata_only(geometry))

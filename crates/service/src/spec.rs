@@ -278,6 +278,27 @@ pub enum PartitionStrategy {
     },
 }
 
+/// Which in-memory bucket-storage layout a table's shards use.
+///
+/// Disk-backed shards are unaffected: [`DiskStore`](oram_tree::DiskStore)
+/// has its own slot encoding. The layouts are byte-equivalent at the
+/// protocol level — responses, statistics and the server-visible access
+/// sequence are identical (pinned by the workspace's backend-equivalence
+/// proptests); only allocation behaviour differs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DataPlane {
+    /// Contiguous fixed-stride level arenas
+    /// ([`ArenaStore`](oram_tree::ArenaStore)) with zero-copy scratch
+    /// path I/O — the serving default.
+    #[default]
+    Arena,
+    /// The original boxed-slot layout
+    /// ([`TreeStorage`](oram_tree::TreeStorage)); retained as the
+    /// baseline arm for equivalence tests and paired benchmarks.
+    Legacy,
+}
+
 /// Configuration of one hosted embedding table.
 ///
 /// Each table is partitioned across `shards` independent LAORAM
@@ -327,6 +348,9 @@ pub struct TableSpec {
     /// must fit in [`row_bytes`](Self::row_bytes), and the table must
     /// keep payloads enabled — both validated at startup.
     pub optimizer: Option<laoram_core::OptimizerLayout>,
+    /// In-memory bucket-storage layout for this table's shards (ignored
+    /// by disk-backed shards).
+    pub data_plane: DataPlane,
 }
 
 impl TableSpec {
@@ -349,6 +373,7 @@ impl TableSpec {
             partition: PartitionStrategy::Hash,
             hot_set: None,
             optimizer: None,
+            data_plane: DataPlane::default(),
         }
     }
 
@@ -428,6 +453,14 @@ impl TableSpec {
     #[must_use]
     pub fn hot_set(mut self, hot_set: HotSetSpec) -> Self {
         self.hot_set = Some(hot_set);
+        self
+    }
+
+    /// Selects the in-memory bucket-storage layout for this table's
+    /// shards.
+    #[must_use]
+    pub fn data_plane(mut self, data_plane: DataPlane) -> Self {
+        self.data_plane = data_plane;
         self
     }
 

@@ -1,0 +1,697 @@
+//! Arena-backed in-memory bucket storage: one contiguous allocation per
+//! tree level, fixed-stride slots, allocation-free path I/O.
+//!
+//! [`TreeStorage`](crate::TreeStorage) keeps slot metadata in a flat
+//! array but boxes every payload individually and materialises every path
+//! read as a fresh `Vec<Block>`. [`ArenaStore`] is the serving-path
+//! replacement: each level is a single `Box<[u8]>` arena of fixed-stride
+//! slots (12-byte header + a fixed payload capacity), and path I/O moves
+//! slots between the arena and a caller-owned
+//! [`PathScratch`](crate::PathScratch) with per-stride `memcpy`s —
+//! no per-block allocation, no `Vec<Block>` round-trip.
+//!
+//! The path read is **branchless and constant-shape**: every slot on the
+//! path is copied out and marked empty whether or not it holds a real
+//! block, with an arithmetic cursor advance selecting which copies
+//! survive. This removes the data-dependent skip-empty branch of the
+//! scalar scan without changing what an observer of the *request
+//! sequence* sees — which paths are read and written is decided above
+//! the [`BucketStore`](crate::BucketStore) boundary either way, and the
+//! workspace's backend-equivalence proptests pin `RecordingObserver`
+//! sequences to be identical against `TreeStorage`. See ARCHITECTURE.md's
+//! "Data layout" section.
+
+use crate::path::{NO_PAYLOAD, SLOT_HEADER_BYTES};
+use crate::store::{
+    compact_unplaced, plan_greedy_write_back, plan_greedy_write_back_reusing, plan_place_for_init,
+    PlanScratch,
+};
+use crate::{
+    Block, BlockId, BucketStore, LeafId, PathScratch, PathSnapshot, TreeError, TreeGeometry,
+};
+
+const EMPTY_ID_BYTES: [u8; 4] = u32::MAX.to_le_bytes();
+
+/// Construction-time tuning for an [`ArenaStore`].
+///
+/// # Example
+/// ```
+/// use oram_tree::ArenaStoreConfig;
+/// let config = ArenaStoreConfig::new().payload_capacity(128);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ArenaStoreConfig {
+    payload_capacity: u32,
+}
+
+impl ArenaStoreConfig {
+    /// Defaults: metadata-only slots (payload capacity 0).
+    #[must_use]
+    pub fn new() -> Self {
+        ArenaStoreConfig::default()
+    }
+
+    /// Fixed payload bytes reserved per slot. `0` (the default) builds a
+    /// metadata-only store whose stride is just the slot header — the
+    /// mode the paper-scale simulations and the serving bench run in.
+    /// Payload-carrying tables must size this to their (sealed) row
+    /// width; writes larger than the capacity panic.
+    #[must_use]
+    pub fn payload_capacity(mut self, bytes: u32) -> Self {
+        self.payload_capacity = bytes;
+        self
+    }
+}
+
+/// In-memory bucket store with one fixed-stride arena per tree level.
+///
+/// Implements the same [`BucketStore`] contract as
+/// [`TreeStorage`](crate::TreeStorage) — the backend-equivalence suite
+/// pins responses and observer sequences to be identical — while serving
+/// the native scratch I/O pair
+/// ([`read_path_into`](BucketStore::read_path_into) /
+/// [`write_path_from`](BucketStore::write_path_from)) without allocating:
+/// reads are a constant-shape copy-out of the path's slots, write-backs
+/// plan with reusable pools
+/// and place by stride `memcpy`. Unlike `TreeStorage`, payload capacity
+/// is fixed per slot at construction, as on the disk backend.
+///
+/// # Example
+/// ```
+/// use oram_tree::{ArenaStore, ArenaStoreConfig, Block, BlockId, BucketProfile, BucketStore,
+///                 LeafId, PathScratch, TreeGeometry};
+///
+/// let geometry = TreeGeometry::with_levels(3, BucketProfile::Uniform { capacity: 4 })?;
+/// let mut store = ArenaStore::new(geometry, ArenaStoreConfig::new().payload_capacity(8));
+///
+/// let mut scratch = PathScratch::new();
+/// scratch.ensure_shape(8);
+/// scratch.push(BlockId::new(7), LeafId::new(2), Some(&[1, 2]));
+/// store.write_path_from(LeafId::new(2), &mut scratch);
+/// assert!(scratch.is_empty(), "the block found a slot");
+///
+/// store.read_path_into(LeafId::new(2), &mut scratch);
+/// assert_eq!(scratch.len(), 1);
+/// assert_eq!(scratch.payload(0), Some(&[1u8, 2][..]));
+/// assert_eq!(store.occupancy(), 0, "path reads are destructive");
+/// # Ok::<(), oram_tree::TreeError>(())
+/// ```
+#[derive(Clone)]
+pub struct ArenaStore {
+    geometry: TreeGeometry,
+    payload_capacity: usize,
+    /// One contiguous slot arena per level, root first.
+    levels: Vec<Box<[u8]>>,
+    /// Flat slot index of each level's first slot (ascending), mapping
+    /// the geometry's flat slot space onto (level, local) coordinates.
+    level_base: Vec<usize>,
+    occupied: u64,
+    plan: PlanScratch,
+}
+
+impl std::fmt::Debug for ArenaStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArenaStore")
+            .field("levels", &self.geometry.num_levels())
+            .field("total_slots", &self.geometry.total_slots())
+            .field("payload_capacity", &self.payload_capacity)
+            .field("occupied", &self.occupied)
+            .finish()
+    }
+}
+
+impl ArenaStore {
+    /// Creates an empty store: one zero-initialised (all-empty) arena per
+    /// level, sized `level slots × stride`.
+    #[must_use]
+    pub fn new(geometry: TreeGeometry, config: ArenaStoreConfig) -> Self {
+        let payload_capacity = config.payload_capacity as usize;
+        let stride = SLOT_HEADER_BYTES + payload_capacity;
+        let mut levels = Vec::new();
+        let mut level_base = Vec::new();
+        for level in 0..=geometry.leaf_level() {
+            let nodes = 1u64 << level;
+            let first = geometry.bucket_slot_range(level, 0);
+            let last = geometry.bucket_slot_range(level, nodes - 1);
+            let slots = last.end - first.start;
+            // 0xFF fill: every id reads as the empty sentinel.
+            levels.push(vec![0xFF; slots * stride].into_boxed_slice());
+            level_base.push(first.start);
+        }
+        ArenaStore {
+            geometry,
+            payload_capacity,
+            levels,
+            level_base,
+            occupied: 0,
+            plan: PlanScratch::default(),
+        }
+    }
+
+    /// Creates a metadata-only store (stride = slot header only).
+    #[must_use]
+    pub fn metadata_only(geometry: TreeGeometry) -> Self {
+        ArenaStore::new(geometry, ArenaStoreConfig::new())
+    }
+
+    /// The geometry this store was built with.
+    #[must_use]
+    pub fn geometry(&self) -> &TreeGeometry {
+        &self.geometry
+    }
+
+    /// Fixed payload bytes per slot (0 = metadata-only).
+    #[must_use]
+    pub fn payload_capacity(&self) -> usize {
+        self.payload_capacity
+    }
+
+    /// Number of real blocks currently stored.
+    #[must_use]
+    pub fn occupancy(&self) -> u64 {
+        self.occupied
+    }
+
+    fn stride(&self) -> usize {
+        SLOT_HEADER_BYTES + self.payload_capacity
+    }
+
+    /// (level, byte offset) of a flat slot index.
+    fn locate(level_base: &[usize], stride: usize, flat: usize) -> (usize, usize) {
+        let level = level_base.partition_point(|&b| b <= flat) - 1;
+        (level, (flat - level_base[level]) * stride)
+    }
+
+    fn slot(&self, flat: usize) -> &[u8] {
+        let stride = self.stride();
+        let (level, off) = Self::locate(&self.level_base, stride, flat);
+        &self.levels[level][off..off + stride]
+    }
+
+    fn slot_mut(&mut self, flat: usize) -> &mut [u8] {
+        let stride = self.stride();
+        let (level, off) = Self::locate(&self.level_base, stride, flat);
+        &mut self.levels[level][off..off + stride]
+    }
+
+    fn slot_is_empty(&self, flat: usize) -> bool {
+        self.slot(flat)[0..4] == EMPTY_ID_BYTES
+    }
+
+    fn header(slot: &[u8]) -> (u32, u32, u32) {
+        let word =
+            |at: usize| u32::from_le_bytes(slot[at..at + 4].try_into().expect("header word"));
+        (word(0), word(4), word(8))
+    }
+
+    /// Removes and returns the slot's block, if real.
+    fn take_block(&mut self, flat: usize) -> Option<Block> {
+        let slot = self.slot_mut(flat);
+        let (id, leaf, len) = Self::header(slot);
+        if id == BlockId::EMPTY_RAW {
+            return None;
+        }
+        let block = if len == NO_PAYLOAD {
+            Block::metadata_only(BlockId::new(id), LeafId::new(leaf))
+        } else {
+            let payload = &slot[SLOT_HEADER_BYTES..SLOT_HEADER_BYTES + len as usize];
+            Block::with_data(BlockId::new(id), LeafId::new(leaf), payload.into())
+        };
+        slot[0..4].copy_from_slice(&EMPTY_ID_BYTES);
+        self.occupied -= 1;
+        Some(block)
+    }
+
+    /// Stores `block` into the (empty) slot, moving its payload out.
+    ///
+    /// # Panics
+    /// Panics if the block carries a payload and the store is
+    /// metadata-only, or if the payload exceeds the slot capacity.
+    fn put_block(&mut self, flat: usize, block: &mut Block) {
+        let data = block.replace_data(None);
+        assert!(
+            data.is_none() || self.payload_capacity > 0,
+            "payload block written into a metadata-only tree"
+        );
+        if let Some(d) = &data {
+            assert!(
+                d.len() <= self.payload_capacity,
+                "payload of {} bytes exceeds the arena slot capacity of {}",
+                d.len(),
+                self.payload_capacity,
+            );
+        }
+        let id = block.id().index();
+        let leaf = block.leaf().index();
+        let slot = self.slot_mut(flat);
+        slot[0..4].copy_from_slice(&id.to_le_bytes());
+        slot[4..8].copy_from_slice(&leaf.to_le_bytes());
+        match data {
+            Some(d) => {
+                slot[8..12].copy_from_slice(&(d.len() as u32).to_le_bytes());
+                slot[SLOT_HEADER_BYTES..SLOT_HEADER_BYTES + d.len()].copy_from_slice(&d);
+            }
+            None => slot[8..12].copy_from_slice(&NO_PAYLOAD.to_le_bytes()),
+        }
+        self.occupied += 1;
+    }
+}
+
+impl BucketStore for ArenaStore {
+    fn geometry(&self) -> &TreeGeometry {
+        &self.geometry
+    }
+
+    fn payloads_enabled(&self) -> bool {
+        self.payload_capacity > 0
+    }
+
+    fn occupancy(&self) -> u64 {
+        self.occupied
+    }
+
+    fn path_scratch_spec(&self) -> Option<usize> {
+        Some(self.payload_capacity)
+    }
+
+    fn read_path(&mut self, leaf: LeafId) -> Vec<Block> {
+        debug_assert!(self.geometry.check_leaf(leaf).is_ok(), "leaf {leaf} out of range");
+        let mut out = Vec::new();
+        for level in 0..=self.geometry.leaf_level() {
+            let node = self.geometry.path_node_in_level(leaf, level);
+            for slot in self.geometry.bucket_slot_range(level, node) {
+                if let Some(block) = self.take_block(slot) {
+                    out.push(block);
+                }
+            }
+        }
+        out
+    }
+
+    fn read_path_into(&mut self, leaf: LeafId, out: &mut PathScratch) {
+        debug_assert!(self.geometry.check_leaf(leaf).is_ok(), "leaf {leaf} out of range");
+        out.ensure_shape(self.payload_capacity);
+        out.clear();
+        out.grow_slots(self.geometry.path_slots() as usize);
+        let stride = self.stride();
+        let mut cursor = 0usize;
+        for level in 0..=self.geometry.leaf_level() {
+            let node = self.geometry.path_node_in_level(leaf, level);
+            let range = self.geometry.bucket_slot_range(level, node);
+            let base = self.level_base[level as usize];
+            let arena = &mut self.levels[level as usize];
+            for local in (range.start - base)..(range.end - base) {
+                let slot = &mut arena[local * stride..(local + 1) * stride];
+                let occupied = usize::from(slot[0..4] != EMPTY_ID_BYTES);
+                // Constant shape: copy the slot to the scratch tail and
+                // mark it empty regardless of occupancy; the cursor only
+                // advances past real blocks, so a dummy's copy is
+                // overwritten by the next one. Same visit order (root
+                // first, slot order) and output as the scalar scan.
+                out.raw_slot_mut(cursor).copy_from_slice(slot);
+                slot[0..4].copy_from_slice(&EMPTY_ID_BYTES);
+                cursor += occupied;
+            }
+        }
+        out.set_len(cursor);
+        self.occupied -= cursor as u64;
+    }
+
+    fn write_path(&mut self, leaf: LeafId, candidates: &mut Vec<Block>) {
+        debug_assert!(self.geometry.check_leaf(leaf).is_ok(), "leaf {leaf} out of range");
+        if candidates.is_empty() {
+            return;
+        }
+        let (placements, mut placed) =
+            plan_greedy_write_back(&self.geometry, leaf, candidates, |slot| {
+                self.slot_is_empty(slot)
+            });
+        for (slot, idx) in placements {
+            self.put_block(slot, &mut candidates[idx]);
+        }
+        compact_unplaced(candidates, &mut placed);
+    }
+
+    fn write_path_from(&mut self, leaf: LeafId, candidates: &mut PathScratch) {
+        debug_assert!(self.geometry.check_leaf(leaf).is_ok(), "leaf {leaf} out of range");
+        assert_eq!(
+            candidates.payload_capacity(),
+            self.payload_capacity,
+            "scratch shaped for a different store"
+        );
+        if candidates.is_empty() {
+            return;
+        }
+        let stride = self.stride();
+        {
+            let (levels, level_base) = (&self.levels, &self.level_base);
+            plan_greedy_write_back_reusing(
+                &self.geometry,
+                leaf,
+                candidates.len(),
+                |i| candidates.leaf(i),
+                |flat| {
+                    let (level, off) = Self::locate(level_base, stride, flat);
+                    levels[level][off..off + 4] == EMPTY_ID_BYTES
+                },
+                &mut self.plan,
+            );
+        }
+        for k in 0..self.plan.placements.len() {
+            let (flat, idx) = self.plan.placements[k];
+            let (level, off) = Self::locate(&self.level_base, stride, flat);
+            self.levels[level][off..off + stride].copy_from_slice(candidates.raw_slot(idx));
+        }
+        self.occupied += self.plan.placements.len() as u64;
+        candidates.retain_unplaced(&mut self.plan.placed);
+    }
+
+    fn write_path_with(
+        &mut self,
+        leaf: LeafId,
+        candidates: &dyn crate::PathCandidates,
+        placed: &mut Vec<bool>,
+    ) -> bool {
+        debug_assert!(self.geometry.check_leaf(leaf).is_ok(), "leaf {leaf} out of range");
+        let stride = self.stride();
+        {
+            let (levels, level_base) = (&self.levels, &self.level_base);
+            plan_greedy_write_back_reusing(
+                &self.geometry,
+                leaf,
+                candidates.len(),
+                |i| candidates.leaf_of(i),
+                |flat| {
+                    let (level, off) = Self::locate(level_base, stride, flat);
+                    levels[level][off..off + 4] == EMPTY_ID_BYTES
+                },
+                &mut self.plan,
+            );
+        }
+        for k in 0..self.plan.placements.len() {
+            let (flat, idx) = self.plan.placements[k];
+            let (level, off) = Self::locate(&self.level_base, stride, flat);
+            candidates.encode_into(idx, &mut self.levels[level][off..off + stride]);
+        }
+        self.occupied += self.plan.placements.len() as u64;
+        placed.clear();
+        placed.extend_from_slice(&self.plan.placed);
+        true
+    }
+
+    fn read_bucket(&mut self, level: u32, node_in_level: u64) -> Vec<Block> {
+        let mut out = Vec::new();
+        for slot in self.geometry.bucket_slot_range(level, node_in_level) {
+            if let Some(block) = self.take_block(slot) {
+                out.push(block);
+            }
+        }
+        out
+    }
+
+    fn write_bucket(&mut self, level: u32, node_in_level: u64, blocks: Vec<Block>) -> Vec<Block> {
+        let mut blocks = blocks.into_iter();
+        for slot in self.geometry.bucket_slot_range(level, node_in_level) {
+            if !self.slot_is_empty(slot) {
+                continue;
+            }
+            let Some(mut block) = blocks.next() else { return Vec::new() };
+            self.put_block(slot, &mut block);
+        }
+        blocks.collect()
+    }
+
+    fn place_for_init(&mut self, block: Block) -> Result<Option<Block>, TreeError> {
+        self.geometry.check_leaf(block.leaf())?;
+        match plan_place_for_init(&self.geometry, block.leaf(), |slot| self.slot_is_empty(slot)) {
+            Some(slot) => {
+                let mut block = block;
+                self.put_block(slot, &mut block);
+                Ok(None)
+            }
+            None => Ok(Some(block)),
+        }
+    }
+
+    fn snapshot_path(&self, leaf: LeafId) -> Result<PathSnapshot, TreeError> {
+        self.geometry.check_leaf(leaf)?;
+        let mut blocks = Vec::new();
+        for level in 0..=self.geometry.leaf_level() {
+            let node = self.geometry.path_node_in_level(leaf, level);
+            for slot in self.geometry.bucket_slot_range(level, node) {
+                let (id, leaf_raw, _) = Self::header(self.slot(slot));
+                if id != BlockId::EMPTY_RAW {
+                    blocks.push((BlockId::new(id), LeafId::new(leaf_raw)));
+                }
+            }
+        }
+        Ok(PathSnapshot { leaf, blocks, slot_count: self.geometry.path_slots() })
+    }
+
+    fn collect_blocks(&self) -> Vec<(BlockId, LeafId)> {
+        let stride = self.stride();
+        let mut out = Vec::new();
+        for arena in &self.levels {
+            for slot in arena.chunks_exact(stride) {
+                let (id, leaf, _) = Self::header(slot);
+                if id != BlockId::EMPTY_RAW {
+                    out.push((BlockId::new(id), LeafId::new(leaf)));
+                }
+            }
+        }
+        out
+    }
+
+    fn occupancy_by_level(&self) -> Vec<(u32, u64, u64)> {
+        let stride = self.stride();
+        let mut out = Vec::new();
+        for (level, arena) in self.levels.iter().enumerate() {
+            let total = (arena.len() / stride) as u64;
+            let used =
+                arena.chunks_exact(stride).filter(|slot| slot[0..4] != EMPTY_ID_BYTES).count()
+                    as u64;
+            out.push((level as u32, used, total));
+        }
+        out
+    }
+
+    fn verify_consistency(&self, num_blocks: u64) -> Result<(), String> {
+        let mut seen = vec![false; num_blocks as usize];
+        for level in 0..=self.geometry.leaf_level() {
+            for node in 0..(1u64 << level) {
+                for flat in self.geometry.bucket_slot_range(level, node) {
+                    let (id, leaf_raw, _) = Self::header(self.slot(flat));
+                    if id == BlockId::EMPTY_RAW {
+                        continue;
+                    }
+                    if u64::from(id) >= num_blocks {
+                        return Err(format!("slot {flat} holds out-of-range block {id}"));
+                    }
+                    if seen[id as usize] {
+                        return Err(format!("block {id} stored twice"));
+                    }
+                    seen[id as usize] = true;
+                    let leaf = LeafId::new(leaf_raw);
+                    if self.geometry.check_leaf(leaf).is_err() {
+                        return Err(format!("block {id} assigned invalid leaf {leaf_raw}"));
+                    }
+                    if self.geometry.path_node_in_level(leaf, level) != node {
+                        return Err(format!(
+                            "block {id} at level {level} node {node} not on path to leaf {leaf_raw}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn clear(&mut self) {
+        for arena in &mut self.levels {
+            arena.fill(0xFF);
+        }
+        self.occupied = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BucketProfile, TreeStorage};
+
+    fn geometry(levels: u32) -> TreeGeometry {
+        TreeGeometry::with_levels(levels, BucketProfile::Uniform { capacity: 2 }).unwrap()
+    }
+
+    #[test]
+    fn scratch_roundtrip_preserves_bytes_and_occupancy() {
+        let mut store = ArenaStore::new(geometry(4), ArenaStoreConfig::new().payload_capacity(4));
+        let mut scratch = PathScratch::new();
+        scratch.ensure_shape(4);
+        scratch.push(BlockId::new(1), LeafId::new(5), Some(&[9, 8, 7]));
+        scratch.push(BlockId::new(2), LeafId::new(5), None);
+        store.write_path_from(LeafId::new(5), &mut scratch);
+        assert!(scratch.is_empty());
+        assert_eq!(store.occupancy(), 2);
+
+        store.read_path_into(LeafId::new(5), &mut scratch);
+        assert_eq!(store.occupancy(), 0);
+        let mut seen: Vec<(u32, Option<Vec<u8>>)> = (0..scratch.len())
+            .map(|i| (scratch.id(i).index(), scratch.payload(i).map(<[u8]>::to_vec)))
+            .collect();
+        seen.sort();
+        assert_eq!(seen, vec![(1, Some(vec![9, 8, 7])), (2, None)]);
+    }
+
+    #[test]
+    fn behaves_like_tree_storage_on_a_mixed_trace() {
+        // Drive both stores through identical path reads/writes and
+        // bucket ops; every observable (returned blocks, leftovers,
+        // occupancy, snapshots) must match slot for slot.
+        let g = geometry(5);
+        let mut arena = ArenaStore::new(g.clone(), ArenaStoreConfig::new().payload_capacity(2));
+        let mut tree = TreeStorage::new(g.clone());
+        let num_leaves = g.num_leaves() as u32;
+        let block = |i: u32, l: u32| {
+            Block::with_data(
+                BlockId::new(i),
+                LeafId::new(l % num_leaves),
+                vec![i as u8, l as u8].into(),
+            )
+        };
+        let mut state = 0x9E3779B9u32;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            state
+        };
+        let mut next_id = 0u32;
+        for step in 0..200u32 {
+            let leaf = LeafId::new(rand() % num_leaves);
+            match step % 4 {
+                0 | 1 => {
+                    let mut a: Vec<Block> = (0..3)
+                        .map(|_| {
+                            next_id += 1;
+                            block(next_id, rand())
+                        })
+                        .collect();
+                    let mut b = a.clone();
+                    arena.write_path(leaf, &mut a);
+                    tree.write_path(leaf, &mut b);
+                    assert_eq!(a, b, "leftovers diverged at step {step}");
+                }
+                2 => {
+                    assert_eq!(arena.read_path(leaf), tree.read_path(leaf));
+                }
+                _ => {
+                    let level = rand() % (g.leaf_level() + 1);
+                    let node = u64::from(rand()) % (1u64 << level);
+                    assert_eq!(arena.read_bucket(level, node), tree.read_bucket(level, node));
+                }
+            }
+            assert_eq!(arena.occupancy(), tree.occupancy(), "occupancy diverged at step {step}");
+            assert_eq!(
+                arena.snapshot_path(leaf).unwrap().blocks,
+                tree.snapshot_path(leaf).unwrap().blocks
+            );
+        }
+        assert_eq!(arena.occupancy_by_level(), tree.occupancy_by_level());
+        assert_eq!(arena.collect_blocks(), tree.collect_blocks());
+        arena.verify_consistency(u64::from(next_id) + 1).unwrap();
+    }
+
+    #[test]
+    fn scratch_route_matches_vec_route() {
+        // The native scratch I/O and the Vec<Block> route must agree on
+        // placements and leftover order.
+        let g = geometry(4);
+        let mut via_scratch =
+            ArenaStore::new(g.clone(), ArenaStoreConfig::new().payload_capacity(1));
+        let mut via_vec = ArenaStore::new(g.clone(), ArenaStoreConfig::new().payload_capacity(1));
+        let num_leaves = g.num_leaves() as u32;
+        let mut scratch = PathScratch::new();
+        scratch.ensure_shape(1);
+        for round in 0..40u32 {
+            let leaf = LeafId::new(round % num_leaves);
+            let mut blocks: Vec<Block> = (0..4)
+                .map(|i| {
+                    let id = round * 8 + i;
+                    Block::with_data(
+                        BlockId::new(id),
+                        LeafId::new((id * 7 + 3) % num_leaves),
+                        vec![id as u8].into(),
+                    )
+                })
+                .collect();
+            scratch.clear();
+            for b in &blocks {
+                scratch.push(b.id(), b.leaf(), b.data());
+            }
+            via_scratch.write_path_from(leaf, &mut scratch);
+            via_vec.write_path(leaf, &mut blocks);
+            assert_eq!(scratch.len(), blocks.len());
+            for (i, b) in blocks.iter().enumerate() {
+                assert_eq!(scratch.id(i), b.id());
+                assert_eq!(scratch.leaf(i), b.leaf());
+                assert_eq!(scratch.payload(i), b.data());
+            }
+            let read_leaf = LeafId::new((round * 3 + 1) % num_leaves);
+            via_scratch.read_path_into(read_leaf, &mut scratch);
+            let fetched = via_vec.read_path(read_leaf);
+            assert_eq!(scratch.len(), fetched.len());
+            for (i, b) in fetched.iter().enumerate() {
+                assert_eq!(scratch.id(i), b.id());
+                assert_eq!(scratch.leaf(i), b.leaf());
+                assert_eq!(scratch.payload(i), b.data());
+            }
+            assert_eq!(via_scratch.occupancy(), via_vec.occupancy());
+            scratch.clear();
+        }
+    }
+
+    #[test]
+    fn metadata_only_store_uses_header_stride() {
+        let mut store = ArenaStore::metadata_only(geometry(3));
+        assert!(!store.payloads_enabled());
+        assert_eq!(store.path_scratch_spec(), Some(0));
+        let mut blocks = vec![Block::metadata_only(BlockId::new(1), LeafId::new(0))];
+        store.write_path(LeafId::new(0), &mut blocks);
+        assert!(blocks.is_empty());
+        assert_eq!(store.read_path(LeafId::new(0)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "metadata-only")]
+    fn payload_block_into_metadata_store_panics() {
+        let mut store = ArenaStore::metadata_only(geometry(3));
+        let mut blocks = vec![Block::with_data(BlockId::new(1), LeafId::new(0), vec![1].into())];
+        store.write_path(LeafId::new(0), &mut blocks);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the arena slot capacity")]
+    fn oversized_payload_panics() {
+        let mut store = ArenaStore::new(geometry(3), ArenaStoreConfig::new().payload_capacity(2));
+        let mut blocks =
+            vec![Block::with_data(BlockId::new(1), LeafId::new(0), vec![1, 2, 3].into())];
+        store.write_path(LeafId::new(0), &mut blocks);
+    }
+
+    #[test]
+    fn clear_empties_every_level() {
+        let mut store = ArenaStore::new(geometry(4), ArenaStoreConfig::new().payload_capacity(1));
+        for i in 0..10u32 {
+            let leaf = LeafId::new(i % store.geometry().num_leaves() as u32);
+            store
+                .place_for_init(Block::with_data(BlockId::new(i), leaf, vec![i as u8].into()))
+                .unwrap();
+        }
+        assert!(store.occupancy() > 0);
+        store.clear();
+        assert_eq!(store.occupancy(), 0);
+        assert!(store.collect_blocks().is_empty());
+        store.verify_consistency(10).unwrap();
+    }
+}

@@ -133,6 +133,23 @@ impl Block {
         Block { id, leaf, data: None }
     }
 
+    /// A placeholder carrying the reserved empty-slot id — the swap
+    /// target for moving a real block out of a vector without shifting
+    /// the positions of its neighbours (stash internals during fused
+    /// serves). Its id can never be looked up ([`BlockId::new`] rejects
+    /// the sentinel) and a tombstone must never be stored in a tree or
+    /// entered into an id index.
+    #[must_use]
+    pub fn tombstone() -> Self {
+        Block { id: BlockId(BlockId::EMPTY_RAW), leaf: LeafId::new(0), data: None }
+    }
+
+    /// Whether this is a [`tombstone`](Self::tombstone) placeholder.
+    #[must_use]
+    pub fn is_tombstone(&self) -> bool {
+        self.id.0 == BlockId::EMPTY_RAW
+    }
+
     /// The block's logical identifier.
     #[must_use]
     pub fn id(&self) -> BlockId {

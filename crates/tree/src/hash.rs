@@ -1,0 +1,74 @@
+//! Deterministic multiply-shift hashing for dense id keys.
+//!
+//! Every map on the serving hot path is keyed by a [`BlockId`] — a dense,
+//! attacker-independent row index — so SipHash's flooding resistance buys
+//! nothing while its per-op cost is paid millions of times per second.
+//! [`IdHasher`] replaces it with one Fibonacci multiply plus a mixing
+//! shift. Being deterministic (unlike `RandomState`), it also makes map
+//! iteration order reproducible across processes, which the cross-backend
+//! equivalence suites rely on wherever an iteration order feeds leaf
+//! assignment.
+//!
+//! [`BlockId`]: crate::BlockId
+
+use std::hash::BuildHasherDefault;
+
+/// Multiply-shift hasher for dense `u32` id keys (see the module docs).
+/// Non-`u32` writes fall back to FNV-1a so composite keys still hash
+/// correctly, just without the fast path.
+#[derive(Debug, Default)]
+pub struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    fn write_u32(&mut self, n: u32) {
+        let mut x = u64::from(n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 29;
+        self.0 = x;
+    }
+}
+
+/// `BuildHasher` plugging [`IdHasher`] into `HashMap`/`HashSet` —
+/// `HashMap<BlockId, V, IdHashBuilder>` is the idiom for id-keyed maps on
+/// the access path.
+pub type IdHashBuilder = BuildHasherDefault<IdHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hasher};
+
+    #[test]
+    fn u32_keys_hash_deterministically_and_spread() {
+        let build = IdHashBuilder::default();
+        let h = |n: u32| {
+            let mut hasher = build.build_hasher();
+            hasher.write_u32(n);
+            hasher.finish()
+        };
+        assert_eq!(h(7), h(7));
+        // Dense keys must not collapse to dense hashes (the whole point
+        // of the Fibonacci multiply).
+        let lows: std::collections::HashSet<u64> = (0..1000u32).map(|n| h(n) >> 48).collect();
+        assert!(lows.len() > 500, "top bits barely vary: {}", lows.len());
+    }
+
+    #[test]
+    fn byte_fallback_differs_by_content() {
+        let build = IdHashBuilder::default();
+        let h = |bytes: &[u8]| {
+            let mut hasher = build.build_hasher();
+            hasher.write(bytes);
+            hasher.finish()
+        };
+        assert_ne!(h(b"ab"), h(b"ba"));
+        assert_eq!(h(b"ab"), h(b"ab"));
+    }
+}

@@ -13,11 +13,17 @@
 //! write-back, which the [`oram-protocol`] crate drives.
 //!
 //! Storage is **pluggable** behind the [`BucketStore`] trait: the
-//! in-memory [`TreeStorage`] is the default backend, and the file-backed
-//! [`DiskStore`] serves trees larger than RAM with a write-back buffer
-//! and explicit [`sync`](BucketStore::sync) durability points. Protocol
-//! clients are generic over the backend (defaulting to `TreeStorage`),
-//! and serving engines pick one at runtime through [`DynBucketStore`].
+//! in-memory [`TreeStorage`] is the default backend, the arena-based
+//! [`ArenaStore`] is the serving-path in-memory backend (contiguous
+//! fixed-stride level arenas with allocation-free
+//! [`read_path_into`](BucketStore::read_path_into) /
+//! [`write_path_from`](BucketStore::write_path_from) scratch I/O over a
+//! [`PathScratch`] — see ARCHITECTURE.md's "Data layout" section), and
+//! the file-backed [`DiskStore`] serves trees larger than RAM with a
+//! write-back buffer and explicit [`sync`](BucketStore::sync) durability
+//! points. Protocol clients are generic over the backend (defaulting to
+//! `TreeStorage`), and serving engines pick one at runtime through
+//! [`DynBucketStore`].
 //!
 //! # Example
 //!
@@ -44,24 +50,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod block;
 mod disk;
 mod error;
 mod geometry;
+mod hash;
+mod path;
 mod sealing;
 mod snapshot;
 mod storage;
 mod store;
 mod telemetry;
 
+pub use arena::{ArenaStore, ArenaStoreConfig};
 pub use block::{Block, BlockId, LeafId};
 pub use disk::{DiskIoStats, DiskStore, DiskStoreConfig};
 pub use error::TreeError;
 pub use geometry::{BucketProfile, TreeGeometry};
+pub use hash::{IdHashBuilder, IdHasher};
+pub use path::{encode_slot, PathScratch, SLOT_HEADER_BYTES};
 pub use sealing::{BlockSealer, NONCE_BYTES};
 pub use snapshot::{ClientLevelState, SnapshotBlock, StateSnapshot};
 pub use storage::{PathSnapshot, TreeStorage};
-pub use store::{BucketStore, DynBucketStore};
+pub use store::{BucketStore, DynBucketStore, PathCandidates};
 pub use telemetry::StoreTelemetry;
 
 /// Convenience alias for results produced by this crate.

@@ -19,7 +19,7 @@
 //! whole-path reads and write-backs, bucket-granular reads for Ring-style
 //! protocols, and bulk initialisation — and nothing protocol-specific.
 
-use crate::{Block, LeafId, PathSnapshot, TreeError, TreeGeometry};
+use crate::{Block, LeafId, PathScratch, PathSnapshot, TreeError, TreeGeometry};
 
 /// Server-side bucket storage for tree-based ORAM protocols.
 ///
@@ -223,6 +223,104 @@ pub trait BucketStore {
     fn io_stats(&self) -> Option<crate::DiskIoStats> {
         None
     }
+
+    /// Declares native scratch-buffer path I/O: `Some(payload_capacity)`
+    /// when [`read_path_into`](Self::read_path_into) and
+    /// [`write_path_from`](Self::write_path_from) run allocation-free
+    /// against a fixed per-slot payload capacity (the stride shape the
+    /// caller must give its [`PathScratch`]), `None` when they fall back
+    /// to the `Vec<Block>` shims below. Protocol clients use this to pick
+    /// the zero-copy path; the default keeps existing backends on the
+    /// `Vec<Block>` route unchanged.
+    fn path_scratch_spec(&self) -> Option<usize> {
+        None
+    }
+
+    /// As [`read_path`](Self::read_path), but filling a caller-owned
+    /// [`PathScratch`] instead of allocating a `Vec<Block>`. Semantics are
+    /// identical — destructive, root first, slot order — and the default
+    /// shim delegates to `read_path`, so every backend agrees with its own
+    /// `Vec<Block>` behaviour by construction. Backends advertising
+    /// [`path_scratch_spec`](Self::path_scratch_spec) override this with
+    /// an allocation-free implementation.
+    fn read_path_into(&mut self, leaf: LeafId, out: &mut PathScratch) {
+        let blocks = self.read_path(leaf);
+        let widest = blocks.iter().map(|b| b.data().map_or(0, <[u8]>::len)).max().unwrap_or(0);
+        if widest > out.payload_capacity() {
+            out.ensure_shape(widest);
+        }
+        out.clear();
+        for block in &blocks {
+            out.push(block.id(), block.leaf(), block.data());
+        }
+    }
+
+    /// As [`write_path`](Self::write_path), but draining candidates from a
+    /// [`PathScratch`]: placed entries are removed and the leftovers are
+    /// compacted in the scratch (same deterministic leftover order as the
+    /// `Vec<Block>` route). The default shim round-trips through
+    /// `write_path`.
+    fn write_path_from(&mut self, leaf: LeafId, candidates: &mut PathScratch) {
+        let mut blocks: Vec<Block> =
+            (0..candidates.len()).map(|i| candidates.block_at(i)).collect();
+        self.write_path(leaf, &mut blocks);
+        candidates.clear();
+        for block in &blocks {
+            candidates.push(block.id(), block.leaf(), block.data());
+        }
+    }
+
+    /// As [`write_path_from`](Self::write_path_from), but planning and
+    /// copying straight out of a **borrowed** candidate view instead of a
+    /// drained scratch: nothing moves unless the planner places it. On
+    /// success, `placed` is rewritten to one flag per candidate (same
+    /// deterministic plan as the other write-back routes — the candidate
+    /// order and assigned leaves fully determine the placements) and the
+    /// method returns `true`; the caller then drops exactly the flagged
+    /// entries from wherever they live. A `false` return means the
+    /// backend has no borrowed-candidate route and wrote **nothing** —
+    /// the caller must fall back to
+    /// [`write_path_from`](Self::write_path_from) or
+    /// [`write_path`](Self::write_path). The default declines.
+    ///
+    /// This is the keystone of the allocation-free serving path: the
+    /// protocol client keeps its stash intact across a write-back and
+    /// hands the store a view over `[stash..., fetched path...]`, so the
+    /// hundreds of unplaced stash residents are never drained, re-boxed,
+    /// or re-indexed per eviction.
+    fn write_path_with(
+        &mut self,
+        leaf: LeafId,
+        candidates: &dyn PathCandidates,
+        placed: &mut Vec<bool>,
+    ) -> bool {
+        let _ = (leaf, candidates, placed);
+        false
+    }
+}
+
+/// A borrowed view of write-back candidates for
+/// [`BucketStore::write_path_with`]: the store asks for each candidate's
+/// assigned leaf while planning, then asks the view to encode the placed
+/// winners directly into tree slots (stride format, see
+/// [`encode_slot`](crate::encode_slot)). Object-safe so runtime-selected
+/// backends ([`DynBucketStore`]) can take it.
+pub trait PathCandidates {
+    /// Number of candidates in the view.
+    fn len(&self) -> usize;
+
+    /// Whether the view holds no candidates.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Assigned leaf of candidate `i`.
+    fn leaf_of(&self, i: usize) -> LeafId;
+
+    /// Encodes candidate `i` into the raw stride slot `dst`
+    /// (`SLOT_HEADER_BYTES + payload_capacity` bytes, see
+    /// [`encode_slot`](crate::encode_slot)).
+    fn encode_into(&self, i: usize, dst: &mut [u8]);
 }
 
 impl<S: BucketStore + ?Sized> BucketStore for Box<S> {
@@ -276,6 +374,23 @@ impl<S: BucketStore + ?Sized> BucketStore for Box<S> {
     }
     fn io_stats(&self) -> Option<crate::DiskIoStats> {
         (**self).io_stats()
+    }
+    fn path_scratch_spec(&self) -> Option<usize> {
+        (**self).path_scratch_spec()
+    }
+    fn read_path_into(&mut self, leaf: LeafId, out: &mut PathScratch) {
+        (**self).read_path_into(leaf, out);
+    }
+    fn write_path_from(&mut self, leaf: LeafId, candidates: &mut PathScratch) {
+        (**self).write_path_from(leaf, candidates);
+    }
+    fn write_path_with(
+        &mut self,
+        leaf: LeafId,
+        candidates: &dyn PathCandidates,
+        placed: &mut Vec<bool>,
+    ) -> bool {
+        (**self).write_path_with(leaf, candidates, placed)
     }
 }
 
@@ -359,6 +474,79 @@ pub(crate) fn compact_unplaced(candidates: &mut Vec<Block>, placed: &mut [bool])
     candidates.truncate(keep);
 }
 
+/// Reusable working memory for [`plan_greedy_write_back_reusing`]: the
+/// per-depth candidate pools, placement list, and placed flags that the
+/// allocating planner re-creates on every call. Owned by stores with
+/// native scratch I/O so steady-state write-backs allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PlanScratch {
+    by_depth: Vec<Vec<u32>>,
+    pub(crate) placements: Vec<(usize, usize)>,
+    pub(crate) placed: Vec<bool>,
+}
+
+/// [`plan_greedy_write_back`] with caller-owned working memory and a
+/// candidate-leaf accessor instead of a `&[Block]` slice, so the arena
+/// backend can plan straight off a [`PathScratch`]. The decision sequence
+/// — depth pools filled in candidate order, LIFO pops, the `pool_level`
+/// cursor, the per-level early break — mirrors the allocating planner
+/// statement for statement; `planner_equivalence` proptests below pin the
+/// two to identical placements and placed flags.
+pub(crate) fn plan_greedy_write_back_reusing(
+    geometry: &TreeGeometry,
+    leaf: LeafId,
+    num_candidates: usize,
+    mut leaf_of: impl FnMut(usize) -> LeafId,
+    mut slot_is_empty: impl FnMut(usize) -> bool,
+    scratch: &mut PlanScratch,
+) {
+    let leaf_level = geometry.leaf_level() as usize;
+    if scratch.by_depth.len() < leaf_level + 1 {
+        scratch.by_depth.resize_with(leaf_level + 1, Vec::new);
+    }
+    for pool in &mut scratch.by_depth {
+        pool.clear();
+    }
+    scratch.placements.clear();
+    scratch.placed.clear();
+    scratch.placed.resize(num_candidates, false);
+    for idx in 0..num_candidates {
+        let assigned = leaf_of(idx);
+        debug_assert!(geometry.check_leaf(assigned).is_ok());
+        let cd = geometry.common_depth(leaf, assigned) as usize;
+        scratch.by_depth[cd].push(idx as u32);
+    }
+    let mut pool_level = leaf_level;
+    for level in (0..=leaf_level).rev() {
+        if pool_level < level {
+            pool_level = level;
+        }
+        let node = geometry.path_node_in_level(leaf, level as u32);
+        for slot in geometry.bucket_slot_range(level as u32, node) {
+            if !slot_is_empty(slot) {
+                continue;
+            }
+            let candidate = loop {
+                if pool_level < level {
+                    break None;
+                }
+                match scratch.by_depth[pool_level].pop() {
+                    Some(idx) => break Some(idx as usize),
+                    None => {
+                        if pool_level == level {
+                            break None;
+                        }
+                        pool_level -= 1;
+                    }
+                }
+            };
+            let Some(idx) = candidate else { break };
+            scratch.placements.push((slot, idx));
+            scratch.placed[idx] = true;
+        }
+    }
+}
+
 /// Finds the deepest empty slot on the path to `leaf` (warm-start
 /// placement), shared by every backend's `place_for_init`.
 pub(crate) fn plan_place_for_init(
@@ -375,4 +563,76 @@ pub(crate) fn plan_place_for_init(
         }
     }
     None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockId, BucketProfile};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The reusable-scratch planner is decision-for-decision identical
+        /// to the allocating planner, including when the scratch is dirty
+        /// from a previous (differently shaped) call.
+        #[test]
+        fn scratch_planner_matches_allocating_planner(
+            levels in 1u32..6,
+            leaf_raw in 0u32..32,
+            leaves in proptest::collection::vec(0u32..32, 0..24),
+            full_mask in any::<u64>(),
+        ) {
+            let geometry =
+                TreeGeometry::with_levels(levels, BucketProfile::Uniform { capacity: 2 }).unwrap();
+            let num_leaves = geometry.num_leaves() as u32;
+            let leaf = LeafId::new(leaf_raw % num_leaves);
+            let candidates: Vec<Block> = leaves
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| {
+                    Block::metadata_only(BlockId::new(i as u32), LeafId::new(l % num_leaves))
+                })
+                .collect();
+            let empty = |slot: usize| full_mask & (1 << (slot % 64)) == 0;
+
+            let (placements, placed) =
+                plan_greedy_write_back(&geometry, leaf, &candidates, empty);
+
+            let mut scratch = PlanScratch::default();
+            // Dirty the scratch first to prove per-call state is reset.
+            plan_greedy_write_back_reusing(
+                &geometry,
+                LeafId::new((leaf_raw + 1) % num_leaves),
+                candidates.len(),
+                |i| candidates[i].leaf(),
+                |_| true,
+                &mut scratch,
+            );
+            plan_greedy_write_back_reusing(
+                &geometry,
+                leaf,
+                candidates.len(),
+                |i| candidates[i].leaf(),
+                empty,
+                &mut scratch,
+            );
+            prop_assert_eq!(&scratch.placements, &placements);
+            prop_assert_eq!(&scratch.placed, &placed);
+
+            // And the scratch-side compaction agrees with compact_unplaced.
+            let mut vec_left = candidates.clone();
+            let mut placed_vec = placed.clone();
+            compact_unplaced(&mut vec_left, &mut placed_vec);
+            let mut path_scratch = PathScratch::new();
+            for b in &candidates {
+                path_scratch.push(b.id(), b.leaf(), b.data());
+            }
+            path_scratch.retain_unplaced(&mut scratch.placed);
+            prop_assert_eq!(path_scratch.len(), vec_left.len());
+            for (i, b) in vec_left.iter().enumerate() {
+                prop_assert_eq!(path_scratch.id(i), b.id());
+                prop_assert_eq!(path_scratch.leaf(i), b.leaf());
+            }
+        }
+    }
 }

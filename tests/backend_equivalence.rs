@@ -17,7 +17,10 @@ use laoram::core::{LaOram, LaOramConfig, SuperblockPlanner};
 use laoram::protocol::{
     AccessObserver, PathOramClient, PathOramConfig, RecordingObserver, ServerOp,
 };
-use laoram::tree::{BlockId, DiskStore, DiskStoreConfig, TreeStorage};
+use laoram::tree::{
+    ArenaStore, ArenaStoreConfig, Block, BlockId, BucketStore, DiskStore, DiskStoreConfig, LeafId,
+    TreeStorage,
+};
 
 static CASE: AtomicU64 = AtomicU64::new(0);
 
@@ -97,6 +100,118 @@ proptest! {
         );
         drop(disk);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Path ORAM: the arena data plane (contiguous stride format, scratch
+    /// path I/O, in-place write-back) is byte-equivalent to the legacy
+    /// boxed-slot layout — responses, full access statistics (including
+    /// the stash high-water mark and per-path fetch counts) and the
+    /// server-visible access sequence.
+    #[test]
+    fn path_oram_arena_equivalent(
+        seed in any::<u64>(),
+        script in proptest::collection::vec(
+            (0u32..48, proptest::option::of(0u8..255)), 1..120),
+    ) {
+        let config = PathOramConfig::new(48).with_seed(seed).with_payloads(true);
+
+        let mut legacy = PathOramClient::new(config.clone()).unwrap();
+        let legacy_tap = Tap::default();
+        legacy.set_observer(Box::new(legacy_tap.clone()));
+
+        let arena_store = ArenaStore::new(
+            config.geometry().unwrap(),
+            ArenaStoreConfig::new().payload_capacity(1),
+        );
+        let mut arena = PathOramClient::with_store(config, arena_store).unwrap();
+        let arena_tap = Tap::default();
+        arena.set_observer(Box::new(arena_tap.clone()));
+
+        for (id, op) in script {
+            let id = BlockId::new(id);
+            match op {
+                Some(v) => {
+                    let a = legacy.write(id, vec![v].into()).unwrap();
+                    let b = arena.write(id, vec![v].into()).unwrap();
+                    prop_assert_eq!(a, b, "write responses diverged");
+                }
+                None => {
+                    let a = legacy.read(id).unwrap();
+                    let b = arena.read(id).unwrap();
+                    prop_assert_eq!(a, b, "read responses diverged");
+                }
+            }
+        }
+        legacy.verify_invariants().unwrap();
+        arena.verify_invariants().unwrap();
+        prop_assert_eq!(legacy.stats(), arena.stats(), "access statistics diverged");
+        prop_assert_eq!(
+            legacy_tap.ops(),
+            arena_tap.ops(),
+            "server-visible access sequences diverged"
+        );
+    }
+
+    /// LAORAM: planned superblock streams — fused serves, batched
+    /// eviction, cache checkouts and all — are equivalent across the
+    /// legacy and arena data planes.
+    #[test]
+    fn laoram_arena_equivalent(
+        seed in any::<u64>(),
+        s in 1u32..5,
+        stream in proptest::collection::vec(0u32..32, 1..100),
+    ) {
+        let config = LaOramConfig::builder(32)
+            .seed(seed)
+            .superblock_size(s)
+            .payloads(true)
+            .build()
+            .unwrap();
+
+        let mut legacy = LaOram::new(config.clone()).unwrap();
+        let legacy_tap = Tap::default();
+        legacy.set_observer(Box::new(legacy_tap.clone()));
+
+        let arena_store = ArenaStore::new(
+            config.geometry().unwrap(),
+            ArenaStoreConfig::new().payload_capacity(1),
+        );
+        let mut arena = LaOram::with_store(config.clone(), arena_store).unwrap();
+        let arena_tap = Tap::default();
+        arena.set_observer(Box::new(arena_tap.clone()));
+
+        let mut planner_a =
+            SuperblockPlanner::for_config(&config, legacy.geometry().num_leaves());
+        let mut planner_b =
+            SuperblockPlanner::for_config(&config, arena.geometry().num_leaves());
+        legacy.install_plan(planner_a.plan(&stream)).unwrap();
+        arena.install_plan(planner_b.plan(&stream)).unwrap();
+
+        let mut model: std::collections::HashMap<u32, u8> = Default::default();
+        for (i, &idx) in stream.iter().enumerate() {
+            if let Some(&v) = model.get(&idx) {
+                let a = legacy.read(idx).unwrap();
+                let b = arena.read(idx).unwrap();
+                prop_assert_eq!(a.as_deref(), Some(&[v][..]), "legacy read wrong");
+                prop_assert_eq!(a, b, "read responses diverged");
+            } else {
+                let v = (i % 251) as u8;
+                let a = legacy.write(idx, vec![v].into()).unwrap();
+                let b = arena.write(idx, vec![v].into()).unwrap();
+                prop_assert_eq!(a, b, "write responses diverged");
+                model.insert(idx, v);
+            }
+        }
+        legacy.finish().unwrap();
+        arena.finish().unwrap();
+        legacy.verify_invariants().unwrap();
+        arena.verify_invariants().unwrap();
+        prop_assert_eq!(legacy.stats(), arena.stats(), "access statistics diverged");
+        prop_assert_eq!(
+            legacy_tap.ops(),
+            arena_tap.ops(),
+            "server-visible access sequences diverged"
+        );
     }
 
     /// LAORAM: planned superblock streams are backend-equivalent,
@@ -209,6 +324,66 @@ fn disk_backend_reopens_across_sync() {
     }
     drop(successor);
     let _ = std::fs::remove_file(&path);
+}
+
+/// A client-state snapshot captured against the legacy boxed-slot layout
+/// reopens against the arena layout: the tree content transfers through
+/// the `BucketStore` boundary (`collect_blocks` + `place_for_init`), the
+/// snapshot restores onto the arena store, and the successor behaves
+/// identically to a successor restored onto a legacy store — same
+/// responses, stats and server-visible access sequence.
+#[test]
+fn legacy_snapshot_reopens_on_arena_layout() {
+    let config = PathOramConfig::new(48).with_seed(23).with_populate(true);
+    let geometry = config.geometry().unwrap();
+
+    // Age a legacy client past populate, then capture its client state.
+    let mut origin = PathOramClient::new(config.clone()).unwrap();
+    for i in 0..96u32 {
+        origin.access(BlockId::new(i % 48), None, None).unwrap();
+        if i % 7 == 0 {
+            origin.dummy_access();
+        }
+    }
+    let state = origin.snapshot_state().unwrap();
+
+    // Transfer the tree content into a fresh store of each layout via the
+    // same trait route, so both successors start from identical placement.
+    let blocks: Vec<(BlockId, LeafId)> = origin.storage().collect_blocks();
+    let mut legacy_store = TreeStorage::metadata_only(geometry.clone());
+    let mut arena_store = ArenaStore::metadata_only(geometry);
+    for &(id, leaf) in &blocks {
+        assert!(
+            legacy_store.place_for_init(Block::metadata_only(id, leaf)).unwrap().is_none(),
+            "legacy re-placement overflowed"
+        );
+        assert!(
+            arena_store.place_for_init(Block::metadata_only(id, leaf)).unwrap().is_none(),
+            "arena re-placement overflowed"
+        );
+    }
+
+    let restore_config = config.with_populate(false);
+    let mut legacy = PathOramClient::restore(restore_config.clone(), legacy_store, &state)
+        .expect("legacy snapshot must restore on the legacy layout");
+    let mut arena = PathOramClient::restore(restore_config, arena_store, &state)
+        .expect("legacy snapshot must restore on the arena layout");
+    legacy.verify_invariants().unwrap();
+    arena.verify_invariants().unwrap();
+
+    let legacy_tap = Tap::default();
+    legacy.set_observer(Box::new(legacy_tap.clone()));
+    let arena_tap = Tap::default();
+    arena.set_observer(Box::new(arena_tap.clone()));
+    for i in 0..144u32 {
+        let a = legacy.access(BlockId::new((i * 5) % 48), None, None).unwrap();
+        let b = arena.access(BlockId::new((i * 5) % 48), None, None).unwrap();
+        assert_eq!(a, b, "post-restore responses diverged at access {i}");
+    }
+    legacy.verify_invariants().unwrap();
+    arena.verify_invariants().unwrap();
+    assert_eq!(legacy.stats(), arena.stats(), "post-restore statistics diverged");
+    assert_eq!(legacy_tap.ops(), arena_tap.ops(), "post-restore access sequences diverged");
 }
 
 /// Ring ORAM accepts non-default backends through the same trait.
